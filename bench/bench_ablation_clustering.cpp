@@ -1,0 +1,42 @@
+// Ablation: k-means cluster-count sweep for LLNDP-CP, extending Fig. 6's
+// three configurations to a full k sweep, reporting cost, thresholds tried
+// and the approximation gap introduced by clustering.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "deploy/cp_llndp.h"
+#include "graph/templates.h"
+
+int main() {
+  using namespace cloudia;
+  bench::PrintHeader(
+      "Ablation: cost-cluster count sweep (LLNDP-CP)",
+      "extends Fig. 6: k trades iteration count against objective "
+      "granularity; the paper picks k=20",
+      "90-node mesh / 100 instances, equal budget per k");
+
+  bench::CloudFixture fx(net::AmazonEc2Profile(), /*seed=*/43, /*n=*/100);
+  deploy::CostMatrix costs = bench::MeasuredMeanCosts(
+      fx.cloud, fx.instances, bench::ScaledSeconds(300, 10), 4343);
+  graph::CommGraph mesh = graph::Mesh2D(9, 10);
+  const double budget = bench::ScaledSeconds(8 * 60, 4);
+
+  TextTable t({"k", "final cost[ms]", "thresholds tried", "time of best[s]",
+               "optimal(clustered)?"});
+  for (int k : {5, 10, 20, 40, 80, 0}) {
+    deploy::CpLlndpOptions opts;
+    opts.cost_clusters = k;
+    opts.deadline = Deadline::After(budget);
+    opts.seed = 11;
+    auto r = deploy::SolveLlndpCp(mesh, costs, opts);
+    CLOUDIA_CHECK(r.ok());
+    std::string label = k == 0 ? "none" : StrFormat("%d", k);
+    t.AddRow({label, StrFormat("%.4f", r->cost),
+              StrFormat("%lld", static_cast<long long>(r->iterations)),
+              StrFormat("%.2f", r->trace.back().seconds),
+              r->proven_optimal ? "yes" : "no"});
+  }
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig. 1: CDF of mean pairwise end-to-end latencies among 100 EC2 m1.large
+// instances (1 KB TCP round trips).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+
+int main() {
+  using namespace cloudia;
+  bench::PrintHeader(
+      "Figure 1: latency heterogeneity in EC2",
+      "~10% of instance pairs above 0.7 ms, bottom ~10% below 0.4 ms; "
+      "range roughly 0.2-1.4 ms",
+      "100 instances on the EC2-profile simulator, model-expected mean RTTs");
+
+  bench::CloudFixture fx(net::AmazonEc2Profile(), /*seed=*/1, /*n=*/100);
+  std::vector<double> latencies;
+  for (size_t i = 0; i < fx.instances.size(); ++i) {
+    for (size_t j = 0; j < fx.instances.size(); ++j) {
+      if (i != j) {
+        latencies.push_back(fx.cloud.ExpectedRtt(fx.instances[i],
+                                                 fx.instances[j]));
+      }
+    }
+  }
+  bench::PrintCdf("mean latency [ms]", latencies, 25);
+  std::printf("\nfraction of pairs > 0.7 ms : %.3f (paper ~0.10)\n",
+              1.0 - static_cast<double>(std::count_if(
+                        latencies.begin(), latencies.end(),
+                        [](double v) { return v <= 0.7; })) /
+                        latencies.size());
+  std::printf("fraction of pairs < 0.4 ms : %.3f (paper ~0.10)\n",
+              static_cast<double>(std::count_if(
+                  latencies.begin(), latencies.end(),
+                  [](double v) { return v < 0.4; })) /
+                  latencies.size());
+  return 0;
+}

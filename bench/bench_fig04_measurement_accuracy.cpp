@@ -1,0 +1,75 @@
+// Fig. 4: normalized relative error of the staged and uncoordinated
+// measurement methods against the token-passing baseline, 50 instances.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+
+namespace {
+
+using namespace cloudia;
+
+// Per-link relative error between two normalized mean-latency vectors
+// (exactly the paper's Sect. 6.2 methodology).
+std::vector<double> NormalizedRelativeErrors(
+    const measure::MeasurementResult& baseline,
+    const measure::MeasurementResult& candidate, int n) {
+  std::vector<double> base_vec, cand_vec;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (baseline.Link(i, j).count() == 0 ||
+          candidate.Link(i, j).count() == 0) {
+        continue;
+      }
+      base_vec.push_back(baseline.Link(i, j).mean());
+      cand_vec.push_back(candidate.Link(i, j).mean());
+    }
+  }
+  base_vec = NormalizeToUnitVector(base_vec);
+  cand_vec = NormalizeToUnitVector(cand_vec);
+  std::vector<double> errors;
+  errors.reserve(base_vec.size());
+  for (size_t k = 0; k < base_vec.size(); ++k) {
+    errors.push_back(std::fabs(cand_vec[k] - base_vec[k]) / base_vec[k]);
+  }
+  return errors;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 4: measurement accuracy (normalized relative error vs token "
+      "passing)",
+      "staged: 90% of links < 10% error, max < 30%; uncoordinated: 10% of "
+      "links > 50% error",
+      "50 instances; all protocols get the same virtual measurement budget");
+
+  bench::CloudFixture fx(net::AmazonEc2Profile(), /*seed=*/4, /*n=*/50);
+  measure::ProtocolOptions opts;
+  opts.duration_s = bench::ScaledSeconds(30 * 60, 20);
+  opts.seed = 101;
+  auto token = measure::RunTokenPassing(fx.cloud, fx.instances, opts);
+  opts.seed = 102;
+  auto staged = measure::RunStaged(fx.cloud, fx.instances, opts);
+  opts.seed = 103;
+  auto uncoordinated = measure::RunUncoordinated(fx.cloud, fx.instances, opts);
+  if (!token.ok() || !staged.ok() || !uncoordinated.ok()) {
+    std::fprintf(stderr, "protocol run failed\n");
+    return 1;
+  }
+
+  auto staged_err = NormalizedRelativeErrors(*token, *staged, 50);
+  auto uncoord_err = NormalizedRelativeErrors(*token, *uncoordinated, 50);
+  std::printf("\nStaged:\n");
+  cloudia::bench::PrintCdf("relative error", staged_err, 20);
+  std::printf("\nUncoordinated:\n");
+  cloudia::bench::PrintCdf("relative error", uncoord_err, 20);
+  std::printf("\nstaged       p90 %.3f  max %.3f\n",
+              Percentile(staged_err, 90), Percentile(staged_err, 100));
+  std::printf("uncoordinated p90 %.3f  max %.3f\n",
+              Percentile(uncoord_err, 90), Percentile(uncoord_err, 100));
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 11: relative application-performance improvement when the deployment
+// is searched with the mean+SD or 99th-percentile cost metric instead of
+// plain mean latency.
+#include <cstdio>
+
+#include "common/table.h"
+#include "pipeline.h"
+
+int main() {
+  using namespace cloudia;
+  bench::PrintHeader(
+      "Figure 11: other cost metrics vs mean latency",
+      "99% percentile hurts all three workloads; mean+SD helps simulation "
+      "and aggregation slightly and hurts the KV store; differences are not "
+      "dramatic -- mean latency is robust",
+      "same allocation per workload; deployment searched under each metric, "
+      "then the real workload is run");
+
+  TextTable t({"workload", "metric", "app time[ms]",
+               "improvement vs mean[%]"});
+  for (bench::Workload w :
+       {bench::Workload::kBehavioral, bench::Workload::kAggregation,
+        bench::Workload::kKvStore}) {
+    graph::CommGraph g = bench::WorkloadGraph(w);
+    int total = g.num_nodes() + g.num_nodes() / 10;
+    bench::CloudFixture fx(net::AmazonEc2Profile(),
+                           /*seed=*/1100 + static_cast<int>(w), total);
+    double mean_time = 0.0;
+    for (measure::CostMetric metric :
+         {measure::CostMetric::kMean, measure::CostMetric::kMeanPlusStdDev,
+          measure::CostMetric::kP99}) {
+      bench::PipelineOutcome out =
+          bench::RunPipeline(fx.cloud, fx.instances, w, metric, 7);
+      if (metric == measure::CostMetric::kMean) mean_time = out.optimized_ms;
+      double improvement =
+          mean_time > 0
+              ? 100.0 * (mean_time - out.optimized_ms) / mean_time
+              : 0.0;
+      t.AddRow({bench::WorkloadName(w), measure::CostMetricName(metric),
+                StrFormat("%.1f", out.optimized_ms),
+                StrFormat("%+.1f", improvement)});
+      std::printf("%-22s %-8s app time %9.1f ms  (%+5.1f %% vs mean)\n",
+                  bench::WorkloadName(w), measure::CostMetricName(metric),
+                  out.optimized_ms, improvement);
+    }
+  }
+  std::printf("\n%s", t.ToString().c_str());
+  return 0;
+}

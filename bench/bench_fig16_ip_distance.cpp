@@ -1,0 +1,36 @@
+// Fig. 16: latency ordered by IP distance -- a negative result: IP distance
+// does not order latencies monotonically (e.g. the lowest latencies appear
+// at IP distance 2, not 1).
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "measure/approximations.h"
+
+int main() {
+  using namespace cloudia;
+  bench::PrintHeader(
+      "Figure 16: latency order by IP distance (Appendix 2)",
+      "monotonicity does not hold: groups overlap and the lowest latencies "
+      "are observed at IP distance = 2",
+      "100 EC2-profile instances, 8-bit (octet) IP distance groups");
+
+  bench::CloudFixture fx(net::AmazonEc2Profile(), /*seed=*/16, /*n=*/100);
+  auto links = measure::ComputeLinkApproximations(fx.cloud, fx.instances);
+
+  std::map<int, std::vector<double>> groups;
+  for (const auto& link : links) {
+    groups[link.ip_distance].push_back(link.mean_latency_ms);
+  }
+  for (auto& [dist, values] : groups) {
+    bench::PrintQuantiles(StrFormat("IP distance = %d", dist),
+                          std::move(values));
+  }
+  double violations = measure::ProxyOrderViolationFraction(
+      links, &measure::LinkApproximation::ip_distance);
+  std::printf("\ncross-group order violations: %.1f %% of pair comparisons "
+              "(0%% would mean IP distance predicts latency)\n",
+              100.0 * violations);
+  return 0;
+}

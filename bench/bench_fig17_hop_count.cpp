@@ -1,0 +1,34 @@
+// Fig. 17: latency ordered by hop count -- also a negative result: groups
+// overlap significantly (the paper observed hop counts {0, 1, 3} only).
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "measure/approximations.h"
+
+int main() {
+  using namespace cloudia;
+  bench::PrintHeader(
+      "Figure 17: latency order by hop count (Appendix 2)",
+      "only hop counts 0, 1 and 3 are observed; a significant number of "
+      "link pairs is ordered inconsistently by hop count vs latency",
+      "100 EC2-profile instances, TTL-style hop counts");
+
+  bench::CloudFixture fx(net::AmazonEc2Profile(), /*seed=*/17, /*n=*/100);
+  auto links = measure::ComputeLinkApproximations(fx.cloud, fx.instances);
+
+  std::map<int, std::vector<double>> groups;
+  for (const auto& link : links) {
+    groups[link.hop_count].push_back(link.mean_latency_ms);
+  }
+  for (auto& [hops, values] : groups) {
+    bench::PrintQuantiles(StrFormat("hop count = %d", hops),
+                          std::move(values));
+  }
+  double violations = measure::ProxyOrderViolationFraction(
+      links, &measure::LinkApproximation::hop_count);
+  std::printf("\ncross-group order violations: %.1f %% of pair comparisons\n",
+              100.0 * violations);
+  return 0;
+}

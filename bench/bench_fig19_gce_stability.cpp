@@ -1,0 +1,10 @@
+// Fig. 19: mean latency stability in Google Compute Engine over 60 hours.
+#include "provider_figures.h"
+
+int main() {
+  cloudia::bench::RunProviderStabilityFigure(
+      "Figure 19: mean latency stability in Google Compute Engine",
+      "per-link hourly mean latencies stay flat over 60 h",
+      cloudia::net::GoogleComputeEngineProfile(), /*seed=*/19);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Fig. 21: mean latency stability in Rackspace Cloud Server over 60 hours.
+#include "provider_figures.h"
+
+int main() {
+  cloudia::bench::RunProviderStabilityFigure(
+      "Figure 21: mean latency stability in Rackspace Cloud Server",
+      "per-link hourly mean latencies stay flat over 60 h, in line with GCE",
+      cloudia::net::RackspaceCloudProfile(), /*seed=*/21);
+  return 0;
+}

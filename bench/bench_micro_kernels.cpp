@@ -1,0 +1,174 @@
+// Micro-benchmarks (google-benchmark) of the computational kernels under
+// ClouDiA: RNG, statistics, 1-D k-means, CP propagation, subgraph
+// isomorphism, the LP simplex, cost evaluation, and the DES event queue.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "cluster/kmeans1d.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "deploy/cost.h"
+#include "graph/templates.h"
+#include "measure/event_queue.h"
+#include "netsim/cloud.h"
+#include "solver/cp/alldifferent.h"
+#include "solver/cp/subgraph_iso.h"
+#include "solver/lp/simplex.h"
+
+namespace {
+
+using namespace cloudia;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngNormal(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Normal());
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_OnlineStatsAdd(benchmark::State& state) {
+  OnlineStats s;
+  Rng rng(2);
+  for (auto _ : state) {
+    s.Add(rng.Uniform());
+    benchmark::DoNotOptimize(s.mean());
+  }
+}
+BENCHMARK(BM_OnlineStatsAdd);
+
+void BM_KMeans1D(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    values.push_back(std::round(rng.Uniform(0.2, 1.4) * 100) / 100);
+  }
+  for (auto _ : state) {
+    auto r = cluster::KMeans1D(values, 20);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_KMeans1D)->Arg(1000)->Arg(10000);
+
+void BM_ExpectedRtt(benchmark::State& state) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 4);
+  auto alloc = cloud.Allocate(100);
+  const auto& inst = *alloc;
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cloud.ExpectedRtt(inst[static_cast<size_t>(i % 100)],
+                          inst[static_cast<size_t>((i + 7) % 100)]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ExpectedRtt);
+
+void BM_SampleRtt(benchmark::State& state) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 5);
+  auto alloc = cloud.Allocate(10);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cloud.SampleRtt((*alloc)[0], (*alloc)[1], 1024, 0.0, rng));
+  }
+}
+BENCHMARK(BM_SampleRtt);
+
+void BM_AllDifferentPropagate(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int m = n + n / 10;
+  Rng rng(6);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<cp::BitSet> domains(static_cast<size_t>(n),
+                                    cp::BitSet(m, true));
+    for (auto& d : domains) {
+      for (int v = 0; v < m; ++v) {
+        if (rng.Bernoulli(0.3)) d.Remove(v);
+      }
+      if (d.Empty()) d.Insert(0);
+    }
+    cp::AllDifferent ad(n, m);
+    state.ResumeTiming();
+    std::vector<int> touched;
+    benchmark::DoNotOptimize(ad.Propagate(domains, &touched));
+  }
+}
+BENCHMARK(BM_AllDifferentPropagate)->Arg(50)->Arg(100);
+
+void BM_SubgraphIsoMesh(benchmark::State& state) {
+  int side = static_cast<int>(state.range(0));
+  graph::CommGraph mesh = graph::Mesh2D(side, side);
+  cp::BitMatrix target(mesh.num_nodes(), mesh.num_nodes());
+  for (const graph::Edge& e : mesh.edges()) target.Set(e.src, e.dst);
+  for (auto _ : state) {
+    auto phi = cp::FindSubgraphIsomorphism(mesh, target);
+    benchmark::DoNotOptimize(phi);
+  }
+}
+BENCHMARK(BM_SubgraphIsoMesh)->Arg(4)->Arg(6);
+
+void BM_SimplexAssignment(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  lp::LpProblem p;
+  p.num_vars = n * n;
+  p.objective.resize(static_cast<size_t>(n * n));
+  for (auto& c : p.objective) c = rng.Uniform(1, 10);
+  for (int i = 0; i < n; ++i) {
+    lp::Row r;
+    for (int j = 0; j < n; ++j) r.coeffs.push_back({n * i + j, 1.0});
+    r.sense = lp::RowSense::kEq;
+    r.rhs = 1;
+    p.rows.push_back(r);
+  }
+  for (int j = 0; j < n; ++j) {
+    lp::Row r;
+    for (int i = 0; i < n; ++i) r.coeffs.push_back({n * i + j, 1.0});
+    r.sense = lp::RowSense::kEq;
+    r.rhs = 1;
+    p.rows.push_back(r);
+  }
+  for (auto _ : state) {
+    auto s = lp::SolveLp(p);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SimplexAssignment)->Arg(10)->Arg(20);
+
+void BM_CostEvaluatorLongestLink(benchmark::State& state) {
+  Rng rng(8);
+  graph::CommGraph mesh = graph::Mesh2D(10, 10);
+  deploy::CostMatrix costs(110, std::vector<double>(110, 0));
+  for (auto& row : costs) {
+    for (auto& c : row) c = rng.Uniform(0.2, 1.4);
+  }
+  auto eval = deploy::CostEvaluator::Create(&mesh, &costs,
+                                            deploy::Objective::kLongestLink);
+  deploy::Deployment d = rng.SampleWithoutReplacement(110, 100);
+  for (auto _ : state) benchmark::DoNotOptimize(eval->Cost(d));
+}
+BENCHMARK(BM_CostEvaluatorLongestLink);
+
+void BM_EventQueueChain(benchmark::State& state) {
+  for (auto _ : state) {
+    measure::EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+      if (++fired < 1000) q.ScheduleAfter(0.1, chain);
+    };
+    q.ScheduleAt(0, chain);
+    benchmark::DoNotOptimize(q.RunAll());
+  }
+}
+BENCHMARK(BM_EventQueueChain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace cloudia::bench {
+
+double Scale() {
+  static double scale = [] {
+    const char* env = std::getenv("CLOUDIA_BENCH_SCALE");
+    double s = env != nullptr ? std::atof(env) : 0.04;
+    return std::clamp(s, 0.001, 1.0);
+  }();
+  return scale;
+}
+
+double ScaledSeconds(double paper_seconds, double min_seconds) {
+  return std::max(paper_seconds * Scale(), min_seconds);
+}
+
+void PrintHeader(const std::string& figure, const std::string& paper_claim,
+                 const std::string& setup) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("setup: %s (CLOUDIA_BENCH_SCALE=%.3f)\n", setup.c_str(), Scale());
+  std::printf("==================================================================\n");
+}
+
+void PrintCdf(const std::string& value_label, std::vector<double> values,
+              int points) {
+  auto cdf = EmpiricalCdf(std::move(values), static_cast<size_t>(points));
+  TextTable t({value_label, "CDF"});
+  for (const CdfPoint& p : cdf) {
+    t.AddRow({StrFormat("%.4f", p.value), StrFormat("%.3f", p.cumulative)});
+  }
+  std::printf("%s", t.ToString().c_str());
+}
+
+void PrintQuantiles(const std::string& label, std::vector<double> values) {
+  if (values.empty()) {
+    std::printf("%-24s (no data)\n", label.c_str());
+    return;
+  }
+  std::printf("%-24s min %.4f  p10 %.4f  p50 %.4f  p90 %.4f  max %.4f  (n=%zu)\n",
+              label.c_str(), Percentile(values, 0), Percentile(values, 10),
+              Percentile(values, 50), Percentile(values, 90),
+              Percentile(values, 100), values.size());
+}
+
+CloudFixture::CloudFixture(net::ProviderProfile profile, uint64_t seed, int n)
+    : cloud(std::move(profile), seed) {
+  auto alloc = cloud.Allocate(n);
+  CLOUDIA_CHECK(alloc.ok());
+  instances = std::move(alloc).value();
+}
+
+deploy::CostMatrix MeasuredMeanCosts(const net::CloudSimulator& cloud,
+                                     const std::vector<net::Instance>& instances,
+                                     double virtual_s, uint64_t seed) {
+  measure::ProtocolOptions opts;
+  opts.duration_s = virtual_s;
+  opts.seed = seed;
+  auto result = measure::RunStaged(cloud, instances, opts);
+  CLOUDIA_CHECK(result.ok());
+  return measure::BuildCostMatrix(*result, measure::CostMetric::kMean);
+}
+
+std::vector<double> OffDiagonal(const deploy::CostMatrix& m) {
+  std::vector<double> out;
+  size_t n = m.size();
+  out.reserve(n * (n - 1));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) out.push_back(m[i][j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace cloudia::bench

@@ -1,0 +1,68 @@
+// Shared implementation for the Appendix-3 provider figures (18-21): latency
+// heterogeneity CDF and mean-latency stability for GCE and Rackspace.
+#ifndef CLOUDIA_BENCH_PROVIDER_FIGURES_H_
+#define CLOUDIA_BENCH_PROVIDER_FIGURES_H_
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace cloudia::bench {
+
+/// CDF of mean pairwise latency over `n` instances (Figs. 18 / 20).
+inline void RunProviderCdfFigure(const std::string& figure,
+                                 const std::string& claim,
+                                 net::ProviderProfile profile, int n,
+                                 uint64_t seed) {
+  PrintHeader(figure, claim,
+              StrFormat("%d instances on the %s profile", n,
+                        profile.name.c_str()));
+  CloudFixture fx(std::move(profile), seed, n);
+  std::vector<double> latencies;
+  for (size_t i = 0; i < fx.instances.size(); ++i) {
+    for (size_t j = 0; j < fx.instances.size(); ++j) {
+      if (i != j) {
+        latencies.push_back(
+            fx.cloud.ExpectedRtt(fx.instances[i], fx.instances[j]));
+      }
+    }
+  }
+  PrintCdf("mean latency [ms]", latencies, 25);
+  PrintQuantiles("\nsummary [ms]", latencies);
+}
+
+/// Mean latency of 4 links over `hours` hours, hourly buckets (Figs. 19/21).
+inline void RunProviderStabilityFigure(const std::string& figure,
+                                       const std::string& claim,
+                                       net::ProviderProfile profile,
+                                       uint64_t seed, int hours = 60) {
+  PrintHeader(figure, claim,
+              StrFormat("4 links on the %s profile, hourly averages over %dh",
+                        profile.name.c_str(), hours));
+  CloudFixture fx(std::move(profile), seed, 50);
+  const std::pair<int, int> links[4] = {{0, 1}, {5, 27}, {12, 40}, {20, 49}};
+  Rng rng(seed + 1);
+  TextTable t({"time[h]", "link1[ms]", "link2[ms]", "link3[ms]", "link4[ms]"});
+  for (int hour = 0; hour <= hours; ++hour) {
+    std::vector<std::string> row = {StrFormat("%d", hour)};
+    for (const auto& [a, b] : links) {
+      double sum = 0;
+      for (int s = 0; s < 120; ++s) {
+        double t = hour + 1.0 * s / 120.0;  // spread across the bucket
+        sum += fx.cloud.SampleRtt(fx.instances[static_cast<size_t>(a)],
+                                  fx.instances[static_cast<size_t>(b)],
+                                  net::kDefaultProbeBytes, t, rng);
+      }
+      row.push_back(StrFormat("%.4f", sum / 120));
+    }
+    t.AddRow(row);
+  }
+  std::printf("%s", t.ToString().c_str());
+}
+
+}  // namespace cloudia::bench
+
+#endif  // CLOUDIA_BENCH_PROVIDER_FIGURES_H_

@@ -1,0 +1,54 @@
+// Overlapped execution advisor (paper Sect. 2.2.2): instead of keeping the
+// allocated instances idle while ClouDiA measures and searches, the tenant
+// could start the application immediately on the initial deployment, let
+// ClouDiA run alongside (with some interference), and migrate to the
+// optimized deployment once found. The paper notes this "would only pay off
+// if the state migration cost ... would be small enough compared to simply
+// running ClouDiA" sequentially -- this module quantifies that break-even.
+#ifndef CLOUDIA_CLOUDIA_OVERLAP_H_
+#define CLOUDIA_CLOUDIA_OVERLAP_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace cloudia {
+
+/// Inputs of the overlap decision, all in seconds / fractions.
+struct OverlapScenario {
+  /// Time ClouDiA needs: network measurement + deployment search.
+  double tuning_s = 0.0;
+  /// Total work of the application expressed as runtime on the *optimized*
+  /// deployment (time-to-solution for HPC jobs).
+  double optimized_runtime_s = 0.0;
+  /// Slowdown factor of the default vs optimized deployment (>= 1), e.g.
+  /// 1.4 when the default is 40% slower -- the Fig. 12 quantity.
+  double default_slowdown = 1.0;
+  /// Extra slowdown while ClouDiA's probes share the network with the
+  /// application (>= 1; Sect. 2.2.2's "interference ... carefully
+  /// controlled").
+  double interference_slowdown = 1.05;
+  /// Pause to migrate application state to the optimized deployment.
+  double migration_s = 0.0;
+};
+
+struct OverlapDecision {
+  /// Completion time when running ClouDiA first, then the application.
+  double sequential_total_s = 0.0;
+  /// Completion time when overlapping tuning with early execution, then
+  /// migrating.
+  double overlapped_total_s = 0.0;
+  bool overlap_beneficial = false;
+  /// Largest migration pause at which overlapping still wins.
+  double break_even_migration_s = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Evaluates both strategies. Fails on non-physical inputs (negative times,
+/// slowdowns below 1).
+Result<OverlapDecision> EvaluateOverlap(const OverlapScenario& scenario);
+
+}  // namespace cloudia
+
+#endif  // CLOUDIA_CLOUDIA_OVERLAP_H_

@@ -1,0 +1,23 @@
+#include "cloudia/advisor.h"
+#include "common/table.h"
+
+namespace cloudia {
+
+std::string AdvisorReport::ToString() const {
+  std::string out;
+  out += StrFormat("ClouDiA deployment report\n");
+  out += StrFormat("  allocated instances : %zu\n", allocated.size());
+  out += StrFormat("  application nodes   : %zu\n", placement.size());
+  out += StrFormat("  terminated extras   : %zu\n", terminated.size());
+  out += StrFormat("  measurement time    : %.1f s (virtual)\n",
+                   measure_virtual_s);
+  out += StrFormat("  search time         : %.2f s (wall)\n", search_wall_s);
+  out += StrFormat("  default cost        : %.4f ms\n", default_cost_ms);
+  out += StrFormat("  optimized cost      : %.4f ms%s\n", optimized_cost_ms,
+                   solve.proven_optimal ? " (proven optimal)" : "");
+  out += StrFormat("  predicted reduction : %.1f %%\n",
+                   100.0 * predicted_improvement);
+  return out;
+}
+
+}  // namespace cloudia

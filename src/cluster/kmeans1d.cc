@@ -1,0 +1,137 @@
+#include "cluster/kmeans1d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace cloudia::cluster {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Within-cluster sum of squared deviations for distinct values [i, j]
+// (inclusive), weighted by multiplicity, in O(1) via prefix sums.
+class IntervalCost {
+ public:
+  IntervalCost(const std::vector<double>& vals, const std::vector<double>& wts)
+      : psum_(vals.size() + 1, 0.0),
+        psqr_(vals.size() + 1, 0.0),
+        pwts_(vals.size() + 1, 0.0) {
+    for (size_t t = 0; t < vals.size(); ++t) {
+      psum_[t + 1] = psum_[t] + wts[t] * vals[t];
+      psqr_[t + 1] = psqr_[t] + wts[t] * vals[t] * vals[t];
+      pwts_[t + 1] = pwts_[t] + wts[t];
+    }
+  }
+
+  double Cost(size_t i, size_t j) const {
+    double w = pwts_[j + 1] - pwts_[i];
+    if (w <= 0) return 0.0;
+    double s = psum_[j + 1] - psum_[i];
+    double q = psqr_[j + 1] - psqr_[i];
+    double c = q - s * s / w;
+    return c < 0 ? 0.0 : c;  // clamp numeric noise
+  }
+
+  double MeanOf(size_t i, size_t j) const {
+    double w = pwts_[j + 1] - pwts_[i];
+    CLOUDIA_DCHECK(w > 0);
+    return (psum_[j + 1] - psum_[i]) / w;
+  }
+
+ private:
+  std::vector<double> psum_, psqr_, pwts_;
+};
+
+}  // namespace
+
+Result<Clustering> KMeans1D(const std::vector<double>& values, int k) {
+  if (values.empty()) {
+    return Status::InvalidArgument("k-means input must be non-empty");
+  }
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+
+  // Distinct ascending values with multiplicities.
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> distinct;
+  std::vector<double> weight;
+  for (double v : sorted) {
+    if (distinct.empty() || v != distinct.back()) {
+      distinct.push_back(v);
+      weight.push_back(1.0);
+    } else {
+      weight.back() += 1.0;
+    }
+  }
+  const size_t d = distinct.size();
+  const size_t kk = std::min<size_t>(static_cast<size_t>(k), d);
+  IntervalCost ic(distinct, weight);
+
+  // dp[m][j]: optimal cost of clustering distinct[0..j] into m+1 clusters.
+  // cut[m][j]: first index of the last cluster in that optimum.
+  std::vector<std::vector<double>> dp(kk, std::vector<double>(d, kInf));
+  std::vector<std::vector<size_t>> cut(kk, std::vector<size_t>(d, 0));
+  for (size_t j = 0; j < d; ++j) dp[0][j] = ic.Cost(0, j);
+  for (size_t m = 1; m < kk; ++m) {
+    for (size_t j = m; j < d; ++j) {
+      // Monotonic split point would allow divide & conquer; d is small enough
+      // (costs dedupe to <= a few hundred values) that the direct scan wins.
+      for (size_t i = m; i <= j; ++i) {
+        double c = dp[m - 1][i - 1] + ic.Cost(i, j);
+        if (c < dp[m][j]) {
+          dp[m][j] = c;
+          cut[m][j] = i;
+        }
+      }
+    }
+  }
+
+  // Reconstruct cluster boundaries.
+  std::vector<std::pair<size_t, size_t>> intervals(kk);
+  {
+    size_t j = d - 1;
+    for (size_t m = kk; m-- > 0;) {
+      size_t i = (m == 0) ? 0 : cut[m][j];
+      intervals[m] = {i, j};
+      if (m > 0) j = i - 1;
+    }
+  }
+
+  Clustering out;
+  out.cost = dp[kk - 1][d - 1];
+  out.centers.reserve(kk);
+  std::vector<int> distinct_to_cluster(d, 0);
+  for (size_t m = 0; m < kk; ++m) {
+    out.centers.push_back(ic.MeanOf(intervals[m].first, intervals[m].second));
+    for (size_t t = intervals[m].first; t <= intervals[m].second; ++t) {
+      distinct_to_cluster[t] = static_cast<int>(m);
+    }
+  }
+
+  out.assignment.reserve(values.size());
+  for (double v : values) {
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(distinct.begin(), distinct.end(), v) -
+        distinct.begin());
+    CLOUDIA_DCHECK(idx < d && distinct[idx] == v);
+    out.assignment.push_back(distinct_to_cluster[idx]);
+  }
+  return out;
+}
+
+Result<std::vector<double>> ClusterToMeans(const std::vector<double>& values,
+                                           int k) {
+  CLOUDIA_ASSIGN_OR_RETURN(Clustering c, KMeans1D(values, k));
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out.push_back(c.centers[static_cast<size_t>(c.assignment[i])]);
+  }
+  return out;
+}
+
+}  // namespace cloudia::cluster

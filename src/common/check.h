@@ -1,0 +1,27 @@
+// Internal invariant checking. CLOUDIA_CHECK aborts on violation in all build
+// types; CLOUDIA_DCHECK compiles out in NDEBUG builds. These are for programmer
+// errors only -- recoverable conditions must surface through Status/Result.
+#ifndef CLOUDIA_COMMON_CHECK_H_
+#define CLOUDIA_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CLOUDIA_CHECK(cond)                                                      \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,    \
+                   #cond);                                                       \
+      std::abort();                                                              \
+    }                                                                            \
+  } while (0)
+
+#ifdef NDEBUG
+#define CLOUDIA_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define CLOUDIA_DCHECK(cond) CLOUDIA_CHECK(cond)
+#endif
+
+#endif  // CLOUDIA_COMMON_CHECK_H_

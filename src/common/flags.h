@@ -1,0 +1,47 @@
+// Tiny command-line flag parser for the tools and examples:
+// --name=value / --name value / --bool-flag. No external dependencies.
+#ifndef CLOUDIA_COMMON_FLAGS_H_
+#define CLOUDIA_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cloudia {
+
+/// Parsed command line: flag map plus positional arguments.
+class Flags {
+ public:
+  /// Parses argv; anything starting with "--" is a flag, the rest are
+  /// positional. "--k=v" and "--k v" are equivalent; a flag followed by
+  /// another flag (or nothing) is boolean-true. Fails on malformed input
+  /// (e.g. "--" alone).
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Typed getters with defaults; fail on unparsable values.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags present on the command line but never queried -- callers can use
+  /// this to reject typos.
+  std::vector<std::string> UnqueriedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace cloudia
+
+#endif  // CLOUDIA_COMMON_FLAGS_H_

@@ -1,0 +1,69 @@
+// Result<T>: a Status or a value, analogous to arrow::Result.
+#ifndef CLOUDIA_COMMON_RESULT_H_
+#define CLOUDIA_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace cloudia {
+
+/// Holds either a value of type T or a non-OK Status explaining its absence.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning functions.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::...;`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    CLOUDIA_CHECK(!status_.ok());  // OK status must carry a value
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value access; aborts if not ok (use only after checking ok()).
+  const T& value() const& {
+    CLOUDIA_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    CLOUDIA_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    CLOUDIA_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // kOk iff value_ present
+  std::optional<T> value_;
+};
+
+}  // namespace cloudia
+
+/// Assign-or-return helper: CLOUDIA_ASSIGN_OR_RETURN(auto x, MakeX());
+#define CLOUDIA_MACRO_CONCAT_INNER(a, b) a##b
+#define CLOUDIA_MACRO_CONCAT(a, b) CLOUDIA_MACRO_CONCAT_INNER(a, b)
+#define CLOUDIA_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  decl = std::move(tmp).value()
+#define CLOUDIA_ASSIGN_OR_RETURN(decl, expr) \
+  CLOUDIA_ASSIGN_OR_RETURN_IMPL(CLOUDIA_MACRO_CONCAT(_res_, __LINE__), decl, \
+                                expr)
+
+#endif  // CLOUDIA_COMMON_RESULT_H_

@@ -1,0 +1,83 @@
+// Deterministic, seedable pseudo-random generation used across the library.
+//
+// Every stochastic component in ClouDiA (cloud simulator, measurement engine,
+// randomized search, workload simulators) takes an explicit 64-bit seed and
+// derives independent streams through SplitMix64 so that whole-system runs are
+// reproducible bit-for-bit.
+#ifndef CLOUDIA_COMMON_RNG_H_
+#define CLOUDIA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cloudia {
+
+/// SplitMix64: used for seeding and cheap stream splitting.
+/// Reference: Steele, Lea, Flood. "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna) with convenience distributions.
+/// Not thread-safe; create one Rng per thread/stream via Fork().
+class Rng {
+ public:
+  /// Seeds the four state words from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed);
+
+  /// Raw 64 random bits.
+  uint64_t Next();
+
+  /// Derives an independent child stream; deterministic in (parent state use).
+  Rng Fork();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Below(uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi);
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+  /// Standard normal via Box-Muller (cached second value).
+  double Normal();
+  /// Normal with mean mu, standard deviation sigma.
+  double Normal(double mu, double sigma);
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+  /// Exponential with rate lambda (> 0).
+  double Exponential(double lambda);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Random permutation of {0, ..., n-1}.
+  std::vector<int> Permutation(int n);
+
+  /// Samples k distinct indices from {0, ..., n-1} (k <= n), order random.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace cloudia
+
+#endif  // CLOUDIA_COMMON_RNG_H_

@@ -1,0 +1,68 @@
+// Statistics helpers shared by the measurement engine, the workload simulators
+// and the benchmark harness: online moments, percentiles, CDFs, error metrics.
+#ifndef CLOUDIA_COMMON_STATS_H_
+#define CLOUDIA_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudia {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void Add(double x);
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void Merge(const OnlineStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance (n denominator); 0 for < 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation between closest ranks.
+/// `p` in [0, 100]. Sorts a copy; O(n log n). Requires non-empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation; 0 for < 2 samples.
+double StdDev(const std::vector<double>& values);
+
+/// Root-mean-square error between two equal-length vectors.
+double Rmse(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Scales `v` to unit L2 norm (no-op on the zero vector). The paper normalizes
+/// latency vectors this way before comparing measurement methods (Sect. 6.2).
+std::vector<double> NormalizeToUnitVector(std::vector<double> v);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value;       ///< x: the sample value
+  double cumulative;  ///< y: fraction of samples <= value, in (0, 1]
+};
+
+/// Empirical CDF evaluated at every sample (sorted). `max_points > 0` thins the
+/// curve to roughly that many evenly spaced points for printing.
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values,
+                                   size_t max_points = 0);
+
+}  // namespace cloudia
+
+#endif  // CLOUDIA_COMMON_STATS_H_

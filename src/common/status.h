@@ -1,0 +1,75 @@
+// RocksDB/Arrow-style error model: recoverable failures are returned as Status
+// (or Result<T> for value-returning calls), never thrown.
+#ifndef CLOUDIA_COMMON_STATUS_H_
+#define CLOUDIA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace cloudia {
+
+/// Error taxonomy for the whole library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< caller passed something malformed
+  kNotFound,         ///< lookup missed
+  kInfeasible,       ///< optimization problem has no feasible solution
+  kTimeout,          ///< budget exhausted before completion
+  kInternal,         ///< invariant violation reported instead of aborting
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name ("Ok", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Cheap value-type status. OK carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status Infeasible(std::string m) {
+    return Status(StatusCode::kInfeasible, std::move(m));
+  }
+  static Status Timeout(std::string m) {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "InvalidArgument: why".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace cloudia
+
+/// Early-return helper for Status-returning functions.
+#define CLOUDIA_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::cloudia::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // CLOUDIA_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+// Minimal aligned text-table printer used by the benchmark harness so every
+// figure reproduction prints the same rows/series the paper plots.
+#ifndef CLOUDIA_COMMON_TABLE_H_
+#define CLOUDIA_COMMON_TABLE_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace cloudia {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Column-aligned table. Usage:
+///   TextTable t({"k", "cost[ms]"});
+///   t.AddRow({"20", "0.55"});
+///   std::cout << t.ToString();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Convenience: formats doubles with `precision` digits after the point.
+  void AddNumericRow(const std::vector<double>& row, int precision = 4);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cloudia
+
+#endif  // CLOUDIA_COMMON_TABLE_H_

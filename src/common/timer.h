@@ -1,0 +1,59 @@
+// Wall-clock helpers: Stopwatch for elapsed timing, Deadline for time budgets
+// threaded through solvers (paper Sect. 6.3 runs all solvers under budgets).
+#ifndef CLOUDIA_COMMON_TIMER_H_
+#define CLOUDIA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace cloudia {
+
+/// Monotonic stopwatch started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A time budget. Infinite when constructed with `Deadline::Infinite()`.
+class Deadline {
+ public:
+  /// Budget of `seconds` starting now (negative clamps to 0).
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.infinite_ = false;
+    d.end_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(
+                                    seconds < 0 ? 0 : seconds));
+    return d;
+  }
+  static Deadline Infinite() { return Deadline(); }
+
+  bool Expired() const { return !infinite_ && Clock::now() >= end_; }
+
+  /// Seconds remaining; a large constant when infinite.
+  double RemainingSeconds() const {
+    if (infinite_) return 1e18;
+    auto left = std::chrono::duration<double>(end_ - Clock::now()).count();
+    return left < 0 ? 0 : left;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Deadline() : infinite_(true) {}
+  bool infinite_;
+  Clock::time_point end_;
+};
+
+}  // namespace cloudia
+
+#endif  // CLOUDIA_COMMON_TIMER_H_

@@ -1,0 +1,165 @@
+#include "deploy/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/kmeans1d.h"
+#include "common/check.h"
+#include "common/table.h"
+
+namespace cloudia::deploy {
+
+const char* ObjectiveName(Objective objective) {
+  switch (objective) {
+    case Objective::kLongestLink:
+      return "LongestLink";
+    case Objective::kLongestPath:
+      return "LongestPath";
+  }
+  return "Unknown";
+}
+
+bool IsInjective(const Deployment& deployment, int num_instances) {
+  std::vector<bool> used(static_cast<size_t>(num_instances), false);
+  for (int s : deployment) {
+    if (s < 0 || s >= num_instances) return false;
+    if (used[static_cast<size_t>(s)]) return false;
+    used[static_cast<size_t>(s)] = true;
+  }
+  return true;
+}
+
+Status ValidateDeployment(const graph::CommGraph& graph,
+                          const Deployment& deployment,
+                          const CostMatrix& costs, Objective objective) {
+  int m = static_cast<int>(costs.size());
+  for (const auto& row : costs) {
+    if (static_cast<int>(row.size()) != m) {
+      return Status::InvalidArgument("cost matrix is not square");
+    }
+  }
+  if (static_cast<int>(deployment.size()) != graph.num_nodes()) {
+    return Status::InvalidArgument(StrFormat(
+        "deployment has %zu entries for %d nodes", deployment.size(),
+        graph.num_nodes()));
+  }
+  if (graph.num_nodes() > m) {
+    return Status::InvalidArgument(
+        StrFormat("%d nodes cannot fit %d instances", graph.num_nodes(), m));
+  }
+  if (!IsInjective(deployment, m)) {
+    return Status::InvalidArgument("deployment is not an injection");
+  }
+  if (objective == Objective::kLongestPath && !graph.IsAcyclic()) {
+    return Status::Infeasible("longest-path objective requires a DAG");
+  }
+  return Status::OK();
+}
+
+Result<CostEvaluator> CostEvaluator::Create(const graph::CommGraph* graph,
+                                            const CostMatrix* costs,
+                                            Objective objective) {
+  CLOUDIA_CHECK(graph != nullptr && costs != nullptr);
+  int m = static_cast<int>(costs->size());
+  for (const auto& row : *costs) {
+    if (static_cast<int>(row.size()) != m) {
+      return Status::InvalidArgument("cost matrix is not square");
+    }
+  }
+  if (graph->num_nodes() > m) {
+    return Status::InvalidArgument("more nodes than instances");
+  }
+  std::vector<int> order;
+  if (objective == Objective::kLongestPath) {
+    auto topo = graph->TopologicalOrder();
+    if (!topo.ok()) return topo.status();
+    order = std::move(topo).value();
+  }
+  return CostEvaluator(graph, costs, objective, std::move(order));
+}
+
+CostEvaluator::CostEvaluator(const graph::CommGraph* graph,
+                             const CostMatrix* costs, Objective objective,
+                             std::vector<int> topo_order)
+    : graph_(graph),
+      costs_(costs),
+      objective_(objective),
+      topo_order_(std::move(topo_order)),
+      path_scratch_(static_cast<size_t>(graph->num_nodes()), 0.0) {}
+
+double CostEvaluator::Cost(const Deployment& d) const {
+  CLOUDIA_DCHECK(static_cast<int>(d.size()) == graph_->num_nodes());
+  const CostMatrix& c = *costs_;
+  if (objective_ == Objective::kLongestLink) {
+    double worst = 0.0;
+    for (const graph::Edge& e : graph_->edges()) {
+      double cost = c[static_cast<size_t>(d[static_cast<size_t>(e.src)])]
+                     [static_cast<size_t>(d[static_cast<size_t>(e.dst)])];
+      worst = std::max(worst, cost);
+    }
+    return worst;
+  }
+  // Longest path over the DAG in topological order.
+  std::fill(path_scratch_.begin(), path_scratch_.end(), 0.0);
+  double best = 0.0;
+  for (int v : topo_order_) {
+    double dv = path_scratch_[static_cast<size_t>(v)];
+    for (int w : graph_->OutNeighbors(v)) {
+      double cand = dv + c[static_cast<size_t>(d[static_cast<size_t>(v)])]
+                          [static_cast<size_t>(d[static_cast<size_t>(w)])];
+      if (cand > path_scratch_[static_cast<size_t>(w)]) {
+        path_scratch_[static_cast<size_t>(w)] = cand;
+        best = std::max(best, cand);
+      }
+    }
+  }
+  return best;
+}
+
+double LongestLinkCost(const graph::CommGraph& graph,
+                       const Deployment& deployment, const CostMatrix& costs) {
+  auto ev = CostEvaluator::Create(&graph, &costs, Objective::kLongestLink);
+  CLOUDIA_CHECK(ev.ok());
+  return ev->Cost(deployment);
+}
+
+Result<double> LongestPathCost(const graph::CommGraph& graph,
+                               const Deployment& deployment,
+                               const CostMatrix& costs) {
+  auto ev = CostEvaluator::Create(&graph, &costs, Objective::kLongestPath);
+  if (!ev.ok()) return ev.status();
+  return ev->Cost(deployment);
+}
+
+Result<CostMatrix> ClusterCostMatrix(const CostMatrix& costs, int k) {
+  if (k <= 0) return costs;
+  int m = static_cast<int>(costs.size());
+  std::vector<double> flat;
+  flat.reserve(static_cast<size_t>(m) * static_cast<size_t>(m > 0 ? m - 1 : 0));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      // Round to a 0.01 ms grid first, exactly as the paper does before
+      // clustering ("rounded to nearest 0.01 ms", Sect. 6.3): this bounds
+      // the number of distinct values the O(k d^2) k-means DP sees.
+      if (i != j) {
+        flat.push_back(
+            std::round(costs[static_cast<size_t>(i)][static_cast<size_t>(j)] *
+                       100.0) /
+            100.0);
+      }
+    }
+  }
+  if (flat.empty()) return costs;
+  CLOUDIA_ASSIGN_OR_RETURN(std::vector<double> mapped,
+                           cluster::ClusterToMeans(flat, k));
+  CostMatrix out = costs;
+  size_t idx = 0;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i != j) out[static_cast<size_t>(i)][static_cast<size_t>(j)] = mapped[idx++];
+    }
+  }
+  return out;
+}
+
+}  // namespace cloudia::deploy

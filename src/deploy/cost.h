@@ -1,0 +1,86 @@
+// Deployment plans and deployment cost functions (paper Definitions 2-5).
+//
+// A deployment maps application nodes to instances injectively. The two cost
+// classes are:
+//   Class 1, longest link (LLNDP): max edge cost -- barrier-synchronized HPC.
+//   Class 2, longest path (LPNDP): max root-to-sink path cost sum over an
+//   acyclic communication graph -- service call trees.
+#ifndef CLOUDIA_DEPLOY_COST_H_
+#define CLOUDIA_DEPLOY_COST_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/comm_graph.h"
+
+namespace cloudia::deploy {
+
+/// Pairwise communication cost CL in milliseconds: costs[i][j] is the cost of
+/// the directed link from instance i to instance j. Asymmetry allowed; the
+/// diagonal is ignored.
+using CostMatrix = std::vector<std::vector<double>>;
+
+/// node -> instance index; must be injective (Definition 2).
+using Deployment = std::vector<int>;
+
+enum class Objective {
+  kLongestLink,  ///< Class 1 (LLNDP)
+  kLongestPath,  ///< Class 2 (LPNDP)
+};
+
+const char* ObjectiveName(Objective objective);
+
+/// True iff every node maps to a distinct instance in [0, num_instances).
+bool IsInjective(const Deployment& deployment, int num_instances);
+
+/// Validates deployment size, range, and injectivity against the graph and
+/// cost matrix; kLongestPath additionally requires an acyclic graph.
+Status ValidateDeployment(const graph::CommGraph& graph,
+                          const Deployment& deployment,
+                          const CostMatrix& costs, Objective objective);
+
+/// Fast repeated evaluation of one objective for a fixed (graph, costs).
+/// Precomputes the topological order for kLongestPath.
+class CostEvaluator {
+ public:
+  /// Fails (InvalidArgument/Infeasible) on malformed input; the evaluator
+  /// keeps pointers, so graph and costs must outlive it.
+  static Result<CostEvaluator> Create(const graph::CommGraph* graph,
+                                      const CostMatrix* costs,
+                                      Objective objective);
+
+  /// Deployment cost CD (Definition 4 instantiated per the objective).
+  /// Undefined behavior on invalid deployments in release builds; checked
+  /// via DCHECK in debug builds.
+  double Cost(const Deployment& deployment) const;
+
+  Objective objective() const { return objective_; }
+  int num_instances() const { return static_cast<int>(costs_->size()); }
+
+ private:
+  CostEvaluator(const graph::CommGraph* graph, const CostMatrix* costs,
+                Objective objective, std::vector<int> topo_order);
+
+  const graph::CommGraph* graph_;
+  const CostMatrix* costs_;
+  Objective objective_;
+  std::vector<int> topo_order_;             // empty for kLongestLink
+  mutable std::vector<double> path_scratch_;  // reused per evaluation
+};
+
+/// One-shot longest-link cost (Class 1).
+double LongestLinkCost(const graph::CommGraph& graph,
+                       const Deployment& deployment, const CostMatrix& costs);
+
+/// One-shot longest-path cost (Class 2); Infeasible on cyclic graphs.
+Result<double> LongestPathCost(const graph::CommGraph& graph,
+                               const Deployment& deployment,
+                               const CostMatrix& costs);
+
+/// Replaces every off-diagonal cost by its exact 1-D k-means cluster mean
+/// (paper Sect. 6.3); k <= 0 returns the matrix unchanged.
+Result<CostMatrix> ClusterCostMatrix(const CostMatrix& costs, int k);
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_COST_H_

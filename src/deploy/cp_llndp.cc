@@ -1,0 +1,105 @@
+#include "deploy/cp_llndp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "deploy/random_search.h"
+#include "solver/cp/subgraph_iso.h"
+
+namespace cloudia::deploy {
+
+Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
+                                    const CostMatrix& costs,
+                                    const CpLlndpOptions& options) {
+  CLOUDIA_ASSIGN_OR_RETURN(
+      CostEvaluator actual_eval,
+      CostEvaluator::Create(&graph, &costs, Objective::kLongestLink));
+  const int m = static_cast<int>(costs.size());
+
+  CLOUDIA_ASSIGN_OR_RETURN(CostMatrix clustered,
+                           ClusterCostMatrix(costs, options.cost_clusters));
+  CLOUDIA_ASSIGN_OR_RETURN(
+      CostEvaluator clustered_eval,
+      CostEvaluator::Create(&graph, &clustered, Objective::kLongestLink));
+
+  Stopwatch clock;
+  NdpSolveResult result;
+
+  Deployment incumbent = options.initial;
+  if (incumbent.empty() && graph.num_nodes() > 0) {
+    CLOUDIA_ASSIGN_OR_RETURN(
+        incumbent, BootstrapDeployment(graph, costs, Objective::kLongestLink,
+                                       options.seed));
+  }
+  CLOUDIA_RETURN_IF_ERROR(ValidateDeployment(graph, incumbent, costs,
+                                             Objective::kLongestLink));
+  result.deployment = incumbent;
+  result.cost = actual_eval.Cost(incumbent);
+  result.trace.push_back({clock.ElapsedSeconds(), result.cost});
+
+  if (graph.num_nodes() == 0 || graph.num_edges() == 0) {
+    result.proven_optimal = true;
+    return result;
+  }
+
+  // Distinct clustered cost values, ascending, for threshold selection.
+  std::vector<double> distinct;
+  distinct.reserve(static_cast<size_t>(m) * static_cast<size_t>(m - 1));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i != j) distinct.push_back(clustered[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+    }
+  }
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+
+  double incumbent_clustered = clustered_eval.Cost(incumbent);
+  while (!options.deadline.Expired()) {
+    // Largest distinct value strictly below the incumbent's clustered cost.
+    auto it = std::lower_bound(distinct.begin(), distinct.end(),
+                               incumbent_clustered);
+    if (it == distinct.begin()) {
+      result.proven_optimal = true;  // no smaller threshold exists
+      break;
+    }
+    double threshold = *std::prev(it);
+    ++result.iterations;
+
+    // Threshold graph G_c: edge (j, j') iff clustered cost <= threshold.
+    cp::BitMatrix target(m, m);
+    for (int j = 0; j < m; ++j) {
+      for (int j2 = 0; j2 < m; ++j2) {
+        if (j != j2 &&
+            clustered[static_cast<size_t>(j)][static_cast<size_t>(j2)] <=
+                threshold) {
+          target.Set(j, j2);
+        }
+      }
+    }
+
+    cp::SipOptions sip;
+    sip.limits.deadline = options.deadline;
+    sip.degree_filter = options.degree_filter;
+    sip.neighborhood_filter = options.neighborhood_filter;
+    if (options.warm_start_hints) sip.value_hints = incumbent;
+    auto phi = cp::FindSubgraphIsomorphism(graph, target, sip);
+    if (!phi.ok()) {
+      if (phi.status().code() == StatusCode::kInfeasible) {
+        result.proven_optimal = true;  // optimal w.r.t. clustered costs
+      }
+      break;  // infeasible or timeout
+    }
+    incumbent = std::move(phi).value();
+    incumbent_clustered = clustered_eval.Cost(incumbent);
+    double actual = actual_eval.Cost(incumbent);
+    if (actual < result.cost) {
+      result.cost = actual;
+      result.deployment = incumbent;
+      result.trace.push_back({clock.ElapsedSeconds(), actual});
+    }
+  }
+  return result;
+}
+
+}  // namespace cloudia::deploy

@@ -1,0 +1,45 @@
+// Constraint-programming solver for the Longest Link Node Deployment Problem
+// (paper Sect. 4.2): iterated threshold descent.
+//
+// Given an incumbent deployment of (clustered) cost c', the next goal is the
+// largest distinct cost value c'' < c'. A deployment of cost <= c'' exists
+// iff the communication graph is subgraph-isomorphic to the threshold graph
+// G_c'' = (S, {(j, j') : CL(j, j') <= c''}). Iterate until UNSAT (optimality
+// proven) or the deadline expires. k-means cost clustering (Sect. 6.3)
+// reduces the number of distinct values and hence iterations.
+#ifndef CLOUDIA_DEPLOY_CP_LLNDP_H_
+#define CLOUDIA_DEPLOY_CP_LLNDP_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "deploy/solver_result.h"
+
+namespace cloudia::deploy {
+
+struct CpLlndpOptions {
+  Deadline deadline = Deadline::Infinite();
+  /// Number of k-means cost clusters; 0 disables clustering.
+  int cost_clusters = 0;
+  /// Starting deployment; when empty, the best of 10 random deployments is
+  /// used (paper Sect. 6.3).
+  Deployment initial;
+  uint64_t seed = 1;
+  /// Warm-start each threshold iteration's value ordering with the previous
+  /// solution (ablatable; not part of the paper's description).
+  bool warm_start_hints = false;
+  /// Compatibility-labeling domain filters (paper cites [70]).
+  bool degree_filter = true;
+  bool neighborhood_filter = true;
+};
+
+/// Solves LLNDP with CP threshold descent. Always returns a deployment (at
+/// worst the bootstrap one) unless inputs are invalid.
+Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
+                                    const CostMatrix& costs,
+                                    const CpLlndpOptions& options);
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_CP_LLNDP_H_

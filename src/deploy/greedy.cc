@@ -1,0 +1,195 @@
+#include "deploy/greedy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace cloudia::deploy {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr int kUnassigned = -1;
+
+// Shared bookkeeping for both greedy variants.
+struct GreedyState {
+  explicit GreedyState(const graph::CommGraph& graph, const CostMatrix& costs)
+      : g(graph),
+        c(costs),
+        m(static_cast<int>(costs.size())),
+        node_of_instance(static_cast<size_t>(m), kUnassigned),
+        instance_of_node(static_cast<size_t>(graph.num_nodes()), kUnassigned) {}
+
+  void Assign(int node, int instance) {
+    CLOUDIA_DCHECK(instance_of_node[static_cast<size_t>(node)] == kUnassigned);
+    CLOUDIA_DCHECK(node_of_instance[static_cast<size_t>(instance)] == kUnassigned);
+    instance_of_node[static_cast<size_t>(node)] = instance;
+    node_of_instance[static_cast<size_t>(instance)] = node;
+    ++assigned;
+  }
+
+  bool NodeAssigned(int node) const {
+    return instance_of_node[static_cast<size_t>(node)] != kUnassigned;
+  }
+  bool InstanceUsed(int instance) const {
+    return node_of_instance[static_cast<size_t>(instance)] != kUnassigned;
+  }
+
+  // First unmapped undirected neighbor of `node`, or -1.
+  int UnmappedNeighbor(int node) const {
+    for (int w : g.Neighbors(node)) {
+      if (!NodeAssigned(w)) return w;
+    }
+    return -1;
+  }
+
+  // Worst-link cost (over both directed edges between w and its assigned
+  // neighbors) if node w were placed on instance v.
+  double ImplicitWorstCost(int w, int v) const {
+    double worst = 0.0;
+    for (int x : g.Neighbors(w)) {
+      int ix = instance_of_node[static_cast<size_t>(x)];
+      if (ix == kUnassigned) continue;
+      if (g.HasEdge(w, x)) worst = std::max(worst, c[static_cast<size_t>(v)][static_cast<size_t>(ix)]);
+      if (g.HasEdge(x, w)) worst = std::max(worst, c[static_cast<size_t>(ix)][static_cast<size_t>(v)]);
+    }
+    return worst;
+  }
+
+  const graph::CommGraph& g;
+  const CostMatrix& c;
+  int m;
+  std::vector<int> node_of_instance;
+  std::vector<int> instance_of_node;
+  int assigned = 0;
+};
+
+// Places the first pair: lowest-cost instance link carries an arbitrary edge.
+Status SeedFirstEdge(GreedyState& state, Rng& rng) {
+  const auto& c = state.c;
+  int u0 = -1, v0 = -1;
+  double best = kInf;
+  for (int u = 0; u < state.m; ++u) {
+    for (int v = 0; v < state.m; ++v) {
+      if (u != v && c[static_cast<size_t>(u)][static_cast<size_t>(v)] < best) {
+        best = c[static_cast<size_t>(u)][static_cast<size_t>(v)];
+        u0 = u;
+        v0 = v;
+      }
+    }
+  }
+  if (u0 < 0) return Status::InvalidArgument("need at least two instances");
+  if (state.g.num_edges() == 0) {
+    // Isolated-nodes-only graph: just map node 0 (if any).
+    if (state.g.num_nodes() > 0) state.Assign(0, u0);
+    return Status::OK();
+  }
+  const auto& edges = state.g.edges();
+  const graph::Edge& e =
+      edges[static_cast<size_t>(rng.Below(edges.size()))];
+  state.Assign(e.src, u0);
+  state.Assign(e.dst, v0);
+  return Status::OK();
+}
+
+// Fallback used when the frontier is empty (disconnected graph / isolated
+// nodes): place an arbitrary unmapped node on the unused instance minimizing
+// its implicit worst cost.
+void ReSeed(GreedyState& state) {
+  int w = -1;
+  for (int n = 0; n < state.g.num_nodes(); ++n) {
+    if (!state.NodeAssigned(n)) {
+      w = n;
+      break;
+    }
+  }
+  CLOUDIA_CHECK(w >= 0);
+  int best_v = -1;
+  double best = kInf;
+  for (int v = 0; v < state.m; ++v) {
+    if (state.InstanceUsed(v)) continue;
+    double cost = state.ImplicitWorstCost(w, v);
+    if (cost < best) {
+      best = cost;
+      best_v = v;
+    }
+  }
+  CLOUDIA_CHECK(best_v >= 0);
+  state.Assign(w, best_v);
+}
+
+Result<Deployment> RunGreedy(const graph::CommGraph& graph,
+                             const CostMatrix& costs, Rng& rng, bool refined) {
+  int n = graph.num_nodes();
+  int m = static_cast<int>(costs.size());
+  if (n > m) return Status::InvalidArgument("more nodes than instances");
+  if (n == 0) return Deployment{};
+  if (m < 2) {
+    if (n == 1) return Deployment{0};
+    return Status::InvalidArgument("need at least two instances");
+  }
+
+  GreedyState state(graph, costs);
+  CLOUDIA_RETURN_IF_ERROR(SeedFirstEdge(state, rng));
+
+  while (state.assigned < n) {
+    // Candidate selection: u = used instance whose node has an unmapped
+    // neighbor w; v = unused instance.
+    double cmin = kInf;
+    int vmin = -1, wmin = -1;
+    for (int u = 0; u < state.m; ++u) {
+      int nu = state.node_of_instance[static_cast<size_t>(u)];
+      if (nu == kUnassigned) continue;
+      if (refined) {
+        // G2: cost every (v, w) pair by max(explicit, implicit links).
+        for (int w : graph.Neighbors(nu)) {
+          if (state.NodeAssigned(w)) continue;
+          for (int v = 0; v < state.m; ++v) {
+            if (state.InstanceUsed(v) || v == u) continue;
+            double cuv = state.c[static_cast<size_t>(u)][static_cast<size_t>(v)];
+            cuv = std::max(cuv, state.ImplicitWorstCost(w, v));
+            if (cuv < cmin) {
+              cmin = cuv;
+              vmin = v;
+              wmin = w;
+            }
+          }
+        }
+      } else {
+        // G1: cost by the explicit (u, v) link only.
+        int w = state.UnmappedNeighbor(nu);
+        if (w == -1) continue;
+        for (int v = 0; v < state.m; ++v) {
+          if (state.InstanceUsed(v) || v == u) continue;
+          double cuv = state.c[static_cast<size_t>(u)][static_cast<size_t>(v)];
+          if (cuv < cmin) {
+            cmin = cuv;
+            vmin = v;
+            wmin = w;
+          }
+        }
+      }
+    }
+    if (wmin == -1) {
+      ReSeed(state);
+      continue;
+    }
+    state.Assign(wmin, vmin);
+  }
+  return state.instance_of_node;
+}
+
+}  // namespace
+
+Result<Deployment> GreedyG1(const graph::CommGraph& graph,
+                            const CostMatrix& costs, Rng& rng) {
+  return RunGreedy(graph, costs, rng, /*refined=*/false);
+}
+
+Result<Deployment> GreedyG2(const graph::CommGraph& graph,
+                            const CostMatrix& costs, Rng& rng) {
+  return RunGreedy(graph, costs, rng, /*refined=*/true);
+}
+
+}  // namespace cloudia::deploy

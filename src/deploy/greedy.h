@@ -1,0 +1,33 @@
+// Lightweight greedy deployment algorithms for LLNDP (paper Sect. 4.3.2,
+// Algorithms 1 and 2).
+//
+//   G1 grows the deployment along the cheapest available instance link,
+//      ignoring the cost of links it adds *implicitly*.
+//   G2 costs each candidate by the worst link it would add, explicit or
+//      implicit, and greedily minimizes the longest-link objective locally.
+//
+// Both handle graphs the paper's pseudocode does not (disconnected graphs,
+// isolated nodes) by re-seeding: when no deployed node has unmapped
+// neighbors, the next unmapped node is placed on the unused instance that
+// minimizes the same local criterion.
+#ifndef CLOUDIA_DEPLOY_GREEDY_H_
+#define CLOUDIA_DEPLOY_GREEDY_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "deploy/cost.h"
+
+namespace cloudia::deploy {
+
+/// Algorithm 1 (G1): lowest cost-edge criterion.
+/// `rng` breaks the "arbitrary edge" choices deterministically.
+Result<Deployment> GreedyG1(const graph::CommGraph& graph,
+                            const CostMatrix& costs, Rng& rng);
+
+/// Algorithm 2 (G2): lowest max(explicit, implicit) link-cost criterion.
+Result<Deployment> GreedyG2(const graph::CommGraph& graph,
+                            const CostMatrix& costs, Rng& rng);
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_GREEDY_H_

@@ -1,0 +1,103 @@
+#include "deploy/local_search.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "deploy/random_search.h"
+
+namespace cloudia::deploy {
+
+namespace {
+
+// One first-improvement descent pass; returns true if any move improved.
+// Neighborhoods: swap the instances of two nodes; move a node to an unused
+// instance.
+bool DescendOnce(const CostEvaluator& eval, const Deadline& deadline,
+                 Deployment& d, double& cost, std::vector<int>& unused) {
+  const int n = static_cast<int>(d.size());
+  bool improved = false;
+  for (int a = 0; a < n && !deadline.Expired(); ++a) {
+    // Moves to unused instances.
+    for (size_t u = 0; u < unused.size(); ++u) {
+      std::swap(d[static_cast<size_t>(a)], unused[u]);
+      double c = eval.Cost(d);
+      if (c < cost - 1e-12) {
+        cost = c;
+        improved = true;
+      } else {
+        std::swap(d[static_cast<size_t>(a)], unused[u]);  // revert
+      }
+    }
+    // Swaps with other nodes.
+    for (int b = a + 1; b < n; ++b) {
+      std::swap(d[static_cast<size_t>(a)], d[static_cast<size_t>(b)]);
+      double c = eval.Cost(d);
+      if (c < cost - 1e-12) {
+        cost = c;
+        improved = true;
+      } else {
+        std::swap(d[static_cast<size_t>(a)], d[static_cast<size_t>(b)]);
+      }
+    }
+  }
+  return improved;
+}
+
+std::vector<int> UnusedInstances(const Deployment& d, int m) {
+  std::vector<bool> used(static_cast<size_t>(m), false);
+  for (int s : d) used[static_cast<size_t>(s)] = true;
+  std::vector<int> unused;
+  for (int s = 0; s < m; ++s) {
+    if (!used[static_cast<size_t>(s)]) unused.push_back(s);
+  }
+  return unused;
+}
+
+}  // namespace
+
+Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
+                                        const CostMatrix& costs,
+                                        Objective objective,
+                                        const LocalSearchOptions& options) {
+  CLOUDIA_ASSIGN_OR_RETURN(CostEvaluator eval,
+                           CostEvaluator::Create(&graph, &costs, objective));
+  const int m = static_cast<int>(costs.size());
+  Stopwatch clock;
+  Rng rng(options.seed);
+
+  Deployment start = options.initial;
+  if (start.empty() && graph.num_nodes() > 0) {
+    CLOUDIA_ASSIGN_OR_RETURN(
+        start, BootstrapDeployment(graph, costs, objective, options.seed));
+  }
+  CLOUDIA_RETURN_IF_ERROR(
+      ValidateDeployment(graph, start, costs, objective));
+
+  NdpSolveResult result;
+  result.deployment = start;
+  result.cost = eval.Cost(start);
+  result.trace.push_back({clock.ElapsedSeconds(), result.cost});
+
+  Deployment current = std::move(start);
+  for (int restart = 0; restart <= options.max_restarts; ++restart) {
+    if (options.deadline.Expired()) break;
+    if (restart > 0) {
+      current = RandomDeployment(graph.num_nodes(), m, rng);
+    }
+    double cost = eval.Cost(current);
+    std::vector<int> unused = UnusedInstances(current, m);
+    ++result.iterations;
+    while (!options.deadline.Expired() &&
+           DescendOnce(eval, options.deadline, current, cost, unused)) {
+    }
+    if (cost < result.cost - 1e-12) {
+      result.cost = cost;
+      result.deployment = current;
+      result.trace.push_back({clock.ElapsedSeconds(), cost});
+    }
+  }
+  return result;
+}
+
+}  // namespace cloudia::deploy

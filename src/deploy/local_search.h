@@ -1,0 +1,39 @@
+// Swap-based local search: an extension beyond the paper's lightweight
+// methods (Sect. 4.3 covers greedy and pure randomization). Starting from
+// any deployment, repeatedly try (a) swapping the instances of two deployed
+// nodes and (b) moving a node to an unused instance, accepting improvements,
+// until a local optimum or the deadline. Restarting from random deployments
+// turns it into a simple multi-start hill climber.
+//
+// Works for both objectives (it only needs the cost evaluator), making it a
+// useful LPNDP alternative where the paper's greedy algorithms do not apply
+// directly (Sect. 4.5.2).
+#ifndef CLOUDIA_DEPLOY_LOCAL_SEARCH_H_
+#define CLOUDIA_DEPLOY_LOCAL_SEARCH_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "deploy/solver_result.h"
+
+namespace cloudia::deploy {
+
+struct LocalSearchOptions {
+  Deadline deadline = Deadline::Infinite();
+  /// Random restarts after reaching a local optimum (0 = single descent).
+  int max_restarts = 8;
+  /// Starting deployment for the first descent; empty = best of 10 random.
+  Deployment initial;
+  uint64_t seed = 1;
+};
+
+/// Multi-start steepest-descent over swap/move neighborhoods.
+Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
+                                        const CostMatrix& costs,
+                                        Objective objective,
+                                        const LocalSearchOptions& options);
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_LOCAL_SEARCH_H_

@@ -1,0 +1,42 @@
+// Mixed-integer programming solver for LLNDP (paper Sect. 4.1):
+//
+//   minimize c
+//   s.t. sum_j x_ij  = 1            for all nodes i
+//        sum_i x_ij <= 1            for all instances j
+//        c >= CL(j,j') (x_ij + x_i'j' - 1)   for all (i,i') in E, j, j' in S
+//        x_ij binary, c >= 0
+//
+// The O(|E| |S|^2) coupling family is generated lazily (violated rows only);
+// the relaxation stays weak regardless -- x_ij + x_i'j' must exceed 1 before
+// a row binds -- which is exactly why the paper finds MIP uncompetitive for
+// LLNDP at scale (Fig. 7).
+#ifndef CLOUDIA_DEPLOY_MIP_LLNDP_H_
+#define CLOUDIA_DEPLOY_MIP_LLNDP_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "deploy/solver_result.h"
+
+namespace cloudia::deploy {
+
+struct MipNdpOptions {
+  Deadline deadline = Deadline::Infinite();
+  /// k-means cost clusters; 0 disables clustering (Sect. 6.3 studies both).
+  int cost_clusters = 0;
+  /// Starting deployment; empty -> best of 10 random (Sect. 6.3).
+  Deployment initial;
+  uint64_t seed = 1;
+  /// Violated coupling rows added per separation round (keeps LPs small).
+  int max_lazy_rows_per_round = 64;
+};
+
+/// Solves LLNDP via branch & bound on the encoding above.
+Result<NdpSolveResult> SolveLlndpMip(const graph::CommGraph& graph,
+                                     const CostMatrix& costs,
+                                     const MipNdpOptions& options);
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_MIP_LLNDP_H_

@@ -1,0 +1,32 @@
+// Mixed-integer programming solver for LPNDP (paper Sect. 4.4):
+//
+//   minimize t
+//   s.t. sum_j x_ij  = 1                 for all nodes i
+//        sum_i x_ij <= 1                 for all instances j
+//        c_ii' >= CL(j,j')(x_ij + x_i'j' - 1)  for all (i,i') in E, j, j' in S
+//        t  >= t_i,  t_i >= 0            for all i
+//        t_i' >= t_i + c_ii'             for all (i,i') in E
+//        x_ij binary, c_ii' >= 0, t >= 0
+//
+// The objective function interacts poorly with the assignment structure
+// (Sect. 4.4 explains why CP is unsuitable here); coupling rows are lazy as
+// in the LLNDP encoding. Requires an acyclic communication graph.
+#ifndef CLOUDIA_DEPLOY_MIP_LPNDP_H_
+#define CLOUDIA_DEPLOY_MIP_LPNDP_H_
+
+#include "common/result.h"
+#include "deploy/mip_llndp.h"
+#include "deploy/solver_result.h"
+
+namespace cloudia::deploy {
+
+/// Solves LPNDP via branch & bound on the encoding above. Note the paper's
+/// finding that cost clustering does *not* help LPNDP (costs are summed
+/// along paths, Fig. 9); the option is still honored for that experiment.
+Result<NdpSolveResult> SolveLpndpMip(const graph::CommGraph& graph,
+                                     const CostMatrix& costs,
+                                     const MipNdpOptions& options);
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_MIP_LPNDP_H_

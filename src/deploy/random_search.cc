@@ -1,0 +1,105 @@
+#include "deploy/random_search.h"
+
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+
+namespace cloudia::deploy {
+
+Deployment RandomDeployment(int num_nodes, int num_instances, Rng& rng) {
+  CLOUDIA_CHECK(num_nodes <= num_instances);
+  return rng.SampleWithoutReplacement(num_instances, num_nodes);
+}
+
+Result<RandomSearchResult> RandomSearchR1(const graph::CommGraph& graph,
+                                          const CostMatrix& costs,
+                                          Objective objective, int samples,
+                                          uint64_t seed) {
+  if (samples < 1) return Status::InvalidArgument("samples must be >= 1");
+  CLOUDIA_ASSIGN_OR_RETURN(
+      CostEvaluator eval, CostEvaluator::Create(&graph, &costs, objective));
+  Rng rng(seed);
+  RandomSearchResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < samples; ++i) {
+    Deployment d =
+        RandomDeployment(graph.num_nodes(), eval.num_instances(), rng);
+    double c = eval.Cost(d);
+    if (c < best.cost) {
+      best.cost = c;
+      best.deployment = std::move(d);
+    }
+    ++best.samples;
+  }
+  return best;
+}
+
+Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
+                                          const CostMatrix& costs,
+                                          Objective objective,
+                                          Deadline deadline, int threads,
+                                          uint64_t seed) {
+  if (threads < 1) return Status::InvalidArgument("threads must be >= 1");
+  // Validate once up front so workers can assume success.
+  CLOUDIA_RETURN_IF_ERROR(
+      CostEvaluator::Create(&graph, &costs, objective).status());
+
+  std::mutex mu;
+  RandomSearchResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+
+  auto worker = [&](uint64_t worker_seed) {
+    auto eval = CostEvaluator::Create(&graph, &costs, objective);
+    CLOUDIA_CHECK(eval.ok());
+    Rng rng(worker_seed);
+    Deployment local_best;
+    double local_cost = std::numeric_limits<double>::infinity();
+    int64_t local_samples = 0;
+    // Check the deadline in batches to keep the hot loop tight.
+    while (!deadline.Expired()) {
+      for (int i = 0; i < 64; ++i) {
+        Deployment d =
+            RandomDeployment(graph.num_nodes(), eval->num_instances(), rng);
+        double c = eval->Cost(d);
+        ++local_samples;
+        if (c < local_cost) {
+          local_cost = c;
+          local_best = std::move(d);
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    best.samples += local_samples;
+    if (local_cost < best.cost) {
+      best.cost = local_cost;
+      best.deployment = std::move(local_best);
+    }
+  };
+
+  Rng seeder(seed);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, seeder.Next());
+  for (auto& th : pool) th.join();
+
+  if (best.deployment.empty() && graph.num_nodes() > 0) {
+    // Deadline was already expired on entry: fall back to a single sample so
+    // callers always receive a valid deployment.
+    auto r1 = RandomSearchR1(graph, costs, objective, 1, seed);
+    CLOUDIA_CHECK(r1.ok());
+    return r1;
+  }
+  return best;
+}
+
+Result<Deployment> BootstrapDeployment(const graph::CommGraph& graph,
+                                       const CostMatrix& costs,
+                                       Objective objective, uint64_t seed) {
+  CLOUDIA_ASSIGN_OR_RETURN(
+      RandomSearchResult r,
+      RandomSearchR1(graph, costs, objective, /*samples=*/10, seed));
+  return std::move(r.deployment);
+}
+
+}  // namespace cloudia::deploy

@@ -1,0 +1,49 @@
+// Randomized deployment search (paper Sects. 4.3.1 / 4.5.1):
+//   R1 -- draw a fixed number of random injections, keep the best.
+//   R2 -- draw in parallel for a wall-clock budget (the paper gives R2 the
+//         same time and hardware as the CP/MIP solvers), keep the best.
+#ifndef CLOUDIA_DEPLOY_RANDOM_SEARCH_H_
+#define CLOUDIA_DEPLOY_RANDOM_SEARCH_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "deploy/cost.h"
+
+namespace cloudia::deploy {
+
+/// Uniformly random injective deployment of `num_nodes` onto `num_instances`.
+Deployment RandomDeployment(int num_nodes, int num_instances, Rng& rng);
+
+struct RandomSearchResult {
+  Deployment deployment;
+  double cost = 0.0;
+  int64_t samples = 0;  ///< deployments evaluated
+};
+
+/// R1: best of `samples` random deployments. Deterministic given the seed.
+Result<RandomSearchResult> RandomSearchR1(const graph::CommGraph& graph,
+                                          const CostMatrix& costs,
+                                          Objective objective, int samples,
+                                          uint64_t seed);
+
+/// R2: runs `threads` workers until `deadline`, returns the best deployment
+/// found overall. Deterministic in the set of explored streams given the
+/// seed, but the sample *count* depends on wall-clock speed.
+Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
+                                          const CostMatrix& costs,
+                                          Objective objective,
+                                          Deadline deadline, int threads,
+                                          uint64_t seed);
+
+/// Paper Sect. 6.3: solvers are bootstrapped with the best of 10 random
+/// deployments. Convenience wrapper over R1.
+Result<Deployment> BootstrapDeployment(const graph::CommGraph& graph,
+                                       const CostMatrix& costs,
+                                       Objective objective, uint64_t seed);
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_RANDOM_SEARCH_H_

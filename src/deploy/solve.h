@@ -1,0 +1,57 @@
+// Facade over all node-deployment search methods (paper Sect. 4): one entry
+// point that dispatches to greedy (G1/G2), randomized (R1/R2), CP threshold
+// descent, or the MIP encodings, honoring the paper's method/objective
+// compatibility (CP is only formulated for LLNDP, Sect. 4.4; greedy solves
+// LLNDP and serves as a heuristic for LPNDP, Sect. 4.5.2).
+#ifndef CLOUDIA_DEPLOY_SOLVE_H_
+#define CLOUDIA_DEPLOY_SOLVE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "deploy/solver_result.h"
+
+namespace cloudia::deploy {
+
+enum class Method {
+  kGreedyG1,
+  kGreedyG2,
+  kRandomR1,
+  kRandomR2,
+  kCp,
+  kMip,
+  /// Extension beyond the paper: multi-start swap/move hill climbing
+  /// (deploy/local_search.h). Works for both objectives.
+  kLocalSearch,
+};
+
+const char* MethodName(Method method);
+
+struct NdpSolveOptions {
+  Objective objective = Objective::kLongestLink;
+  Method method = Method::kCp;
+  /// Wall-clock budget for R2 / CP / MIP (ignored by G1/G2/R1).
+  double time_budget_s = 60.0;
+  /// k-means cost clusters for CP / MIP; 0 = no clustering. The paper's best
+  /// configuration is k=20 for LLNDP-CP and no clustering for LPNDP-MIP.
+  int cost_clusters = 0;
+  /// Samples for R1 (the paper uses 1,000).
+  int r1_samples = 1000;
+  /// Worker threads for R2; 0 = hardware concurrency.
+  int threads = 0;
+  uint64_t seed = 1;
+  /// Optional starting deployment for CP / MIP (empty = best of 10 random).
+  Deployment initial;
+  /// CP: warm-start iterations with the previous solution's values.
+  bool warm_start_hints = false;
+};
+
+/// Runs the selected method. Fails on invalid input or on method/objective
+/// combinations the paper does not define (CP for LPNDP).
+Result<NdpSolveResult> SolveNodeDeployment(const graph::CommGraph& graph,
+                                           const CostMatrix& costs,
+                                           const NdpSolveOptions& options);
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_SOLVE_H_

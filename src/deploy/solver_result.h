@@ -1,0 +1,33 @@
+// Common result type shared by the node-deployment solvers.
+#ifndef CLOUDIA_DEPLOY_SOLVER_RESULT_H_
+#define CLOUDIA_DEPLOY_SOLVER_RESULT_H_
+
+#include <vector>
+
+#include "deploy/cost.h"
+
+namespace cloudia::deploy {
+
+/// A point of a solver's convergence curve: the paper's Figs. 6/7/9 plot
+/// exactly these (best deployment cost as a function of optimization time).
+struct TracePoint {
+  double seconds = 0.0;
+  double cost = 0.0;  ///< actual (unclustered) deployment cost
+};
+
+struct NdpSolveResult {
+  Deployment deployment;
+  /// Cost of `deployment` under the *original* cost matrix (clustering, if
+  /// any, is only an internal search approximation; paper Sect. 6.3).
+  double cost = 0.0;
+  /// True when the solver exhausted its search space: the deployment is
+  /// optimal (w.r.t. the clustered costs if clustering was used).
+  bool proven_optimal = false;
+  std::vector<TracePoint> trace;
+  /// Iterations (CP: thresholds tried; MIP: branch-and-bound nodes).
+  int64_t iterations = 0;
+};
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_SOLVER_RESULT_H_

@@ -1,0 +1,205 @@
+#include "deploy/weighted.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "deploy/random_search.h"
+#include "solver/cp/search.h"
+
+namespace cloudia::deploy {
+
+Status ValidateWeightedProblem(const WeightedProblem& problem,
+                               Objective objective) {
+  if (problem.graph == nullptr || problem.costs == nullptr) {
+    return Status::InvalidArgument("graph and costs must be set");
+  }
+  if (static_cast<int>(problem.edge_weights.size()) !=
+      problem.graph->num_edges()) {
+    return Status::InvalidArgument("one weight per edge required");
+  }
+  for (double w : problem.edge_weights) {
+    if (!(w > 0)) return Status::InvalidArgument("weights must be positive");
+  }
+  int m = static_cast<int>(problem.costs->size());
+  for (const auto& row : *problem.costs) {
+    if (static_cast<int>(row.size()) != m) {
+      return Status::InvalidArgument("cost matrix is not square");
+    }
+  }
+  if (problem.graph->num_nodes() > m) {
+    return Status::InvalidArgument("more nodes than instances");
+  }
+  if (objective == Objective::kLongestPath && !problem.graph->IsAcyclic()) {
+    return Status::Infeasible("longest-path objective requires a DAG");
+  }
+  return Status::OK();
+}
+
+Result<double> WeightedCost(const WeightedProblem& problem,
+                            const Deployment& deployment,
+                            Objective objective) {
+  CLOUDIA_RETURN_IF_ERROR(ValidateWeightedProblem(problem, objective));
+  CLOUDIA_RETURN_IF_ERROR(ValidateDeployment(*problem.graph, deployment,
+                                             *problem.costs, objective));
+  const auto& g = *problem.graph;
+  const auto& c = *problem.costs;
+  if (objective == Objective::kLongestLink) {
+    double worst = 0.0;
+    for (int e = 0; e < g.num_edges(); ++e) {
+      const graph::Edge& edge = g.edges()[static_cast<size_t>(e)];
+      worst = std::max(
+          worst,
+          problem.edge_weights[static_cast<size_t>(e)] *
+              c[static_cast<size_t>(deployment[static_cast<size_t>(edge.src)])]
+               [static_cast<size_t>(deployment[static_cast<size_t>(edge.dst)])]);
+    }
+    return worst;
+  }
+  // Weighted longest path: per-edge weighted costs via the DAG helper.
+  std::map<std::pair<int, int>, double> weight_of;
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge& edge = g.edges()[static_cast<size_t>(e)];
+    weight_of[{edge.src, edge.dst}] =
+        problem.edge_weights[static_cast<size_t>(e)];
+  }
+  return g.LongestPathCost([&](int i, int j) {
+    return weight_of[{i, j}] *
+           c[static_cast<size_t>(deployment[static_cast<size_t>(i)])]
+            [static_cast<size_t>(deployment[static_cast<size_t>(j)])];
+  });
+}
+
+Result<RandomSearchResult> WeightedRandomSearch(const WeightedProblem& problem,
+                                                Objective objective,
+                                                int samples, uint64_t seed) {
+  CLOUDIA_RETURN_IF_ERROR(ValidateWeightedProblem(problem, objective));
+  if (samples < 1) return Status::InvalidArgument("samples must be >= 1");
+  Rng rng(seed);
+  int n = problem.graph->num_nodes();
+  int m = static_cast<int>(problem.costs->size());
+  RandomSearchResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (int s = 0; s < samples; ++s) {
+    Deployment d = RandomDeployment(n, m, rng);
+    CLOUDIA_ASSIGN_OR_RETURN(double cost, WeightedCost(problem, d, objective));
+    ++best.samples;
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.deployment = std::move(d);
+    }
+  }
+  return best;
+}
+
+Result<NdpSolveResult> SolveWeightedLlndpCp(const WeightedProblem& problem,
+                                            const WeightedCpOptions& options) {
+  CLOUDIA_RETURN_IF_ERROR(
+      ValidateWeightedProblem(problem, Objective::kLongestLink));
+  const graph::CommGraph& g = *problem.graph;
+  const CostMatrix& costs = *problem.costs;
+  const int n = g.num_nodes();
+  const int m = static_cast<int>(costs.size());
+
+  Stopwatch clock;
+  NdpSolveResult result;
+
+  Deployment incumbent = options.initial;
+  if (incumbent.empty() && n > 0) {
+    CLOUDIA_ASSIGN_OR_RETURN(
+        RandomSearchResult boot,
+        WeightedRandomSearch(problem, Objective::kLongestLink, 10,
+                             options.seed));
+    incumbent = std::move(boot.deployment);
+  }
+  CLOUDIA_RETURN_IF_ERROR(ValidateDeployment(g, incumbent, costs,
+                                             Objective::kLongestLink));
+  CLOUDIA_ASSIGN_OR_RETURN(
+      double incumbent_cost,
+      WeightedCost(problem, incumbent, Objective::kLongestLink));
+  result.deployment = incumbent;
+  result.cost = incumbent_cost;
+  result.trace.push_back({clock.ElapsedSeconds(), result.cost});
+  if (n == 0 || g.num_edges() == 0) {
+    result.proven_optimal = true;
+    return result;
+  }
+
+  // Weight classes: edges sharing a weight share a compatibility table.
+  std::vector<double> distinct_weights = problem.edge_weights;
+  std::sort(distinct_weights.begin(), distinct_weights.end());
+  distinct_weights.erase(
+      std::unique(distinct_weights.begin(), distinct_weights.end()),
+      distinct_weights.end());
+
+  while (!options.deadline.Expired()) {
+    // Next threshold: the largest achievable weighted edge-cost < incumbent.
+    double next = -1.0;
+    for (double w : distinct_weights) {
+      for (int j = 0; j < m; ++j) {
+        for (int j2 = 0; j2 < m; ++j2) {
+          if (j == j2) continue;
+          double v = w * costs[static_cast<size_t>(j)][static_cast<size_t>(j2)];
+          if (v < result.cost - 1e-12 && v > next) next = v;
+        }
+      }
+    }
+    if (next < 0) {
+      result.proven_optimal = true;
+      break;
+    }
+    ++result.iterations;
+
+    // Per-weight-class tables: allowed(j, j') iff w * CL(j,j') <= next.
+    std::vector<cp::BitMatrix> tables;
+    std::vector<cp::BitMatrix> tables_t;
+    tables.reserve(distinct_weights.size());
+    for (double w : distinct_weights) {
+      cp::BitMatrix allowed(m, m);
+      for (int j = 0; j < m; ++j) {
+        for (int j2 = 0; j2 < m; ++j2) {
+          if (j != j2 &&
+              w * costs[static_cast<size_t>(j)][static_cast<size_t>(j2)] <=
+                  next + 1e-12) {
+            allowed.Set(j, j2);
+          }
+        }
+      }
+      tables_t.push_back(allowed.Transposed());
+      tables.push_back(std::move(allowed));
+    }
+
+    cp::Csp csp(n, m);
+    csp.AddAllDifferent();
+    for (int e = 0; e < g.num_edges(); ++e) {
+      const graph::Edge& edge = g.edges()[static_cast<size_t>(e)];
+      size_t cls = static_cast<size_t>(
+          std::lower_bound(distinct_weights.begin(), distinct_weights.end(),
+                           problem.edge_weights[static_cast<size_t>(e)]) -
+          distinct_weights.begin());
+      csp.AddBinaryTable(edge.src, edge.dst, &tables[cls], &tables_t[cls]);
+    }
+    cp::SearchLimits limits;
+    limits.deadline = options.deadline;
+    auto solution = csp.SolveFirst(limits);
+    if (!solution.ok()) {
+      if (solution.status().code() == StatusCode::kInfeasible) {
+        result.proven_optimal = true;
+      }
+      break;
+    }
+    incumbent = std::move(solution).value();
+    CLOUDIA_ASSIGN_OR_RETURN(
+        incumbent_cost,
+        WeightedCost(problem, incumbent, Objective::kLongestLink));
+    CLOUDIA_DCHECK(incumbent_cost < result.cost);
+    result.cost = incumbent_cost;
+    result.deployment = incumbent;
+    result.trace.push_back({clock.ElapsedSeconds(), result.cost});
+  }
+  return result;
+}
+
+}  // namespace cloudia::deploy

@@ -1,0 +1,63 @@
+// Weighted communication graphs -- the extension the paper lists as future
+// work (Sect. 8: "we plan to extend our formulation to support weighted
+// communication graphs"; Sect. 3.3 sketches it as "add weights to edges,
+// extending the semantics of talks").
+//
+// An edge weight w_e scales the communication cost of that edge: the
+// longest-link objective becomes max_e w_e * CL(D(src), D(dst)) and the
+// longest-path objective sums w_e * CL(...) along paths. Weights model
+// message frequency/size differences between application links.
+//
+// Supported solvers: weighted cost evaluation, randomized search (R1-style),
+// and a weighted CP threshold descent (per-weight-class threshold tables).
+// The greedy and MIP paths remain unweighted, as in the paper.
+#ifndef CLOUDIA_DEPLOY_WEIGHTED_H_
+#define CLOUDIA_DEPLOY_WEIGHTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "deploy/cost.h"
+#include "deploy/random_search.h"
+#include "deploy/solver_result.h"
+
+namespace cloudia::deploy {
+
+/// A node deployment problem with per-edge weights. `edge_weights[k]`
+/// applies to `graph->edges()[k]`; all weights must be positive.
+struct WeightedProblem {
+  const graph::CommGraph* graph = nullptr;
+  const CostMatrix* costs = nullptr;
+  std::vector<double> edge_weights;
+};
+
+/// Validates sizes, positivity, and (for kLongestPath) acyclicity.
+Status ValidateWeightedProblem(const WeightedProblem& problem,
+                               Objective objective);
+
+/// Deployment cost under weights. Fails on malformed input.
+Result<double> WeightedCost(const WeightedProblem& problem,
+                            const Deployment& deployment, Objective objective);
+
+/// Best of `samples` random deployments under the weighted objective.
+Result<RandomSearchResult> WeightedRandomSearch(const WeightedProblem& problem,
+                                                Objective objective,
+                                                int samples, uint64_t seed);
+
+struct WeightedCpOptions {
+  Deadline deadline = Deadline::Infinite();
+  Deployment initial;  ///< empty = best of 10 random
+  uint64_t seed = 1;
+};
+
+/// Weighted LLNDP via CP threshold descent: at threshold c the edge e may
+/// only use instance pairs with w_e * CL <= c, so each weight class gets its
+/// own compatibility table (the unweighted solver shares a single one).
+Result<NdpSolveResult> SolveWeightedLlndpCp(const WeightedProblem& problem,
+                                            const WeightedCpOptions& options);
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_WEIGHTED_H_

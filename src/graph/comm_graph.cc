@@ -1,0 +1,144 @@
+#include "graph/comm_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace cloudia::graph {
+
+Result<CommGraph> CommGraph::Create(int num_nodes, std::vector<Edge> edges) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("num_nodes must be non-negative");
+  }
+  std::set<std::pair<int, int>> seen;
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.src >= num_nodes || e.dst < 0 || e.dst >= num_nodes) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%d, %d) out of range for %d nodes", e.src, e.dst,
+                    num_nodes));
+    }
+    if (e.src == e.dst) {
+      return Status::InvalidArgument(
+          StrFormat("self-loop on node %d not allowed", e.src));
+    }
+    if (!seen.insert({e.src, e.dst}).second) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate edge (%d, %d)", e.src, e.dst));
+    }
+  }
+  CommGraph g;
+  g.num_nodes_ = num_nodes;
+  g.edges_ = std::move(edges);
+  g.out_.resize(static_cast<size_t>(num_nodes));
+  g.in_.resize(static_cast<size_t>(num_nodes));
+  g.undirected_.resize(static_cast<size_t>(num_nodes));
+  for (const Edge& e : g.edges_) {
+    g.out_[static_cast<size_t>(e.src)].push_back(e.dst);
+    g.in_[static_cast<size_t>(e.dst)].push_back(e.src);
+  }
+  for (int v = 0; v < num_nodes; ++v) {
+    auto& u = g.undirected_[static_cast<size_t>(v)];
+    u = g.out_[static_cast<size_t>(v)];
+    u.insert(u.end(), g.in_[static_cast<size_t>(v)].begin(),
+             g.in_[static_cast<size_t>(v)].end());
+    std::sort(u.begin(), u.end());
+    u.erase(std::unique(u.begin(), u.end()), u.end());
+  }
+  return g;
+}
+
+const std::vector<int>& CommGraph::OutNeighbors(int v) const {
+  CLOUDIA_DCHECK(v >= 0 && v < num_nodes_);
+  return out_[static_cast<size_t>(v)];
+}
+
+const std::vector<int>& CommGraph::InNeighbors(int v) const {
+  CLOUDIA_DCHECK(v >= 0 && v < num_nodes_);
+  return in_[static_cast<size_t>(v)];
+}
+
+const std::vector<int>& CommGraph::Neighbors(int v) const {
+  CLOUDIA_DCHECK(v >= 0 && v < num_nodes_);
+  return undirected_[static_cast<size_t>(v)];
+}
+
+bool CommGraph::HasEdge(int src, int dst) const {
+  if (src < 0 || src >= num_nodes_ || dst < 0 || dst >= num_nodes_) {
+    return false;
+  }
+  const auto& nbrs = out_[static_cast<size_t>(src)];
+  return std::find(nbrs.begin(), nbrs.end(), dst) != nbrs.end();
+}
+
+bool CommGraph::IsAcyclic() const { return TopologicalOrder().ok(); }
+
+Result<std::vector<int>> CommGraph::TopologicalOrder() const {
+  // Kahn's algorithm.
+  std::vector<int> indeg(static_cast<size_t>(num_nodes_), 0);
+  for (const Edge& e : edges_) ++indeg[static_cast<size_t>(e.dst)];
+  std::vector<int> frontier;
+  for (int v = 0; v < num_nodes_; ++v) {
+    if (indeg[static_cast<size_t>(v)] == 0) frontier.push_back(v);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(num_nodes_));
+  while (!frontier.empty()) {
+    int v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (int w : OutNeighbors(v)) {
+      if (--indeg[static_cast<size_t>(w)] == 0) frontier.push_back(w);
+    }
+  }
+  if (static_cast<int>(order.size()) != num_nodes_) {
+    return Status::Infeasible("graph contains a directed cycle");
+  }
+  return order;
+}
+
+Result<double> CommGraph::LongestPathCost(
+    const std::function<double(int, int)>& weight) const {
+  CLOUDIA_ASSIGN_OR_RETURN(std::vector<int> order, TopologicalOrder());
+  if (num_nodes_ == 0) return 0.0;
+  // dist[v] = max cost of a path ending at v; singleton paths cost 0.
+  std::vector<double> dist(static_cast<size_t>(num_nodes_), 0.0);
+  double best = 0.0;
+  for (int v : order) {
+    for (int w : OutNeighbors(v)) {
+      double cand = dist[static_cast<size_t>(v)] + weight(v, w);
+      if (cand > dist[static_cast<size_t>(w)]) {
+        dist[static_cast<size_t>(w)] = cand;
+      }
+      best = std::max(best, dist[static_cast<size_t>(w)]);
+    }
+  }
+  return best;
+}
+
+bool CommGraph::IsConnectedUndirected() const {
+  if (num_nodes_ <= 1) return true;
+  std::vector<bool> visited(static_cast<size_t>(num_nodes_), false);
+  std::vector<int> stack = {0};
+  visited[0] = true;
+  int count = 1;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (int w : Neighbors(v)) {
+      if (!visited[static_cast<size_t>(w)]) {
+        visited[static_cast<size_t>(w)] = true;
+        ++count;
+        stack.push_back(w);
+      }
+    }
+  }
+  return count == num_nodes_;
+}
+
+std::string CommGraph::ToString() const {
+  return StrFormat("CommGraph(nodes=%d, edges=%d)", num_nodes_, num_edges());
+}
+
+}  // namespace cloudia::graph

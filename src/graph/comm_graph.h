@@ -1,0 +1,83 @@
+// Communication graph (paper Definition 3): a directed graph over application
+// nodes where an edge (i, j) means "i talks to j" and the link's latency
+// matters for application performance.
+#ifndef CLOUDIA_GRAPH_COMM_GRAPH_H_
+#define CLOUDIA_GRAPH_COMM_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cloudia::graph {
+
+/// A directed edge between application nodes.
+struct Edge {
+  int src = 0;
+  int dst = 0;
+  bool operator==(const Edge&) const = default;
+};
+
+/// Immutable-after-build directed graph over `num_nodes()` application nodes.
+///
+/// Self-loops and duplicate edges are rejected at build time: a node does not
+/// "talk to" itself, and the talks relation is a set (Definition 3).
+class CommGraph {
+ public:
+  /// Validates and builds. Fails with InvalidArgument on out-of-range
+  /// endpoints, self-loops, or duplicate edges.
+  static Result<CommGraph> Create(int num_nodes, std::vector<Edge> edges);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Out-neighbors of `v` (targets of edges v -> *).
+  const std::vector<int>& OutNeighbors(int v) const;
+  /// In-neighbors of `v` (sources of edges * -> v).
+  const std::vector<int>& InNeighbors(int v) const;
+  /// Undirected neighborhood (union of in- and out-, deduplicated). The greedy
+  /// algorithms of paper Sect. 4.3 grow deployments over this relation.
+  const std::vector<int>& Neighbors(int v) const;
+
+  int OutDegree(int v) const { return static_cast<int>(OutNeighbors(v).size()); }
+  int InDegree(int v) const { return static_cast<int>(InNeighbors(v).size()); }
+  int Degree(int v) const { return static_cast<int>(Neighbors(v).size()); }
+
+  bool HasEdge(int src, int dst) const;
+
+  /// True iff the graph has no directed cycle (required by LPNDP, Class 2).
+  bool IsAcyclic() const;
+
+  /// Topological order of nodes; Infeasible if the graph has a cycle.
+  Result<std::vector<int>> TopologicalOrder() const;
+
+  /// Longest (maximum-weight) directed path cost where edge (i, j) weighs
+  /// `weight(i, j)`. Requires an acyclic graph; Infeasible otherwise.
+  /// Weights may be negative; node-less paths cost 0 (empty graph -> 0).
+  Result<double> LongestPathCost(
+      const std::function<double(int, int)>& weight) const;
+
+  /// True iff the undirected version of the graph is connected (or empty).
+  bool IsConnectedUndirected() const;
+
+  /// Human-readable summary, e.g. "CommGraph(nodes=90, edges=342)".
+  std::string ToString() const;
+
+ private:
+  CommGraph() = default;
+
+  int num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+  std::vector<std::vector<int>> undirected_;
+};
+
+}  // namespace cloudia::graph
+
+#endif  // CLOUDIA_GRAPH_COMM_GRAPH_H_

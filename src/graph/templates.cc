@@ -1,0 +1,140 @@
+#include "graph/templates.h"
+
+#include "common/check.h"
+
+namespace cloudia::graph {
+
+namespace {
+
+CommGraph MustCreate(int n, std::vector<Edge> edges) {
+  auto result = CommGraph::Create(n, std::move(edges));
+  CLOUDIA_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+CommGraph Mesh2D(int rows, int cols, bool wrap) {
+  CLOUDIA_CHECK(rows >= 1 && cols >= 1);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // Right neighbor.
+      if (c + 1 < cols) {
+        edges.push_back({id(r, c), id(r, c + 1)});
+        edges.push_back({id(r, c + 1), id(r, c)});
+      } else if (wrap && cols > 2) {
+        edges.push_back({id(r, c), id(r, 0)});
+        edges.push_back({id(r, 0), id(r, c)});
+      }
+      // Down neighbor.
+      if (r + 1 < rows) {
+        edges.push_back({id(r, c), id(r + 1, c)});
+        edges.push_back({id(r + 1, c), id(r, c)});
+      } else if (wrap && rows > 2) {
+        edges.push_back({id(r, c), id(0, c)});
+        edges.push_back({id(0, c), id(r, c)});
+      }
+    }
+  }
+  return MustCreate(rows * cols, std::move(edges));
+}
+
+CommGraph Mesh3D(int nx, int ny, int nz, bool wrap) {
+  CLOUDIA_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  auto id = [ny, nz](int x, int y, int z) { return (x * ny + y) * nz + z; };
+  std::vector<Edge> edges;
+  auto add_both = [&edges](int a, int b) {
+    edges.push_back({a, b});
+    edges.push_back({b, a});
+  };
+  for (int x = 0; x < nx; ++x) {
+    for (int y = 0; y < ny; ++y) {
+      for (int z = 0; z < nz; ++z) {
+        if (x + 1 < nx) {
+          add_both(id(x, y, z), id(x + 1, y, z));
+        } else if (wrap && nx > 2) {
+          add_both(id(x, y, z), id(0, y, z));
+        }
+        if (y + 1 < ny) {
+          add_both(id(x, y, z), id(x, y + 1, z));
+        } else if (wrap && ny > 2) {
+          add_both(id(x, y, z), id(x, 0, z));
+        }
+        if (z + 1 < nz) {
+          add_both(id(x, y, z), id(x, y, z + 1));
+        } else if (wrap && nz > 2) {
+          add_both(id(x, y, z), id(x, y, 0));
+        }
+      }
+    }
+  }
+  return MustCreate(nx * ny * nz, std::move(edges));
+}
+
+CommGraph AggregationTree(int fanout, int levels) {
+  CLOUDIA_CHECK(fanout >= 1 && levels >= 1);
+  // Breadth-first numbering: root is 0; children of v are fanout*v + 1 ..
+  // fanout*v + fanout (standard heap layout).
+  int n = 0;
+  int level_size = 1;
+  for (int l = 0; l < levels; ++l) {
+    n += level_size;
+    level_size *= fanout;
+  }
+  std::vector<Edge> edges;
+  for (int v = 1; v < n; ++v) {
+    int parent = (v - 1) / fanout;
+    edges.push_back({v, parent});  // partial aggregates flow child -> parent
+  }
+  return MustCreate(n, std::move(edges));
+}
+
+CommGraph Bipartite(int frontends, int storage) {
+  CLOUDIA_CHECK(frontends >= 1 && storage >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(frontends) * static_cast<size_t>(storage));
+  for (int f = 0; f < frontends; ++f) {
+    for (int s = 0; s < storage; ++s) {
+      edges.push_back({f, frontends + s});
+    }
+  }
+  return MustCreate(frontends + storage, std::move(edges));
+}
+
+CommGraph Ring(int n) {
+  CLOUDIA_CHECK(n >= 3);
+  std::vector<Edge> edges;
+  for (int v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n});
+  return MustCreate(n, std::move(edges));
+}
+
+CommGraph RandomDag(int n, double edge_prob, Rng& rng) {
+  CLOUDIA_CHECK(n >= 0);
+  std::vector<Edge> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(edge_prob)) edges.push_back({i, j});
+    }
+  }
+  return MustCreate(n, std::move(edges));
+}
+
+CommGraph RandomSymmetric(int n, double avg_degree, Rng& rng) {
+  CLOUDIA_CHECK(n >= 2);
+  double pair_prob = avg_degree / static_cast<double>(n - 1);
+  if (pair_prob > 1.0) pair_prob = 1.0;
+  std::vector<Edge> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(pair_prob)) {
+        edges.push_back({i, j});
+        edges.push_back({j, i});
+      }
+    }
+  }
+  return MustCreate(n, std::move(edges));
+}
+
+}  // namespace cloudia::graph

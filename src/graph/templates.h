@@ -1,0 +1,46 @@
+// Communication-graph templates (paper Sect. 3.3: "ClouDiA provides
+// communication graph templates for certain common graph structures such as
+// meshes or bipartite graphs"). These produce the graphs used by the paper's
+// three evaluation workloads plus extras for testing.
+#ifndef CLOUDIA_GRAPH_TEMPLATES_H_
+#define CLOUDIA_GRAPH_TEMPLATES_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/comm_graph.h"
+
+namespace cloudia::graph {
+
+/// 2-D mesh of rows x cols nodes; each node talks to its 4-neighborhood in
+/// both directions (the behavioral-simulation pattern, Sect. 6.1.1).
+/// `wrap` makes it a torus.
+CommGraph Mesh2D(int rows, int cols, bool wrap = false);
+
+/// 3-D mesh of x*y*z nodes, 6-neighborhood, both directions.
+CommGraph Mesh3D(int nx, int ny, int nz, bool wrap = false);
+
+/// Aggregation tree with `levels` levels and fan-in `fanout` (Sect. 6.1.2):
+/// node 0 is the root aggregator; edges are directed child -> parent, the
+/// direction partial aggregates flow. Node count = (f^levels - 1) / (f - 1).
+CommGraph AggregationTree(int fanout, int levels);
+
+/// Complete bipartite graph: `frontends` front-end servers each talk to all
+/// `storage` storage nodes (Sect. 6.1.3). Front-ends are nodes
+/// [0, frontends), storage nodes follow. Edges directed frontend -> storage.
+CommGraph Bipartite(int frontends, int storage);
+
+/// Directed ring 0 -> 1 -> ... -> n-1 -> 0.
+CommGraph Ring(int n);
+
+/// Random DAG: nodes ordered 0..n-1; each forward pair (i, j), i < j, is an
+/// edge with probability `edge_prob`. Always acyclic.
+CommGraph RandomDag(int n, double edge_prob, Rng& rng);
+
+/// Random undirected-style graph (each chosen pair gets both directions) with
+/// expected degree `avg_degree`. Used for solver stress tests.
+CommGraph RandomSymmetric(int n, double avg_degree, Rng& rng);
+
+}  // namespace cloudia::graph
+
+#endif  // CLOUDIA_GRAPH_TEMPLATES_H_

@@ -1,0 +1,67 @@
+#include "measure/approximations.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cloudia::measure {
+
+std::vector<LinkApproximation> ComputeLinkApproximations(
+    const net::CloudSimulator& cloud,
+    const std::vector<net::Instance>& instances, int group_bits) {
+  std::vector<LinkApproximation> out;
+  const int n = static_cast<int>(instances.size());
+  out.reserve(static_cast<size_t>(n) * static_cast<size_t>(n - 1));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      LinkApproximation link;
+      link.src = i;
+      link.dst = j;
+      link.mean_latency_ms =
+          cloud.ExpectedRtt(instances[static_cast<size_t>(i)],
+                            instances[static_cast<size_t>(j)]);
+      link.ip_distance = net::CloudSimulator::IpDistance(
+          instances[static_cast<size_t>(i)].internal_ip,
+          instances[static_cast<size_t>(j)].internal_ip, group_bits);
+      link.hop_count = cloud.HopCount(instances[static_cast<size_t>(i)],
+                                      instances[static_cast<size_t>(j)]);
+      out.push_back(link);
+    }
+  }
+  return out;
+}
+
+double ProxyOrderViolationFraction(const std::vector<LinkApproximation>& links,
+                                   int LinkApproximation::* proxy_of) {
+  // Group latencies by proxy value; count cross-group inversions by
+  // comparing each group's latency range against higher-proxy groups.
+  std::map<int, std::vector<double>> groups;
+  for (const LinkApproximation& link : links) {
+    groups[link.*proxy_of].push_back(link.mean_latency_ms);
+  }
+  for (auto& [key, values] : groups) std::sort(values.begin(), values.end());
+
+  // Sampled pairwise comparison between consecutive groups (exact counting
+  // is O(N^2); sorted merge gives exact counts cheaply per group pair).
+  double violations = 0, comparisons = 0;
+  for (auto it = groups.begin(); it != groups.end(); ++it) {
+    auto jt = std::next(it);
+    for (; jt != groups.end(); ++jt) {
+      const auto& lo = it->second;   // lower proxy: should have lower latency
+      const auto& hi = jt->second;
+      // Count pairs (a in lo, b in hi) with a > b via sorted two-pointer.
+      size_t b = 0;
+      double count = 0;
+      for (double a : lo) {
+        while (b < hi.size() && hi[b] < a) ++b;
+        count += static_cast<double>(b);
+      }
+      violations += count;
+      comparisons += static_cast<double>(lo.size()) *
+                     static_cast<double>(hi.size());
+    }
+  }
+  return comparisons > 0 ? violations / comparisons : 0.0;
+}
+
+}  // namespace cloudia::measure

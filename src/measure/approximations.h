@@ -1,0 +1,38 @@
+// Network-distance approximations from paper Appendix 2: IP distance and hop
+// count as cheap proxies for round-trip latency. Both are *negative* results
+// in the paper (Figs. 16-17): they order links inconsistently with measured
+// latency. This module reproduces the data behind those figures.
+#ifndef CLOUDIA_MEASURE_APPROXIMATIONS_H_
+#define CLOUDIA_MEASURE_APPROXIMATIONS_H_
+
+#include <vector>
+
+#include "netsim/cloud.h"
+
+namespace cloudia::measure {
+
+/// One ordered instance pair with its latency and both proxies.
+struct LinkApproximation {
+  int src = 0;  ///< index into the instances vector
+  int dst = 0;
+  double mean_latency_ms = 0.0;
+  int ip_distance = 0;  ///< with 8-bit groups (octets), Appendix 2
+  int hop_count = 0;
+};
+
+/// Computes latency (model expectation at t=0) + proxies for all ordered
+/// pairs. `group_bits` adjusts IP-distance sensitivity.
+std::vector<LinkApproximation> ComputeLinkApproximations(
+    const net::CloudSimulator& cloud,
+    const std::vector<net::Instance>& instances, int group_bits = 8);
+
+/// Fraction of cross-group pair orderings that violate "larger proxy value
+/// implies larger latency": 0 = the proxy orders latency perfectly. The
+/// paper's negative result corresponds to a clearly nonzero fraction.
+/// `proxy_of` selects ip_distance or hop_count.
+double ProxyOrderViolationFraction(const std::vector<LinkApproximation>& links,
+                                   int LinkApproximation::* proxy_of);
+
+}  // namespace cloudia::measure
+
+#endif  // CLOUDIA_MEASURE_APPROXIMATIONS_H_

@@ -1,0 +1,43 @@
+#include "measure/event_queue.h"
+
+#include "common/check.h"
+
+namespace cloudia::measure {
+
+void EventQueue::ScheduleAt(double time_ms, Callback fn) {
+  CLOUDIA_DCHECK(time_ms >= now_ms_);
+  queue_.push(Event{time_ms, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::ScheduleAfter(double delay_ms, Callback fn) {
+  CLOUDIA_DCHECK(delay_ms >= 0);
+  ScheduleAt(now_ms_ + delay_ms, std::move(fn));
+}
+
+int64_t EventQueue::RunUntil(double until_ms) {
+  int64_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= until_ms) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ms_ = ev.time;
+    ev.fn();
+    ++count;
+  }
+  if (now_ms_ < until_ms) now_ms_ = until_ms;
+  return count;
+}
+
+int64_t EventQueue::RunAll() {
+  int64_t count = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ms_ = ev.time;
+    ev.fn();
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace cloudia::measure

@@ -1,0 +1,57 @@
+// Minimal discrete-event simulation core used by the measurement protocols
+// and the workload simulators: a virtual clock plus a priority queue of
+// timestamped callbacks. Ties break by schedule order, which keeps runs
+// deterministic for a fixed seed.
+#ifndef CLOUDIA_MEASURE_EVENT_QUEUE_H_
+#define CLOUDIA_MEASURE_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cloudia::measure {
+
+/// Virtual-time event loop. Times are in milliseconds of simulated time.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute virtual time `time_ms` (>= now).
+  void ScheduleAt(double time_ms, Callback fn);
+  /// Schedules `fn` `delay_ms` after the current virtual time.
+  void ScheduleAfter(double delay_ms, Callback fn);
+
+  /// Runs events in timestamp order until the queue empties or the next
+  /// event's time exceeds `until_ms`. Returns the number of events run.
+  /// Events scheduled past `until_ms` remain queued.
+  int64_t RunUntil(double until_ms);
+
+  /// Runs everything. Returns the number of events run.
+  int64_t RunAll();
+
+  double now_ms() const { return now_ms_; }
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ms_ = 0.0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace cloudia::measure
+
+#endif  // CLOUDIA_MEASURE_EVENT_QUEUE_H_

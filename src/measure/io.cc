@@ -1,0 +1,101 @@
+#include "measure/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace cloudia::measure {
+
+namespace {
+constexpr char kHeader[] = "cloudia-cost-matrix v1";
+}  // namespace
+
+std::string CostMatrixToString(const std::vector<std::vector<double>>& costs,
+                               const std::string& metric_name) {
+  std::string out = kHeader;
+  out += '\n';
+  out += StrFormat("n %zu\n", costs.size());
+  out += StrFormat("metric %s\n", metric_name.c_str());
+  for (size_t i = 0; i < costs.size(); ++i) {
+    out += StrFormat("row %zu:", i);
+    for (double v : costs[i]) out += StrFormat(" %.17g", v);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<LoadedCostMatrix> CostMatrixFromString(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("missing cost-matrix header");
+  }
+  size_t n = 0;
+  {
+    if (!std::getline(in, line) || line.rfind("n ", 0) != 0) {
+      return Status::InvalidArgument("missing 'n <count>' line");
+    }
+    char* end = nullptr;
+    long parsed = std::strtol(line.c_str() + 2, &end, 10);
+    if (parsed < 0 || (end != nullptr && *end != '\0')) {
+      return Status::InvalidArgument("malformed instance count");
+    }
+    n = static_cast<size_t>(parsed);
+  }
+  LoadedCostMatrix loaded;
+  if (!std::getline(in, line) || line.rfind("metric ", 0) != 0) {
+    return Status::InvalidArgument("missing 'metric <name>' line");
+  }
+  loaded.metric_name = line.substr(7);
+
+  loaded.costs.assign(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument(StrFormat("missing row %zu", i));
+    }
+    std::string expected_prefix = StrFormat("row %zu:", i);
+    if (line.rfind(expected_prefix, 0) != 0) {
+      return Status::InvalidArgument(StrFormat("bad prefix on row %zu", i));
+    }
+    std::istringstream cells(line.substr(expected_prefix.size()));
+    for (size_t j = 0; j < n; ++j) {
+      if (!(cells >> loaded.costs[i][j])) {
+        return Status::InvalidArgument(
+            StrFormat("row %zu has fewer than %zu values", i, n));
+      }
+    }
+    double extra;
+    if (cells >> extra) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has more than %zu values", i, n));
+    }
+  }
+  return loaded;
+}
+
+Status SaveCostMatrix(const std::string& path,
+                      const std::vector<std::vector<double>>& costs,
+                      const std::string& metric_name) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument(StrFormat("cannot open %s", path.c_str()));
+  }
+  out << CostMatrixToString(costs, metric_name);
+  out.flush();
+  if (!out) return Status::Internal(StrFormat("write failed: %s", path.c_str()));
+  return Status::OK();
+}
+
+Result<LoadedCostMatrix> LoadCostMatrix(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return CostMatrixFromString(buffer.str());
+}
+
+}  // namespace cloudia::measure

@@ -1,0 +1,42 @@
+// Persistence for measured cost matrices. A real ClouDiA run measures once
+// (minutes of wall time on the tenant's bill) and may re-search many times
+// with different objectives or budgets; saving the matrix decouples the two.
+//
+// Format: a line-oriented text file --
+//   cloudia-cost-matrix v1
+//   n <num_instances>
+//   metric <name>
+//   row 0: v v v ...
+//   ...
+// Values are milliseconds with full double precision; the diagonal is 0.
+#ifndef CLOUDIA_MEASURE_IO_H_
+#define CLOUDIA_MEASURE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cloudia::measure {
+
+/// Serializes `costs` (with a human-readable `metric_name` tag).
+std::string CostMatrixToString(const std::vector<std::vector<double>>& costs,
+                               const std::string& metric_name);
+
+/// Parses what CostMatrixToString produced. Fails with InvalidArgument on
+/// malformed content (bad header, ragged rows, non-numeric cells).
+struct LoadedCostMatrix {
+  std::vector<std::vector<double>> costs;
+  std::string metric_name;
+};
+Result<LoadedCostMatrix> CostMatrixFromString(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveCostMatrix(const std::string& path,
+                      const std::vector<std::vector<double>>& costs,
+                      const std::string& metric_name);
+Result<LoadedCostMatrix> LoadCostMatrix(const std::string& path);
+
+}  // namespace cloudia::measure
+
+#endif  // CLOUDIA_MEASURE_IO_H_

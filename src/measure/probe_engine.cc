@@ -1,0 +1,100 @@
+#include "measure/probe_engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cloudia::measure {
+
+void LinkSamples::Add(double rtt_ms, Rng& rng) {
+  stats_.Add(rtt_ms);
+  if (reservoir_.size() < kReservoirCap) {
+    reservoir_.push_back(rtt_ms);
+  } else {
+    // Vitter's algorithm R: keep each sample with probability cap/count.
+    uint64_t idx = rng.Below(stats_.count());
+    if (idx < kReservoirCap) reservoir_[static_cast<size_t>(idx)] = rtt_ms;
+  }
+}
+
+double LinkSamples::Percentile(double p) const {
+  if (reservoir_.empty()) return stats_.mean();
+  return ::cloudia::Percentile(reservoir_, p);
+}
+
+MeasurementResult::MeasurementResult(int num_instances)
+    : n_(num_instances),
+      links_(static_cast<size_t>(num_instances) *
+             static_cast<size_t>(num_instances)) {
+  CLOUDIA_CHECK(num_instances >= 0);
+}
+
+LinkSamples& MeasurementResult::Link(int i, int j) {
+  CLOUDIA_DCHECK(i >= 0 && i < n_ && j >= 0 && j < n_ && i != j);
+  return links_[static_cast<size_t>(i) * static_cast<size_t>(n_) +
+                static_cast<size_t>(j)];
+}
+
+const LinkSamples& MeasurementResult::Link(int i, int j) const {
+  CLOUDIA_DCHECK(i >= 0 && i < n_ && j >= 0 && j < n_ && i != j);
+  return links_[static_cast<size_t>(i) * static_cast<size_t>(n_) +
+                static_cast<size_t>(j)];
+}
+
+double MeasurementResult::CoverageFraction(size_t min_samples) const {
+  if (n_ < 2) return 1.0;
+  int64_t covered = 0;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      if (i != j && Link(i, j).count() >= min_samples) ++covered;
+    }
+  }
+  return static_cast<double>(covered) /
+         (static_cast<double>(n_) * static_cast<double>(n_ - 1));
+}
+
+const char* CostMetricName(CostMetric metric) {
+  switch (metric) {
+    case CostMetric::kMean:
+      return "Mean";
+    case CostMetric::kMeanPlusStdDev:
+      return "Mean+SD";
+    case CostMetric::kP99:
+      return "99%";
+  }
+  return "Unknown";
+}
+
+std::vector<std::vector<double>> BuildCostMatrix(const MeasurementResult& r,
+                                                 CostMetric metric,
+                                                 double fallback_ms) {
+  int n = r.num_instances();
+  std::vector<std::vector<double>> m(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const LinkSamples& link = r.Link(i, j);
+      if (link.count() == 0) {
+        m[static_cast<size_t>(i)][static_cast<size_t>(j)] = fallback_ms;
+        continue;
+      }
+      double v = 0.0;
+      switch (metric) {
+        case CostMetric::kMean:
+          v = link.mean();
+          break;
+        case CostMetric::kMeanPlusStdDev:
+          v = link.mean() + link.stddev();
+          break;
+        case CostMetric::kP99:
+          v = link.Percentile(99.0);
+          break;
+      }
+      m[static_cast<size_t>(i)][static_cast<size_t>(j)] = v;
+    }
+  }
+  return m;
+}
+
+}  // namespace cloudia::measure

@@ -1,0 +1,76 @@
+// Sample storage for pairwise RTT measurements plus the per-link estimate
+// queries the rest of ClouDiA consumes (mean / mean+SD / p99 matrices).
+#ifndef CLOUDIA_MEASURE_PROBE_ENGINE_H_
+#define CLOUDIA_MEASURE_PROBE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace cloudia::measure {
+
+/// Per-ordered-link accumulator: exact moments plus a bounded reservoir for
+/// percentile estimation.
+class LinkSamples {
+ public:
+  static constexpr size_t kReservoirCap = 128;
+
+  void Add(double rtt_ms, Rng& rng);
+
+  size_t count() const { return stats_.count(); }
+  double mean() const { return stats_.mean(); }
+  double stddev() const { return stats_.stddev(); }
+  /// Percentile from the reservoir (falls back to mean when empty).
+  double Percentile(double p) const;
+
+ private:
+  OnlineStats stats_;
+  std::vector<double> reservoir_;
+};
+
+/// All pairwise samples of one measurement run.
+class MeasurementResult {
+ public:
+  explicit MeasurementResult(int num_instances);
+
+  int num_instances() const { return n_; }
+  LinkSamples& Link(int i, int j);
+  const LinkSamples& Link(int i, int j) const;
+
+  /// Samples recorded over all links.
+  int64_t total_samples() const { return total_samples_; }
+  void NoteSample() { ++total_samples_; }
+
+  /// Virtual time the measurement occupied the instances (ms).
+  double virtual_time_ms = 0.0;
+
+  /// Links with at least `min_samples` samples, as a fraction of all ordered
+  /// pairs. Used to verify coverage.
+  double CoverageFraction(size_t min_samples) const;
+
+ private:
+  int n_;
+  std::vector<LinkSamples> links_;  // n*n, diagonal unused
+  int64_t total_samples_ = 0;
+};
+
+/// Communication-cost metrics of paper Sect. 3.2.
+enum class CostMetric {
+  kMean,            ///< mean latency (the paper's default, robust: Fig. 11)
+  kMeanPlusStdDev,  ///< mean + one standard deviation (jitter-sensitive apps)
+  kP99,             ///< 99th-percentile latency
+};
+
+const char* CostMetricName(CostMetric metric);
+
+/// Builds the cost matrix CL for the chosen metric; links that were never
+/// sampled get `fallback_ms` (callers should ensure coverage first).
+std::vector<std::vector<double>> BuildCostMatrix(const MeasurementResult& r,
+                                                 CostMetric metric,
+                                                 double fallback_ms = 1e6);
+
+}  // namespace cloudia::measure
+
+#endif  // CLOUDIA_MEASURE_PROBE_ENGINE_H_

@@ -1,0 +1,65 @@
+// The three pairwise-latency measurement protocols of paper Sect. 5, run
+// against the simulated cloud in virtual time:
+//
+//   Token passing  -- one probe in flight globally: interference-free but
+//                     serial, so coverage grows slowly.
+//   Uncoordinated  -- every instance probes a random destination in
+//                     parallel; busy destinations queue replies, inflating
+//                     measured RTTs (the cross-link correlation the paper
+//                     warns about; Fig. 4 shows its error).
+//   Staged         -- a coordinator forms floor(n/2) disjoint pairs per
+//                     stage, each measuring Ks consecutive RTTs: parallel
+//                     *and* interference-free (the paper's choice).
+#ifndef CLOUDIA_MEASURE_PROTOCOLS_H_
+#define CLOUDIA_MEASURE_PROTOCOLS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "measure/probe_engine.h"
+#include "netsim/cloud.h"
+
+namespace cloudia::measure {
+
+struct ProtocolOptions {
+  /// Probe message size (paper: 1 KB TCP round trips).
+  double msg_bytes = net::kDefaultProbeBytes;
+  /// Virtual measurement duration in seconds.
+  double duration_s = 300.0;
+  /// Staged only: consecutive RTTs per pair within one stage.
+  int ks = 10;
+  /// Hour-of-day at which measurement starts (drives mean drift).
+  double start_t_hours = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Runs the unique-token protocol. Fails on fewer than 2 instances.
+Result<MeasurementResult> RunTokenPassing(
+    const net::CloudSimulator& cloud,
+    const std::vector<net::Instance>& instances,
+    const ProtocolOptions& options);
+
+/// Runs the uncoordinated parallel protocol.
+Result<MeasurementResult> RunUncoordinated(
+    const net::CloudSimulator& cloud,
+    const std::vector<net::Instance>& instances,
+    const ProtocolOptions& options);
+
+/// Runs the staged protocol with a coordinator.
+Result<MeasurementResult> RunStaged(const net::CloudSimulator& cloud,
+                                    const std::vector<net::Instance>& instances,
+                                    const ProtocolOptions& options);
+
+enum class Protocol { kTokenPassing, kUncoordinated, kStaged };
+
+const char* ProtocolName(Protocol protocol);
+
+/// Dispatch helper.
+Result<MeasurementResult> RunProtocol(const net::CloudSimulator& cloud,
+                                      const std::vector<net::Instance>& instances,
+                                      Protocol protocol,
+                                      const ProtocolOptions& options);
+
+}  // namespace cloudia::measure
+
+#endif  // CLOUDIA_MEASURE_PROTOCOLS_H_

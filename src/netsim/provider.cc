@@ -1,0 +1,110 @@
+#include "netsim/provider.h"
+
+namespace cloudia::net {
+
+ProviderProfile AmazonEc2Profile() {
+  ProviderProfile p;
+  p.name = "amazon-ec2-m1.large-us-east";
+  p.topology = TopologyConfig{/*pods=*/4, /*racks_per_pod=*/24,
+                              /*hosts_per_rack=*/20, /*vm_slots_per_host=*/2};
+  p.base_rtt_ms[0] = 0.08;  // same host
+  p.base_rtt_ms[1] = 0.18;  // same rack
+  p.base_rtt_ms[2] = 0.31;  // same pod
+  p.base_rtt_ms[3] = 0.55;  // cross pod
+  p.pair_noise_sigma = 0.16;
+  p.rack_path_mult_lo = 0.80;
+  p.rack_path_mult_hi = 1.55;
+  p.hot_host_fraction = 0.10;
+  p.hot_host_extra_ms = 0.22;
+  p.vm_overhead_ms = 0.05;
+  p.asymmetry_ms = 0.012;
+  p.jitter_scale_lo_ms = 0.008;
+  p.jitter_scale_hi_ms = 0.045;
+  p.burst_frac_max = 0.03;
+  p.burst_magnitude_lo_ms = 0.8;
+  p.burst_magnitude_hi_ms = 12.0;
+  p.burst_window_s = 0.02;
+  p.drift_amplitude = 0.035;
+  p.bandwidth_gbps = 1.0;
+  p.per_message_overhead_ms = 0.012;
+  p.contention_penalty_ms = 0.55;
+  p.colocate_prob = 0.35;
+  p.allocation_racks = 12;
+  p.hop_count[0] = 0;
+  p.hop_count[1] = 1;
+  p.hop_count[2] = 3;
+  p.hop_count[3] = 5;
+  return p;
+}
+
+ProviderProfile GoogleComputeEngineProfile() {
+  ProviderProfile p;
+  p.name = "gce-n1-standard-1-us-central1-a";
+  p.topology = TopologyConfig{/*pods=*/4, /*racks_per_pod=*/32,
+                              /*hosts_per_rack=*/24, /*vm_slots_per_host=*/2};
+  p.base_rtt_ms[0] = 0.10;  // same host
+  p.base_rtt_ms[1] = 0.17;  // same rack
+  p.base_rtt_ms[2] = 0.28;  // same pod
+  p.base_rtt_ms[3] = 0.40;  // cross pod
+  p.pair_noise_sigma = 0.10;
+  p.rack_path_mult_lo = 0.90;
+  p.rack_path_mult_hi = 1.25;
+  p.hot_host_fraction = 0.06;
+  p.hot_host_extra_ms = 0.10;
+  p.vm_overhead_ms = 0.03;
+  p.asymmetry_ms = 0.008;
+  p.jitter_scale_lo_ms = 0.007;
+  p.jitter_scale_hi_ms = 0.035;
+  p.burst_frac_max = 0.02;
+  p.burst_magnitude_lo_ms = 0.6;
+  p.burst_magnitude_hi_ms = 8.0;
+  p.burst_window_s = 0.02;
+  p.drift_amplitude = 0.030;
+  p.bandwidth_gbps = 2.0;
+  p.per_message_overhead_ms = 0.010;
+  p.contention_penalty_ms = 0.40;
+  p.colocate_prob = 0.25;
+  p.allocation_racks = 10;
+  p.hop_count[0] = 0;
+  p.hop_count[1] = 1;
+  p.hop_count[2] = 3;
+  p.hop_count[3] = 5;
+  return p;
+}
+
+ProviderProfile RackspaceCloudProfile() {
+  ProviderProfile p;
+  p.name = "rackspace-performance1-1-iad";
+  p.topology = TopologyConfig{/*pods=*/3, /*racks_per_pod=*/20,
+                              /*hosts_per_rack=*/16, /*vm_slots_per_host=*/2};
+  p.base_rtt_ms[0] = 0.08;  // same host
+  p.base_rtt_ms[1] = 0.12;  // same rack
+  p.base_rtt_ms[2] = 0.19;  // same pod
+  p.base_rtt_ms[3] = 0.30;  // cross pod
+  p.pair_noise_sigma = 0.10;
+  p.rack_path_mult_lo = 0.88;
+  p.rack_path_mult_hi = 1.40;
+  p.hot_host_fraction = 0.05;
+  p.hot_host_extra_ms = 0.08;
+  p.vm_overhead_ms = 0.025;
+  p.asymmetry_ms = 0.006;
+  p.jitter_scale_lo_ms = 0.006;
+  p.jitter_scale_hi_ms = 0.03;
+  p.burst_frac_max = 0.015;
+  p.burst_magnitude_lo_ms = 0.5;
+  p.burst_magnitude_hi_ms = 6.0;
+  p.burst_window_s = 0.02;
+  p.drift_amplitude = 0.028;
+  p.bandwidth_gbps = 1.0;
+  p.per_message_overhead_ms = 0.010;
+  p.contention_penalty_ms = 0.35;
+  p.colocate_prob = 0.30;
+  p.allocation_racks = 8;
+  p.hop_count[0] = 0;
+  p.hop_count[1] = 1;
+  p.hop_count[2] = 3;
+  p.hop_count[3] = 5;
+  return p;
+}
+
+}  // namespace cloudia::net

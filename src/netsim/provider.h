@@ -1,0 +1,106 @@
+// Calibrated provider profiles. Each profile parameterizes the latency model
+// so that the simulated cloud reproduces the published distributions:
+//   - Amazon EC2 m1.large, US East (paper Figs. 1-2): mean pairwise RTT for
+//     1 KB TCP messages mostly in [0.25, 1.4] ms, ~10% of pairs above 0.7 ms,
+//     bottom ~10% below 0.4 ms; stable means over days.
+//   - Google Compute Engine n1-standard-1, us-central1-a (Fig. 18): ~5% of
+//     pairs below 0.32 ms, top 5% above 0.5 ms; narrower heterogeneity.
+//   - Rackspace Cloud Server performance 1-1, IAD (Fig. 20): ~5% below
+//     0.24 ms, top 5% above 0.38 ms.
+#ifndef CLOUDIA_NETSIM_PROVIDER_H_
+#define CLOUDIA_NETSIM_PROVIDER_H_
+
+#include <string>
+
+#include "netsim/topology.h"
+
+namespace cloudia::net {
+
+/// All knobs of the synthetic cloud. See latency_model.h for how each is used.
+struct ProviderProfile {
+  std::string name;
+  TopologyConfig topology;
+
+  // --- mean-latency structure -------------------------------------------
+  /// Base one-way-pair RTT (ms) per Proximity level, before noise.
+  double base_rtt_ms[kNumProximityLevels] = {0, 0, 0, 0};
+  /// Lognormal sigma of the per-(host-pair) multiplicative noise.
+  double pair_noise_sigma = 0.0;
+  /// Uniform range of the per-(rack-pair) path multiplier [lo, hi]; models
+  /// unequal inter-rack paths (oversubscription, cabling, switch load).
+  double rack_path_mult_lo = 1.0;
+  double rack_path_mult_hi = 1.0;
+  /// Fraction of hosts that are "hot" (noisy neighbors) and the max additive
+  /// penalty (ms) a hot host contributes to every RTT it participates in.
+  double hot_host_fraction = 0.0;
+  double hot_host_extra_ms = 0.0;
+  /// Max per-VM virtualization overhead (ms), additive per endpoint
+  /// (cf. Wang & Ng, INFOCOM'10 on EC2 virtualization latency effects).
+  double vm_overhead_ms = 0.0;
+  /// Directional asymmetry: each ordered pair gets +/- up to this (ms).
+  double asymmetry_ms = 0.0;
+
+  // --- jitter (per-sample) ----------------------------------------------
+  /// Per-link jitter scale (ms): drawn uniformly in [lo, hi] per link; a
+  /// sample's jitter is Exponential with this mean.
+  double jitter_scale_lo_ms = 0.0;
+  double jitter_scale_hi_ms = 0.0;
+
+  // --- latency bursts (temporally correlated spikes) ----------------------
+  // Cloud latency spikes are bursty, not i.i.d. per message: a congested
+  // link stays slow for a stretch of time (paper refs [56, 61, 72]). A link
+  // spends fraction `burst_frac_max * u^3` of its time (u uniform per link)
+  // in a burst state; all messages inside a burst window pay the link's
+  // burst magnitude. This gives some links 99th-percentile latencies of
+  // many ms (Fig. 10) while leaving long-run means nearly unchanged.
+  double burst_frac_max = 0.0;
+  /// Per-link burst magnitude (ms): lo + (hi - lo) * v^2, v uniform per
+  /// link, so most bursty links add ~1 ms and a few add the full maximum.
+  double burst_magnitude_lo_ms = 0.0;
+  double burst_magnitude_hi_ms = 0.0;
+  /// Burst window length (s): latencies within one window move together.
+  /// TCP-incast/congestion episodes last tens of milliseconds.
+  double burst_window_s = 0.02;
+
+  // --- slow drift of the mean (Figs. 2/19/21) ----------------------------
+  /// Relative amplitude of the slow sinusoidal drift of each link's mean.
+  double drift_amplitude = 0.0;
+  /// Periods (hours) of the two drift harmonics.
+  double drift_period1_h = 30.0;
+  double drift_period2_h = 7.0;
+
+  // --- serialization -----------------------------------------------------
+  double bandwidth_gbps = 1.0;
+  /// Fixed per-message processing cost at each endpoint (ms); also the
+  /// occupancy cost used by the interference model in measure/.
+  double per_message_overhead_ms = 0.01;
+  /// Extra handling delay (Exponential mean, ms) paid when a message finds
+  /// its endpoint busy: VM scheduling under concurrent flows (Wang & Ng,
+  /// INFOCOM'10, the paper's [61]). Drives the uncoordinated protocol's
+  /// inaccuracy in Fig. 4; token passing and staged never trigger it.
+  double contention_penalty_ms = 0.0;
+
+  // --- allocation behavior ----------------------------------------------
+  /// Probability the provider co-locates a new VM onto a host that already
+  /// runs one of the tenant's VMs (when slots remain).
+  double colocate_prob = 0.0;
+  /// Number of racks the tenant's allocation is spread over (draws that many
+  /// distinct racks in one pod, then fills hosts inside them).
+  int allocation_racks = 12;
+
+  // --- discrete metadata --------------------------------------------------
+  /// Hop count per Proximity level, as seen by TTL probing. EC2's observed
+  /// values were {0, 1, 3} within an availability zone (paper Fig. 17).
+  int hop_count[kNumProximityLevels] = {0, 1, 3, 5};
+};
+
+/// Amazon EC2 m1.large / US East profile (paper Sect. 6.2, Figs. 1-2).
+ProviderProfile AmazonEc2Profile();
+/// Google Compute Engine n1-standard-1 / us-central1-a (Appendix 3, Fig. 18).
+ProviderProfile GoogleComputeEngineProfile();
+/// Rackspace Cloud Server performance 1-1 / IAD (Appendix 3, Fig. 20).
+ProviderProfile RackspaceCloudProfile();
+
+}  // namespace cloudia::net
+
+#endif  // CLOUDIA_NETSIM_PROVIDER_H_

@@ -1,0 +1,57 @@
+#include "netsim/topology.h"
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace cloudia::net {
+
+const char* ProximityName(Proximity p) {
+  switch (p) {
+    case Proximity::kSameHost:
+      return "SameHost";
+    case Proximity::kSameRack:
+      return "SameRack";
+    case Proximity::kSamePod:
+      return "SamePod";
+    case Proximity::kCrossPod:
+      return "CrossPod";
+  }
+  return "Unknown";
+}
+
+Topology::Topology(const TopologyConfig& config) : config_(config) {
+  CLOUDIA_CHECK(config.pods >= 1);
+  CLOUDIA_CHECK(config.racks_per_pod >= 1);
+  CLOUDIA_CHECK(config.hosts_per_rack >= 1);
+  CLOUDIA_CHECK(config.vm_slots_per_host >= 1);
+  num_hosts_ = config.pods * config.racks_per_pod * config.hosts_per_rack;
+}
+
+int Topology::RackOf(int host) const {
+  CLOUDIA_DCHECK(host >= 0 && host < num_hosts_);
+  return host / config_.hosts_per_rack;
+}
+
+int Topology::PodOf(int host) const {
+  return RackOf(host) / config_.racks_per_pod;
+}
+
+int Topology::FirstHostOfRack(int rack) const {
+  CLOUDIA_DCHECK(rack >= 0 && rack < num_racks());
+  return rack * config_.hosts_per_rack;
+}
+
+Proximity Topology::Classify(int host_a, int host_b) const {
+  if (host_a == host_b) return Proximity::kSameHost;
+  if (RackOf(host_a) == RackOf(host_b)) return Proximity::kSameRack;
+  if (PodOf(host_a) == PodOf(host_b)) return Proximity::kSamePod;
+  return Proximity::kCrossPod;
+}
+
+std::string Topology::ToString() const {
+  return StrFormat("Topology(pods=%d, racks/pod=%d, hosts/rack=%d, hosts=%d)",
+                   config_.pods, config_.racks_per_pod, config_.hosts_per_rack,
+                   num_hosts_);
+}
+
+}  // namespace cloudia::net

@@ -1,0 +1,63 @@
+// Physical datacenter topology for the cloud simulator: a classic three-tier
+// tree (hosts -> rack/ToR -> aggregation pod -> core), the structure the paper
+// cites as typical of current clouds (Sect. 3.1, [11] Benson et al.).
+//
+// ClouDiA itself never sees this topology -- public clouds do not expose it
+// (paper Sect. 1). It exists only so the simulator can generate realistic,
+// heterogeneous pairwise latencies and hop counts.
+#ifndef CLOUDIA_NETSIM_TOPOLOGY_H_
+#define CLOUDIA_NETSIM_TOPOLOGY_H_
+
+#include <string>
+
+namespace cloudia::net {
+
+/// Sizing of the simulated datacenter tree.
+struct TopologyConfig {
+  int pods = 4;            ///< aggregation pods under the core
+  int racks_per_pod = 24;  ///< ToR switches per pod
+  int hosts_per_rack = 20; ///< physical machines per rack
+  int vm_slots_per_host = 2;  ///< VM capacity per host (m1.large-like)
+};
+
+/// How close two hosts are in the tree; index into per-level parameters.
+enum class Proximity : int {
+  kSameHost = 0,  ///< both VMs on one physical machine
+  kSameRack = 1,  ///< distinct hosts under one ToR
+  kSamePod = 2,   ///< distinct racks under one aggregation pod
+  kCrossPod = 3,  ///< traffic traverses the core
+};
+
+constexpr int kNumProximityLevels = 4;
+
+/// Returns "SameHost", "SameRack", ...
+const char* ProximityName(Proximity p);
+
+/// Maps global host ids to rack/pod coordinates and classifies host pairs.
+class Topology {
+ public:
+  explicit Topology(const TopologyConfig& config);
+
+  const TopologyConfig& config() const { return config_; }
+  int num_hosts() const { return num_hosts_; }
+  int num_racks() const { return config_.pods * config_.racks_per_pod; }
+
+  /// Global rack id of `host` in [0, num_racks()).
+  int RackOf(int host) const;
+  /// Pod id of `host` in [0, pods).
+  int PodOf(int host) const;
+  /// First host id in global `rack`.
+  int FirstHostOfRack(int rack) const;
+
+  Proximity Classify(int host_a, int host_b) const;
+
+  std::string ToString() const;
+
+ private:
+  TopologyConfig config_;
+  int num_hosts_;
+};
+
+}  // namespace cloudia::net
+
+#endif  // CLOUDIA_NETSIM_TOPOLOGY_H_

@@ -1,0 +1,220 @@
+#include "solver/cp/alldifferent.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cloudia::cp {
+
+AllDifferent::AllDifferent(int num_vars, int num_values)
+    : num_vars_(num_vars),
+      num_values_(num_values),
+      var_match_(static_cast<size_t>(num_vars), -1),
+      value_match_(static_cast<size_t>(num_values), -1),
+      visited_(static_cast<size_t>(num_values), -1) {
+  CLOUDIA_CHECK(num_vars >= 0 && num_values >= 0);
+}
+
+bool AllDifferent::TryAugment(int x, const std::vector<BitSet>& domains) {
+  const BitSet& dom = domains[static_cast<size_t>(x)];
+  for (int v = dom.First(); v >= 0; v = dom.Next(v)) {
+    if (visited_[static_cast<size_t>(v)] == stamp_) continue;
+    visited_[static_cast<size_t>(v)] = stamp_;
+    int owner = value_match_[static_cast<size_t>(v)];
+    if (owner == -1 || TryAugment(owner, domains)) {
+      var_match_[static_cast<size_t>(x)] = v;
+      value_match_[static_cast<size_t>(v)] = x;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AllDifferent::FindMatching(const std::vector<BitSet>& domains) {
+  // Repair phase: drop matches whose value left the domain.
+  for (int x = 0; x < num_vars_; ++x) {
+    int v = var_match_[static_cast<size_t>(x)];
+    if (v != -1 && !domains[static_cast<size_t>(x)].Contains(v)) {
+      var_match_[static_cast<size_t>(x)] = -1;
+      value_match_[static_cast<size_t>(v)] = -1;
+    }
+  }
+  // Re-match unmatched variables via augmenting paths.
+  for (int x = 0; x < num_vars_; ++x) {
+    if (var_match_[static_cast<size_t>(x)] != -1) continue;
+    ++stamp_;
+    if (!TryAugment(x, domains)) return false;
+  }
+  return true;
+}
+
+void AllDifferent::TarjanIterative(const std::vector<BitSet>& domains) {
+  // Residual digraph: var x -> matched value m(x); value v -> var y for every
+  // v in dom(y), v != m(y). Directed cycles == alternating cycles.
+  const int n = num_vars_ + num_values_;
+  disc_.assign(static_cast<size_t>(n), -1);
+  low_.assign(static_cast<size_t>(n), 0);
+  scc_id_.assign(static_cast<size_t>(n), -1);
+  on_stack_.assign(static_cast<size_t>(n), false);
+  stack_.clear();
+  scc_count_ = 0;
+  timer_ = 0;
+
+  // Precompute in-var lists per value? Iterating value->var edges needs, for
+  // value v, all vars y with v in dom(y). Build a reverse index once per call.
+  std::vector<std::vector<int>> value_vars(static_cast<size_t>(num_values_));
+  for (int y = 0; y < num_vars_; ++y) {
+    const BitSet& dom = domains[static_cast<size_t>(y)];
+    for (int v = dom.First(); v >= 0; v = dom.Next(v)) {
+      if (v != var_match_[static_cast<size_t>(y)]) {
+        value_vars[static_cast<size_t>(v)].push_back(y);
+      }
+    }
+  }
+
+  // Iterative Tarjan with an explicit frame stack.
+  struct Frame {
+    int node;
+    size_t edge;  // next out-edge index to explore
+  };
+  std::vector<Frame> frames;
+  auto out_degree = [&](int node) -> size_t {
+    if (node < num_vars_) {
+      return var_match_[static_cast<size_t>(node)] == -1 ? 0 : 1;
+    }
+    return value_vars[static_cast<size_t>(node - num_vars_)].size();
+  };
+  auto out_edge = [&](int node, size_t i) -> int {
+    if (node < num_vars_) {
+      return num_vars_ + var_match_[static_cast<size_t>(node)];
+    }
+    return value_vars[static_cast<size_t>(node - num_vars_)][i];
+  };
+
+  for (int root = 0; root < n; ++root) {
+    if (disc_[static_cast<size_t>(root)] != -1) continue;
+    frames.push_back({root, 0});
+    disc_[static_cast<size_t>(root)] = low_[static_cast<size_t>(root)] = timer_++;
+    stack_.push_back(root);
+    on_stack_[static_cast<size_t>(root)] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < out_degree(f.node)) {
+        int next = out_edge(f.node, f.edge++);
+        if (disc_[static_cast<size_t>(next)] == -1) {
+          disc_[static_cast<size_t>(next)] = low_[static_cast<size_t>(next)] =
+              timer_++;
+          stack_.push_back(next);
+          on_stack_[static_cast<size_t>(next)] = true;
+          frames.push_back({next, 0});
+        } else if (on_stack_[static_cast<size_t>(next)]) {
+          low_[static_cast<size_t>(f.node)] = std::min(
+              low_[static_cast<size_t>(f.node)],
+              disc_[static_cast<size_t>(next)]);
+        }
+      } else {
+        if (low_[static_cast<size_t>(f.node)] ==
+            disc_[static_cast<size_t>(f.node)]) {
+          while (true) {
+            int w = stack_.back();
+            stack_.pop_back();
+            on_stack_[static_cast<size_t>(w)] = false;
+            scc_id_[static_cast<size_t>(w)] = scc_count_;
+            if (w == f.node) break;
+          }
+          ++scc_count_;
+        }
+        int done = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low_[static_cast<size_t>(frames.back().node)] =
+              std::min(low_[static_cast<size_t>(frames.back().node)],
+                       low_[static_cast<size_t>(done)]);
+        }
+      }
+    }
+  }
+}
+
+void AllDifferent::MarkReachableFromFreeValues(
+    const std::vector<BitSet>& domains) {
+  const int n = num_vars_ + num_values_;
+  reach_.assign(static_cast<size_t>(n), false);
+  // Reverse index value -> vars once more (cheap relative to SCC step).
+  std::vector<std::vector<int>> value_vars(static_cast<size_t>(num_values_));
+  for (int y = 0; y < num_vars_; ++y) {
+    const BitSet& dom = domains[static_cast<size_t>(y)];
+    for (int v = dom.First(); v >= 0; v = dom.Next(v)) {
+      if (v != var_match_[static_cast<size_t>(y)]) {
+        value_vars[static_cast<size_t>(v)].push_back(y);
+      }
+    }
+  }
+  std::vector<int> queue;
+  for (int v = 0; v < num_values_; ++v) {
+    if (value_match_[static_cast<size_t>(v)] == -1) {
+      int node = num_vars_ + v;
+      if (!reach_[static_cast<size_t>(node)]) {
+        reach_[static_cast<size_t>(node)] = true;
+        queue.push_back(node);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    int node = queue.back();
+    queue.pop_back();
+    if (node < num_vars_) {
+      int mv = var_match_[static_cast<size_t>(node)];
+      if (mv != -1) {
+        int next = num_vars_ + mv;
+        if (!reach_[static_cast<size_t>(next)]) {
+          reach_[static_cast<size_t>(next)] = true;
+          queue.push_back(next);
+        }
+      }
+    } else {
+      for (int y : value_vars[static_cast<size_t>(node - num_vars_)]) {
+        if (!reach_[static_cast<size_t>(y)]) {
+          reach_[static_cast<size_t>(y)] = true;
+          queue.push_back(y);
+        }
+      }
+    }
+  }
+}
+
+bool AllDifferent::Propagate(std::vector<BitSet>& domains,
+                             std::vector<int>* touched) {
+  CLOUDIA_DCHECK(static_cast<int>(domains.size()) == num_vars_);
+  for (int x = 0; x < num_vars_; ++x) {
+    if (domains[static_cast<size_t>(x)].Empty()) return false;
+  }
+  if (!FindMatching(domains)) return false;
+  TarjanIterative(domains);
+  MarkReachableFromFreeValues(domains);
+
+  for (int x = 0; x < num_vars_; ++x) {
+    BitSet& dom = domains[static_cast<size_t>(x)];
+    bool shrank = false;
+    int v = dom.First();
+    while (v >= 0) {
+      int next = dom.Next(v);
+      if (v != var_match_[static_cast<size_t>(x)]) {
+        int value_node = num_vars_ + v;
+        bool in_cycle = scc_id_[static_cast<size_t>(x)] ==
+                        scc_id_[static_cast<size_t>(value_node)];
+        bool on_path = reach_[static_cast<size_t>(value_node)];
+        if (!in_cycle && !on_path) {
+          dom.Remove(v);
+          shrank = true;
+        }
+      }
+      v = next;
+    }
+    if (shrank && touched != nullptr) touched->push_back(x);
+    CLOUDIA_DCHECK(!dom.Empty());  // matched value always survives
+  }
+  return true;
+}
+
+}  // namespace cloudia::cp

@@ -1,0 +1,52 @@
+// GAC alldifferent propagator (Régin, AAAI'94): keeps exactly the
+// variable/value pairs that participate in some maximum matching of the
+// variable-value bipartite graph. Implemented with Kuhn augmenting paths
+// (warm-started from the previous matching) plus Tarjan SCC and reachability
+// from free values on the residual digraph.
+#ifndef CLOUDIA_SOLVER_CP_ALLDIFFERENT_H_
+#define CLOUDIA_SOLVER_CP_ALLDIFFERENT_H_
+
+#include <vector>
+
+#include "solver/cp/domain.h"
+
+namespace cloudia::cp {
+
+/// Stateful propagator over `num_vars` variables sharing a `num_values`
+/// universe. Not thread-safe; scratch buffers are reused across calls.
+class AllDifferent {
+ public:
+  AllDifferent(int num_vars, int num_values);
+
+  /// Prunes `domains` to GAC. Returns false on wipe-out (no perfect matching
+  /// of variables to values). Appends every variable whose domain shrank to
+  /// `touched` (may contain duplicates).
+  bool Propagate(std::vector<BitSet>& domains, std::vector<int>* touched);
+
+  /// The matching found by the last successful Propagate: var -> value.
+  const std::vector<int>& matching() const { return var_match_; }
+
+ private:
+  bool FindMatching(const std::vector<BitSet>& domains);
+  bool TryAugment(int x, const std::vector<BitSet>& domains);
+
+  int num_vars_;
+  int num_values_;
+  std::vector<int> var_match_;    // var -> value or -1
+  std::vector<int> value_match_;  // value -> var or -1
+  std::vector<int> visited_;      // Kuhn visit stamps per value
+  int stamp_ = 0;
+
+  // Tarjan scratch over nodes [0, num_vars) = vars, [num_vars, ...) = values.
+  std::vector<int> scc_id_, low_, disc_, stack_;
+  std::vector<bool> on_stack_;
+  int scc_count_ = 0, timer_ = 0;
+  std::vector<bool> reach_;  // reachable from a free value (node marks)
+
+  void TarjanIterative(const std::vector<BitSet>& domains);
+  void MarkReachableFromFreeValues(const std::vector<BitSet>& domains);
+};
+
+}  // namespace cloudia::cp
+
+#endif  // CLOUDIA_SOLVER_CP_ALLDIFFERENT_H_

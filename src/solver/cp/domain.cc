@@ -1,0 +1,139 @@
+#include "solver/cp/domain.h"
+
+#include <bit>
+
+namespace cloudia::cp {
+
+namespace {
+constexpr int kWordBits = 64;
+inline size_t NumWords(int universe) {
+  return static_cast<size_t>((universe + kWordBits - 1) / kWordBits);
+}
+}  // namespace
+
+BitSet::BitSet(int universe, bool full) : universe_(universe) {
+  CLOUDIA_CHECK(universe >= 0);
+  words_.assign(NumWords(universe), 0);
+  if (full && universe > 0) {
+    for (auto& w : words_) w = ~0ULL;
+    int spare = static_cast<int>(words_.size()) * kWordBits - universe;
+    if (spare > 0) words_.back() >>= spare;
+  }
+}
+
+bool BitSet::Empty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+int BitSet::Count() const {
+  int c = 0;
+  for (uint64_t w : words_) c += std::popcount(w);
+  return c;
+}
+
+bool BitSet::Contains(int v) const {
+  CLOUDIA_DCHECK(v >= 0 && v < universe_);
+  return (words_[static_cast<size_t>(v / kWordBits)] >> (v % kWordBits)) & 1;
+}
+
+bool BitSet::Remove(int v) {
+  CLOUDIA_DCHECK(v >= 0 && v < universe_);
+  uint64_t& w = words_[static_cast<size_t>(v / kWordBits)];
+  uint64_t mask = 1ULL << (v % kWordBits);
+  bool present = w & mask;
+  w &= ~mask;
+  return present;
+}
+
+void BitSet::Insert(int v) {
+  CLOUDIA_DCHECK(v >= 0 && v < universe_);
+  words_[static_cast<size_t>(v / kWordBits)] |= 1ULL << (v % kWordBits);
+}
+
+void BitSet::AssignTo(int v) {
+  Clear();
+  Insert(v);
+}
+
+void BitSet::Clear() {
+  for (auto& w : words_) w = 0;
+}
+
+bool BitSet::IntersectWith(const BitSet& other) {
+  CLOUDIA_DCHECK(other.universe_ == universe_);
+  bool changed = false;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t before = words_[i];
+    words_[i] &= other.words_[i];
+    changed |= (words_[i] != before);
+  }
+  return changed;
+}
+
+bool BitSet::Intersects(const BitSet& other) const {
+  CLOUDIA_DCHECK(other.universe_ == universe_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+int BitSet::First() const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i]) {
+      return static_cast<int>(i) * kWordBits + std::countr_zero(words_[i]);
+    }
+  }
+  return -1;
+}
+
+int BitSet::Next(int v) const {
+  ++v;
+  if (v >= universe_) return -1;
+  size_t i = static_cast<size_t>(v / kWordBits);
+  uint64_t w = words_[i] >> (v % kWordBits);
+  if (w) return v + std::countr_zero(w);
+  for (++i; i < words_.size(); ++i) {
+    if (words_[i]) {
+      return static_cast<int>(i) * kWordBits + std::countr_zero(words_[i]);
+    }
+  }
+  return -1;
+}
+
+BitMatrix::BitMatrix(int rows, int cols) : rows_(rows), cols_(cols) {
+  CLOUDIA_CHECK(rows >= 0 && cols >= 0);
+  data_.assign(static_cast<size_t>(rows), BitSet(cols));
+}
+
+void BitMatrix::Set(int r, int c) {
+  CLOUDIA_DCHECK(r >= 0 && r < rows_);
+  data_[static_cast<size_t>(r)].Insert(c);
+}
+
+bool BitMatrix::Get(int r, int c) const {
+  CLOUDIA_DCHECK(r >= 0 && r < rows_);
+  return data_[static_cast<size_t>(r)].Contains(c);
+}
+
+const BitSet& BitMatrix::Row(int r) const {
+  CLOUDIA_DCHECK(r >= 0 && r < rows_);
+  return data_[static_cast<size_t>(r)];
+}
+
+int BitMatrix::RowCount(int r) const { return Row(r).Count(); }
+
+BitMatrix BitMatrix::Transposed() const {
+  BitMatrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = Row(r).First(); c >= 0; c = Row(r).Next(c)) {
+      t.Set(c, r);
+    }
+  }
+  return t;
+}
+
+}  // namespace cloudia::cp

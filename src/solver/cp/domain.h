@@ -1,0 +1,77 @@
+// Bitset value domains for the constraint-programming engine. A variable's
+// domain is a BitSet over the value universe [0, universe); constraint
+// compatibility tables are BitMatrix (one BitSet row per value).
+#ifndef CLOUDIA_SOLVER_CP_DOMAIN_H_
+#define CLOUDIA_SOLVER_CP_DOMAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cloudia::cp {
+
+/// Fixed-universe dynamic bitset with the operations propagation needs.
+class BitSet {
+ public:
+  BitSet() = default;
+  /// Universe [0, universe); starts full or empty.
+  explicit BitSet(int universe, bool full = false);
+
+  int universe() const { return universe_; }
+  bool Empty() const;
+  /// Number of values present. O(words).
+  int Count() const;
+
+  bool Contains(int v) const;
+  /// Removes `v`; returns true iff it was present.
+  bool Remove(int v);
+  void Insert(int v);
+  /// Collapses the domain to the singleton {v}; v need not be present before.
+  void AssignTo(int v);
+  void Clear();
+
+  /// Intersects with `other` (same universe); returns true iff changed.
+  bool IntersectWith(const BitSet& other);
+  /// True iff the intersection with `other` is non-empty.
+  bool Intersects(const BitSet& other) const;
+
+  /// Smallest value present, or -1 if empty.
+  int First() const;
+  /// Smallest value greater than `v`, or -1. Iterate:
+  ///   for (int v = s.First(); v >= 0; v = s.Next(v))
+  int Next(int v) const;
+
+  bool operator==(const BitSet& other) const = default;
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  int universe_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Dense boolean matrix with BitSet rows; shared, read-only during search.
+class BitMatrix {
+ public:
+  BitMatrix(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  void Set(int r, int c);
+  bool Get(int r, int c) const;
+  const BitSet& Row(int r) const;
+  /// Number of set bits in row r (out-degree in adjacency use).
+  int RowCount(int r) const;
+
+  BitMatrix Transposed() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<BitSet> data_;
+};
+
+}  // namespace cloudia::cp
+
+#endif  // CLOUDIA_SOLVER_CP_DOMAIN_H_

@@ -1,0 +1,43 @@
+#include "solver/cp/edge_compat.h"
+
+#include "common/check.h"
+
+namespace cloudia::cp {
+
+EdgeCompat::EdgeCompat(int x, int y, const BitMatrix* allowed,
+                       const BitMatrix* allowed_t)
+    : x_(x), y_(y), allowed_(allowed), allowed_t_(allowed_t) {
+  CLOUDIA_CHECK(allowed != nullptr && allowed_t != nullptr);
+  CLOUDIA_CHECK(x != y);
+}
+
+int EdgeCompat::Revise(BitSet& dom_a, const BitSet& dom_b,
+                       const BitMatrix& rows) {
+  bool shrank = false;
+  int j = dom_a.First();
+  while (j >= 0) {
+    int next = dom_a.Next(j);
+    if (!rows.Row(j).Intersects(dom_b)) {
+      dom_a.Remove(j);
+      shrank = true;
+    }
+    j = next;
+  }
+  if (dom_a.Empty()) return -1;
+  return shrank ? 1 : 0;
+}
+
+bool EdgeCompat::Propagate(std::vector<BitSet>& domains,
+                           std::vector<int>* touched) const {
+  BitSet& dx = domains[static_cast<size_t>(x_)];
+  BitSet& dy = domains[static_cast<size_t>(y_)];
+  int rx = Revise(dx, dy, *allowed_);
+  if (rx < 0) return false;
+  if (rx > 0 && touched != nullptr) touched->push_back(x_);
+  int ry = Revise(dy, dx, *allowed_t_);
+  if (ry < 0) return false;
+  if (ry > 0 && touched != nullptr) touched->push_back(y_);
+  return true;
+}
+
+}  // namespace cloudia::cp

@@ -1,0 +1,41 @@
+// Binary table constraint over a shared compatibility matrix: the pair of
+// variables (x, y) must take values (j, j') with allowed.Get(j, j') true.
+// All LLNDP edge constraints share one thresholded cost matrix (paper
+// Sect. 4.2), which is why the table is stored once and referenced.
+#ifndef CLOUDIA_SOLVER_CP_EDGE_COMPAT_H_
+#define CLOUDIA_SOLVER_CP_EDGE_COMPAT_H_
+
+#include <vector>
+
+#include "solver/cp/domain.h"
+
+namespace cloudia::cp {
+
+/// Arc-consistency propagator for one (x, y) pair against a shared table.
+/// `allowed` is indexed [value_of_x][value_of_y]; `allowed_t` is its
+/// transpose. Both must outlive the constraint.
+class EdgeCompat {
+ public:
+  EdgeCompat(int x, int y, const BitMatrix* allowed, const BitMatrix* allowed_t);
+
+  int x() const { return x_; }
+  int y() const { return y_; }
+
+  /// Revises both directions to arc consistency. Returns false on wipe-out.
+  /// Appends shrunk variables to `touched`.
+  bool Propagate(std::vector<BitSet>& domains, std::vector<int>* touched) const;
+
+ private:
+  // Keeps in dom(a) only values with a supporting value in dom(b).
+  // `rows` is the a-indexed table. Returns -1 on wipeout, 1 on shrink, 0 noop.
+  static int Revise(BitSet& dom_a, const BitSet& dom_b, const BitMatrix& rows);
+
+  int x_;
+  int y_;
+  const BitMatrix* allowed_;
+  const BitMatrix* allowed_t_;
+};
+
+}  // namespace cloudia::cp
+
+#endif  // CLOUDIA_SOLVER_CP_EDGE_COMPAT_H_

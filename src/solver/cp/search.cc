@@ -1,0 +1,185 @@
+#include "solver/cp/search.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cloudia::cp {
+
+Csp::Csp(int num_vars, int num_values)
+    : num_vars_(num_vars),
+      num_values_(num_values),
+      root_domains_(static_cast<size_t>(num_vars), BitSet(num_values, true)),
+      tables_of_var_(static_cast<size_t>(num_vars)),
+      degree_(static_cast<size_t>(num_vars), 0),
+      hint_(static_cast<size_t>(num_vars), -1) {
+  CLOUDIA_CHECK(num_vars >= 0 && num_values >= 0);
+}
+
+BitSet& Csp::MutableDomain(int x) {
+  CLOUDIA_DCHECK(x >= 0 && x < num_vars_);
+  return root_domains_[static_cast<size_t>(x)];
+}
+
+const BitSet& Csp::Domain(int x) const {
+  CLOUDIA_DCHECK(x >= 0 && x < num_vars_);
+  return root_domains_[static_cast<size_t>(x)];
+}
+
+void Csp::AddAllDifferent() {
+  use_alldifferent_ = true;
+  alldiff_ = std::make_unique<AllDifferent>(num_vars_, num_values_);
+}
+
+void Csp::AddBinaryTable(int x, int y, const BitMatrix* allowed,
+                         const BitMatrix* allowed_t) {
+  CLOUDIA_CHECK(x >= 0 && x < num_vars_ && y >= 0 && y < num_vars_);
+  int id = static_cast<int>(tables_.size());
+  tables_.emplace_back(x, y, allowed, allowed_t);
+  tables_of_var_[static_cast<size_t>(x)].push_back(id);
+  tables_of_var_[static_cast<size_t>(y)].push_back(id);
+  ++degree_[static_cast<size_t>(x)];
+  ++degree_[static_cast<size_t>(y)];
+}
+
+void Csp::SetValueHint(int x, int v) {
+  CLOUDIA_DCHECK(x >= 0 && x < num_vars_);
+  hint_[static_cast<size_t>(x)] = v;
+}
+
+bool Csp::PropagateFixpoint(std::vector<BitSet>& domains, SearchStats* stats) {
+  // Variable-driven worklist: revise only constraints touching shrunk vars,
+  // then run the global alldifferent until a full quiet round.
+  std::vector<int> touched;
+  std::vector<bool> queued(static_cast<size_t>(tables_.size()), true);
+  std::vector<int> queue(tables_.size());
+  for (size_t i = 0; i < tables_.size(); ++i) queue[i] = static_cast<int>(i);
+
+  while (true) {
+    while (!queue.empty()) {
+      int id = queue.back();
+      queue.pop_back();
+      queued[static_cast<size_t>(id)] = false;
+      touched.clear();
+      if (stats != nullptr) ++stats->propagations;
+      if (!tables_[static_cast<size_t>(id)].Propagate(domains, &touched)) {
+        return false;
+      }
+      for (int x : touched) {
+        for (int other : tables_of_var_[static_cast<size_t>(x)]) {
+          if (other != id && !queued[static_cast<size_t>(other)]) {
+            queued[static_cast<size_t>(other)] = true;
+            queue.push_back(other);
+          }
+        }
+      }
+    }
+    if (!use_alldifferent_) return true;
+    touched.clear();
+    if (stats != nullptr) ++stats->propagations;
+    if (!alldiff_->Propagate(domains, &touched)) return false;
+    if (touched.empty()) return true;
+    for (int x : touched) {
+      for (int id : tables_of_var_[static_cast<size_t>(x)]) {
+        if (!queued[static_cast<size_t>(id)]) {
+          queued[static_cast<size_t>(id)] = true;
+          queue.push_back(id);
+        }
+      }
+    }
+    if (queue.empty()) return true;  // alldiff shrank isolated vars only
+  }
+}
+
+int Csp::PickVariable(const std::vector<BitSet>& domains) const {
+  int best = -1;
+  int best_size = 0;
+  int best_degree = -1;
+  for (int x = 0; x < num_vars_; ++x) {
+    int size = domains[static_cast<size_t>(x)].Count();
+    if (size <= 1) continue;
+    int deg = degree_[static_cast<size_t>(x)];
+    if (best == -1 || size < best_size ||
+        (size == best_size && deg > best_degree)) {
+      best = x;
+      best_size = size;
+      best_degree = deg;
+    }
+  }
+  return best;
+}
+
+bool Csp::Dfs(std::vector<BitSet>& domains, const SearchLimits& limits,
+              SearchStats* stats,
+              const std::function<bool(const std::vector<int>&)>& on_solution) {
+  if ((limits.max_nodes >= 0 && stats->nodes >= limits.max_nodes) ||
+      limits.deadline.Expired()) {
+    stats->limit_hit = true;
+    return true;
+  }
+  ++stats->nodes;
+  if (!PropagateFixpoint(domains, stats)) {
+    ++stats->fails;
+    return false;
+  }
+  int x = PickVariable(domains);
+  if (x == -1) {
+    std::vector<int> assignment(static_cast<size_t>(num_vars_));
+    for (int i = 0; i < num_vars_; ++i) {
+      assignment[static_cast<size_t>(i)] =
+          domains[static_cast<size_t>(i)].First();
+    }
+    return on_solution(assignment);
+  }
+
+  const BitSet& dom = domains[static_cast<size_t>(x)];
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(dom.Count()));
+  int hint = hint_[static_cast<size_t>(x)];
+  if (hint >= 0 && dom.Contains(hint)) order.push_back(hint);
+  for (int v = dom.First(); v >= 0; v = dom.Next(v)) {
+    if (v != hint) order.push_back(v);
+  }
+
+  std::vector<BitSet> child;
+  for (int v : order) {
+    child = domains;
+    child[static_cast<size_t>(x)].AssignTo(v);
+    if (Dfs(child, limits, stats, on_solution)) return true;
+  }
+  return false;
+}
+
+Result<std::vector<int>> Csp::SolveFirst(const SearchLimits& limits,
+                                         SearchStats* stats) {
+  SearchStats local;
+  if (stats == nullptr) stats = &local;
+  std::vector<int> solution;
+  bool found = false;
+  std::vector<BitSet> domains = root_domains_;
+  bool stopped = Dfs(domains, limits, stats,
+                     [&solution, &found](const std::vector<int>& assignment) {
+                       solution = assignment;
+                       found = true;
+                       return true;
+                     });
+  if (found) return solution;
+  if (stopped && stats->limit_hit) {
+    return Status::Timeout("CP search hit its limit before finding a solution");
+  }
+  return Status::Infeasible("CSP has no solution");
+}
+
+int64_t Csp::CountSolutions(const SearchLimits& limits, SearchStats* stats) {
+  SearchStats local;
+  if (stats == nullptr) stats = &local;
+  int64_t count = 0;
+  std::vector<BitSet> domains = root_domains_;
+  Dfs(domains, limits, stats, [&count](const std::vector<int>&) {
+    ++count;
+    return false;  // keep searching
+  });
+  return count;
+}
+
+}  // namespace cloudia::cp

@@ -1,0 +1,99 @@
+// The CP model + depth-first search engine: injective assignment of variables
+// to values under alldifferent plus binary table constraints. This is the
+// satisfaction core the LLNDP threshold-descent solver calls once per cost
+// threshold (paper Sect. 4.2).
+//
+// Search: fail-first variable ordering (min domain, tie-break max constraint
+// degree), optional per-variable value hints tried first (used to warm-start
+// an iteration from the previous deployment), full copy of domains per depth
+// (domains are a few hundred bytes; copying beats trailing at this scale).
+#ifndef CLOUDIA_SOLVER_CP_SEARCH_H_
+#define CLOUDIA_SOLVER_CP_SEARCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "solver/cp/alldifferent.h"
+#include "solver/cp/domain.h"
+#include "solver/cp/edge_compat.h"
+
+namespace cloudia::cp {
+
+/// Limits for one Solve call.
+struct SearchLimits {
+  Deadline deadline = Deadline::Infinite();
+  /// Stop after this many search nodes (-1 = unlimited).
+  int64_t max_nodes = -1;
+};
+
+/// Counters for introspection and the solver micro-benchmarks.
+struct SearchStats {
+  int64_t nodes = 0;
+  int64_t fails = 0;
+  int64_t propagations = 0;
+  bool limit_hit = false;
+};
+
+/// A constraint satisfaction problem over `num_vars` integer variables with
+/// domains in [0, num_values).
+class Csp {
+ public:
+  Csp(int num_vars, int num_values);
+
+  int num_vars() const { return num_vars_; }
+  int num_values() const { return num_values_; }
+
+  /// Pre-search domain editing (e.g. compatibility-label filtering).
+  BitSet& MutableDomain(int x);
+  const BitSet& Domain(int x) const;
+
+  /// Constrains all variables to take pairwise distinct values (one global
+  /// propagator; the node deployment plan must be an injection, Def. 2).
+  void AddAllDifferent();
+
+  /// (x, y) must map to a pair allowed by the shared table (see EdgeCompat).
+  /// The matrices must outlive the Csp.
+  void AddBinaryTable(int x, int y, const BitMatrix* allowed,
+                      const BitMatrix* allowed_t);
+
+  /// Value tried first when branching on `x` (ignored if pruned).
+  void SetValueHint(int x, int v);
+
+  /// Finds one solution. Returns:
+  ///  - the assignment var -> value on success,
+  ///  - Infeasible when the search space is exhausted without a solution,
+  ///  - Timeout when a limit was hit first.
+  Result<std::vector<int>> SolveFirst(const SearchLimits& limits,
+                                      SearchStats* stats = nullptr);
+
+  /// Counts all solutions (subject to limits); used by tests.
+  int64_t CountSolutions(const SearchLimits& limits,
+                         SearchStats* stats = nullptr);
+
+ private:
+  bool PropagateFixpoint(std::vector<BitSet>& domains, SearchStats* stats);
+  /// Returns variable to branch on, or -1 if all assigned.
+  int PickVariable(const std::vector<BitSet>& domains) const;
+  /// DFS; returns true to stop the search (solution found / limit).
+  bool Dfs(std::vector<BitSet>& domains, const SearchLimits& limits,
+           SearchStats* stats,
+           const std::function<bool(const std::vector<int>&)>& on_solution);
+
+  int num_vars_;
+  int num_values_;
+  std::vector<BitSet> root_domains_;
+  std::vector<EdgeCompat> tables_;
+  std::vector<std::vector<int>> tables_of_var_;
+  std::vector<int> degree_;  // number of binary constraints per var
+  std::vector<int> hint_;
+  bool use_alldifferent_ = false;
+  std::unique_ptr<AllDifferent> alldiff_;
+};
+
+}  // namespace cloudia::cp
+
+#endif  // CLOUDIA_SOLVER_CP_SEARCH_H_

@@ -1,0 +1,128 @@
+#include "solver/cp/subgraph_iso.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cloudia::cp {
+
+namespace {
+
+// Sorted-descending undirected degrees of the neighbors of each node.
+std::vector<std::vector<int>> NeighborDegreeProfiles(
+    const std::vector<std::vector<int>>& neighbors,
+    const std::vector<int>& degree) {
+  std::vector<std::vector<int>> profiles(neighbors.size());
+  for (size_t v = 0; v < neighbors.size(); ++v) {
+    for (int w : neighbors[v]) {
+      profiles[v].push_back(degree[static_cast<size_t>(w)]);
+    }
+    std::sort(profiles[v].begin(), profiles[v].end(), std::greater<int>());
+  }
+  return profiles;
+}
+
+}  // namespace
+
+Result<std::vector<int>> FindSubgraphIsomorphism(const graph::CommGraph& pattern,
+                                                 const BitMatrix& target_adj,
+                                                 const SipOptions& options,
+                                                 SearchStats* stats) {
+  const int n = pattern.num_nodes();
+  const int m = target_adj.rows();
+  CLOUDIA_CHECK(target_adj.cols() == m);
+  if (n > m) {
+    return Status::Infeasible("pattern has more nodes than the target graph");
+  }
+  if (!options.value_hints.empty() &&
+      static_cast<int>(options.value_hints.size()) != n) {
+    return Status::InvalidArgument("value_hints size must match pattern size");
+  }
+
+  BitMatrix target_adj_t = target_adj.Transposed();
+
+  // Target degree data.
+  std::vector<int> t_out(static_cast<size_t>(m)), t_in(static_cast<size_t>(m)),
+      t_und(static_cast<size_t>(m));
+  std::vector<std::vector<int>> t_neighbors(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    t_out[static_cast<size_t>(j)] = target_adj.RowCount(j);
+    t_in[static_cast<size_t>(j)] = target_adj_t.RowCount(j);
+    // Undirected neighborhood: union of out- and in-edges, minus self.
+    BitSet u = target_adj.Row(j);
+    const BitSet& rev = target_adj_t.Row(j);
+    for (int k = rev.First(); k >= 0; k = rev.Next(k)) u.Insert(k);
+    for (int k = u.First(); k >= 0; k = u.Next(k)) {
+      if (k != j) t_neighbors[static_cast<size_t>(j)].push_back(k);
+    }
+    t_und[static_cast<size_t>(j)] =
+        static_cast<int>(t_neighbors[static_cast<size_t>(j)].size());
+  }
+
+  // Pattern degree data.
+  std::vector<int> p_und(static_cast<size_t>(n));
+  std::vector<std::vector<int>> p_neighbors(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    p_neighbors[static_cast<size_t>(i)] = pattern.Neighbors(i);
+    p_und[static_cast<size_t>(i)] = pattern.Degree(i);
+  }
+
+  Csp csp(n, m);
+  csp.AddAllDifferent();
+  for (const graph::Edge& e : pattern.edges()) {
+    csp.AddBinaryTable(e.src, e.dst, &target_adj, &target_adj_t);
+  }
+
+  if (options.degree_filter) {
+    for (int i = 0; i < n; ++i) {
+      BitSet& dom = csp.MutableDomain(i);
+      int v = dom.First();
+      while (v >= 0) {
+        int next = dom.Next(v);
+        if (t_out[static_cast<size_t>(v)] < pattern.OutDegree(i) ||
+            t_in[static_cast<size_t>(v)] < pattern.InDegree(i) ||
+            t_und[static_cast<size_t>(v)] < p_und[static_cast<size_t>(i)]) {
+          dom.Remove(v);
+        }
+        v = next;
+      }
+      if (dom.Empty()) {
+        return Status::Infeasible("degree filtering wiped a pattern node");
+      }
+    }
+  }
+
+  if (options.neighborhood_filter) {
+    auto p_profiles = NeighborDegreeProfiles(p_neighbors, p_und);
+    auto t_profiles = NeighborDegreeProfiles(t_neighbors, t_und);
+    for (int i = 0; i < n; ++i) {
+      const auto& pp = p_profiles[static_cast<size_t>(i)];
+      BitSet& dom = csp.MutableDomain(i);
+      int v = dom.First();
+      while (v >= 0) {
+        int next = dom.Next(v);
+        const auto& tp = t_profiles[static_cast<size_t>(v)];
+        bool ok = tp.size() >= pp.size();
+        for (size_t k = 0; ok && k < pp.size(); ++k) {
+          if (tp[k] < pp[k]) ok = false;
+        }
+        if (!ok) dom.Remove(v);
+        v = next;
+      }
+      if (dom.Empty()) {
+        return Status::Infeasible(
+            "neighborhood filtering wiped a pattern node");
+      }
+    }
+  }
+
+  if (!options.value_hints.empty()) {
+    for (int i = 0; i < n; ++i) {
+      csp.SetValueHint(i, options.value_hints[static_cast<size_t>(i)]);
+    }
+  }
+
+  return csp.SolveFirst(options.limits, stats);
+}
+
+}  // namespace cloudia::cp

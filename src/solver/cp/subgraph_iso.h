@@ -1,0 +1,42 @@
+// Subgraph-isomorphism feasibility solver: find an injective mapping phi of
+// pattern nodes to target nodes such that every pattern edge (i, i') maps to
+// a target edge (phi(i), phi(i')). This is the inner problem of the paper's
+// CP approach to LLNDP (Sect. 4.2): the target graph is the cost matrix
+// thresholded at the current objective value.
+//
+// Domain pre-filtering follows the compatibility-labeling idea of Zampelli,
+// Deville & Solnon (Constraints 2010), cited as [70]: in/out/undirected
+// degree dominance plus one round of sorted neighborhood-degree dominance.
+#ifndef CLOUDIA_SOLVER_CP_SUBGRAPH_ISO_H_
+#define CLOUDIA_SOLVER_CP_SUBGRAPH_ISO_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/comm_graph.h"
+#include "solver/cp/domain.h"
+#include "solver/cp/search.h"
+
+namespace cloudia::cp {
+
+struct SipOptions {
+  SearchLimits limits;
+  /// Degree-dominance filtering of initial domains.
+  bool degree_filter = true;
+  /// One round of sorted neighborhood-degree dominance (strictly stronger,
+  /// slightly costlier). Ablated in bench_ablation_cp.
+  bool neighborhood_filter = true;
+  /// Optional previous mapping tried first at each branching (warm start).
+  std::vector<int> value_hints;
+};
+
+/// Finds one subgraph isomorphism of `pattern` into the directed graph whose
+/// adjacency matrix is `target_adj` (target_adj.Get(j, j') == edge j -> j').
+/// Returns the mapping, Infeasible if none exists, or Timeout.
+Result<std::vector<int>> FindSubgraphIsomorphism(
+    const graph::CommGraph& pattern, const BitMatrix& target_adj,
+    const SipOptions& options = {}, SearchStats* stats = nullptr);
+
+}  // namespace cloudia::cp
+
+#endif  // CLOUDIA_SOLVER_CP_SUBGRAPH_ISO_H_

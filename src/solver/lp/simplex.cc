@@ -1,0 +1,284 @@
+#include "solver/lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace cloudia::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kPivotEps = 1e-8;
+
+const double kInf = std::numeric_limits<double>::infinity();
+
+// Dense tableau: rows_ x (num_cols_ + 1); last column is the rhs.
+class Tableau {
+ public:
+  Tableau(const LpProblem& p) {
+    m_ = static_cast<int>(p.rows.size());
+    n_ = p.num_vars;
+    // Column layout: [structural | slack/surplus | artificial].
+    // First pass: count slack and artificial columns.
+    num_slack_ = 0;
+    num_art_ = 0;
+    for (const Row& r : p.rows) {
+      bool flip = r.rhs < 0;
+      RowSense sense = r.sense;
+      if (flip && sense != RowSense::kEq) {
+        sense = (sense == RowSense::kLe) ? RowSense::kGe : RowSense::kLe;
+      }
+      if (sense != RowSense::kEq) ++num_slack_;
+      if (sense != RowSense::kLe) ++num_art_;  // kGe and kEq need artificials
+    }
+    total_ = n_ + num_slack_ + num_art_;
+    t_.assign(static_cast<size_t>(m_),
+              std::vector<double>(static_cast<size_t>(total_) + 1, 0.0));
+    basis_.assign(static_cast<size_t>(m_), -1);
+    is_artificial_.assign(static_cast<size_t>(total_), false);
+
+    int slack_next = n_;
+    int art_next = n_ + num_slack_;
+    for (int i = 0; i < m_; ++i) {
+      const Row& r = p.rows[static_cast<size_t>(i)];
+      double sign = r.rhs < 0 ? -1.0 : 1.0;
+      RowSense sense = r.sense;
+      if (sign < 0 && sense != RowSense::kEq) {
+        sense = (sense == RowSense::kLe) ? RowSense::kGe : RowSense::kLe;
+      }
+      auto& row = t_[static_cast<size_t>(i)];
+      for (const auto& [var, coeff] : r.coeffs) {
+        CLOUDIA_CHECK(var >= 0 && var < n_);
+        row[static_cast<size_t>(var)] += sign * coeff;
+      }
+      row[static_cast<size_t>(total_)] = sign * r.rhs;
+      if (sense == RowSense::kLe) {
+        row[static_cast<size_t>(slack_next)] = 1.0;
+        basis_[static_cast<size_t>(i)] = slack_next++;
+      } else if (sense == RowSense::kGe) {
+        row[static_cast<size_t>(slack_next)] = -1.0;
+        ++slack_next;
+        row[static_cast<size_t>(art_next)] = 1.0;
+        is_artificial_[static_cast<size_t>(art_next)] = true;
+        basis_[static_cast<size_t>(i)] = art_next++;
+      } else {
+        row[static_cast<size_t>(art_next)] = 1.0;
+        is_artificial_[static_cast<size_t>(art_next)] = true;
+        basis_[static_cast<size_t>(i)] = art_next++;
+      }
+    }
+  }
+
+  int m() const { return m_; }
+  int n() const { return n_; }
+  int total() const { return total_; }
+  bool has_artificials() const { return num_art_ > 0; }
+
+  double rhs(int i) const { return t_[static_cast<size_t>(i)].back(); }
+  int basis(int i) const { return basis_[static_cast<size_t>(i)]; }
+  bool is_artificial(int j) const { return is_artificial_[static_cast<size_t>(j)]; }
+
+  // Reduced costs r_j = c_j - c_B . column_j for all columns, given costs c
+  // over all `total_` columns.
+  void ReducedCosts(const std::vector<double>& c, std::vector<double>* r) const {
+    r->assign(static_cast<size_t>(total_), 0.0);
+    // c_B per row.
+    for (int j = 0; j < total_; ++j) (*r)[static_cast<size_t>(j)] = c[static_cast<size_t>(j)];
+    for (int i = 0; i < m_; ++i) {
+      double cb = c[static_cast<size_t>(basis_[static_cast<size_t>(i)])];
+      if (cb == 0.0) continue;
+      const auto& row = t_[static_cast<size_t>(i)];
+      for (int j = 0; j < total_; ++j) {
+        (*r)[static_cast<size_t>(j)] -= cb * row[static_cast<size_t>(j)];
+      }
+    }
+  }
+
+  double ObjectiveValue(const std::vector<double>& c) const {
+    double z = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      z += c[static_cast<size_t>(basis_[static_cast<size_t>(i)])] * rhs(i);
+    }
+    return z;
+  }
+
+  // Ratio test: leaving row for entering column j, or -1 (unbounded).
+  int RatioTest(int j) const {
+    int leave = -1;
+    double best = kInf;
+    for (int i = 0; i < m_; ++i) {
+      double a = t_[static_cast<size_t>(i)][static_cast<size_t>(j)];
+      if (a > kPivotEps) {
+        double ratio = rhs(i) / a;
+        if (ratio < best - kEps ||
+            (ratio < best + kEps &&
+             (leave == -1 || basis_[static_cast<size_t>(i)] <
+                                 basis_[static_cast<size_t>(leave)]))) {
+          best = ratio;
+          leave = i;
+        }
+      }
+    }
+    return leave;
+  }
+
+  void Pivot(int leave, int enter) {
+    auto& prow = t_[static_cast<size_t>(leave)];
+    double piv = prow[static_cast<size_t>(enter)];
+    CLOUDIA_CHECK(std::fabs(piv) > kPivotEps);
+    double inv = 1.0 / piv;
+    for (double& v : prow) v *= inv;
+    prow[static_cast<size_t>(enter)] = 1.0;  // exact
+    for (int i = 0; i < m_; ++i) {
+      if (i == leave) continue;
+      auto& row = t_[static_cast<size_t>(i)];
+      double f = row[static_cast<size_t>(enter)];
+      if (std::fabs(f) < kEps) continue;
+      for (int j = 0; j <= total_; ++j) {
+        row[static_cast<size_t>(j)] -= f * prow[static_cast<size_t>(j)];
+      }
+      row[static_cast<size_t>(enter)] = 0.0;  // exact
+    }
+    basis_[static_cast<size_t>(leave)] = enter;
+  }
+
+  // Runs simplex iterations for cost vector c (size total_). Columns with
+  // banned[j] true may not enter. Returns kOptimal or kUnbounded or
+  // kIterationLimit; `iters` accumulates.
+  LpStatus Optimize(const std::vector<double>& c, const std::vector<bool>& banned,
+                    int max_iterations, int* iters, const Deadline& deadline) {
+    std::vector<double> r;
+    int degenerate_streak = 0;
+    while (*iters < max_iterations) {
+      if ((*iters & 0xf) == 0 && deadline.Expired()) {
+        return LpStatus::kIterationLimit;
+      }
+      ReducedCosts(c, &r);
+      bool bland = degenerate_streak > 3 * (m_ + total_);
+      int enter = -1;
+      double most_negative = -kEps;
+      for (int j = 0; j < total_; ++j) {
+        if (banned[static_cast<size_t>(j)]) continue;
+        double rj = r[static_cast<size_t>(j)];
+        if (rj < -kEps) {
+          if (bland) {
+            enter = j;
+            break;
+          }
+          if (rj < most_negative) {
+            most_negative = rj;
+            enter = j;
+          }
+        }
+      }
+      if (enter == -1) return LpStatus::kOptimal;
+      int leave = RatioTest(enter);
+      if (leave == -1) return LpStatus::kUnbounded;
+      double step = rhs(leave);
+      degenerate_streak = (step < kEps) ? degenerate_streak + 1 : 0;
+      Pivot(leave, enter);
+      ++*iters;
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  // After phase 1: force remaining zero-valued artificials out of the basis
+  // where possible; ban all artificials from entering again.
+  void EliminateArtificials(std::vector<bool>* banned) {
+    for (int j = 0; j < total_; ++j) {
+      if (is_artificial_[static_cast<size_t>(j)]) (*banned)[static_cast<size_t>(j)] = true;
+    }
+    for (int i = 0; i < m_; ++i) {
+      int b = basis_[static_cast<size_t>(i)];
+      if (!is_artificial_[static_cast<size_t>(b)]) continue;
+      // rhs must be ~0 here (phase-1 optimum). Pivot on any eligible column.
+      const auto& row = t_[static_cast<size_t>(i)];
+      for (int j = 0; j < total_; ++j) {
+        if (is_artificial_[static_cast<size_t>(j)]) continue;
+        if (std::fabs(row[static_cast<size_t>(j)]) > kPivotEps) {
+          Pivot(i, j);
+          break;
+        }
+      }
+      // If no pivot exists the row is redundant; the artificial stays basic
+      // at value 0, which is harmless since it is banned from moving.
+    }
+  }
+
+  void ExtractSolution(std::vector<double>* x) const {
+    x->assign(static_cast<size_t>(n_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      int b = basis_[static_cast<size_t>(i)];
+      if (b < n_) (*x)[static_cast<size_t>(b)] = rhs(i);
+    }
+  }
+
+ private:
+  int m_ = 0, n_ = 0, num_slack_ = 0, num_art_ = 0, total_ = 0;
+  std::vector<std::vector<double>> t_;
+  std::vector<int> basis_;
+  std::vector<bool> is_artificial_;
+};
+
+}  // namespace
+
+const char* LpStatusName(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "Optimal";
+    case LpStatus::kInfeasible:
+      return "Infeasible";
+    case LpStatus::kUnbounded:
+      return "Unbounded";
+    case LpStatus::kIterationLimit:
+      return "IterationLimit";
+  }
+  return "Unknown";
+}
+
+LpSolution SolveLp(const LpProblem& problem, int max_iterations,
+                   Deadline deadline) {
+  CLOUDIA_CHECK(static_cast<int>(problem.objective.size()) == problem.num_vars);
+  LpSolution out;
+  Tableau tab(problem);
+  std::vector<bool> banned(static_cast<size_t>(tab.total()), false);
+  int iters = 0;
+
+  if (tab.has_artificials()) {
+    std::vector<double> phase1(static_cast<size_t>(tab.total()), 0.0);
+    for (int j = 0; j < tab.total(); ++j) {
+      if (tab.is_artificial(j)) phase1[static_cast<size_t>(j)] = 1.0;
+    }
+    LpStatus s = tab.Optimize(phase1, banned, max_iterations, &iters, deadline);
+    if (s == LpStatus::kIterationLimit) {
+      out.status = s;
+      out.iterations = iters;
+      return out;
+    }
+    CLOUDIA_CHECK(s != LpStatus::kUnbounded);  // phase 1 is bounded below by 0
+    if (tab.ObjectiveValue(phase1) > 1e-7) {
+      out.status = LpStatus::kInfeasible;
+      out.iterations = iters;
+      return out;
+    }
+    tab.EliminateArtificials(&banned);
+  }
+
+  std::vector<double> costs(static_cast<size_t>(tab.total()), 0.0);
+  for (int j = 0; j < problem.num_vars; ++j) {
+    costs[static_cast<size_t>(j)] = problem.objective[static_cast<size_t>(j)];
+  }
+  LpStatus s = tab.Optimize(costs, banned, max_iterations, &iters, deadline);
+  out.status = s;
+  out.iterations = iters;
+  if (s == LpStatus::kOptimal) {
+    tab.ExtractSolution(&out.x);
+    out.objective = tab.ObjectiveValue(costs);
+  }
+  return out;
+}
+
+}  // namespace cloudia::lp

@@ -1,0 +1,57 @@
+// Dense two-phase primal simplex for linear programs in the form
+//     minimize c^T x   subject to   A x {<=,>=,=} b,   x >= 0.
+//
+// This is the LP relaxation engine under the branch-and-bound MIP solver that
+// substitutes for CPLEX in the paper's Sect. 4.1/4.4 encodings. Dantzig
+// pricing with an automatic switch to Bland's rule (anti-cycling) after a
+// degenerate stretch. Problem sizes in this repository stay in the
+// hundreds-of-rows / few-thousand-columns regime, where a dense tableau is
+// simple and fast enough.
+#ifndef CLOUDIA_SOLVER_LP_SIMPLEX_H_
+#define CLOUDIA_SOLVER_LP_SIMPLEX_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace cloudia::lp {
+
+enum class RowSense { kLe, kGe, kEq };
+
+/// One linear constraint: sum(coeffs) sense rhs. Coefficients are sparse
+/// (var index, value) pairs; duplicate indices are summed.
+struct Row {
+  std::vector<std::pair<int, double>> coeffs;
+  RowSense sense = RowSense::kLe;
+  double rhs = 0.0;
+};
+
+/// minimize objective . x subject to rows, x >= 0.
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;  ///< size num_vars
+  std::vector<Row> rows;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+const char* LpStatusName(LpStatus status);
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< size num_vars (meaningful when kOptimal)
+  int iterations = 0;
+};
+
+/// Solves the LP. Deterministic; no allocation failure handling beyond abort.
+/// Stops with kIterationLimit when `deadline` expires mid-solve (checked
+/// every few iterations), so callers with wall-clock budgets never stall
+/// inside a single large relaxation.
+LpSolution SolveLp(const LpProblem& problem, int max_iterations = 200000,
+                   Deadline deadline = Deadline::Infinite());
+
+}  // namespace cloudia::lp
+
+#endif  // CLOUDIA_SOLVER_LP_SIMPLEX_H_

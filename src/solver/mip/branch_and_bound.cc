@@ -1,0 +1,231 @@
+#include "solver/mip/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace cloudia::mip {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+struct Node {
+  int parent = -1;       // index into the node arena, -1 for root
+  lp::Row branch_row;    // empty coeffs for root
+  double bound = kNegInf;  // LP bound inherited from the parent
+};
+
+// Most fractional integer variable, or -1 if all integral within tol.
+int PickBranchVar(const MipModel& model, const std::vector<double>& x,
+                  double tol) {
+  int best = -1;
+  double best_score = tol;
+  for (int v = 0; v < model.num_vars(); ++v) {
+    if (!model.is_integer(v)) continue;
+    double val = x[static_cast<size_t>(v)];
+    double frac = std::fabs(val - std::round(val));
+    if (frac > best_score) {
+      best_score = frac;
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+const char* MipStatusName(MipStatus status) {
+  switch (status) {
+    case MipStatus::kOptimal:
+      return "Optimal";
+    case MipStatus::kFeasible:
+      return "Feasible";
+    case MipStatus::kInfeasible:
+      return "Infeasible";
+    case MipStatus::kLimitNoSolution:
+      return "LimitNoSolution";
+  }
+  return "Unknown";
+}
+
+MipResult SolveMip(const MipModel& model, const MipOptions& options) {
+  Stopwatch clock;
+  MipResult result;
+  std::vector<lp::Row> cut_pool;
+
+  bool have_incumbent = false;
+  double incumbent_obj = std::numeric_limits<double>::infinity();
+
+  auto accept_incumbent = [&](const std::vector<double>& x, double obj) {
+    have_incumbent = true;
+    incumbent_obj = obj;
+    result.x = x;
+    result.objective = obj;
+    double seconds = clock.ElapsedSeconds();
+    result.incumbent_trace.push_back({seconds, obj});
+    if (options.on_incumbent) options.on_incumbent(x, obj, seconds);
+  };
+
+  // Warm start: accepted only if feasible for the model *and* the lazy family.
+  if (!options.warm_start.empty() &&
+      model.IsFeasible(options.warm_start, options.integrality_tol)) {
+    bool lazy_ok = true;
+    if (options.lazy) {
+      auto violated = options.lazy(options.warm_start, /*is_integral=*/true);
+      if (!violated.empty()) {
+        lazy_ok = false;
+        for (auto& row : violated) cut_pool.push_back(std::move(row));
+        result.lazy_rows_added += static_cast<int>(cut_pool.size());
+      }
+    }
+    if (lazy_ok) {
+      accept_incumbent(options.warm_start,
+                       model.ObjectiveValue(options.warm_start));
+    }
+  }
+
+  std::vector<Node> arena;
+  std::vector<int> stack;
+  arena.push_back(Node{});
+  stack.push_back(0);
+
+  bool limit_hit = false;
+  double open_bound_min = kNegInf;  // recomputed at exit from the open stack
+
+  std::vector<double> x;  // LP solution scratch
+  while (!stack.empty()) {
+    if (options.deadline.Expired() ||
+        (options.max_nodes >= 0 && result.nodes >= options.max_nodes)) {
+      limit_hit = true;
+      break;
+    }
+    int node_id = stack.back();
+    stack.pop_back();
+    // Bound-based pruning against the current incumbent.
+    if (have_incumbent &&
+        arena[static_cast<size_t>(node_id)].bound >=
+            incumbent_obj - options.gap_tol) {
+      continue;
+    }
+    ++result.nodes;
+
+    // Assemble this node's LP: model rows + cut pool + branch chain.
+    lp::LpProblem lp;
+    lp.num_vars = model.num_vars();
+    lp.objective = model.objective();
+    lp.rows = model.rows();
+    for (const lp::Row& row : cut_pool) lp.rows.push_back(row);
+    for (int a = node_id; a != -1; a = arena[static_cast<size_t>(a)].parent) {
+      if (!arena[static_cast<size_t>(a)].branch_row.coeffs.empty()) {
+        lp.rows.push_back(arena[static_cast<size_t>(a)].branch_row);
+      }
+    }
+
+    // Lazy-constraint loop: re-solve while the callback separates new rows.
+    double bound = kNegInf;
+    bool node_done = false;
+    while (true) {
+      lp::LpSolution sol =
+          lp::SolveLp(lp, options.lp_max_iterations, options.deadline);
+      result.lp_iterations += sol.iterations;
+      if (sol.status == lp::LpStatus::kInfeasible) {
+        node_done = true;
+        break;
+      }
+      if (sol.status != lp::LpStatus::kOptimal) {
+        // Unbounded or iteration-limited relaxation: no usable bound/point.
+        limit_hit = true;
+        node_done = true;
+        break;
+      }
+      bound = sol.objective;
+      if (have_incumbent && bound >= incumbent_obj - options.gap_tol) {
+        node_done = true;  // dominated
+        break;
+      }
+      x = sol.x;
+      bool integral = PickBranchVar(model, x, options.integrality_tol) == -1;
+      if (options.lazy) {
+        auto violated = options.lazy(x, integral);
+        if (!violated.empty()) {
+          result.lazy_rows_added += static_cast<int>(violated.size());
+          for (auto& row : violated) {
+            lp.rows.push_back(row);
+            cut_pool.push_back(std::move(row));
+          }
+          continue;  // re-solve with the new rows
+        }
+      }
+      if (integral) {
+        for (int v = 0; v < model.num_vars(); ++v) {
+          if (model.is_integer(v)) {
+            x[static_cast<size_t>(v)] = std::round(x[static_cast<size_t>(v)]);
+          }
+        }
+        double obj = model.ObjectiveValue(x);
+        if (!have_incumbent || obj < incumbent_obj - options.gap_tol) {
+          accept_incumbent(x, obj);
+        }
+        node_done = true;
+      }
+      break;
+    }
+    if (limit_hit) break;
+    if (node_done) continue;
+
+    // Branch on the most fractional integer variable.
+    int v = PickBranchVar(model, x, options.integrality_tol);
+    CLOUDIA_CHECK(v >= 0);
+    double val = x[static_cast<size_t>(v)];
+    double floor_v = std::floor(val);
+
+    lp::Row down;  // x_v <= floor(val)
+    down.coeffs = {{v, 1.0}};
+    down.sense = lp::RowSense::kLe;
+    down.rhs = floor_v;
+    lp::Row up;  // x_v >= floor(val) + 1
+    up.coeffs = {{v, 1.0}};
+    up.sense = lp::RowSense::kGe;
+    up.rhs = floor_v + 1.0;
+
+    bool up_first = (val - floor_v) >= 0.5;
+    auto push_child = [&](lp::Row row) {
+      Node child;
+      child.parent = node_id;
+      child.branch_row = std::move(row);
+      child.bound = bound;
+      arena.push_back(std::move(child));
+      stack.push_back(static_cast<int>(arena.size()) - 1);
+    };
+    // Push the preferred child last so DFS pops it first.
+    if (up_first) {
+      push_child(std::move(down));
+      push_child(std::move(up));
+    } else {
+      push_child(std::move(up));
+      push_child(std::move(down));
+    }
+  }
+
+  // Global lower bound: min over open nodes, or the incumbent when exhausted.
+  if (stack.empty() && !limit_hit) {
+    result.best_bound = have_incumbent ? incumbent_obj : 0.0;
+    result.status = have_incumbent ? MipStatus::kOptimal : MipStatus::kInfeasible;
+  } else {
+    open_bound_min = std::numeric_limits<double>::infinity();
+    for (int id : stack) {
+      open_bound_min =
+          std::min(open_bound_min, arena[static_cast<size_t>(id)].bound);
+    }
+    if (stack.empty()) open_bound_min = kNegInf;
+    result.best_bound = open_bound_min;
+    result.status =
+        have_incumbent ? MipStatus::kFeasible : MipStatus::kLimitNoSolution;
+  }
+  return result;
+}
+
+}  // namespace cloudia::mip

@@ -1,0 +1,56 @@
+#include "workloads/aggregation.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace cloudia::wl {
+
+Result<WorkloadResult> RunAggregationQueries(const net::CloudSimulator& cloud,
+                                             const graph::CommGraph& tree,
+                                             const NodePlacement& placement,
+                                             const AggregationConfig& config) {
+  if (static_cast<int>(placement.size()) != tree.num_nodes()) {
+    return Status::InvalidArgument("placement size must match node count");
+  }
+  if (config.queries < 1) return Status::InvalidArgument("queries must be >= 1");
+  CLOUDIA_ASSIGN_OR_RETURN(std::vector<int> topo, tree.TopologicalOrder());
+
+  Rng rng(config.seed);
+  WorkloadResult result;
+  std::vector<double> responses;
+  responses.reserve(static_cast<size_t>(config.queries));
+
+  std::vector<double> arrive(static_cast<size_t>(tree.num_nodes()));
+  double clock_ms = 0.0;
+  for (int q = 0; q < config.queries; ++q) {
+    double t_hours = config.start_t_hours + clock_ms / 3.6e6;
+    // arrive[v]: when the partial aggregate of v's subtree is ready at v.
+    std::fill(arrive.begin(), arrive.end(), 0.0);
+    double response = 0.0;
+    for (int v : topo) {
+      for (int parent : tree.OutNeighbors(v)) {
+        double bytes = config.avg_msg_bytes * rng.Uniform(0.5, 1.5);
+        // Forwarding a partial aggregate costs a one-way transfer; model as
+        // half an RTT of a message of that size.
+        double latency =
+            0.5 * cloud.SampleRtt(placement[static_cast<size_t>(v)],
+                                  placement[static_cast<size_t>(parent)],
+                                  bytes, t_hours, rng);
+        double ready = arrive[static_cast<size_t>(v)] + latency;
+        arrive[static_cast<size_t>(parent)] =
+            std::max(arrive[static_cast<size_t>(parent)], ready);
+        response = std::max(response, ready);
+      }
+    }
+    responses.push_back(response);
+    clock_ms += response;
+  }
+
+  result.primary_ms = Mean(responses);
+  result.p99_ms = Percentile(responses, 99.0);
+  result.operations = config.queries;
+  return result;
+}
+
+}  // namespace cloudia::wl

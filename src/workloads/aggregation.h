@@ -1,0 +1,33 @@
+// Synthetic aggregation query workload (paper Sect. 6.1.2): a multi-level
+// top-k aggregation tree. Each query flows partial aggregates from the
+// leaves to the root; response time is the cost of the slowest leaf-to-root
+// path (longest-path deployment cost is "a natural fit").
+#ifndef CLOUDIA_WORKLOADS_AGGREGATION_H_
+#define CLOUDIA_WORKLOADS_AGGREGATION_H_
+
+#include "common/result.h"
+#include "graph/comm_graph.h"
+#include "workloads/workload.h"
+
+namespace cloudia::wl {
+
+struct AggregationConfig {
+  int queries = 2000;
+  /// Mean forwarded-message size; actual sizes vary by a uniform factor in
+  /// [0.5, 1.5] per message ("message size varies from the leaves to the
+  /// root, with an average of 4 KB").
+  double avg_msg_bytes = 4096;
+  double start_t_hours = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Runs queries over the aggregation DAG (edges child -> parent, see
+/// graph::AggregationTree). Ranking computation is ignored, as in the paper.
+Result<WorkloadResult> RunAggregationQueries(const net::CloudSimulator& cloud,
+                                             const graph::CommGraph& tree,
+                                             const NodePlacement& placement,
+                                             const AggregationConfig& config);
+
+}  // namespace cloudia::wl
+
+#endif  // CLOUDIA_WORKLOADS_AGGREGATION_H_

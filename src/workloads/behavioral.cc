@@ -1,0 +1,46 @@
+#include "workloads/behavioral.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace cloudia::wl {
+
+Result<WorkloadResult> RunBehavioralSimulation(const net::CloudSimulator& cloud,
+                                               const graph::CommGraph& graph,
+                                               const NodePlacement& placement,
+                                               const BehavioralConfig& config) {
+  if (static_cast<int>(placement.size()) != graph.num_nodes()) {
+    return Status::InvalidArgument("placement size must match node count");
+  }
+  if (config.ticks < 1) return Status::InvalidArgument("ticks must be >= 1");
+  Rng rng(config.seed);
+  WorkloadResult result;
+  std::vector<double> tick_times;
+  tick_times.reserve(static_cast<size_t>(config.ticks));
+
+  double t_hours = config.start_t_hours;
+  double total_ms = 0.0;
+  for (int tick = 0; tick < config.ticks; ++tick) {
+    // All neighbor exchanges proceed in parallel; the barrier releases when
+    // the slowest one completes. An exchange on edge (i, j) costs one
+    // message round trip between the hosting instances.
+    double barrier_ms = 0.0;
+    for (const graph::Edge& e : graph.edges()) {
+      double rtt = cloud.SampleRtt(placement[static_cast<size_t>(e.src)],
+                                   placement[static_cast<size_t>(e.dst)],
+                                   config.msg_bytes, t_hours, rng);
+      barrier_ms = std::max(barrier_ms, rtt);
+    }
+    tick_times.push_back(barrier_ms);
+    total_ms += barrier_ms;
+    t_hours = config.start_t_hours + total_ms / 3.6e6;
+  }
+
+  result.primary_ms = total_ms;
+  result.p99_ms = tick_times.empty() ? 0.0 : Percentile(tick_times, 99.0);
+  result.operations = config.ticks;
+  return result;
+}
+
+}  // namespace cloudia::wl

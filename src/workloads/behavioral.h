@@ -1,0 +1,35 @@
+// Behavioral simulation workload (paper Sect. 6.1.1): a BSP-style
+// fish-school simulation partitioned over a 2-D mesh. Every tick, each node
+// exchanges 1 KB messages with its mesh neighbors and then waits on a logical
+// barrier; the tick completes when the *slowest* exchange finishes, so
+// time-to-solution is governed by the worst deployed link (longest-link
+// deployment cost is "a natural fit").
+#ifndef CLOUDIA_WORKLOADS_BEHAVIORAL_H_
+#define CLOUDIA_WORKLOADS_BEHAVIORAL_H_
+
+#include "common/result.h"
+#include "graph/comm_graph.h"
+#include "workloads/workload.h"
+
+namespace cloudia::wl {
+
+struct BehavioralConfig {
+  /// Ticks to simulate. The paper runs 100 K ticks; benches scale this down
+  /// and report per-tick-normalized numbers, which is equivalent.
+  int ticks = 2000;
+  double msg_bytes = 1024;
+  double start_t_hours = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Runs the barrier-per-tick exchange over `graph` (typically Mesh2D) with
+/// node i hosted on placement[i]. Computation time is ignored (the paper
+/// hides CPU work to isolate network effects).
+Result<WorkloadResult> RunBehavioralSimulation(const net::CloudSimulator& cloud,
+                                               const graph::CommGraph& graph,
+                                               const NodePlacement& placement,
+                                               const BehavioralConfig& config);
+
+}  // namespace cloudia::wl
+
+#endif  // CLOUDIA_WORKLOADS_BEHAVIORAL_H_

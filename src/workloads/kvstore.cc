@@ -1,0 +1,59 @@
+#include "workloads/kvstore.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace cloudia::wl {
+
+Result<WorkloadResult> RunKvStoreQueries(const net::CloudSimulator& cloud,
+                                         const graph::CommGraph& bipartite,
+                                         const NodePlacement& placement,
+                                         const KvStoreConfig& config) {
+  if (static_cast<int>(placement.size()) != bipartite.num_nodes()) {
+    return Status::InvalidArgument("placement size must match node count");
+  }
+  if (config.queries < 1) return Status::InvalidArgument("queries must be >= 1");
+
+  std::vector<int> frontends;
+  for (int v = 0; v < bipartite.num_nodes(); ++v) {
+    if (bipartite.OutDegree(v) > 0) frontends.push_back(v);
+  }
+  if (frontends.empty()) {
+    return Status::InvalidArgument("graph has no front-end (out-degree 0)");
+  }
+
+  Rng rng(config.seed);
+  WorkloadResult result;
+  std::vector<double> responses;
+  responses.reserve(static_cast<size_t>(config.queries));
+
+  double clock_ms = 0.0;
+  for (int q = 0; q < config.queries; ++q) {
+    double t_hours = config.start_t_hours + clock_ms / 3.6e6;
+    int f = frontends[static_cast<size_t>(rng.Below(frontends.size()))];
+    const std::vector<int>& storage = bipartite.OutNeighbors(f);
+    int k = std::min<int>(config.touched_per_query,
+                          static_cast<int>(storage.size()));
+    std::vector<int> picks = rng.SampleWithoutReplacement(
+        static_cast<int>(storage.size()), k);
+    // Parallel fan-out: the query completes when the slowest reply lands.
+    double response = 0.0;
+    for (int idx : picks) {
+      int s = storage[static_cast<size_t>(idx)];
+      double rtt = cloud.SampleRtt(placement[static_cast<size_t>(f)],
+                                   placement[static_cast<size_t>(s)],
+                                   config.msg_bytes, t_hours, rng);
+      response = std::max(response, rtt);
+    }
+    responses.push_back(response);
+    clock_ms += response;
+  }
+
+  result.primary_ms = Mean(responses);
+  result.p99_ms = Percentile(responses, 99.0);
+  result.operations = config.queries;
+  return result;
+}
+
+}  // namespace cloudia::wl

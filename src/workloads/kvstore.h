@@ -1,0 +1,36 @@
+// Key-value store workload (paper Sect. 6.1.3): front-end servers fan
+// queries out to a random subset of storage nodes and wait for all replies.
+// Average response time is *not* governed by a single worst link (neither
+// longest link nor longest path matches exactly), yet the paper shows
+// longest-link optimization still helps by avoiding high-cost links.
+#ifndef CLOUDIA_WORKLOADS_KVSTORE_H_
+#define CLOUDIA_WORKLOADS_KVSTORE_H_
+
+#include "common/result.h"
+#include "graph/comm_graph.h"
+#include "workloads/workload.h"
+
+namespace cloudia::wl {
+
+struct KvStoreConfig {
+  int queries = 4000;
+  /// Storage nodes touched per query (random subset; keys are randomly
+  /// partitioned so a multi-get hits a random subset).
+  int touched_per_query = 16;
+  double msg_bytes = 1024;
+  double start_t_hours = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Runs queries over a bipartite communication graph (see graph::Bipartite):
+/// nodes with out-edges are front-ends, their out-neighbors storage nodes.
+/// Each query picks a random front-end and `touched_per_query` random storage
+/// nodes; response = slowest of the parallel request round trips.
+Result<WorkloadResult> RunKvStoreQueries(const net::CloudSimulator& cloud,
+                                         const graph::CommGraph& bipartite,
+                                         const NodePlacement& placement,
+                                         const KvStoreConfig& config);
+
+}  // namespace cloudia::wl
+
+#endif  // CLOUDIA_WORKLOADS_KVSTORE_H_

@@ -1,0 +1,30 @@
+// Common types for the three evaluation workloads (paper Sect. 6.1). Each
+// workload simulates application-level communication over the cloud's latency
+// model for a given deployment and reports its performance metric.
+#ifndef CLOUDIA_WORKLOADS_WORKLOAD_H_
+#define CLOUDIA_WORKLOADS_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "netsim/cloud.h"
+
+namespace cloudia::wl {
+
+/// Outcome of one workload run.
+struct WorkloadResult {
+  /// Behavioral simulation: total time-to-solution (ms).
+  /// Aggregation / key-value store: mean response time (ms).
+  double primary_ms = 0.0;
+  double p99_ms = 0.0;      ///< per-tick / per-query 99th percentile
+  int64_t operations = 0;   ///< ticks or queries executed
+};
+
+/// The instances hosting each application node, in node order. This is what
+/// a deployment plan resolves to once instances are selected.
+using NodePlacement = std::vector<net::Instance>;
+
+}  // namespace cloudia::wl
+
+#endif  // CLOUDIA_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "solver/cp/alldifferent.h"
+
+namespace cloudia::cp {
+namespace {
+
+// Reference implementation of GAC semantics: value v stays in dom(x) iff a
+// perfect matching of all variables exists with x = v (checked by Kuhn's
+// algorithm from scratch).
+bool MatchingExistsWithForced(const std::vector<BitSet>& domains, int fx,
+                              int fv, int num_values) {
+  int n = static_cast<int>(domains.size());
+  std::vector<int> value_match(static_cast<size_t>(num_values), -1);
+  std::vector<bool> visited;
+  std::function<bool(int)> augment = [&](int x) -> bool {
+    const BitSet& dom = domains[static_cast<size_t>(x)];
+    for (int v = dom.First(); v >= 0; v = dom.Next(v)) {
+      if (x == fx && v != fv) continue;
+      if (x != fx && v == fv) continue;
+      if (visited[static_cast<size_t>(v)]) continue;
+      visited[static_cast<size_t>(v)] = true;
+      int owner = value_match[static_cast<size_t>(v)];
+      if (owner == -1 || augment(owner)) {
+        value_match[static_cast<size_t>(v)] = x;
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int x = 0; x < n; ++x) {
+    visited.assign(static_cast<size_t>(num_values), false);
+    if (!augment(x)) return false;
+  }
+  return true;
+}
+
+std::vector<BitSet> MakeDomains(int num_values,
+                                const std::vector<std::vector<int>>& values) {
+  std::vector<BitSet> domains;
+  for (const auto& vals : values) {
+    BitSet d(num_values);
+    for (int v : vals) d.Insert(v);
+    domains.push_back(d);
+  }
+  return domains;
+}
+
+TEST(AllDifferentTest, ClassicReginExample) {
+  // x0 in {0,1}, x1 in {0,1}, x2 in {0,1,2}: x2 cannot take 0 or 1.
+  auto domains = MakeDomains(3, {{0, 1}, {0, 1}, {0, 1, 2}});
+  AllDifferent ad(3, 3);
+  std::vector<int> touched;
+  ASSERT_TRUE(ad.Propagate(domains, &touched));
+  EXPECT_EQ(domains[2].Count(), 1);
+  EXPECT_EQ(domains[2].First(), 2);
+  EXPECT_EQ(domains[0].Count(), 2);  // x0, x1 keep both values
+  EXPECT_FALSE(touched.empty());
+}
+
+TEST(AllDifferentTest, PigeonholeFails) {
+  auto domains = MakeDomains(2, {{0, 1}, {0, 1}, {0, 1}});
+  AllDifferent ad(3, 2);
+  EXPECT_FALSE(ad.Propagate(domains, nullptr));
+}
+
+TEST(AllDifferentTest, EmptyDomainFails) {
+  auto domains = MakeDomains(3, {{0}, {}, {1, 2}});
+  AllDifferent ad(3, 3);
+  EXPECT_FALSE(ad.Propagate(domains, nullptr));
+}
+
+TEST(AllDifferentTest, SingletonChainPropagates) {
+  // x0={0} forces x1 to 1, which forces x2 to 2.
+  auto domains = MakeDomains(3, {{0}, {0, 1}, {1, 2}});
+  AllDifferent ad(3, 3);
+  ASSERT_TRUE(ad.Propagate(domains, nullptr));
+  EXPECT_EQ(domains[1].First(), 1);
+  EXPECT_EQ(domains[1].Count(), 1);
+  EXPECT_EQ(domains[2].First(), 2);
+}
+
+TEST(AllDifferentTest, FreeValuesKeepDomainsWide) {
+  // More values than vars: nothing should be pruned when all domains full.
+  auto domains = MakeDomains(5, {{0, 1, 2, 3, 4}, {0, 1, 2, 3, 4}});
+  AllDifferent ad(2, 5);
+  std::vector<int> touched;
+  ASSERT_TRUE(ad.Propagate(domains, &touched));
+  EXPECT_EQ(domains[0].Count(), 5);
+  EXPECT_EQ(domains[1].Count(), 5);
+  EXPECT_TRUE(touched.empty());
+}
+
+TEST(AllDifferentTest, MatchingIsConsistentAfterPropagate) {
+  auto domains = MakeDomains(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  AllDifferent ad(4, 4);
+  ASSERT_TRUE(ad.Propagate(domains, nullptr));
+  const auto& m = ad.matching();
+  std::set<int> used;
+  for (int x = 0; x < 4; ++x) {
+    EXPECT_TRUE(domains[static_cast<size_t>(x)].Contains(m[static_cast<size_t>(x)]));
+    EXPECT_TRUE(used.insert(m[static_cast<size_t>(x)]).second);
+  }
+}
+
+TEST(AllDifferentTest, GacMatchesBruteForceOnRandomInstances) {
+  Rng rng(123);
+  for (int trial = 0; trial < 120; ++trial) {
+    int n = 2 + static_cast<int>(rng.Below(5));       // 2..6 vars
+    int m = n + static_cast<int>(rng.Below(3));       // n..n+2 values
+    std::vector<std::vector<int>> vals(static_cast<size_t>(n));
+    for (auto& dv : vals) {
+      for (int v = 0; v < m; ++v) {
+        if (rng.Bernoulli(0.6)) dv.push_back(v);
+      }
+      if (dv.empty()) dv.push_back(static_cast<int>(rng.Below(
+          static_cast<uint64_t>(m))));
+    }
+    auto domains = MakeDomains(m, vals);
+    auto reference = domains;
+    AllDifferent ad(n, m);
+    bool feasible = ad.Propagate(domains, nullptr);
+    bool ref_feasible = MatchingExistsWithForced(reference, -1, -1, m);
+    ASSERT_EQ(feasible, ref_feasible) << "trial " << trial;
+    if (!feasible) continue;
+    for (int x = 0; x < n; ++x) {
+      for (int v = 0; v < m; ++v) {
+        bool kept = domains[static_cast<size_t>(x)].Contains(v);
+        bool should_keep =
+            reference[static_cast<size_t>(x)].Contains(v) &&
+            MatchingExistsWithForced(reference, x, v, m);
+        EXPECT_EQ(kept, should_keep)
+            << "trial " << trial << " var " << x << " val " << v;
+      }
+    }
+  }
+}
+
+TEST(AllDifferentTest, RepeatedCallsAreIdempotent) {
+  auto domains = MakeDomains(4, {{0, 1}, {0, 1}, {0, 1, 2, 3}, {2, 3}});
+  AllDifferent ad(4, 4);
+  ASSERT_TRUE(ad.Propagate(domains, nullptr));
+  auto snapshot = domains;
+  std::vector<int> touched;
+  ASSERT_TRUE(ad.Propagate(domains, &touched));
+  EXPECT_TRUE(touched.empty());
+  for (size_t i = 0; i < domains.size(); ++i) EXPECT_EQ(domains[i], snapshot[i]);
+}
+
+}  // namespace
+}  // namespace cloudia::cp

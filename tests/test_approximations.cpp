@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "measure/approximations.h"
+
+namespace cloudia::measure {
+namespace {
+
+class ApproximationsTest : public ::testing::Test {
+ protected:
+  ApproximationsTest() : cloud_(net::AmazonEc2Profile(), 21) {
+    auto alloc = cloud_.Allocate(100);
+    CLOUDIA_CHECK(alloc.ok());
+    instances_ = std::move(alloc).value();
+    links_ = ComputeLinkApproximations(cloud_, instances_);
+  }
+
+  net::CloudSimulator cloud_;
+  std::vector<net::Instance> instances_;
+  std::vector<LinkApproximation> links_;
+};
+
+TEST_F(ApproximationsTest, CoversAllOrderedPairs) {
+  EXPECT_EQ(links_.size(), 100u * 99u);
+  for (const auto& link : links_) {
+    EXPECT_GT(link.mean_latency_ms, 0.0);
+    EXPECT_GE(link.ip_distance, 1);
+    EXPECT_LE(link.ip_distance, 4);
+    EXPECT_TRUE(link.hop_count == 0 || link.hop_count == 1 ||
+                link.hop_count == 3);
+  }
+}
+
+TEST_F(ApproximationsTest, MultipleIpDistanceGroupsExist) {
+  std::set<int> distances;
+  for (const auto& link : links_) distances.insert(link.ip_distance);
+  EXPECT_GE(distances.size(), 2u) << "IP assignment should spread subnets";
+}
+
+TEST_F(ApproximationsTest, IpDistanceOrdersLatencyInconsistently) {
+  // The paper's negative result (Fig. 16): group latency ranges overlap, so
+  // a substantial fraction of cross-group orderings are violated.
+  double violations = ProxyOrderViolationFraction(
+      links_, &LinkApproximation::ip_distance);
+  EXPECT_GT(violations, 0.05);
+}
+
+TEST_F(ApproximationsTest, HopCountOrdersLatencyInconsistently) {
+  // Fig. 17: hop-count groups also overlap, though hop count is physically
+  // grounded so the violation rate is lower than a random ordering (0.5).
+  double violations = ProxyOrderViolationFraction(
+      links_, &LinkApproximation::hop_count);
+  EXPECT_GT(violations, 0.01);
+  EXPECT_LT(violations, 0.5);
+}
+
+TEST_F(ApproximationsTest, LowestLatenciesAtIpDistanceTwo) {
+  // Same-host pairs (the latency minimum) land in adjacent /24s of one /16
+  // (distance 2), matching the paper's curious Fig. 16 observation.
+  std::map<int, double> group_min;
+  for (const auto& link : links_) {
+    auto [it, inserted] = group_min.try_emplace(link.ip_distance,
+                                                link.mean_latency_ms);
+    if (!inserted && link.mean_latency_ms < it->second) {
+      it->second = link.mean_latency_ms;
+    }
+  }
+  ASSERT_TRUE(group_min.count(2));
+  for (const auto& [dist, lo] : group_min) {
+    EXPECT_GE(lo, group_min[2]) << "distance " << dist;
+  }
+}
+
+TEST_F(ApproximationsTest, FinerGroupBitsGiveLargerDistances) {
+  auto fine = ComputeLinkApproximations(cloud_, instances_, /*group_bits=*/4);
+  for (size_t k = 0; k < links_.size(); ++k) {
+    EXPECT_GE(fine[k].ip_distance, links_[k].ip_distance);
+  }
+}
+
+}  // namespace
+}  // namespace cloudia::measure

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "graph/comm_graph.h"
+
+namespace cloudia::graph {
+namespace {
+
+CommGraph Make(int n, std::vector<Edge> edges) {
+  auto r = CommGraph::Create(n, std::move(edges));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(CommGraphTest, EmptyGraph) {
+  CommGraph g = Make(0, {});
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_TRUE(g.IsConnectedUndirected());
+}
+
+TEST(CommGraphTest, RejectsOutOfRangeEdge) {
+  auto r = CommGraph::Create(2, {{0, 2}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CommGraphTest, RejectsSelfLoop) {
+  auto r = CommGraph::Create(2, {{1, 1}});
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(CommGraphTest, RejectsDuplicateEdge) {
+  auto r = CommGraph::Create(3, {{0, 1}, {0, 1}});
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(CommGraphTest, AllowsAntiparallelEdges) {
+  CommGraph g = Make(2, {{0, 1}, {1, 0}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.IsAcyclic());
+}
+
+TEST(CommGraphTest, NeighborQueries) {
+  CommGraph g = Make(4, {{0, 1}, {0, 2}, {3, 0}});
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.InDegree(0), 1);
+  EXPECT_EQ(g.Degree(0), 3);  // undirected neighborhood {1,2,3}
+  EXPECT_EQ(g.OutNeighbors(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(g.InNeighbors(0), (std::vector<int>{3}));
+  EXPECT_EQ(g.Neighbors(0), (std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(-1, 0));
+}
+
+TEST(CommGraphTest, UndirectedNeighborhoodDeduplicates) {
+  CommGraph g = Make(2, {{0, 1}, {1, 0}});
+  EXPECT_EQ(g.Neighbors(0), (std::vector<int>{1}));
+}
+
+TEST(CommGraphTest, TopologicalOrderOnDag) {
+  CommGraph g = Make(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[static_cast<size_t>((*order)[i])] = i;
+  for (const Edge& e : g.edges()) EXPECT_LT(pos[e.src], pos[e.dst]);
+}
+
+TEST(CommGraphTest, TopologicalOrderFailsOnCycle) {
+  CommGraph g = Make(3, {{0, 1}, {1, 2}, {2, 0}});
+  auto order = g.TopologicalOrder();
+  ASSERT_FALSE(order.ok());
+  EXPECT_EQ(order.status().code(), StatusCode::kInfeasible);
+  EXPECT_FALSE(g.IsAcyclic());
+}
+
+TEST(CommGraphTest, LongestPathDiamond) {
+  CommGraph g = Make(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto w = [](int s, int d) {
+    if (s == 0 && d == 1) return 1.0;
+    if (s == 1 && d == 3) return 1.0;
+    if (s == 0 && d == 2) return 5.0;
+    return 0.5;  // 2 -> 3
+  };
+  auto cost = g.LongestPathCost(w);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, 5.5);
+}
+
+TEST(CommGraphTest, LongestPathOnChain) {
+  CommGraph g = Make(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto cost = g.LongestPathCost([](int, int) { return 2.0; });
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, 6.0);
+}
+
+TEST(CommGraphTest, LongestPathEmptyEdges) {
+  CommGraph g = Make(5, {});
+  auto cost = g.LongestPathCost([](int, int) { return 9.0; });
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, 0.0);
+}
+
+TEST(CommGraphTest, LongestPathRejectsCycle) {
+  CommGraph g = Make(2, {{0, 1}, {1, 0}});
+  EXPECT_FALSE(g.LongestPathCost([](int, int) { return 1.0; }).ok());
+}
+
+TEST(CommGraphTest, Connectivity) {
+  EXPECT_TRUE(Make(3, {{0, 1}, {2, 1}}).IsConnectedUndirected());
+  EXPECT_FALSE(Make(4, {{0, 1}, {2, 3}}).IsConnectedUndirected());
+  EXPECT_TRUE(Make(1, {}).IsConnectedUndirected());
+}
+
+TEST(CommGraphTest, ToStringMentionsSizes) {
+  CommGraph g = Make(3, {{0, 1}});
+  EXPECT_EQ(g.ToString(), "CommGraph(nodes=3, edges=1)");
+}
+
+}  // namespace
+}  // namespace cloudia::graph

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "deploy/cost.h"
+#include "deploy_test_util.h"
+#include "graph/templates.h"
+
+namespace cloudia::deploy {
+namespace {
+
+using graph::CommGraph;
+using graph::Edge;
+
+CommGraph Make(int n, std::vector<Edge> edges) {
+  auto r = CommGraph::Create(n, std::move(edges));
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+CostMatrix SmallCosts() {
+  // 4 instances; asymmetric.
+  return {{0.0, 1.0, 2.0, 3.0},
+          {1.5, 0.0, 4.0, 5.0},
+          {2.5, 4.5, 0.0, 6.0},
+          {3.5, 5.5, 6.5, 0.0}};
+}
+
+TEST(CostTest, InjectivityCheck) {
+  EXPECT_TRUE(IsInjective({0, 2, 1}, 3));
+  EXPECT_FALSE(IsInjective({0, 0}, 3));
+  EXPECT_FALSE(IsInjective({0, 3}, 3));
+  EXPECT_FALSE(IsInjective({-1}, 3));
+  EXPECT_TRUE(IsInjective({}, 0));
+}
+
+TEST(CostTest, LongestLinkPicksWorstDirectedEdge) {
+  CommGraph g = Make(3, {{0, 1}, {1, 2}});
+  // D: 0->0, 1->1, 2->2. Links used: (0,1) cost 1.0 and (1,2) cost 4.0.
+  EXPECT_DOUBLE_EQ(LongestLinkCost(g, {0, 1, 2}, SmallCosts()), 4.0);
+  // Reversed mapping: links (2,1) cost 4.5 and (1,0) cost 1.5.
+  EXPECT_DOUBLE_EQ(LongestLinkCost(g, {2, 1, 0}, SmallCosts()), 4.5);
+}
+
+TEST(CostTest, LongestLinkOfEdgelessGraphIsZero) {
+  CommGraph g = Make(3, {});
+  EXPECT_DOUBLE_EQ(LongestLinkCost(g, {0, 1, 2}, SmallCosts()), 0.0);
+}
+
+TEST(CostTest, LongestPathSumsAlongPath) {
+  // Chain 0 -> 1 -> 2 deployed to instances 0, 1, 2:
+  // path cost = c[0][1] + c[1][2] = 1 + 4 = 5.
+  CommGraph g = Make(3, {{0, 1}, {1, 2}});
+  auto c = LongestPathCost(g, {0, 1, 2}, SmallCosts());
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(*c, 5.0);
+}
+
+TEST(CostTest, LongestPathTakesMaxOverPaths) {
+  // Diamond 0 -> {1, 2} -> 3 with instances identity:
+  // path via 1: c[0][1] + c[1][3] = 1 + 5 = 6
+  // path via 2: c[0][2] + c[2][3] = 2 + 6 = 8.
+  CommGraph g = Make(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto c = LongestPathCost(g, {0, 1, 2, 3}, SmallCosts());
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(*c, 8.0);
+}
+
+TEST(CostTest, LongestPathRejectsCycle) {
+  CommGraph g = Make(2, {{0, 1}, {1, 0}});
+  EXPECT_FALSE(LongestPathCost(g, {0, 1}, SmallCosts()).ok());
+}
+
+TEST(CostTest, EvaluatorMatchesOneShotFunctions) {
+  Rng rng(3);
+  CommGraph g = graph::RandomDag(6, 0.4, rng);
+  CostMatrix costs = RandomCosts(8, rng);
+  auto ll = CostEvaluator::Create(&g, &costs, Objective::kLongestLink);
+  auto lp = CostEvaluator::Create(&g, &costs, Objective::kLongestPath);
+  ASSERT_TRUE(ll.ok() && lp.ok());
+  for (int trial = 0; trial < 20; ++trial) {
+    Deployment d = rng.SampleWithoutReplacement(8, 6);
+    EXPECT_DOUBLE_EQ(ll->Cost(d), LongestLinkCost(g, d, costs));
+    EXPECT_DOUBLE_EQ(lp->Cost(d), *LongestPathCost(g, d, costs));
+  }
+}
+
+TEST(CostTest, ValidationCatchesProblems) {
+  CommGraph g = Make(3, {{0, 1}, {1, 2}});
+  CostMatrix c = SmallCosts();
+  EXPECT_TRUE(ValidateDeployment(g, {0, 1, 2}, c, Objective::kLongestLink).ok());
+  EXPECT_FALSE(ValidateDeployment(g, {0, 1}, c, Objective::kLongestLink).ok());
+  EXPECT_FALSE(
+      ValidateDeployment(g, {0, 1, 1}, c, Objective::kLongestLink).ok());
+  EXPECT_FALSE(
+      ValidateDeployment(g, {0, 1, 9}, c, Objective::kLongestLink).ok());
+  CostMatrix ragged = {{0.0, 1.0}, {1.0}};
+  EXPECT_FALSE(
+      ValidateDeployment(g, {0, 1, 2}, ragged, Objective::kLongestLink).ok());
+  CommGraph cyclic = Make(3, {{0, 1}, {1, 0}});
+  EXPECT_FALSE(
+      ValidateDeployment(cyclic, {0, 1, 2}, c, Objective::kLongestPath).ok());
+}
+
+TEST(CostTest, EvaluatorRejectsTooManyNodes) {
+  CommGraph g = Make(5, {});
+  CostMatrix c = SmallCosts();  // only 4 instances
+  EXPECT_FALSE(CostEvaluator::Create(&g, &c, Objective::kLongestLink).ok());
+}
+
+TEST(CostTest, ClusterCostMatrixReducesDistinctValues) {
+  Rng rng(7);
+  CostMatrix c = RandomCosts(12, rng);
+  auto clustered = ClusterCostMatrix(c, 5);
+  ASSERT_TRUE(clustered.ok());
+  std::set<double> distinct;
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      if (i != j) distinct.insert((*clustered)[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+    }
+  }
+  EXPECT_LE(distinct.size(), 5u);
+  // Diagonal untouched.
+  for (int i = 0; i < 12; ++i) EXPECT_EQ((*clustered)[static_cast<size_t>(i)][static_cast<size_t>(i)], 0.0);
+}
+
+TEST(CostTest, ClusterZeroIsIdentity) {
+  Rng rng(9);
+  CostMatrix c = RandomCosts(6, rng);
+  auto same = ClusterCostMatrix(c, 0);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(*same, c);
+}
+
+TEST(CostTest, ObjectiveNames) {
+  EXPECT_STREQ(ObjectiveName(Objective::kLongestLink), "LongestLink");
+  EXPECT_STREQ(ObjectiveName(Objective::kLongestPath), "LongestPath");
+}
+
+}  // namespace
+}  // namespace cloudia::deploy

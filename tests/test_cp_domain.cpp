@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "solver/cp/domain.h"
+
+namespace cloudia::cp {
+namespace {
+
+TEST(BitSetTest, FullAndEmptyConstruction) {
+  BitSet empty(70);
+  EXPECT_TRUE(empty.Empty());
+  EXPECT_EQ(empty.Count(), 0);
+  BitSet full(70, /*full=*/true);
+  EXPECT_EQ(full.Count(), 70);
+  EXPECT_TRUE(full.Contains(0));
+  EXPECT_TRUE(full.Contains(69));
+}
+
+TEST(BitSetTest, FullDoesNotSetBitsBeyondUniverse) {
+  BitSet s(65, true);
+  EXPECT_EQ(s.Count(), 65);
+  // The last word must have exactly one bit set.
+  EXPECT_EQ(s.words().back(), 1ULL);
+}
+
+TEST(BitSetTest, InsertRemoveContains) {
+  BitSet s(100);
+  s.Insert(3);
+  s.Insert(64);
+  s.Insert(99);
+  EXPECT_EQ(s.Count(), 3);
+  EXPECT_TRUE(s.Contains(64));
+  EXPECT_FALSE(s.Contains(63));
+  EXPECT_TRUE(s.Remove(64));
+  EXPECT_FALSE(s.Remove(64));  // second remove is a no-op
+  EXPECT_EQ(s.Count(), 2);
+}
+
+TEST(BitSetTest, AssignToCollapses) {
+  BitSet s(50, true);
+  s.AssignTo(17);
+  EXPECT_EQ(s.Count(), 1);
+  EXPECT_EQ(s.First(), 17);
+}
+
+TEST(BitSetTest, IterationVisitsAscending) {
+  BitSet s(130);
+  for (int v : {5, 63, 64, 100, 129}) s.Insert(v);
+  std::vector<int> seen;
+  for (int v = s.First(); v >= 0; v = s.Next(v)) seen.push_back(v);
+  EXPECT_EQ(seen, (std::vector<int>{5, 63, 64, 100, 129}));
+}
+
+TEST(BitSetTest, IterationOnEmpty) {
+  BitSet s(10);
+  EXPECT_EQ(s.First(), -1);
+}
+
+TEST(BitSetTest, IntersectWith) {
+  BitSet a(64), b(64);
+  for (int v : {1, 2, 3}) a.Insert(v);
+  for (int v : {2, 3, 4}) b.Insert(v);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(a.IntersectWith(b));
+  EXPECT_EQ(a.Count(), 2);
+  EXPECT_FALSE(a.IntersectWith(b));  // second time unchanged
+  BitSet c(64);
+  c.Insert(60);
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(BitMatrixTest, SetGetAndRowCount) {
+  BitMatrix m(3, 5);
+  m.Set(0, 1);
+  m.Set(0, 4);
+  m.Set(2, 0);
+  EXPECT_TRUE(m.Get(0, 1));
+  EXPECT_FALSE(m.Get(1, 1));
+  EXPECT_EQ(m.RowCount(0), 2);
+  EXPECT_EQ(m.RowCount(1), 0);
+  EXPECT_EQ(m.Row(2).First(), 0);
+}
+
+TEST(BitMatrixTest, Transpose) {
+  BitMatrix m(2, 3);
+  m.Set(0, 2);
+  m.Set(1, 0);
+  BitMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_TRUE(t.Get(2, 0));
+  EXPECT_TRUE(t.Get(0, 1));
+  EXPECT_FALSE(t.Get(1, 0));
+}
+
+}  // namespace
+}  // namespace cloudia::cp

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "deploy/cp_llndp.h"
+#include "deploy/random_search.h"
+#include "deploy_test_util.h"
+#include "graph/templates.h"
+
+namespace cloudia::deploy {
+namespace {
+
+TEST(CpLlndpTest, OptimalOnTinyInstancesVsBruteForce) {
+  Rng master(11);
+  for (int trial = 0; trial < 12; ++trial) {
+    int n = 4 + static_cast<int>(master.Below(3));  // 4..6 nodes
+    int m = n + 1 + static_cast<int>(master.Below(2));
+    graph::CommGraph g = graph::RandomSymmetric(n, 2.5, master);
+    CostMatrix costs = RandomCosts(m, master);
+    CpLlndpOptions opts;
+    opts.seed = master.Next();
+    auto r = SolveLlndpCp(g, costs, opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r->proven_optimal);
+    double expected = BruteForceOptimum(g, costs, Objective::kLongestLink);
+    EXPECT_NEAR(r->cost, expected, 1e-9) << "trial " << trial;
+    EXPECT_TRUE(ValidateDeployment(g, r->deployment, costs,
+                                   Objective::kLongestLink)
+                    .ok());
+  }
+}
+
+TEST(CpLlndpTest, TraceIsStrictlyImproving) {
+  Rng master(13);
+  graph::CommGraph mesh = graph::Mesh2D(3, 4);
+  CostMatrix costs = RandomCosts(15, master);
+  CpLlndpOptions opts;
+  opts.seed = 5;
+  auto r = SolveLlndpCp(mesh, costs, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->trace.size(), 1u);
+  for (size_t i = 1; i < r->trace.size(); ++i) {
+    EXPECT_LT(r->trace[i].cost, r->trace[i - 1].cost);
+    EXPECT_GE(r->trace[i].seconds, r->trace[i - 1].seconds);
+  }
+  EXPECT_DOUBLE_EQ(r->trace.back().cost, r->cost);
+}
+
+TEST(CpLlndpTest, NeverWorseThanBootstrap) {
+  Rng master(17);
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  CostMatrix costs = RandomCosts(11, master);
+  auto boot = BootstrapDeployment(mesh, costs, Objective::kLongestLink, 9);
+  ASSERT_TRUE(boot.ok());
+  double boot_cost = LongestLinkCost(mesh, *boot, costs);
+  CpLlndpOptions opts;
+  opts.seed = 9;
+  auto r = SolveLlndpCp(mesh, costs, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->cost, boot_cost);
+}
+
+TEST(CpLlndpTest, ClusteringApproximatesButStaysFeasible) {
+  Rng master(19);
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  CostMatrix costs = RandomCosts(12, master);
+  CpLlndpOptions exact;
+  exact.seed = 3;
+  auto r_exact = SolveLlndpCp(mesh, costs, exact);
+  CpLlndpOptions k5 = exact;
+  k5.cost_clusters = 5;
+  auto r_k5 = SolveLlndpCp(mesh, costs, k5);
+  ASSERT_TRUE(r_exact.ok() && r_k5.ok());
+  EXPECT_TRUE(ValidateDeployment(mesh, r_k5->deployment, costs,
+                                 Objective::kLongestLink)
+                  .ok());
+  // Clustered search cannot beat the exact optimum.
+  EXPECT_GE(r_k5->cost, r_exact->cost - 1e-9);
+}
+
+TEST(CpLlndpTest, FewerClustersFewerIterations) {
+  Rng master(23);
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  CostMatrix costs = RandomCosts(14, master);
+  CpLlndpOptions k5, none;
+  k5.cost_clusters = 5;
+  k5.seed = none.seed = 31;
+  auto r_k5 = SolveLlndpCp(mesh, costs, k5);
+  auto r_none = SolveLlndpCp(mesh, costs, none);
+  ASSERT_TRUE(r_k5.ok() && r_none.ok());
+  EXPECT_LE(r_k5->iterations, r_none->iterations);
+}
+
+TEST(CpLlndpTest, RespectsProvidedInitialDeployment) {
+  Rng master(29);
+  graph::CommGraph mesh = graph::Mesh2D(2, 3);
+  CostMatrix costs = RandomCosts(8, master);
+  CpLlndpOptions opts;
+  opts.initial = {0, 1, 2, 3, 4, 5};
+  auto r = SolveLlndpCp(mesh, costs, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->cost, LongestLinkCost(mesh, opts.initial, costs));
+}
+
+TEST(CpLlndpTest, RejectsInvalidInitial) {
+  Rng master(31);
+  graph::CommGraph mesh = graph::Mesh2D(2, 2);
+  CostMatrix costs = RandomCosts(6, master);
+  CpLlndpOptions opts;
+  opts.initial = {0, 0, 1, 2};  // not injective
+  EXPECT_FALSE(SolveLlndpCp(mesh, costs, opts).ok());
+}
+
+TEST(CpLlndpTest, EdgelessGraphTriviallyOptimal) {
+  Rng master(37);
+  auto g = graph::CommGraph::Create(3, {});
+  CostMatrix costs = RandomCosts(5, master);
+  auto r = SolveLlndpCp(*g, costs, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->proven_optimal);
+  EXPECT_DOUBLE_EQ(r->cost, 0.0);
+}
+
+TEST(CpLlndpTest, ZeroDeadlineReturnsBootstrap) {
+  Rng master(41);
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  CostMatrix costs = RandomCosts(11, master);
+  CpLlndpOptions opts;
+  opts.deadline = Deadline::After(0);
+  opts.seed = 1;
+  auto r = SolveLlndpCp(mesh, costs, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->proven_optimal);
+  auto boot = BootstrapDeployment(mesh, costs, Objective::kLongestLink, 1);
+  EXPECT_DOUBLE_EQ(r->cost, LongestLinkCost(mesh, *boot, costs));
+}
+
+TEST(CpLlndpTest, WarmStartHintsDoNotChangeOptimality) {
+  Rng master(43);
+  graph::CommGraph mesh = graph::Mesh2D(2, 3);
+  CostMatrix costs = RandomCosts(9, master);
+  CpLlndpOptions plain, hinted;
+  plain.seed = hinted.seed = 2;
+  hinted.warm_start_hints = true;
+  auto a = SolveLlndpCp(mesh, costs, plain);
+  auto b = SolveLlndpCp(mesh, costs, hinted);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(a->proven_optimal && b->proven_optimal);
+  EXPECT_NEAR(a->cost, b->cost, 1e-9);
+}
+
+}  // namespace
+}  // namespace cloudia::deploy

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "solver/cp/search.h"
+
+namespace cloudia::cp {
+namespace {
+
+// N-queens: variable per row holds the queen's column. alldifferent covers
+// columns; one table per row pair forbids diagonal attacks.
+class Queens {
+ public:
+  explicit Queens(int n) : n_(n), csp_(n, n) {
+    csp_.AddAllDifferent();
+    // One allowed-matrix per row distance d: |c - c'| != d.
+    for (int d = 1; d < n; ++d) {
+      auto m = std::make_unique<BitMatrix>(n, n);
+      for (int c = 0; c < n; ++c) {
+        for (int c2 = 0; c2 < n; ++c2) {
+          if (std::abs(c - c2) != d) m->Set(c, c2);
+        }
+      }
+      auto t = std::make_unique<BitMatrix>(m->Transposed());
+      by_distance_.push_back(std::move(m));
+      by_distance_t_.push_back(std::move(t));
+    }
+    for (int r1 = 0; r1 < n; ++r1) {
+      for (int r2 = r1 + 1; r2 < n; ++r2) {
+        csp_.AddBinaryTable(r1, r2, by_distance_[static_cast<size_t>(r2 - r1 - 1)].get(),
+                            by_distance_t_[static_cast<size_t>(r2 - r1 - 1)].get());
+      }
+    }
+  }
+
+  Csp& csp() { return csp_; }
+
+ private:
+  int n_;
+  Csp csp_;
+  std::vector<std::unique_ptr<BitMatrix>> by_distance_;
+  std::vector<std::unique_ptr<BitMatrix>> by_distance_t_;
+};
+
+TEST(CspSearchTest, QueensSolutionCountsAreClassic) {
+  // Known values: n=4 -> 2, n=5 -> 10, n=6 -> 4, n=8 -> 92.
+  EXPECT_EQ(Queens(4).csp().CountSolutions({}), 2);
+  EXPECT_EQ(Queens(5).csp().CountSolutions({}), 10);
+  EXPECT_EQ(Queens(6).csp().CountSolutions({}), 4);
+  EXPECT_EQ(Queens(8).csp().CountSolutions({}), 92);
+}
+
+TEST(CspSearchTest, QueensFirstSolutionIsValid) {
+  Queens q(8);
+  auto sol = q.csp().SolveFirst({});
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  const auto& cols = *sol;
+  for (int r1 = 0; r1 < 8; ++r1) {
+    for (int r2 = r1 + 1; r2 < 8; ++r2) {
+      EXPECT_NE(cols[static_cast<size_t>(r1)], cols[static_cast<size_t>(r2)]);
+      EXPECT_NE(std::abs(cols[static_cast<size_t>(r1)] - cols[static_cast<size_t>(r2)]),
+                r2 - r1);
+    }
+  }
+}
+
+TEST(CspSearchTest, ThreeQueensInfeasible) {
+  auto sol = Queens(3).csp().SolveFirst({});
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(CspSearchTest, NodeLimitReportsTimeout) {
+  Queens q(8);
+  SearchLimits limits;
+  limits.max_nodes = 1;
+  SearchStats stats;
+  auto sol = q.csp().SolveFirst(limits, &stats);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kTimeout);
+  EXPECT_TRUE(stats.limit_hit);
+}
+
+TEST(CspSearchTest, ExpiredDeadlineReportsTimeout) {
+  Queens q(8);
+  SearchLimits limits;
+  limits.deadline = Deadline::After(0);
+  auto sol = q.csp().SolveFirst(limits);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kTimeout);
+}
+
+TEST(CspSearchTest, ValueHintSteersFirstSolution) {
+  // Unconstrained 2-var problem with alldifferent: hints pick the solution.
+  Csp csp(2, 4);
+  csp.AddAllDifferent();
+  csp.SetValueHint(0, 3);
+  csp.SetValueHint(1, 1);
+  auto sol = csp.SolveFirst({});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ((*sol)[0], 3);
+  EXPECT_EQ((*sol)[1], 1);
+}
+
+TEST(CspSearchTest, PreprunedDomainsAreRespected) {
+  Csp csp(3, 5);
+  csp.AddAllDifferent();
+  csp.MutableDomain(0).AssignTo(2);
+  csp.MutableDomain(1).Remove(0);
+  auto sol = csp.SolveFirst({});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ((*sol)[0], 2);
+  EXPECT_NE((*sol)[1], 0);
+  EXPECT_NE((*sol)[1], 2);
+}
+
+TEST(CspSearchTest, StatsAreaAccumulated) {
+  Queens q(8);
+  SearchStats stats;
+  auto sol = q.csp().SolveFirst({}, &stats);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GT(stats.nodes, 0);
+  EXPECT_GT(stats.propagations, 0);
+}
+
+TEST(CspSearchTest, ZeroVariableProblemHasOneEmptySolution) {
+  Csp csp(0, 5);
+  auto sol = csp.SolveFirst({});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->empty());
+  EXPECT_EQ(csp.CountSolutions({}), 1);
+}
+
+TEST(CspSearchTest, BinaryTableWithoutAllDifferent) {
+  // x < y over {0,1,2}: 3 solutions.
+  BitMatrix less(3, 3);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = a + 1; b < 3; ++b) less.Set(a, b);
+  }
+  BitMatrix less_t = less.Transposed();
+  Csp csp(2, 3);
+  csp.AddBinaryTable(0, 1, &less, &less_t);
+  EXPECT_EQ(csp.CountSolutions({}), 3);
+}
+
+}  // namespace
+}  // namespace cloudia::cp

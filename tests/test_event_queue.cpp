@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "measure/event_queue.h"
+
+namespace cloudia::measure {
+namespace {
+
+TEST(EventQueueTest, RunsInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.RunAll(), 3);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now_ms(), 3.0);
+}
+
+TEST(EventQueueTest, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(1.0, [&] { order.push_back(0); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(1.0, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueTest, CallbacksCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) q.ScheduleAfter(1.0, chain);
+  };
+  q.ScheduleAt(0.0, chain);
+  EXPECT_EQ(q.RunAll(), 5);
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(q.now_ms(), 4.0);
+}
+
+TEST(EventQueueTest, RunUntilLeavesLaterEventsPending) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] { ++fired; });
+  q.ScheduleAt(5.0, [&] { ++fired; });
+  EXPECT_EQ(q.RunUntil(3.0), 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now_ms(), 3.0);  // clock advances to the horizon
+  q.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double observed = -1;
+  q.ScheduleAt(2.0, [&] {
+    q.ScheduleAfter(3.0, [&] { observed = q.now_ms(); });
+  });
+  q.RunAll();
+  EXPECT_DOUBLE_EQ(observed, 5.0);
+}
+
+}  // namespace
+}  // namespace cloudia::measure

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace cloudia {
+namespace {
+
+Flags MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  auto r = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(FlagsTest, EqualsAndSpaceSyntax) {
+  Flags f = MustParse({"--a=1", "--b", "2", "--c"});
+  EXPECT_TRUE(f.Has("a"));
+  EXPECT_EQ(*f.GetInt("a", 0), 1);
+  EXPECT_EQ(*f.GetInt("b", 0), 2);
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_FALSE(f.Has("d"));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags f = MustParse({"advise", "--x=3", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "advise");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(FlagsTest, Defaults) {
+  Flags f = MustParse({});
+  EXPECT_EQ(f.GetString("name", "fallback"), "fallback");
+  EXPECT_EQ(*f.GetInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(*f.GetDouble("d", 2.5), 2.5);
+  EXPECT_TRUE(f.GetBool("b", true));
+}
+
+TEST(FlagsTest, NumericValidation) {
+  Flags f = MustParse({"--n=abc", "--d=1.5x"});
+  EXPECT_FALSE(f.GetInt("n", 0).ok());
+  EXPECT_FALSE(f.GetDouble("d", 0).ok());
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  Flags f = MustParse({"--rate=0.25", "--neg=-3.5"});
+  EXPECT_DOUBLE_EQ(*f.GetDouble("rate", 0), 0.25);
+  EXPECT_DOUBLE_EQ(*f.GetDouble("neg", 0), -3.5);
+}
+
+TEST(FlagsTest, BoolFalseSpellings) {
+  Flags f = MustParse({"--a=false", "--b=0", "--c=no", "--d=yes"});
+  EXPECT_FALSE(f.GetBool("a", true));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_FALSE(f.GetBool("c", true));
+  EXPECT_TRUE(f.GetBool("d", false));
+}
+
+TEST(FlagsTest, BareDoubleDashRejected) {
+  const char* argv[] = {"prog", "--"};
+  EXPECT_FALSE(Flags::Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, UnqueriedDetection) {
+  Flags f = MustParse({"--used=1", "--typo=2"});
+  (void)f.GetInt("used", 0);
+  auto unqueried = f.UnqueriedFlags();
+  ASSERT_EQ(unqueried.size(), 1u);
+  EXPECT_EQ(unqueried[0], "typo");
+}
+
+TEST(FlagsTest, FlagFollowedByFlagIsBoolean) {
+  Flags f = MustParse({"--a", "--b=2"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_EQ(*f.GetInt("b", 0), 2);
+}
+
+}  // namespace
+}  // namespace cloudia

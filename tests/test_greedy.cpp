@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "deploy/greedy.h"
+#include "deploy/random_search.h"
+#include "deploy_test_util.h"
+#include "graph/templates.h"
+
+namespace cloudia::deploy {
+namespace {
+
+TEST(GreedyTest, ProducesValidInjection) {
+  Rng rng(1);
+  CostMatrix costs = RandomCosts(12, rng);
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  for (auto* fn : {&GreedyG1, &GreedyG2}) {
+    Rng r(7);
+    auto d = (*fn)(mesh, costs, r);
+    ASSERT_TRUE(d.ok());
+    EXPECT_TRUE(
+        ValidateDeployment(mesh, *d, costs, Objective::kLongestLink).ok());
+  }
+}
+
+TEST(GreedyTest, RejectsTooManyNodes) {
+  Rng rng(2);
+  CostMatrix costs = RandomCosts(4, rng);
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);  // 9 nodes > 4 instances
+  Rng r(1);
+  EXPECT_FALSE(GreedyG1(mesh, costs, r).ok());
+}
+
+TEST(GreedyTest, HandlesTinyGraphs) {
+  Rng rng(3);
+  CostMatrix costs = RandomCosts(5, rng);
+  {
+    auto g = graph::CommGraph::Create(0, {});
+    Rng r(1);
+    auto d = GreedyG1(*g, costs, r);
+    ASSERT_TRUE(d.ok());
+    EXPECT_TRUE(d->empty());
+  }
+  {
+    auto g = graph::CommGraph::Create(1, {});
+    Rng r(1);
+    auto d = GreedyG2(*g, costs, r);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d->size(), 1u);
+  }
+}
+
+TEST(GreedyTest, HandlesDisconnectedGraphs) {
+  Rng rng(4);
+  CostMatrix costs = RandomCosts(10, rng);
+  // Two disjoint edges plus two isolated nodes.
+  auto g = graph::CommGraph::Create(6, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  for (auto* fn : {&GreedyG1, &GreedyG2}) {
+    Rng r(11);
+    auto d = (*fn)(*g, costs, r);
+    ASSERT_TRUE(d.ok());
+    EXPECT_TRUE(
+        ValidateDeployment(*g, *d, costs, Objective::kLongestLink).ok());
+  }
+}
+
+TEST(GreedyTest, G1PicksCheapestPairForFirstEdge) {
+  // Craft costs where pair (2, 3) is globally cheapest; G1 must start there.
+  CostMatrix costs(5, std::vector<double>(5, 1.0));
+  for (int i = 0; i < 5; ++i) costs[static_cast<size_t>(i)][static_cast<size_t>(i)] = 0;
+  costs[2][3] = 0.1;
+  auto g = graph::CommGraph::Create(2, {{0, 1}});
+  Rng r(5);
+  auto d = GreedyG1(*g, costs, r);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)[0], 2);
+  EXPECT_EQ((*d)[1], 3);
+}
+
+TEST(GreedyTest, G2AvoidsExpensiveImplicitLinks) {
+  // Triangle pattern. Instances: {0,1,2,3}. Explicit costs make instance 3
+  // the cheapest next hop from every node, but its links back to earlier
+  // deployment are terrible; a good G2 avoids it, G1 falls for it.
+  //
+  // Cost design: cheap pair (0,1) = 0.1 seeds the first edge. For the third
+  // node: instance 2 costs 0.5 from/to both 0 and 1; instance 3 costs 0.2
+  // from 0 but 5.0 from/to 1.
+  CostMatrix costs(4, std::vector<double>(4, 5.0));
+  for (int i = 0; i < 4; ++i) costs[static_cast<size_t>(i)][static_cast<size_t>(i)] = 0;
+  auto set_pair = [&costs](int a, int b, double v) {
+    costs[static_cast<size_t>(a)][static_cast<size_t>(b)] = v;
+    costs[static_cast<size_t>(b)][static_cast<size_t>(a)] = v;
+  };
+  set_pair(0, 1, 0.1);
+  set_pair(0, 2, 0.5);
+  set_pair(1, 2, 0.5);
+  set_pair(0, 3, 0.2);
+  // (1,3) stays 5.0.
+  auto g = graph::CommGraph::Create(
+      3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}, {2, 0}});
+  ASSERT_TRUE(g.ok());
+  Rng r1(42), r2(42);
+  auto d1 = GreedyG1(*g, costs, r1);
+  auto d2 = GreedyG2(*g, costs, r2);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  double c1 = LongestLinkCost(*g, *d1, costs);
+  double c2 = LongestLinkCost(*g, *d2, costs);
+  EXPECT_DOUBLE_EQ(c2, 0.5);  // G2 places the third node on instance 2
+  EXPECT_DOUBLE_EQ(c1, 5.0);  // G1 grabs the cheap explicit 0.2 link
+  EXPECT_LT(c2, c1);
+}
+
+TEST(GreedyTest, G2BeatsG1OnAverageOverRandomInstances) {
+  // Statistical version of the paper's Fig. 14 finding (G1 worst).
+  Rng master(17);
+  double g1_total = 0, g2_total = 0;
+  const int trials = 25;
+  graph::CommGraph mesh = graph::Mesh2D(3, 4);
+  for (int t = 0; t < trials; ++t) {
+    CostMatrix costs = RandomCosts(14, master);
+    Rng r1(master.Next()), r2(r1);
+    auto d1 = GreedyG1(mesh, costs, r1);
+    auto d2 = GreedyG2(mesh, costs, r2);
+    ASSERT_TRUE(d1.ok() && d2.ok());
+    g1_total += LongestLinkCost(mesh, *d1, costs);
+    g2_total += LongestLinkCost(mesh, *d2, costs);
+  }
+  EXPECT_LT(g2_total, g1_total);
+}
+
+TEST(GreedyTest, DeterministicGivenSeed) {
+  Rng master(19);
+  CostMatrix costs = RandomCosts(12, master);
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  Rng a(3), b(3);
+  auto d1 = GreedyG2(mesh, costs, a);
+  auto d2 = GreedyG2(mesh, costs, b);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_EQ(*d1, *d2);
+}
+
+}  // namespace
+}  // namespace cloudia::deploy

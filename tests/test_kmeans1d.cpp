@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cluster/kmeans1d.h"
+#include "common/rng.h"
+
+namespace cloudia::cluster {
+namespace {
+
+// Brute-force optimal k-means over distinct sorted values: optimal clusters
+// of sorted 1-D data are contiguous intervals, so enumerate all cut placements.
+double BruteForceCost(std::vector<double> values, int k) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  // NOTE: brute force on *distinct unweighted* values; tests pass distinct
+  // inputs when comparing against this.
+  int n = static_cast<int>(values.size());
+  k = std::min(k, n);
+  auto interval_cost = [&](int i, int j) {
+    double mean = 0;
+    for (int t = i; t <= j; ++t) mean += values[static_cast<size_t>(t)];
+    mean /= (j - i + 1);
+    double c = 0;
+    for (int t = i; t <= j; ++t) {
+      double d = values[static_cast<size_t>(t)] - mean;
+      c += d * d;
+    }
+    return c;
+  };
+  std::vector<std::vector<double>> dp(
+      static_cast<size_t>(k),
+      std::vector<double>(static_cast<size_t>(n),
+                          std::numeric_limits<double>::infinity()));
+  for (int j = 0; j < n; ++j) dp[0][static_cast<size_t>(j)] = interval_cost(0, j);
+  for (int m = 1; m < k; ++m) {
+    for (int j = m; j < n; ++j) {
+      for (int i = m; i <= j; ++i) {
+        dp[static_cast<size_t>(m)][static_cast<size_t>(j)] =
+            std::min(dp[static_cast<size_t>(m)][static_cast<size_t>(j)],
+                     dp[static_cast<size_t>(m - 1)][static_cast<size_t>(i - 1)] +
+                         interval_cost(i, j));
+      }
+    }
+  }
+  return dp[static_cast<size_t>(k - 1)][static_cast<size_t>(n - 1)];
+}
+
+TEST(KMeans1DTest, RejectsBadInput) {
+  EXPECT_FALSE(KMeans1D({}, 3).ok());
+  EXPECT_FALSE(KMeans1D({1.0}, 0).ok());
+}
+
+TEST(KMeans1DTest, SingleCluster) {
+  auto r = KMeans1D({1, 2, 3, 4}, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->centers.size(), 1u);
+  EXPECT_DOUBLE_EQ(r->centers[0], 2.5);
+  EXPECT_DOUBLE_EQ(r->cost, 5.0);  // (1.5^2 + .5^2)*2
+}
+
+TEST(KMeans1DTest, KAtLeastDistinctGivesZeroCost) {
+  auto r = KMeans1D({3, 1, 2, 2, 3}, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->centers.size(), 3u);  // distinct values 1,2,3
+  EXPECT_DOUBLE_EQ(r->cost, 0.0);
+  EXPECT_EQ(r->centers[0], 1.0);
+  EXPECT_EQ(r->centers[1], 2.0);
+  EXPECT_EQ(r->centers[2], 3.0);
+}
+
+TEST(KMeans1DTest, ObviousTwoClusters) {
+  auto r = KMeans1D({0.0, 0.1, 0.2, 10.0, 10.1, 10.2}, 2);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->centers.size(), 2u);
+  EXPECT_NEAR(r->centers[0], 0.1, 1e-9);
+  EXPECT_NEAR(r->centers[1], 10.1, 1e-9);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(r->assignment[static_cast<size_t>(i)], 0);
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(r->assignment[static_cast<size_t>(i)], 1);
+}
+
+TEST(KMeans1DTest, AssignmentPreservesInputOrder) {
+  auto r = KMeans1D({10.0, 0.0, 10.1}, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->assignment[0], 1);
+  EXPECT_EQ(r->assignment[1], 0);
+  EXPECT_EQ(r->assignment[2], 1);
+}
+
+TEST(KMeans1DTest, CentersAreAscending) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.Uniform(0, 5));
+  auto r = KMeans1D(v, 7);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 1; i < r->centers.size(); ++i) {
+    EXPECT_LT(r->centers[i - 1], r->centers[i]);
+  }
+}
+
+TEST(KMeans1DTest, MatchesBruteForceOnRandomDistinctInputs) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 3 + static_cast<int>(rng.Below(12));
+    std::vector<double> v;
+    for (int i = 0; i < n; ++i) {
+      v.push_back(std::round(rng.Uniform(0, 100)) +
+                  i * 1000.0 * 0);  // may still collide; dedupe below
+    }
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    int k = 1 + static_cast<int>(rng.Below(static_cast<uint64_t>(v.size())));
+    auto r = KMeans1D(v, k);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(r->cost, BruteForceCost(v, k), 1e-6)
+        << "n=" << v.size() << " k=" << k;
+  }
+}
+
+TEST(KMeans1DTest, WeightedDuplicatesPullCenters) {
+  // 100 copies of 1.0 and a single 2.0 with k=1: center must sit near 1.
+  std::vector<double> v(100, 1.0);
+  v.push_back(2.0);
+  auto r = KMeans1D(v, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->centers[0], (100.0 + 2.0) / 101.0, 1e-12);
+}
+
+TEST(ClusterToMeansTest, MapsEveryValueToItsCenter) {
+  auto r = ClusterToMeans({0.0, 0.2, 9.8, 10.0}, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ((*r)[0], 0.1);
+  EXPECT_DOUBLE_EQ((*r)[1], 0.1);
+  EXPECT_DOUBLE_EQ((*r)[2], 9.9);
+  EXPECT_DOUBLE_EQ((*r)[3], 9.9);
+}
+
+TEST(ClusterToMeansTest, ReducesDistinctValues) {
+  Rng rng(29);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng.Uniform(0.2, 1.4));
+  auto r = ClusterToMeans(v, 20);
+  ASSERT_TRUE(r.ok());
+  std::vector<double> sorted = *r;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_LE(sorted.size(), 20u);
+}
+
+TEST(ClusterToMeansTest, ClusteringIsMonotone) {
+  // Larger values must never map to smaller cluster means.
+  Rng rng(31);
+  std::vector<double> v;
+  for (int i = 0; i < 300; ++i) v.push_back(rng.Uniform(0, 1));
+  auto r = ClusterToMeans(v, 8);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < v.size(); ++i) {
+    for (size_t j = 0; j < v.size(); ++j) {
+      if (v[i] < v[j]) EXPECT_LE((*r)[i], (*r)[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudia::cluster

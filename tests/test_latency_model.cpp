@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "netsim/latency_model.h"
+#include "netsim/provider.h"
+
+namespace cloudia::net {
+namespace {
+
+class LatencyModelTest : public ::testing::Test {
+ protected:
+  LatencyModelTest()
+      : profile_(AmazonEc2Profile()),
+        topology_(profile_.topology),
+        model_(profile_, topology_, /*seed=*/42) {}
+
+  ProviderProfile profile_;
+  Topology topology_;
+  LatencyModel model_;
+};
+
+TEST_F(LatencyModelTest, DeterministicLinkParams) {
+  LinkParams a = model_.Link(0, 0, 1, 25);
+  LinkParams b = model_.Link(0, 0, 1, 25);
+  EXPECT_EQ(a.static_mean_ms, b.static_mean_ms);
+  EXPECT_EQ(a.jitter_scale_ms, b.jitter_scale_ms);
+  EXPECT_EQ(a.burst_frac, b.burst_frac);
+  EXPECT_EQ(a.burst_magnitude_ms, b.burst_magnitude_ms);
+}
+
+TEST_F(LatencyModelTest, DifferentSeedsGiveDifferentNetworks) {
+  LatencyModel other(profile_, topology_, /*seed=*/43);
+  EXPECT_NE(model_.Link(0, 0, 1, 25).static_mean_ms,
+            other.Link(0, 0, 1, 25).static_mean_ms);
+}
+
+TEST_F(LatencyModelTest, ProximityOrdersBaseLatency) {
+  // Averaged over many pairs, closer proximity gives lower mean RTT.
+  OnlineStats same_rack, same_pod, cross_pod;
+  int hosts_per_rack = profile_.topology.hosts_per_rack;
+  int hosts_per_pod = hosts_per_rack * profile_.topology.racks_per_pod;
+  for (int i = 0; i < 60; ++i) {
+    same_rack.Add(model_.Link(0, 0, 1, 1 + i % (hosts_per_rack - 1)).static_mean_ms);
+    same_pod.Add(
+        model_.Link(0, 0, 1, hosts_per_rack + i % (hosts_per_pod - hosts_per_rack))
+            .static_mean_ms);
+    cross_pod.Add(model_.Link(0, 0, 1, hosts_per_pod + i).static_mean_ms);
+  }
+  EXPECT_LT(same_rack.mean(), same_pod.mean());
+  EXPECT_LT(same_pod.mean(), cross_pod.mean());
+  double same_host = model_.Link(0, 7, 1, 7).static_mean_ms;
+  EXPECT_LT(same_host, same_rack.mean());
+}
+
+TEST_F(LatencyModelTest, AsymmetryIsSmall) {
+  LinkParams ab = model_.Link(2, 0, 3, 30);
+  LinkParams ba = model_.Link(3, 30, 2, 0);
+  EXPECT_NE(ab.static_mean_ms, ba.static_mean_ms);
+  EXPECT_NEAR(ab.static_mean_ms, ba.static_mean_ms,
+              2 * profile_.asymmetry_ms + 1e-12);
+}
+
+TEST_F(LatencyModelTest, SerializationScalesWithSize) {
+  EXPECT_DOUBLE_EQ(model_.SerializationMs(0), 0.0);
+  double one_kb = model_.SerializationMs(1024);
+  EXPECT_NEAR(one_kb, 1024 * 8.0 / 1e6, 1e-12);  // 1 Gbps profile
+  EXPECT_DOUBLE_EQ(model_.SerializationMs(2048), 2 * one_kb);
+}
+
+TEST_F(LatencyModelTest, DriftIsBoundedAndSmooth) {
+  LinkParams lp = model_.Link(0, 0, 1, 40);
+  double prev = model_.DriftMultiplier(lp, 0.0);
+  for (int h = 1; h <= 240; ++h) {
+    double cur = model_.DriftMultiplier(lp, h);
+    EXPECT_GE(cur, 1.0 - profile_.drift_amplitude);
+    EXPECT_LE(cur, 1.0 + profile_.drift_amplitude);
+    // Hour-to-hour change stays tiny: mean latency is *stable* (paper Fig 2).
+    EXPECT_LT(std::fabs(cur - prev), 0.02);
+    prev = cur;
+  }
+}
+
+TEST_F(LatencyModelTest, SampleMeanConvergesToExpectedRtt) {
+  // Bursts are temporally correlated, so convergence requires sampling over
+  // many burst windows: spread the 60k samples over ~30 hours.
+  Rng rng(7);
+  OnlineStats sampled, expected;
+  for (int i = 0; i < 60000; ++i) {
+    double t = i * 0.0005;  // 1.8 s steps
+    sampled.Add(model_.SampleRtt(0, 0, 1, 40, 1024, t, rng));
+    expected.Add(model_.ExpectedRtt(0, 0, 1, 40, 1024, t));
+  }
+  EXPECT_NEAR(sampled.mean(), expected.mean(), 0.03 * expected.mean());
+}
+
+TEST_F(LatencyModelTest, BurstsAreDeterministicAndMatchFraction) {
+  // Pick the most burst-prone link among a few candidates.
+  LinkParams lp = model_.Link(0, 0, 1, 40);
+  for (int h = 41; h < 90; ++h) {
+    LinkParams cand = model_.Link(0, 0, 1, h);
+    if (cand.burst_frac > lp.burst_frac) lp = cand;
+  }
+  int active = 0;
+  const int windows = 2000000;
+  for (int w = 0; w < windows; ++w) {
+    double t = (w + 0.5) * profile_.burst_window_s / 3600.0;  // window center
+    double b1 = model_.BurstAt(lp, t);
+    double b2 = model_.BurstAt(lp, t);
+    EXPECT_EQ(b1, b2);  // deterministic
+    if (b1 > 0) {
+      ++active;
+      EXPECT_GE(b1, 0.7 * lp.burst_magnitude_ms - 1e-12);
+      EXPECT_LE(b1, 1.3 * lp.burst_magnitude_ms + 1e-12);
+    }
+  }
+  double frac = static_cast<double>(active) / windows;
+  EXPECT_NEAR(frac, lp.burst_frac, 0.3 * lp.burst_frac + 1e-4);
+}
+
+TEST_F(LatencyModelTest, SamplesAreNonnegativeAndAboveStaticFloor) {
+  Rng rng(11);
+  LinkParams lp = model_.Link(0, 0, 1, 40);
+  for (int i = 0; i < 1000; ++i) {
+    double rtt = model_.SampleRtt(0, 0, 1, 40, 1024, 0.0, rng);
+    EXPECT_GT(rtt, lp.static_mean_ms * 0.9);
+  }
+}
+
+TEST_F(LatencyModelTest, ExpectedRttIncludesJitterAndBurstMeans) {
+  LinkParams lp = model_.Link(0, 0, 1, 40);
+  double e = model_.ExpectedRtt(0, 0, 1, 40, 0, 0.0);
+  double floor = lp.static_mean_ms * model_.DriftMultiplier(lp, 0.0) +
+                 2 * profile_.per_message_overhead_ms;
+  EXPECT_NEAR(e - floor,
+              lp.jitter_scale_ms + lp.burst_frac * lp.burst_magnitude_ms,
+              1e-12);
+}
+
+TEST_F(LatencyModelTest, JitterAndBurstsVaryAcrossLinks) {
+  OnlineStats scale, frac, mag;
+  for (int h = 1; h < 200; ++h) {
+    LinkParams lp = model_.Link(0, 0, 1, h);
+    scale.Add(lp.jitter_scale_ms);
+    frac.Add(lp.burst_frac);
+    mag.Add(lp.burst_magnitude_ms);
+  }
+  EXPECT_GT(scale.stddev(), 0.0);
+  EXPECT_GT(frac.max(), 10 * (frac.min() + 1e-12));  // heavy spread
+  EXPECT_GE(mag.min(), profile_.burst_magnitude_lo_ms);
+  EXPECT_LE(mag.max(), profile_.burst_magnitude_hi_ms);
+}
+
+}  // namespace
+}  // namespace cloudia::net

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "measure/io.h"
+
+namespace cloudia::measure {
+namespace {
+
+std::vector<std::vector<double>> RandomMatrix(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> m(static_cast<size_t>(n),
+                                     std::vector<double>(static_cast<size_t>(n), 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) m[static_cast<size_t>(i)][static_cast<size_t>(j)] = rng.Uniform(0.2, 1.4);
+    }
+  }
+  return m;
+}
+
+TEST(MeasureIoTest, RoundTripPreservesEverything) {
+  auto m = RandomMatrix(7, 3);
+  std::string text = CostMatrixToString(m, "Mean");
+  auto loaded = CostMatrixFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->metric_name, "Mean");
+  ASSERT_EQ(loaded->costs.size(), 7u);
+  for (size_t i = 0; i < 7; ++i) {
+    for (size_t j = 0; j < 7; ++j) {
+      EXPECT_DOUBLE_EQ(loaded->costs[i][j], m[i][j]) << i << "," << j;
+    }
+  }
+}
+
+TEST(MeasureIoTest, EmptyMatrixRoundTrips) {
+  std::vector<std::vector<double>> empty;
+  auto loaded = CostMatrixFromString(CostMatrixToString(empty, "Mean"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->costs.empty());
+}
+
+TEST(MeasureIoTest, RejectsCorruptedContent) {
+  auto m = RandomMatrix(3, 4);
+  std::string good = CostMatrixToString(m, "99%");
+  EXPECT_FALSE(CostMatrixFromString("garbage\n" + good).ok());
+  EXPECT_FALSE(CostMatrixFromString("").ok());
+  // Truncated: drop the last row.
+  std::string truncated = good.substr(0, good.rfind("row 2:"));
+  EXPECT_FALSE(CostMatrixFromString(truncated).ok());
+  // Extra cell on a row.
+  std::string padded = good;
+  padded.insert(padded.rfind('\n'), " 0.5");
+  EXPECT_FALSE(CostMatrixFromString(padded).ok());
+}
+
+TEST(MeasureIoTest, MetricNameWithSpacesSurvives) {
+  auto m = RandomMatrix(2, 5);
+  auto loaded = CostMatrixFromString(CostMatrixToString(m, "Mean+SD"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->metric_name, "Mean+SD");
+}
+
+TEST(MeasureIoTest, FileRoundTrip) {
+  auto m = RandomMatrix(5, 6);
+  std::string path = ::testing::TempDir() + "/cloudia_costs_test.txt";
+  ASSERT_TRUE(SaveCostMatrix(path, m, "Mean").ok());
+  auto loaded = LoadCostMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->costs[1][2], m[1][2]);
+  std::remove(path.c_str());
+}
+
+TEST(MeasureIoTest, MissingFileIsNotFound) {
+  auto loaded = LoadCostMatrix("/nonexistent/path/costs.txt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cloudia::measure

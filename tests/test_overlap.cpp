@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "cloudia/overlap.h"
+
+namespace cloudia {
+namespace {
+
+TEST(OverlapTest, RejectsNonPhysicalInputs) {
+  OverlapScenario s;
+  s.tuning_s = -1;
+  EXPECT_FALSE(EvaluateOverlap(s).ok());
+  s = {};
+  s.default_slowdown = 0.5;
+  EXPECT_FALSE(EvaluateOverlap(s).ok());
+  s = {};
+  s.interference_slowdown = 0.9;
+  EXPECT_FALSE(EvaluateOverlap(s).ok());
+}
+
+TEST(OverlapTest, FreeMigrationAlwaysWinsForLongJobs) {
+  OverlapScenario s;
+  s.tuning_s = 600;
+  s.optimized_runtime_s = 36000;  // 10h job
+  s.default_slowdown = 1.4;
+  s.interference_slowdown = 1.05;
+  s.migration_s = 0;
+  auto d = EvaluateOverlap(s);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->overlap_beneficial);
+  EXPECT_LT(d->overlapped_total_s, d->sequential_total_s);
+  // Savings are bounded by the tuning window.
+  EXPECT_GT(d->overlapped_total_s, d->sequential_total_s - s.tuning_s);
+}
+
+TEST(OverlapTest, ExpensiveMigrationFlipsTheDecision) {
+  OverlapScenario s;
+  s.tuning_s = 600;
+  s.optimized_runtime_s = 7200;
+  s.default_slowdown = 1.3;
+  s.interference_slowdown = 1.1;
+  s.migration_s = 0;
+  auto cheap = EvaluateOverlap(s);
+  ASSERT_TRUE(cheap.ok());
+  ASSERT_TRUE(cheap->overlap_beneficial);
+  // Push migration beyond the break-even point: overlap loses.
+  s.migration_s = cheap->break_even_migration_s + 1.0;
+  auto costly = EvaluateOverlap(s);
+  ASSERT_TRUE(costly.ok());
+  EXPECT_FALSE(costly->overlap_beneficial);
+}
+
+TEST(OverlapTest, BreakEvenIsExact) {
+  OverlapScenario s;
+  s.tuning_s = 300;
+  s.optimized_runtime_s = 3600;
+  s.default_slowdown = 1.5;
+  s.interference_slowdown = 1.0;
+  auto d = EvaluateOverlap(s);
+  ASSERT_TRUE(d.ok());
+  // Work done early = 300 / 1.5 = 200 s of optimized work.
+  EXPECT_NEAR(d->break_even_migration_s, 200.0, 1e-9);
+  s.migration_s = 200.0;
+  auto at_even = EvaluateOverlap(s);
+  ASSERT_TRUE(at_even.ok());
+  EXPECT_NEAR(at_even->overlapped_total_s, at_even->sequential_total_s, 1e-9);
+  EXPECT_FALSE(at_even->overlap_beneficial);
+}
+
+TEST(OverlapTest, ShortJobFinishesBeforeTuning) {
+  OverlapScenario s;
+  s.tuning_s = 600;
+  s.optimized_runtime_s = 100;  // short job
+  s.default_slowdown = 1.2;
+  s.interference_slowdown = 1.0;
+  auto d = EvaluateOverlap(s);
+  ASSERT_TRUE(d.ok());
+  // Overlapped: job completes at 120 s on the default deployment; the
+  // sequential strategy would wait 600 s before even starting.
+  EXPECT_NEAR(d->overlapped_total_s, 120.0, 1e-9);
+  EXPECT_TRUE(d->overlap_beneficial);
+}
+
+TEST(OverlapTest, NoGainWithoutSlowdownDifference) {
+  OverlapScenario s;
+  s.tuning_s = 600;
+  s.optimized_runtime_s = 3600;
+  s.default_slowdown = 1.0;  // default deployment already as good
+  s.interference_slowdown = 1.0;
+  s.migration_s = 10;
+  auto d = EvaluateOverlap(s);
+  ASSERT_TRUE(d.ok());
+  // Overlapping still wins: the job progresses during tuning at full rate.
+  EXPECT_TRUE(d->overlap_beneficial);
+  // But with full interference the early window is wasted; sequential ties.
+  s.interference_slowdown = 100.0;
+  auto wasted = EvaluateOverlap(s);
+  ASSERT_TRUE(wasted.ok());
+  EXPECT_NEAR(wasted->overlapped_total_s,
+              wasted->sequential_total_s + s.migration_s - 6.0, 1.0);
+}
+
+TEST(OverlapTest, ToStringMentionsDecision) {
+  OverlapScenario s;
+  s.tuning_s = 10;
+  s.optimized_runtime_s = 1000;
+  s.default_slowdown = 1.4;
+  auto d = EvaluateOverlap(s);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NE(d->ToString().find("overlap"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudia

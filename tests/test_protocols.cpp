@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "measure/protocols.h"
+
+namespace cloudia::measure {
+namespace {
+
+class ProtocolsTest : public ::testing::Test {
+ protected:
+  ProtocolsTest() : cloud_(net::AmazonEc2Profile(), 7) {
+    auto alloc = cloud_.Allocate(20);
+    CLOUDIA_CHECK(alloc.ok());
+    instances_ = std::move(alloc).value();
+  }
+
+  // Normalized-vector relative error of the estimates against ground truth
+  // (mirrors the paper's Fig. 4 methodology).
+  double MaxRelativeError(const MeasurementResult& r) {
+    std::vector<double> truth, est;
+    for (size_t i = 0; i < instances_.size(); ++i) {
+      for (size_t j = 0; j < instances_.size(); ++j) {
+        if (i == j) continue;
+        if (r.Link(static_cast<int>(i), static_cast<int>(j)).count() == 0) {
+          continue;
+        }
+        truth.push_back(cloud_.ExpectedRtt(instances_[i], instances_[j]));
+        est.push_back(r.Link(static_cast<int>(i), static_cast<int>(j)).mean());
+      }
+    }
+    truth = NormalizeToUnitVector(truth);
+    est = NormalizeToUnitVector(est);
+    double worst = 0;
+    for (size_t k = 0; k < truth.size(); ++k) {
+      worst = std::max(worst, std::fabs(est[k] - truth[k]) / truth[k]);
+    }
+    return worst;
+  }
+
+  net::CloudSimulator cloud_;
+  std::vector<net::Instance> instances_;
+};
+
+TEST_F(ProtocolsTest, AllProtocolsRejectTooFewInstances) {
+  std::vector<net::Instance> one = {instances_[0]};
+  ProtocolOptions opts;
+  EXPECT_FALSE(RunTokenPassing(cloud_, one, opts).ok());
+  EXPECT_FALSE(RunUncoordinated(cloud_, one, opts).ok());
+  EXPECT_FALSE(RunStaged(cloud_, one, opts).ok());
+}
+
+TEST_F(ProtocolsTest, StagedRejectsBadKs) {
+  ProtocolOptions opts;
+  opts.ks = 0;
+  EXPECT_FALSE(RunStaged(cloud_, instances_, opts).ok());
+}
+
+TEST_F(ProtocolsTest, TokenPassingCoversAllLinksWithoutInterference) {
+  ProtocolOptions opts;
+  opts.duration_s = 60;
+  opts.seed = 3;
+  auto r = RunTokenPassing(cloud_, instances_, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->CoverageFraction(1), 1.0);
+  EXPECT_LT(MaxRelativeError(*r), 0.35);  // only sampling noise
+}
+
+TEST_F(ProtocolsTest, StagedIsAccurateAndParallel) {
+  ProtocolOptions opts;
+  opts.duration_s = 60;
+  opts.seed = 5;
+  auto staged = RunStaged(cloud_, instances_, opts);
+  ASSERT_TRUE(staged.ok());
+  EXPECT_EQ(staged->CoverageFraction(1), 1.0);
+  // Parallelism: staged collects far more samples than token in equal time.
+  auto token = RunTokenPassing(cloud_, instances_, opts);
+  ASSERT_TRUE(token.ok());
+  EXPECT_GT(staged->total_samples(), 3 * token->total_samples());
+}
+
+TEST_F(ProtocolsTest, StagedBeatsUncoordinatedAccuracy) {
+  // The paper's Fig. 4 finding. Uncoordinated suffers queueing inflation.
+  ProtocolOptions opts;
+  opts.duration_s = 60;
+  opts.seed = 11;
+  auto staged = RunStaged(cloud_, instances_, opts);
+  auto uncoord = RunUncoordinated(cloud_, instances_, opts);
+  ASSERT_TRUE(staged.ok() && uncoord.ok());
+  std::vector<double> staged_err, uncoord_err;
+  std::vector<double> truth_s, est_s, truth_u, est_u;
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    for (size_t j = 0; j < instances_.size(); ++j) {
+      if (i == j) continue;
+      double truth = cloud_.ExpectedRtt(instances_[i], instances_[j]);
+      const auto& ls = staged->Link(static_cast<int>(i), static_cast<int>(j));
+      const auto& lu = uncoord->Link(static_cast<int>(i), static_cast<int>(j));
+      if (ls.count() > 0) {
+        truth_s.push_back(truth);
+        est_s.push_back(ls.mean());
+      }
+      if (lu.count() > 0) {
+        truth_u.push_back(truth);
+        est_u.push_back(lu.mean());
+      }
+    }
+  }
+  truth_s = NormalizeToUnitVector(truth_s);
+  est_s = NormalizeToUnitVector(est_s);
+  truth_u = NormalizeToUnitVector(truth_u);
+  est_u = NormalizeToUnitVector(est_u);
+  for (size_t k = 0; k < truth_s.size(); ++k) {
+    staged_err.push_back(std::fabs(est_s[k] - truth_s[k]) / truth_s[k]);
+  }
+  for (size_t k = 0; k < truth_u.size(); ++k) {
+    uncoord_err.push_back(std::fabs(est_u[k] - truth_u[k]) / truth_u[k]);
+  }
+  EXPECT_LT(Percentile(staged_err, 90), Percentile(uncoord_err, 90));
+  EXPECT_LT(Mean(staged_err), Mean(uncoord_err));
+}
+
+TEST_F(ProtocolsTest, LongerMeasurementReducesError) {
+  ProtocolOptions shorter, longer;
+  shorter.duration_s = 5;
+  longer.duration_s = 120;
+  shorter.seed = longer.seed = 13;
+  auto a = RunStaged(cloud_, instances_, shorter);
+  auto b = RunStaged(cloud_, instances_, longer);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(MaxRelativeError(*b), MaxRelativeError(*a) + 1e-12);
+}
+
+TEST_F(ProtocolsTest, DeterministicGivenSeed) {
+  ProtocolOptions opts;
+  opts.duration_s = 10;
+  opts.seed = 17;
+  auto a = RunStaged(cloud_, instances_, opts);
+  auto b = RunStaged(cloud_, instances_, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->total_samples(), b->total_samples());
+  EXPECT_DOUBLE_EQ(a->Link(0, 1).mean(), b->Link(0, 1).mean());
+}
+
+TEST_F(ProtocolsTest, VirtualTimeRoughlyMatchesBudget) {
+  ProtocolOptions opts;
+  opts.duration_s = 30;
+  opts.seed = 19;
+  for (Protocol p : {Protocol::kTokenPassing, Protocol::kUncoordinated,
+                     Protocol::kStaged}) {
+    auto r = RunProtocol(cloud_, instances_, p, opts);
+    ASSERT_TRUE(r.ok()) << ProtocolName(p);
+    EXPECT_GE(r->virtual_time_ms, 0.9 * 30e3) << ProtocolName(p);
+    EXPECT_LE(r->virtual_time_ms, 1.2 * 30e3) << ProtocolName(p);
+  }
+}
+
+TEST(ProtocolNamesTest, Names) {
+  EXPECT_STREQ(ProtocolName(Protocol::kStaged), "Staged");
+  EXPECT_STREQ(ProtocolName(Protocol::kTokenPassing), "TokenPassing");
+  EXPECT_STREQ(CostMetricName(CostMetric::kMean), "Mean");
+  EXPECT_STREQ(CostMetricName(CostMetric::kP99), "99%");
+}
+
+TEST(LinkSamplesTest, MomentsAndPercentiles) {
+  Rng rng(1);
+  LinkSamples s;
+  for (int i = 1; i <= 100; ++i) s.Add(i, rng);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(99), 99, 2.0);
+}
+
+TEST(LinkSamplesTest, ReservoirBounded) {
+  Rng rng(2);
+  LinkSamples s;
+  for (int i = 0; i < 100000; ++i) s.Add(rng.Uniform(), rng);
+  EXPECT_EQ(s.count(), 100000u);
+  // Percentile still sane from the bounded reservoir.
+  EXPECT_NEAR(s.Percentile(50), 0.5, 0.15);
+}
+
+TEST(BuildCostMatrixTest, MetricsOrdering) {
+  Rng rng(3);
+  MeasurementResult r(3);
+  for (int k = 0; k < 500; ++k) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        if (i != j) r.Link(i, j).Add(0.5 + rng.Exponential(10.0), rng);
+      }
+    }
+  }
+  auto mean = BuildCostMatrix(r, CostMetric::kMean);
+  auto mean_sd = BuildCostMatrix(r, CostMetric::kMeanPlusStdDev);
+  auto p99 = BuildCostMatrix(r, CostMetric::kP99);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      EXPECT_GT(mean_sd[static_cast<size_t>(i)][static_cast<size_t>(j)],
+                mean[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+      EXPECT_GT(p99[static_cast<size_t>(i)][static_cast<size_t>(j)],
+                mean[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+    }
+  }
+}
+
+TEST(BuildCostMatrixTest, FallbackForUnsampledLinks) {
+  MeasurementResult r(2);
+  auto m = BuildCostMatrix(r, CostMetric::kMean, /*fallback_ms=*/123.0);
+  EXPECT_DOUBLE_EQ(m[0][1], 123.0);
+  EXPECT_DOUBLE_EQ(m[0][0], 0.0);
+}
+
+}  // namespace
+}  // namespace cloudia::measure

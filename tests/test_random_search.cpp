@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "deploy/random_search.h"
+#include "deploy_test_util.h"
+#include "graph/templates.h"
+
+namespace cloudia::deploy {
+namespace {
+
+TEST(RandomSearchTest, RandomDeploymentIsInjective) {
+  Rng rng(1);
+  for (int t = 0; t < 50; ++t) {
+    Deployment d = RandomDeployment(7, 10, rng);
+    EXPECT_EQ(d.size(), 7u);
+    EXPECT_TRUE(IsInjective(d, 10));
+  }
+}
+
+TEST(RandomSearchTest, R1IsDeterministicGivenSeed) {
+  Rng rng(2);
+  CostMatrix costs = RandomCosts(12, rng);
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  auto a = RandomSearchR1(mesh, costs, Objective::kLongestLink, 200, 42);
+  auto b = RandomSearchR1(mesh, costs, Objective::kLongestLink, 200, 42);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->deployment, b->deployment);
+  EXPECT_EQ(a->cost, b->cost);
+  EXPECT_EQ(a->samples, 200);
+}
+
+TEST(RandomSearchTest, MoreSamplesNeverWorse) {
+  Rng rng(3);
+  CostMatrix costs = RandomCosts(12, rng);
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  auto small = RandomSearchR1(mesh, costs, Objective::kLongestLink, 10, 7);
+  auto large = RandomSearchR1(mesh, costs, Objective::kLongestLink, 1000, 7);
+  ASSERT_TRUE(small.ok() && large.ok());
+  // Same seed: the first 10 samples of `large` are exactly `small`'s.
+  EXPECT_LE(large->cost, small->cost);
+}
+
+TEST(RandomSearchTest, R1RejectsBadArgs) {
+  Rng rng(4);
+  CostMatrix costs = RandomCosts(5, rng);
+  graph::CommGraph mesh = graph::Mesh2D(2, 2);
+  EXPECT_FALSE(RandomSearchR1(mesh, costs, Objective::kLongestLink, 0, 1).ok());
+}
+
+TEST(RandomSearchTest, R2FindsAtLeastAsGoodAsOneSample) {
+  Rng rng(5);
+  CostMatrix costs = RandomCosts(14, rng);
+  graph::CommGraph mesh = graph::Mesh2D(3, 4);
+  auto r2 = RandomSearchR2(mesh, costs, Objective::kLongestLink,
+                           Deadline::After(0.1), 2, 11);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(
+      ValidateDeployment(mesh, r2->deployment, costs, Objective::kLongestLink)
+          .ok());
+  EXPECT_GT(r2->samples, 100);  // 100 ms should easily yield thousands
+  auto r1 = RandomSearchR1(mesh, costs, Objective::kLongestLink, 1, 11);
+  EXPECT_LE(r2->cost, r1->cost * 1.0 + 1e-12);
+}
+
+TEST(RandomSearchTest, R2WithExpiredDeadlineStillReturnsADeployment) {
+  Rng rng(6);
+  CostMatrix costs = RandomCosts(10, rng);
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  auto r2 = RandomSearchR2(mesh, costs, Objective::kLongestLink,
+                           Deadline::After(0), 2, 3);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(
+      ValidateDeployment(mesh, r2->deployment, costs, Objective::kLongestLink)
+          .ok());
+}
+
+TEST(RandomSearchTest, WorksForLongestPathObjective) {
+  Rng rng(7);
+  CostMatrix costs = RandomCosts(10, rng);
+  graph::CommGraph tree = graph::AggregationTree(2, 3);
+  auto r = RandomSearchR1(tree, costs, Objective::kLongestPath, 100, 5);
+  ASSERT_TRUE(r.ok());
+  auto check = LongestPathCost(tree, r->deployment, costs);
+  ASSERT_TRUE(check.ok());
+  EXPECT_DOUBLE_EQ(*check, r->cost);
+}
+
+TEST(RandomSearchTest, BootstrapEqualsBestOfTen) {
+  Rng rng(8);
+  CostMatrix costs = RandomCosts(10, rng);
+  graph::CommGraph mesh = graph::Mesh2D(2, 4);
+  auto boot = BootstrapDeployment(mesh, costs, Objective::kLongestLink, 77);
+  auto ten = RandomSearchR1(mesh, costs, Objective::kLongestLink, 10, 77);
+  ASSERT_TRUE(boot.ok() && ten.ok());
+  EXPECT_EQ(*boot, ten->deployment);
+}
+
+}  // namespace
+}  // namespace cloudia::deploy

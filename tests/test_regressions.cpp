@@ -1,0 +1,119 @@
+// Regression tests for bugs found while reproducing the paper's figures.
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+#include "deploy/cost.h"
+#include "measure/protocols.h"
+#include "solver/lp/simplex.h"
+
+namespace cloudia {
+namespace {
+
+// Bug 1: the staged protocol used random pairings, which can leave ordered
+// pairs unsampled at short budgets; the cost matrix then contained the 1e6
+// fallback and poisoned every deployment that used such a link. The
+// round-robin tournament schedule must cover every ordered pair as soon as
+// two full cycles complete.
+TEST(RegressionTest, StagedCoversAllOrderedPairsAtShortBudgets) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 77);
+  auto alloc = cloud.Allocate(30);
+  ASSERT_TRUE(alloc.ok());
+  measure::ProtocolOptions opts;
+  // Two full cycles of 29 rounds at ~6 ms per stage is ~0.4 s; give 3 s.
+  opts.duration_s = 3.0;
+  opts.seed = 5;
+  auto r = measure::RunStaged(cloud, *alloc, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->CoverageFraction(1), 1.0)
+      << "every ordered pair must have at least one sample";
+  auto costs = measure::BuildCostMatrix(*r, measure::CostMetric::kMean);
+  for (size_t i = 0; i < costs.size(); ++i) {
+    for (size_t j = 0; j < costs.size(); ++j) {
+      if (i != j) EXPECT_LT(costs[i][j], 100.0) << "fallback cost leaked";
+    }
+  }
+}
+
+// Odd instance counts exercise the bye slot of the round-robin schedule.
+TEST(RegressionTest, StagedHandlesOddInstanceCounts) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 78);
+  auto alloc = cloud.Allocate(17);
+  ASSERT_TRUE(alloc.ok());
+  measure::ProtocolOptions opts;
+  opts.duration_s = 3.0;
+  opts.seed = 6;
+  auto r = measure::RunStaged(cloud, *alloc, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->CoverageFraction(1), 1.0);
+}
+
+// Bug 2: ClusterCostMatrix fed ~m^2 *distinct* doubles into the O(k d^2)
+// exact k-means DP; at m=100 and k=40 that is billions of operations. The
+// paper rounds costs to 0.01 ms first; after the fix, clustering a
+// 100-instance matrix at large k takes well under a second.
+TEST(RegressionTest, ClusterCostMatrixFastAtLargeKAndManyDistinctValues) {
+  Rng rng(9);
+  int m = 100;
+  deploy::CostMatrix costs(static_cast<size_t>(m),
+                           std::vector<double>(static_cast<size_t>(m), 0.0));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i != j) {
+        costs[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+            rng.Uniform(0.2, 1.4);  // ~9900 distinct values
+      }
+    }
+  }
+  Stopwatch clock;
+  auto clustered = deploy::ClusterCostMatrix(costs, 80);
+  ASSERT_TRUE(clustered.ok());
+  EXPECT_LT(clock.ElapsedSeconds(), 2.0) << "clustering must stay cheap";
+  // Rounding bound: clustered values stay within ~cluster width + 0.005 of
+  // the originals and the matrix remains usable.
+  std::set<double> distinct;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i != j) distinct.insert((*clustered)[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+    }
+  }
+  EXPECT_LE(distinct.size(), 80u);
+}
+
+// Bug 3: the branch & bound checked its deadline only *between* nodes, so a
+// single huge LP relaxation (100-instance LLNDP encoding: ~9000 columns)
+// could overrun a seconds-scale budget by minutes. SolveLp now honors a
+// deadline internally.
+TEST(RegressionTest, SimplexRespectsDeadlineInsideOneSolve) {
+  Rng rng(11);
+  // A deliberately large dense LP.
+  const int n = 60;
+  lp::LpProblem p;
+  p.num_vars = n * n;
+  p.objective.assign(static_cast<size_t>(n * n), 0.0);
+  for (auto& c : p.objective) c = rng.Uniform(-1, 1);
+  for (int i = 0; i < n; ++i) {
+    lp::Row r;
+    for (int j = 0; j < n; ++j) r.coeffs.push_back({n * i + j, 1.0});
+    r.sense = lp::RowSense::kEq;
+    r.rhs = 1.0;
+    p.rows.push_back(r);
+  }
+  for (int j = 0; j < n; ++j) {
+    lp::Row r;
+    for (int i = 0; i < n; ++i) r.coeffs.push_back({n * i + j, 1.0});
+    r.sense = lp::RowSense::kLe;
+    r.rhs = 1.0;
+    p.rows.push_back(r);
+  }
+  Stopwatch clock;
+  lp::LpSolution s = lp::SolveLp(p, /*max_iterations=*/200000,
+                                 Deadline::After(0.05));
+  EXPECT_LT(clock.ElapsedSeconds(), 1.5)
+      << "deadline must interrupt a long solve";
+  // Either it finished fast or it reports the iteration/deadline limit.
+  EXPECT_TRUE(s.status == lp::LpStatus::kOptimal ||
+              s.status == lp::LpStatus::kIterationLimit);
+}
+
+}  // namespace
+}  // namespace cloudia

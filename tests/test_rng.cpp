@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace cloudia {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ForkIsIndependentOfParentContinuation) {
+  Rng parent(77);
+  Rng child = parent.Fork();
+  uint64_t c1 = child.Next();
+  // Re-create the same sequence: fork consumes exactly one parent draw.
+  Rng parent2(77);
+  Rng child2 = parent2.Fork();
+  EXPECT_EQ(c1, child2.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(3.0, 7.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(RngTest, BelowIsBoundedAndCoversAllValues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.Below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.Add(rng.Normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.Add(rng.Exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+  EXPECT_GT(s.min(), 0.0);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(29);
+  auto p = rng.Permutation(50);
+  std::vector<int> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(31);
+  auto s = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<int> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 30u);
+  for (int v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng rng(37);
+  auto s = rng.SampleWithoutReplacement(5, 5);
+  std::set<int> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 5u);
+}
+
+TEST(RngTest, ShuffleKeepsMultiset) {
+  Rng rng(41);
+  std::vector<int> v = {1, 1, 2, 3, 5, 8, 13};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  std::sort(orig.begin(), orig.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace cloudia

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "solver/lp/simplex.h"
+
+namespace cloudia::lp {
+namespace {
+
+TEST(SimplexTest, SimpleBoundedMaximization) {
+  // min -(x + y) s.t. x + y <= 4, x <= 2  ->  objective -4.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {-1, -1};
+  p.rows.push_back({{{0, 1.0}, {1, 1.0}}, RowSense::kLe, 4.0});
+  p.rows.push_back({{{0, 1.0}}, RowSense::kLe, 2.0});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -4.0, 1e-9);
+  EXPECT_NEAR(s.x[0] + s.x[1], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, TwoPhaseWithEqualityAndGe) {
+  // min 2x + y s.t. x + y = 3, x + 2y >= 4  ->  x=0, y=3, objective 3.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {2, 1};
+  p.rows.push_back({{{0, 1.0}, {1, 1.0}}, RowSense::kEq, 3.0});
+  p.rows.push_back({{{0, 1.0}, {1, 2.0}}, RowSense::kGe, 4.0});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1};
+  p.rows.push_back({{{0, 1.0}}, RowSense::kLe, 1.0});
+  p.rows.push_back({{{0, 1.0}}, RowSense::kGe, 2.0});
+  EXPECT_EQ(SolveLp(p).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {-1};
+  LpSolution s = SolveLp(p);
+  EXPECT_EQ(s.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // -x <= -2 is x >= 2; minimize x -> 2.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1};
+  p.rows.push_back({{{0, -1.0}}, RowSense::kLe, -2.0});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DuplicateCoefficientsAreSummed) {
+  // (x + x) <= 4 means x <= 2; minimize -x -> -2.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {-1};
+  p.rows.push_back({{{0, 1.0}, {0, 1.0}}, RowSense::kLe, 4.0});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, BealeCyclingExampleTerminates) {
+  // Beale's classic cycling example; Bland fallback must terminate it.
+  // min -0.75 x1 + 150 x2 - 0.02 x3 + 6 x4
+  // s.t. 0.25 x1 - 60 x2 - 0.04 x3 + 9 x4 <= 0
+  //      0.5  x1 - 90 x2 - 0.02 x3 + 3 x4 <= 0
+  //      x3 <= 1
+  LpProblem p;
+  p.num_vars = 4;
+  p.objective = {-0.75, 150, -0.02, 6};
+  p.rows.push_back(
+      {{{0, 0.25}, {1, -60.0}, {2, -0.04}, {3, 9.0}}, RowSense::kLe, 0.0});
+  p.rows.push_back(
+      {{{0, 0.5}, {1, -90.0}, {2, -0.02}, {3, 3.0}}, RowSense::kLe, 0.0});
+  p.rows.push_back({{{2, 1.0}}, RowSense::kLe, 1.0});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-9);  // known optimum
+}
+
+TEST(SimplexTest, DegenerateRhsZero) {
+  // x - y = 0, x + y <= 2, min -x  ->  x = y = 1.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {-1, 0};
+  p.rows.push_back({{{0, 1.0}, {1, -1.0}}, RowSense::kEq, 0.0});
+  p.rows.push_back({{{0, 1.0}, {1, 1.0}}, RowSense::kLe, 2.0});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 1.0, 1e-9);
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  // Same equality twice: phase 1 must cope with the redundant artificial.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1, 1};
+  p.rows.push_back({{{0, 1.0}, {1, 1.0}}, RowSense::kEq, 2.0});
+  p.rows.push_back({{{0, 1.0}, {1, 1.0}}, RowSense::kEq, 2.0});
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, AssignmentLpIsIntegral) {
+  // 3x3 assignment LP relaxation is integral (totally unimodular).
+  // Costs: pick permutation (0->1, 1->2, 2->0) of cost 1+2+1 = 4? Use matrix:
+  //   c = [5 1 9; 8 7 2; 1 4 6] -> optimal 1 + 2 + 1 = 4.
+  const double c[3][3] = {{5, 1, 9}, {8, 7, 2}, {1, 4, 6}};
+  LpProblem p;
+  p.num_vars = 9;
+  p.objective.resize(9);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) p.objective[static_cast<size_t>(3 * i + j)] = c[i][j];
+  for (int i = 0; i < 3; ++i) {
+    Row r;
+    for (int j = 0; j < 3; ++j) r.coeffs.push_back({3 * i + j, 1.0});
+    r.sense = RowSense::kEq;
+    r.rhs = 1.0;
+    p.rows.push_back(r);
+  }
+  for (int j = 0; j < 3; ++j) {
+    Row r;
+    for (int i = 0; i < 3; ++i) r.coeffs.push_back({3 * i + j, 1.0});
+    r.sense = RowSense::kEq;
+    r.rhs = 1.0;
+    p.rows.push_back(r);
+  }
+  LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-9);
+  for (double v : s.x) EXPECT_TRUE(v < 1e-9 || std::abs(v - 1.0) < 1e-9);
+}
+
+TEST(SimplexTest, StatusNames) {
+  EXPECT_STREQ(LpStatusName(LpStatus::kOptimal), "Optimal");
+  EXPECT_STREQ(LpStatusName(LpStatus::kUnbounded), "Unbounded");
+}
+
+}  // namespace
+}  // namespace cloudia::lp

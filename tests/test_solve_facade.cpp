@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "deploy/solve.h"
+#include "deploy_test_util.h"
+#include "graph/templates.h"
+
+namespace cloudia::deploy {
+namespace {
+
+class SolveFacadeTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(SolveFacadeTest, LongestLinkProducesValidDeployment) {
+  Rng master(1);
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  CostMatrix costs = RandomCosts(12, master);
+  NdpSolveOptions opts;
+  opts.method = GetParam();
+  opts.objective = Objective::kLongestLink;
+  opts.time_budget_s = 0.3;
+  opts.r1_samples = 200;
+  opts.threads = 2;
+  opts.seed = 11;
+  auto r = SolveNodeDeployment(mesh, costs, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(ValidateDeployment(mesh, r->deployment, costs,
+                                 Objective::kLongestLink)
+                  .ok());
+  EXPECT_DOUBLE_EQ(r->cost, LongestLinkCost(mesh, r->deployment, costs));
+  EXPECT_FALSE(r->trace.empty());
+}
+
+TEST_P(SolveFacadeTest, LongestPathProducesValidDeployment) {
+  if (GetParam() == Method::kCp) GTEST_SKIP() << "CP is LLNDP-only";
+  Rng master(2);
+  graph::CommGraph tree = graph::AggregationTree(2, 3);
+  CostMatrix costs = RandomCosts(9, master);
+  NdpSolveOptions opts;
+  opts.method = GetParam();
+  opts.objective = Objective::kLongestPath;
+  opts.time_budget_s = 0.3;
+  opts.r1_samples = 200;
+  opts.threads = 2;
+  opts.seed = 13;
+  auto r = SolveNodeDeployment(tree, costs, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(ValidateDeployment(tree, r->deployment, costs,
+                                 Objective::kLongestPath)
+                  .ok());
+  auto check = LongestPathCost(tree, r->deployment, costs);
+  EXPECT_DOUBLE_EQ(r->cost, *check);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, SolveFacadeTest,
+                         ::testing::Values(Method::kGreedyG1, Method::kGreedyG2,
+                                           Method::kRandomR1, Method::kRandomR2,
+                                           Method::kCp, Method::kMip),
+                         [](const ::testing::TestParamInfo<Method>& info) {
+                           return MethodName(info.param);
+                         });
+
+TEST(SolveFacadeTest2, CpRejectsLongestPath) {
+  Rng master(3);
+  graph::CommGraph tree = graph::AggregationTree(2, 3);
+  CostMatrix costs = RandomCosts(9, master);
+  NdpSolveOptions opts;
+  opts.method = Method::kCp;
+  opts.objective = Objective::kLongestPath;
+  auto r = SolveNodeDeployment(tree, costs, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolveFacadeTest2, LongestPathRejectsCyclicGraph) {
+  Rng master(4);
+  graph::CommGraph ring = graph::Ring(5);
+  CostMatrix costs = RandomCosts(7, master);
+  NdpSolveOptions opts;
+  opts.method = Method::kRandomR1;
+  opts.objective = Objective::kLongestPath;
+  EXPECT_FALSE(SolveNodeDeployment(ring, costs, opts).ok());
+}
+
+TEST(SolveFacadeTest2, CpBeatsOrMatchesLightweightOnSmallMesh) {
+  // Qualitative Fig. 14 shape at toy scale: CP <= R1, G2 <= G1 on average.
+  Rng master(5);
+  double cp = 0, r1 = 0, g1 = 0, g2 = 0;
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  for (int trial = 0; trial < 8; ++trial) {
+    CostMatrix costs = RandomCosts(11, master);
+    NdpSolveOptions opts;
+    opts.objective = Objective::kLongestLink;
+    opts.seed = master.Next();
+    opts.time_budget_s = 1.0;
+    opts.method = Method::kCp;
+    auto rcp = SolveNodeDeployment(mesh, costs, opts);
+    opts.method = Method::kRandomR1;
+    opts.r1_samples = 1000;
+    auto rr1 = SolveNodeDeployment(mesh, costs, opts);
+    opts.method = Method::kGreedyG1;
+    auto rg1 = SolveNodeDeployment(mesh, costs, opts);
+    opts.method = Method::kGreedyG2;
+    auto rg2 = SolveNodeDeployment(mesh, costs, opts);
+    ASSERT_TRUE(rcp.ok() && rr1.ok() && rg1.ok() && rg2.ok());
+    cp += rcp->cost;
+    r1 += rr1->cost;
+    g1 += rg1->cost;
+    g2 += rg2->cost;
+  }
+  EXPECT_LE(cp, r1 + 1e-9);
+  EXPECT_LE(g2, g1 + 1e-9);
+  EXPECT_LE(cp, g2 + 1e-9);
+}
+
+TEST(SolveFacadeTest2, MethodNames) {
+  EXPECT_STREQ(MethodName(Method::kGreedyG1), "G1");
+  EXPECT_STREQ(MethodName(Method::kRandomR2), "R2");
+  EXPECT_STREQ(MethodName(Method::kCp), "CP");
+  EXPECT_STREQ(MethodName(Method::kMip), "MIP");
+}
+
+}  // namespace
+}  // namespace cloudia::deploy

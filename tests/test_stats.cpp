@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace cloudia {
+namespace {
+
+TEST(OnlineStatsTest, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  OnlineStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    double x = std::sin(i * 0.7) * 3 + i * 0.01;
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 3.0);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  std::vector<double> v = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  std::vector<double> v = {10, 20};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 15.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 12.5);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99), 7.0);
+}
+
+TEST(MeanStdDevTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(StdDev({5, 5, 5}), 0.0);
+}
+
+TEST(RmseTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(Rmse({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(Rmse({0, 0}, {3, 4}), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(Rmse({}, {}), 0.0);
+}
+
+TEST(PearsonTest, PerfectAndInverse) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> z = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSideIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(NormalizeTest, UnitNorm) {
+  auto v = NormalizeToUnitVector({3, 4});
+  EXPECT_DOUBLE_EQ(v[0], 0.6);
+  EXPECT_DOUBLE_EQ(v[1], 0.8);
+}
+
+TEST(NormalizeTest, ZeroVectorUnchanged) {
+  auto v = NormalizeToUnitVector({0, 0, 0});
+  for (double x : v) EXPECT_EQ(x, 0.0);
+}
+
+TEST(NormalizeTest, ScaleInvariance) {
+  // The paper normalizes latency vectors so uniform over/under-estimation is
+  // not counted as error (Sect. 6.2): check c*v normalizes to the same vector.
+  std::vector<double> v = {0.3, 0.5, 0.9, 1.4};
+  std::vector<double> scaled = v;
+  for (double& x : scaled) x *= 3.7;
+  auto n1 = NormalizeToUnitVector(v);
+  auto n2 = NormalizeToUnitVector(scaled);
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(n1[i], n2[i], 1e-12);
+}
+
+TEST(EmpiricalCdfTest, MonotoneAndComplete) {
+  auto cdf = EmpiricalCdf({4, 1, 3, 2});
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.front().cumulative, 0.25);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 4.0);
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative, 1.0);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LT(cdf[i - 1].cumulative, cdf[i].cumulative);
+  }
+}
+
+TEST(EmpiricalCdfTest, ThinningKeepsEndpoint) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  auto cdf = EmpiricalCdf(v, 10);
+  EXPECT_LE(cdf.size(), 12u);
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 999.0);
+}
+
+TEST(EmpiricalCdfTest, EmptyInput) {
+  EXPECT_TRUE(EmpiricalCdf({}).empty());
+}
+
+}  // namespace
+}  // namespace cloudia

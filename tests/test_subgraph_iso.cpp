@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/templates.h"
+#include "solver/cp/subgraph_iso.h"
+
+namespace cloudia::cp {
+namespace {
+
+using graph::CommGraph;
+using graph::Edge;
+
+CommGraph MakePattern(int n, std::vector<Edge> edges) {
+  auto r = CommGraph::Create(n, std::move(edges));
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+// Checks injectivity and edge preservation.
+void ExpectValidEmbedding(const CommGraph& pattern, const BitMatrix& target,
+                          const std::vector<int>& phi) {
+  ASSERT_EQ(static_cast<int>(phi.size()), pattern.num_nodes());
+  std::set<int> used;
+  for (int v : phi) {
+    EXPECT_TRUE(used.insert(v).second) << "mapping not injective";
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, target.rows());
+  }
+  for (const Edge& e : pattern.edges()) {
+    EXPECT_TRUE(target.Get(phi[static_cast<size_t>(e.src)],
+                           phi[static_cast<size_t>(e.dst)]))
+        << "edge (" << e.src << "," << e.dst << ") not preserved";
+  }
+}
+
+BitMatrix AdjacencyOf(const CommGraph& g) {
+  BitMatrix m(g.num_nodes(), g.num_nodes());
+  for (const Edge& e : g.edges()) m.Set(e.src, e.dst);
+  return m;
+}
+
+TEST(SubgraphIsoTest, PathIntoTriangle) {
+  CommGraph path = MakePattern(2, {{0, 1}});
+  CommGraph triangle = MakePattern(3, {{0, 1}, {1, 2}, {2, 0}});
+  auto phi = FindSubgraphIsomorphism(path, AdjacencyOf(triangle));
+  ASSERT_TRUE(phi.ok()) << phi.status().ToString();
+  ExpectValidEmbedding(path, AdjacencyOf(triangle), *phi);
+}
+
+TEST(SubgraphIsoTest, TriangleIntoPathInfeasible) {
+  CommGraph triangle = MakePattern(3, {{0, 1}, {1, 2}, {2, 0}});
+  CommGraph path = MakePattern(3, {{0, 1}, {1, 2}});
+  auto phi = FindSubgraphIsomorphism(triangle, AdjacencyOf(path));
+  ASSERT_FALSE(phi.ok());
+  EXPECT_EQ(phi.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SubgraphIsoTest, PatternLargerThanTargetInfeasible) {
+  CommGraph pattern = MakePattern(4, {{0, 1}});
+  CommGraph target = MakePattern(3, {{0, 1}});
+  auto phi = FindSubgraphIsomorphism(pattern, AdjacencyOf(target));
+  EXPECT_FALSE(phi.ok());
+}
+
+TEST(SubgraphIsoTest, MeshIntoItself) {
+  CommGraph mesh = graph::Mesh2D(3, 3);
+  auto phi = FindSubgraphIsomorphism(mesh, AdjacencyOf(mesh));
+  ASSERT_TRUE(phi.ok()) << phi.status().ToString();
+  ExpectValidEmbedding(mesh, AdjacencyOf(mesh), *phi);
+}
+
+TEST(SubgraphIsoTest, DirectedChainNeedsDirectedEdges) {
+  // Directed 3-chain cannot embed into a 3-node graph with edges reversed.
+  CommGraph chain = MakePattern(3, {{0, 1}, {1, 2}});
+  CommGraph rev = MakePattern(3, {{1, 0}, {2, 1}});
+  // rev *does* contain a directed chain 2 -> 1 -> 0, so this is feasible.
+  auto phi = FindSubgraphIsomorphism(chain, AdjacencyOf(rev));
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ((*phi)[0], 2);
+  EXPECT_EQ((*phi)[1], 1);
+  EXPECT_EQ((*phi)[2], 0);
+}
+
+TEST(SubgraphIsoTest, PlantedEmbeddingIsFoundInRandomTarget) {
+  Rng rng(99);
+  for (int trial = 0; trial < 15; ++trial) {
+    CommGraph pattern = graph::RandomSymmetric(8, 3.0, rng);
+    // Plant the pattern into a 20-node target and add random extra edges.
+    int m = 20;
+    BitMatrix target(m, m);
+    auto injection = rng.SampleWithoutReplacement(m, pattern.num_nodes());
+    for (const Edge& e : pattern.edges()) {
+      target.Set(injection[static_cast<size_t>(e.src)],
+                 injection[static_cast<size_t>(e.dst)]);
+    }
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < m; ++j) {
+        if (i != j && rng.Bernoulli(0.1)) target.Set(i, j);
+      }
+    }
+    auto phi = FindSubgraphIsomorphism(pattern, target);
+    ASSERT_TRUE(phi.ok()) << "trial " << trial;
+    ExpectValidEmbedding(pattern, target, *phi);
+  }
+}
+
+TEST(SubgraphIsoTest, FiltersPreserveFeasibilityDecision) {
+  Rng rng(7);
+  int agree = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    CommGraph pattern = graph::RandomSymmetric(6, 2.5, rng);
+    int m = 9;
+    BitMatrix target(m, m);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < m; ++j) {
+        if (i != j && rng.Bernoulli(0.35)) target.Set(i, j);
+      }
+    }
+    SipOptions with, without;
+    without.degree_filter = false;
+    without.neighborhood_filter = false;
+    auto a = FindSubgraphIsomorphism(pattern, target, with);
+    auto b = FindSubgraphIsomorphism(pattern, target, without);
+    ASSERT_EQ(a.ok(), b.ok()) << "filters changed feasibility, trial " << trial;
+    if (a.ok()) {
+      ExpectValidEmbedding(pattern, target, *a);
+      ExpectValidEmbedding(pattern, target, *b);
+      ++agree;
+    }
+  }
+  EXPECT_GT(agree, 0) << "all trials infeasible; test too weak";
+}
+
+TEST(SubgraphIsoTest, HintsAreUsedWhenValid) {
+  CommGraph pattern = MakePattern(2, {{0, 1}});
+  CommGraph target = MakePattern(4, {{0, 1}, {2, 3}});
+  SipOptions opts;
+  opts.value_hints = {2, 3};
+  auto phi = FindSubgraphIsomorphism(pattern, AdjacencyOf(target), opts);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ((*phi)[0], 2);
+  EXPECT_EQ((*phi)[1], 3);
+}
+
+TEST(SubgraphIsoTest, RejectsWrongHintSize) {
+  CommGraph pattern = MakePattern(2, {{0, 1}});
+  CommGraph target = MakePattern(3, {{0, 1}});
+  SipOptions opts;
+  opts.value_hints = {0};
+  auto phi = FindSubgraphIsomorphism(pattern, AdjacencyOf(target), opts);
+  ASSERT_FALSE(phi.ok());
+  EXPECT_EQ(phi.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SubgraphIsoTest, TimeoutSurfaces) {
+  // A hard-ish instance with a zero deadline must report Timeout.
+  CommGraph mesh = graph::Mesh2D(4, 4);
+  SipOptions opts;
+  opts.limits.deadline = Deadline::After(0);
+  auto phi = FindSubgraphIsomorphism(mesh, AdjacencyOf(mesh), opts);
+  ASSERT_FALSE(phi.ok());
+  EXPECT_EQ(phi.status().code(), StatusCode::kTimeout);
+}
+
+TEST(SubgraphIsoTest, StatsReported) {
+  CommGraph mesh = graph::Mesh2D(3, 3);
+  SearchStats stats;
+  auto phi = FindSubgraphIsomorphism(mesh, AdjacencyOf(mesh), {}, &stats);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_GT(stats.nodes, 0);
+}
+
+}  // namespace
+}  // namespace cloudia::cp

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/templates.h"
+
+namespace cloudia::graph {
+namespace {
+
+TEST(TemplatesTest, Mesh2DSizesAndDegrees) {
+  CommGraph g = Mesh2D(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  // Interior nodes have undirected degree 4, corners 2, edges 3.
+  // (3x4 grid: 4 corners, 6 border non-corner, 2 interior.)
+  int total_edges = 2 * (3 * (4 - 1) + 4 * (3 - 1));  // both directions
+  EXPECT_EQ(g.num_edges(), total_edges);
+  EXPECT_EQ(g.Degree(0), 2);         // corner
+  EXPECT_EQ(g.Degree(1), 3);         // border
+  EXPECT_EQ(g.Degree(5), 4);         // interior (row 1, col 1)
+  EXPECT_TRUE(g.IsConnectedUndirected());
+  EXPECT_FALSE(g.IsAcyclic());       // antiparallel pairs
+}
+
+TEST(TemplatesTest, Mesh2DTorusIsRegular) {
+  CommGraph g = Mesh2D(4, 5, /*wrap=*/true);
+  for (int v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.Degree(v), 4);
+}
+
+TEST(TemplatesTest, Mesh2DSingleRowIsAPath) {
+  CommGraph g = Mesh2D(1, 5);
+  EXPECT_EQ(g.num_edges(), 8);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(2), 2);
+}
+
+TEST(TemplatesTest, Mesh3DSizeAndInteriorDegree) {
+  CommGraph g = Mesh3D(3, 3, 3);
+  EXPECT_EQ(g.num_nodes(), 27);
+  EXPECT_EQ(g.Degree(13), 6);  // center of the cube
+  EXPECT_EQ(g.Degree(0), 3);   // corner
+  EXPECT_TRUE(g.IsConnectedUndirected());
+}
+
+TEST(TemplatesTest, AggregationTreeShape) {
+  // fanout 3, 3 levels: 1 + 3 + 9 = 13 nodes, n-1 edges, acyclic.
+  CommGraph g = AggregationTree(3, 3);
+  EXPECT_EQ(g.num_nodes(), 13);
+  EXPECT_EQ(g.num_edges(), 12);
+  EXPECT_TRUE(g.IsAcyclic());
+  // Root receives from its fanout children; leaves have out-degree 1.
+  EXPECT_EQ(g.InDegree(0), 3);
+  EXPECT_EQ(g.OutDegree(0), 0);
+  EXPECT_EQ(g.OutDegree(12), 1);
+  EXPECT_EQ(g.InDegree(12), 0);
+  // Longest path has `levels - 1` hops.
+  auto cost = g.LongestPathCost([](int, int) { return 1.0; });
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, 2.0);
+}
+
+TEST(TemplatesTest, AggregationTreeSingleLevel) {
+  CommGraph g = AggregationTree(4, 1);
+  EXPECT_EQ(g.num_nodes(), 1);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(TemplatesTest, BipartiteShape) {
+  CommGraph g = Bipartite(3, 5);
+  EXPECT_EQ(g.num_nodes(), 8);
+  EXPECT_EQ(g.num_edges(), 15);
+  EXPECT_TRUE(g.IsAcyclic());
+  for (int f = 0; f < 3; ++f) {
+    EXPECT_EQ(g.OutDegree(f), 5);
+    EXPECT_EQ(g.InDegree(f), 0);
+  }
+  for (int s = 3; s < 8; ++s) {
+    EXPECT_EQ(g.InDegree(s), 3);
+    EXPECT_EQ(g.OutDegree(s), 0);
+  }
+}
+
+TEST(TemplatesTest, RingIsACycle) {
+  CommGraph g = Ring(6);
+  EXPECT_EQ(g.num_nodes(), 6);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_FALSE(g.IsAcyclic());
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(g.OutDegree(v), 1);
+}
+
+TEST(TemplatesTest, RandomDagIsAcyclic) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    CommGraph g = RandomDag(20, 0.3, rng);
+    EXPECT_TRUE(g.IsAcyclic());
+  }
+}
+
+TEST(TemplatesTest, RandomDagEdgeProbabilityExtremes) {
+  Rng rng(7);
+  EXPECT_EQ(RandomDag(10, 0.0, rng).num_edges(), 0);
+  EXPECT_EQ(RandomDag(10, 1.0, rng).num_edges(), 45);
+}
+
+TEST(TemplatesTest, RandomSymmetricDegreeIsRoughlyTarget) {
+  Rng rng(11);
+  CommGraph g = RandomSymmetric(100, 6.0, rng);
+  double avg = 0;
+  for (int v = 0; v < g.num_nodes(); ++v) avg += g.Degree(v);
+  avg /= g.num_nodes();
+  EXPECT_NEAR(avg, 6.0, 1.5);
+  // Symmetric: every edge has its reverse.
+  for (const Edge& e : g.edges()) EXPECT_TRUE(g.HasEdge(e.dst, e.src));
+}
+
+}  // namespace
+}  // namespace cloudia::graph

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "netsim/topology.h"
+
+namespace cloudia::net {
+namespace {
+
+TopologyConfig SmallConfig() {
+  return TopologyConfig{/*pods=*/2, /*racks_per_pod=*/3, /*hosts_per_rack=*/4,
+                        /*vm_slots_per_host=*/2};
+}
+
+TEST(TopologyTest, Sizes) {
+  Topology t(SmallConfig());
+  EXPECT_EQ(t.num_hosts(), 24);
+  EXPECT_EQ(t.num_racks(), 6);
+}
+
+TEST(TopologyTest, RackAndPodMapping) {
+  Topology t(SmallConfig());
+  EXPECT_EQ(t.RackOf(0), 0);
+  EXPECT_EQ(t.RackOf(3), 0);
+  EXPECT_EQ(t.RackOf(4), 1);
+  EXPECT_EQ(t.RackOf(23), 5);
+  EXPECT_EQ(t.PodOf(0), 0);
+  EXPECT_EQ(t.PodOf(11), 0);   // rack 2 is still pod 0
+  EXPECT_EQ(t.PodOf(12), 1);   // rack 3 starts pod 1
+  EXPECT_EQ(t.FirstHostOfRack(2), 8);
+}
+
+TEST(TopologyTest, ClassifyAllLevels) {
+  Topology t(SmallConfig());
+  EXPECT_EQ(t.Classify(5, 5), Proximity::kSameHost);
+  EXPECT_EQ(t.Classify(4, 7), Proximity::kSameRack);   // both rack 1
+  EXPECT_EQ(t.Classify(0, 8), Proximity::kSamePod);    // racks 0 and 2, pod 0
+  EXPECT_EQ(t.Classify(0, 12), Proximity::kCrossPod);  // pods 0 and 1
+}
+
+TEST(TopologyTest, ClassifyIsSymmetric) {
+  Topology t(SmallConfig());
+  for (int a = 0; a < t.num_hosts(); a += 3) {
+    for (int b = 0; b < t.num_hosts(); b += 5) {
+      EXPECT_EQ(t.Classify(a, b), t.Classify(b, a));
+    }
+  }
+}
+
+TEST(TopologyTest, ProximityNames) {
+  EXPECT_STREQ(ProximityName(Proximity::kSameHost), "SameHost");
+  EXPECT_STREQ(ProximityName(Proximity::kCrossPod), "CrossPod");
+}
+
+TEST(TopologyTest, ToStringContainsCounts) {
+  Topology t(SmallConfig());
+  EXPECT_NE(t.ToString().find("hosts=24"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudia::net

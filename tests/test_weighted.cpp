@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "deploy/weighted.h"
+#include "deploy_test_util.h"
+#include "graph/templates.h"
+
+namespace cloudia::deploy {
+namespace {
+
+// Exhaustive weighted optimum for tiny instances.
+double BruteForceWeighted(const WeightedProblem& p, Objective objective) {
+  int n = p.graph->num_nodes();
+  int m = static_cast<int>(p.costs->size());
+  Deployment d(static_cast<size_t>(n), -1);
+  std::vector<bool> used(static_cast<size_t>(m), false);
+  double best = std::numeric_limits<double>::infinity();
+  std::function<void(int)> rec = [&](int node) {
+    if (node == n) {
+      auto c = WeightedCost(p, d, objective);
+      CLOUDIA_CHECK(c.ok());
+      best = std::min(best, *c);
+      return;
+    }
+    for (int j = 0; j < m; ++j) {
+      if (used[static_cast<size_t>(j)]) continue;
+      used[static_cast<size_t>(j)] = true;
+      d[static_cast<size_t>(node)] = j;
+      rec(node + 1);
+      used[static_cast<size_t>(j)] = false;
+    }
+  };
+  rec(0);
+  return best;
+}
+
+WeightedProblem MakeProblem(const graph::CommGraph* g, const CostMatrix* c,
+                            std::vector<double> weights) {
+  WeightedProblem p;
+  p.graph = g;
+  p.costs = c;
+  p.edge_weights = std::move(weights);
+  return p;
+}
+
+TEST(WeightedTest, ValidationCatchesProblems) {
+  Rng rng(1);
+  graph::CommGraph g = graph::Ring(4);
+  CostMatrix c = RandomCosts(6, rng);
+  auto p = MakeProblem(&g, &c, {1, 1, 1, 1});
+  EXPECT_TRUE(ValidateWeightedProblem(p, Objective::kLongestLink).ok());
+  // Cyclic graph rejected for longest path.
+  EXPECT_FALSE(ValidateWeightedProblem(p, Objective::kLongestPath).ok());
+  // Wrong weight count.
+  auto p2 = MakeProblem(&g, &c, {1, 1});
+  EXPECT_FALSE(ValidateWeightedProblem(p2, Objective::kLongestLink).ok());
+  // Non-positive weight.
+  auto p3 = MakeProblem(&g, &c, {1, 0, 1, 1});
+  EXPECT_FALSE(ValidateWeightedProblem(p3, Objective::kLongestLink).ok());
+}
+
+TEST(WeightedTest, UnitWeightsMatchUnweightedCosts) {
+  Rng rng(2);
+  graph::CommGraph g = graph::Mesh2D(2, 3);
+  CostMatrix c = RandomCosts(8, rng);
+  auto p = MakeProblem(&g, &c,
+                       std::vector<double>(static_cast<size_t>(g.num_edges()), 1.0));
+  for (int t = 0; t < 10; ++t) {
+    Deployment d = rng.SampleWithoutReplacement(8, 6);
+    auto wc = WeightedCost(p, d, Objective::kLongestLink);
+    ASSERT_TRUE(wc.ok());
+    EXPECT_DOUBLE_EQ(*wc, LongestLinkCost(g, d, c));
+  }
+}
+
+TEST(WeightedTest, WeightsScaleLinkCosts) {
+  // Two-edge path; heavy weight on edge 0 dominates.
+  auto g = graph::CommGraph::Create(3, {{0, 1}, {1, 2}});
+  CostMatrix c(3, std::vector<double>(3, 1.0));
+  for (int i = 0; i < 3; ++i) c[static_cast<size_t>(i)][static_cast<size_t>(i)] = 0;
+  auto p = MakeProblem(&*g, &c, {10.0, 1.0});
+  Deployment d = {0, 1, 2};
+  auto ll = WeightedCost(p, d, Objective::kLongestLink);
+  ASSERT_TRUE(ll.ok());
+  EXPECT_DOUBLE_EQ(*ll, 10.0);
+  auto lp = WeightedCost(p, d, Objective::kLongestPath);
+  ASSERT_TRUE(lp.ok());
+  EXPECT_DOUBLE_EQ(*lp, 11.0);
+}
+
+TEST(WeightedTest, RandomSearchRespectsWeights) {
+  Rng rng(3);
+  graph::CommGraph g = graph::Mesh2D(2, 2);
+  CostMatrix c = RandomCosts(6, rng);
+  std::vector<double> w(static_cast<size_t>(g.num_edges()), 1.0);
+  w[0] = 25.0;
+  auto p = MakeProblem(&g, &c, w);
+  auto r = WeightedRandomSearch(p, Objective::kLongestLink, 500, 9);
+  ASSERT_TRUE(r.ok());
+  auto check = WeightedCost(p, r->deployment, Objective::kLongestLink);
+  EXPECT_DOUBLE_EQ(*check, r->cost);
+}
+
+TEST(WeightedCpTest, OptimalOnTinyInstances) {
+  Rng master(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    graph::CommGraph g = graph::RandomSymmetric(5, 2.5, master);
+    CostMatrix c = RandomCosts(7, master);
+    std::vector<double> w;
+    for (int e = 0; e < g.num_edges(); ++e) {
+      w.push_back(master.Uniform(0.5, 3.0));
+    }
+    auto p = MakeProblem(&g, &c, w);
+    WeightedCpOptions opts;
+    opts.seed = master.Next();
+    auto r = SolveWeightedLlndpCp(p, opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r->proven_optimal);
+    EXPECT_NEAR(r->cost, BruteForceWeighted(p, Objective::kLongestLink), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(WeightedCpTest, UnitWeightsMatchUnweightedOptimum) {
+  Rng master(7);
+  graph::CommGraph g = graph::Mesh2D(2, 3);
+  CostMatrix c = RandomCosts(8, master);
+  auto p = MakeProblem(&g, &c,
+                       std::vector<double>(static_cast<size_t>(g.num_edges()), 1.0));
+  WeightedCpOptions opts;
+  opts.seed = 3;
+  auto r = SolveWeightedLlndpCp(p, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->proven_optimal);
+  EXPECT_NEAR(r->cost, BruteForceOptimum(g, c, Objective::kLongestLink), 1e-9);
+}
+
+TEST(WeightedCpTest, HeavyEdgeGetsTheBestLink) {
+  // One heavy edge (w=100) and a light edge: optimal plan must place the
+  // heavy edge on the cheapest instance link.
+  auto g = graph::CommGraph::Create(3, {{0, 1}, {1, 2}});
+  Rng rng(11);
+  CostMatrix c = RandomCosts(6, rng);
+  auto p = MakeProblem(&*g, &c, {100.0, 1.0});
+  WeightedCpOptions opts;
+  auto r = SolveWeightedLlndpCp(p, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->proven_optimal);
+  // Find the global min-cost ordered pair.
+  double min_cost = 1e18;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      if (i != j) min_cost = std::min(min_cost, c[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+    }
+  }
+  double heavy_link =
+      c[static_cast<size_t>(r->deployment[0])][static_cast<size_t>(r->deployment[1])];
+  EXPECT_DOUBLE_EQ(heavy_link, min_cost);
+}
+
+TEST(WeightedCpTest, TraceMonotoneAndDeadlineRespected) {
+  Rng master(13);
+  graph::CommGraph g = graph::Mesh2D(3, 3);
+  CostMatrix c = RandomCosts(11, master);
+  std::vector<double> w;
+  for (int e = 0; e < g.num_edges(); ++e) w.push_back(master.Uniform(0.5, 2));
+  auto p = MakeProblem(&g, &c, w);
+  WeightedCpOptions opts;
+  opts.deadline = Deadline::After(0);
+  auto r = SolveWeightedLlndpCp(p, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->proven_optimal);  // no time to search
+  for (size_t i = 1; i < r->trace.size(); ++i) {
+    EXPECT_LT(r->trace[i].cost, r->trace[i - 1].cost);
+  }
+}
+
+}  // namespace
+}  // namespace cloudia::deploy

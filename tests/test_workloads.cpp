@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "graph/templates.h"
+#include "workloads/aggregation.h"
+#include "workloads/behavioral.h"
+#include "workloads/kvstore.h"
+
+namespace cloudia::wl {
+namespace {
+
+class WorkloadsTest : public ::testing::Test {
+ protected:
+  WorkloadsTest() : cloud_(net::AmazonEc2Profile(), 31) {
+    auto alloc = cloud_.Allocate(40);
+    CLOUDIA_CHECK(alloc.ok());
+    instances_ = std::move(alloc).value();
+  }
+
+  NodePlacement FirstN(int n) const {
+    return NodePlacement(instances_.begin(), instances_.begin() + n);
+  }
+
+  // Placement minimizing/maximizing the worst mesh link, found greedily from
+  // expected RTTs, to create a clear good-vs-bad deployment contrast.
+  NodePlacement PlacementWithWorstLink(const graph::CommGraph& g, bool bad) {
+    // Order instances by average RTT to everyone; good placements use the
+    // best-connected prefix, bad ones the worst-connected suffix.
+    std::vector<std::pair<double, size_t>> avg;
+    for (size_t i = 0; i < instances_.size(); ++i) {
+      double sum = 0;
+      for (size_t j = 0; j < instances_.size(); ++j) {
+        if (i != j) sum += cloud_.ExpectedRtt(instances_[i], instances_[j]);
+      }
+      avg.push_back({sum, i});
+    }
+    std::sort(avg.begin(), avg.end());
+    NodePlacement p;
+    size_t n = static_cast<size_t>(g.num_nodes());
+    for (size_t k = 0; k < n; ++k) {
+      size_t idx = bad ? avg[avg.size() - 1 - k].second : avg[k].second;
+      p.push_back(instances_[idx]);
+    }
+    return p;
+  }
+
+  net::CloudSimulator cloud_;
+  std::vector<net::Instance> instances_;
+};
+
+TEST_F(WorkloadsTest, BehavioralBasics) {
+  graph::CommGraph mesh = graph::Mesh2D(4, 4);
+  BehavioralConfig cfg;
+  cfg.ticks = 300;
+  auto r = RunBehavioralSimulation(cloud_, mesh, FirstN(16), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->primary_ms, 0);
+  EXPECT_EQ(r->operations, 300);
+  // Each tick is at least the worst-link mean; total grows with ticks.
+  BehavioralConfig cfg2 = cfg;
+  cfg2.ticks = 600;
+  auto r2 = RunBehavioralSimulation(cloud_, mesh, FirstN(16), cfg2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r2->primary_ms, 1.5 * r->primary_ms);
+}
+
+TEST_F(WorkloadsTest, BehavioralRejectsBadInput) {
+  graph::CommGraph mesh = graph::Mesh2D(4, 4);
+  BehavioralConfig cfg;
+  EXPECT_FALSE(RunBehavioralSimulation(cloud_, mesh, FirstN(4), cfg).ok());
+  cfg.ticks = 0;
+  EXPECT_FALSE(RunBehavioralSimulation(cloud_, mesh, FirstN(16), cfg).ok());
+}
+
+TEST_F(WorkloadsTest, BehavioralSensitiveToWorstLink) {
+  // A deployment over well-connected instances must finish faster: this is
+  // the mechanism behind the paper's Fig. 12 gains.
+  graph::CommGraph mesh = graph::Mesh2D(4, 4);
+  BehavioralConfig cfg;
+  cfg.ticks = 400;
+  cfg.seed = 5;
+  auto good = RunBehavioralSimulation(cloud_, mesh,
+                                      PlacementWithWorstLink(mesh, false), cfg);
+  auto bad = RunBehavioralSimulation(cloud_, mesh,
+                                     PlacementWithWorstLink(mesh, true), cfg);
+  ASSERT_TRUE(good.ok() && bad.ok());
+  EXPECT_LT(good->primary_ms, bad->primary_ms);
+}
+
+TEST_F(WorkloadsTest, BehavioralDeterministicGivenSeed) {
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  BehavioralConfig cfg;
+  cfg.ticks = 100;
+  cfg.seed = 9;
+  auto a = RunBehavioralSimulation(cloud_, mesh, FirstN(9), cfg);
+  auto b = RunBehavioralSimulation(cloud_, mesh, FirstN(9), cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->primary_ms, b->primary_ms);
+}
+
+TEST_F(WorkloadsTest, AggregationBasics) {
+  graph::CommGraph tree = graph::AggregationTree(3, 3);  // 13 nodes
+  AggregationConfig cfg;
+  cfg.queries = 400;
+  auto r = RunAggregationQueries(cloud_, tree, FirstN(13), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->primary_ms, 0);
+  EXPECT_GE(r->p99_ms, r->primary_ms);
+  EXPECT_EQ(r->operations, 400);
+}
+
+TEST_F(WorkloadsTest, AggregationNeedsDag) {
+  graph::CommGraph ring = graph::Ring(5);
+  AggregationConfig cfg;
+  EXPECT_FALSE(RunAggregationQueries(cloud_, ring, FirstN(5), cfg).ok());
+}
+
+TEST_F(WorkloadsTest, AggregationResponseAtLeastDeepestHop) {
+  // With 2 levels the response is a single one-way transfer; with 4 levels
+  // the critical path sums three transfers -- responses must grow.
+  AggregationConfig cfg;
+  cfg.queries = 300;
+  graph::CommGraph shallow = graph::AggregationTree(3, 2);   // 4 nodes
+  graph::CommGraph deep = graph::AggregationTree(2, 4);      // 15 nodes
+  auto a = RunAggregationQueries(cloud_, shallow, FirstN(4), cfg);
+  auto b = RunAggregationQueries(cloud_, deep, FirstN(15), cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(b->primary_ms, a->primary_ms);
+}
+
+TEST_F(WorkloadsTest, KvStoreBasics) {
+  graph::CommGraph bip = graph::Bipartite(4, 16);
+  KvStoreConfig cfg;
+  cfg.queries = 500;
+  auto r = RunKvStoreQueries(cloud_, bip, FirstN(20), cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->primary_ms, 0);
+  EXPECT_EQ(r->operations, 500);
+}
+
+TEST_F(WorkloadsTest, KvStoreTouchingMoreNodesIsSlower) {
+  graph::CommGraph bip = graph::Bipartite(4, 16);
+  KvStoreConfig narrow, wide;
+  narrow.queries = wide.queries = 500;
+  narrow.touched_per_query = 2;
+  wide.touched_per_query = 16;
+  narrow.seed = wide.seed = 3;
+  auto a = RunKvStoreQueries(cloud_, bip, FirstN(20), narrow);
+  auto b = RunKvStoreQueries(cloud_, bip, FirstN(20), wide);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(a->primary_ms, b->primary_ms);  // max over more draws is larger
+}
+
+TEST_F(WorkloadsTest, KvStoreRejectsGraphWithoutFrontends) {
+  auto g = graph::CommGraph::Create(3, {});
+  KvStoreConfig cfg;
+  EXPECT_FALSE(RunKvStoreQueries(cloud_, *g, FirstN(3), cfg).ok());
+}
+
+}  // namespace
+}  // namespace cloudia::wl

@@ -1,0 +1,264 @@
+// cloudia_cli -- command-line front end for the deployment advisor.
+//
+// Modes:
+//   advise    run the full pipeline against the simulated cloud and print
+//             the deployment plan (optionally saving the measured costs)
+//   measure   only measure; save the cost matrix to --out
+//   solve     load a saved cost matrix (--costs) and search a deployment
+//             for a templated application graph
+//
+// Examples:
+//   cloudia_cli advise --nodes=100 --graph=mesh --method=cp --budget=10
+//   cloudia_cli measure --instances=50 --minutes=5 --out=costs.txt
+//   cloudia_cli solve --costs=costs.txt --graph=tree --objective=longest-path
+#include <cstdio>
+#include <string>
+
+#include "cloudia/advisor.h"
+#include "common/flags.h"
+#include "graph/templates.h"
+#include "measure/io.h"
+#include "measure/protocols.h"
+
+namespace {
+
+using namespace cloudia;
+
+void PrintUsage() {
+  std::printf(
+      "usage: cloudia_cli <advise|measure|solve> [flags]\n"
+      "\n"
+      "common flags:\n"
+      "  --seed=N             RNG seed (default 1)\n"
+      "  --provider=NAME      ec2 | gce | rackspace (default ec2)\n"
+      "  --graph=NAME         mesh | tree | bipartite (default mesh)\n"
+      "  --nodes=N            application nodes (default 30; shapes snap to\n"
+      "                       the nearest template size)\n"
+      "  --objective=NAME     longest-link | longest-path\n"
+      "  --method=NAME        g1 | g2 | r1 | r2 | cp | mip | local\n"
+      "  --budget=SECONDS     search budget (default 10)\n"
+      "  --clusters=K         cost clusters for cp/mip (default 20)\n"
+      "advise/measure flags:\n"
+      "  --over-allocation=F  extra instance fraction (default 0.10)\n"
+      "  --minutes=M          virtual measurement minutes (default auto)\n"
+      "  --out=FILE           save the measured mean-cost matrix\n"
+      "solve flags:\n"
+      "  --costs=FILE         cost matrix produced by 'measure'\n");
+}
+
+net::ProviderProfile ProviderByName(const std::string& name) {
+  if (name == "gce") return net::GoogleComputeEngineProfile();
+  if (name == "rackspace") return net::RackspaceCloudProfile();
+  return net::AmazonEc2Profile();
+}
+
+// Builds the requested graph with roughly `nodes` nodes.
+graph::CommGraph GraphByName(const std::string& name, int nodes) {
+  if (name == "tree") {
+    // Deepest 3-ary tree with at most `nodes` nodes.
+    int levels = 1, count = 1, width = 3;
+    while (count + width <= nodes) {
+      count += width;
+      width *= 3;
+      ++levels;
+    }
+    return graph::AggregationTree(3, levels);
+  }
+  if (name == "bipartite") {
+    int frontends = std::max(1, nodes / 10);
+    return graph::Bipartite(frontends, std::max(1, nodes - frontends));
+  }
+  // mesh: nearest rows x cols factorization.
+  int rows = 1;
+  for (int r = 2; r * r <= nodes; ++r) {
+    if (nodes % r == 0) rows = r;
+  }
+  return graph::Mesh2D(rows, nodes / rows);
+}
+
+Result<deploy::Method> MethodByName(const std::string& name) {
+  if (name == "g1") return deploy::Method::kGreedyG1;
+  if (name == "g2") return deploy::Method::kGreedyG2;
+  if (name == "r1") return deploy::Method::kRandomR1;
+  if (name == "r2") return deploy::Method::kRandomR2;
+  if (name == "cp") return deploy::Method::kCp;
+  if (name == "mip") return deploy::Method::kMip;
+  if (name == "local") return deploy::Method::kLocalSearch;
+  return Status::InvalidArgument("unknown --method: " + name);
+}
+
+Result<deploy::Objective> ObjectiveByName(const std::string& name) {
+  if (name == "longest-link") return deploy::Objective::kLongestLink;
+  if (name == "longest-path") return deploy::Objective::kLongestPath;
+  return Status::InvalidArgument("unknown --objective: " + name);
+}
+
+int RunAdvise(const Flags& flags) {
+  auto seed = flags.GetInt("seed", 1);
+  auto nodes = flags.GetInt("nodes", 30);
+  auto budget = flags.GetDouble("budget", 10.0);
+  auto clusters = flags.GetInt("clusters", 20);
+  auto over = flags.GetDouble("over-allocation", 0.10);
+  auto minutes = flags.GetDouble("minutes", 0.0);
+  if (!seed.ok() || !nodes.ok() || !budget.ok() || !clusters.ok() ||
+      !over.ok() || !minutes.ok()) {
+    std::fprintf(stderr, "bad numeric flag\n");
+    return 2;
+  }
+  auto method = MethodByName(flags.GetString("method", "cp"));
+  auto objective = ObjectiveByName(flags.GetString("objective", "longest-link"));
+  if (!method.ok() || !objective.ok()) {
+    std::fprintf(stderr, "%s\n", (!method.ok() ? method.status() : objective.status())
+                                     .ToString()
+                                     .c_str());
+    return 2;
+  }
+
+  net::CloudSimulator cloud(ProviderByName(flags.GetString("provider", "ec2")),
+                            static_cast<uint64_t>(*seed));
+  graph::CommGraph app = GraphByName(flags.GetString("graph", "mesh"),
+                                     static_cast<int>(*nodes));
+  std::printf("application graph: %s\n", app.ToString().c_str());
+
+  AdvisorConfig config;
+  config.over_allocation = *over;
+  config.objective = *objective;
+  config.method = *method;
+  config.cost_clusters = static_cast<int>(*clusters);
+  config.search_budget_s = *budget;
+  config.measure_duration_s = *minutes * 60.0;
+  config.seed = static_cast<uint64_t>(*seed);
+
+  Advisor advisor(&cloud, config);
+  auto report = advisor.Run(app);
+  if (!report.ok()) {
+    std::fprintf(stderr, "advisor failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", report->ToString().c_str());
+  std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    // Recompute the measured matrix for persistence? The advisor consumed
+    // it internally; persist the plan instead.
+    std::printf("plan:\n");
+  }
+  for (size_t i = 0; i < report->placement.size(); ++i) {
+    std::printf("  node %3zu -> instance %3d (%s)\n", i,
+                report->placement[i].id,
+                net::IpToString(report->placement[i].internal_ip).c_str());
+  }
+  return 0;
+}
+
+int RunMeasure(const Flags& flags) {
+  auto seed = flags.GetInt("seed", 1);
+  auto instances = flags.GetInt("instances", 50);
+  auto minutes = flags.GetDouble("minutes", 5.0);
+  std::string out = flags.GetString("out", "costs.txt");
+  if (!seed.ok() || !instances.ok() || !minutes.ok()) {
+    std::fprintf(stderr, "bad numeric flag\n");
+    return 2;
+  }
+  net::CloudSimulator cloud(ProviderByName(flags.GetString("provider", "ec2")),
+                            static_cast<uint64_t>(*seed));
+  auto alloc = cloud.Allocate(static_cast<int>(*instances));
+  if (!alloc.ok()) {
+    std::fprintf(stderr, "%s\n", alloc.status().ToString().c_str());
+    return 1;
+  }
+  measure::ProtocolOptions opts;
+  opts.duration_s = *minutes * 60.0;
+  opts.seed = static_cast<uint64_t>(*seed) + 1;
+  auto measured = measure::RunStaged(cloud, *alloc, opts);
+  if (!measured.ok()) {
+    std::fprintf(stderr, "%s\n", measured.status().ToString().c_str());
+    return 1;
+  }
+  auto costs = measure::BuildCostMatrix(*measured, measure::CostMetric::kMean);
+  Status saved = measure::SaveCostMatrix(out, costs, "Mean");
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("measured %lld samples over %.1f virtual minutes; saved %s\n",
+              static_cast<long long>(measured->total_samples()),
+              measured->virtual_time_ms / 6e4, out.c_str());
+  return 0;
+}
+
+int RunSolve(const Flags& flags) {
+  std::string path = flags.GetString("costs", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "--costs=FILE is required for 'solve'\n");
+    return 2;
+  }
+  auto loaded = measure::LoadCostMatrix(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto seed = flags.GetInt("seed", 1);
+  auto budget = flags.GetDouble("budget", 10.0);
+  auto clusters = flags.GetInt("clusters", 20);
+  auto nodes = flags.GetInt(
+      "nodes", static_cast<int64_t>(loaded->costs.size() * 9 / 10));
+  if (!seed.ok() || !budget.ok() || !clusters.ok() || !nodes.ok()) {
+    std::fprintf(stderr, "bad numeric flag\n");
+    return 2;
+  }
+  auto method = MethodByName(flags.GetString("method", "cp"));
+  auto objective = ObjectiveByName(flags.GetString("objective", "longest-link"));
+  if (!method.ok() || !objective.ok()) {
+    std::fprintf(stderr, "bad method/objective\n");
+    return 2;
+  }
+  graph::CommGraph app = GraphByName(flags.GetString("graph", "mesh"),
+                                     static_cast<int>(*nodes));
+  if (app.num_nodes() > static_cast<int>(loaded->costs.size())) {
+    std::fprintf(stderr, "graph needs %d nodes but matrix has %zu instances\n",
+                 app.num_nodes(), loaded->costs.size());
+    return 2;
+  }
+  deploy::NdpSolveOptions opts;
+  opts.objective = *objective;
+  opts.method = *method;
+  opts.time_budget_s = *budget;
+  opts.cost_clusters = static_cast<int>(*clusters);
+  opts.seed = static_cast<uint64_t>(*seed);
+  auto result = deploy::SolveNodeDeployment(app, loaded->costs, opts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("graph %s, %s / %s: cost %.4f ms%s after %.1f s\n",
+              app.ToString().c_str(), deploy::MethodName(*method),
+              deploy::ObjectiveName(*objective), result->cost,
+              result->proven_optimal ? " (optimal)" : "",
+              result->trace.empty() ? 0.0 : result->trace.back().seconds);
+  for (size_t i = 0; i < result->deployment.size(); ++i) {
+    std::printf("  node %3zu -> instance %3d\n", i, result->deployment[i]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = cloudia::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  if (flags->positional().empty() || flags->Has("help")) {
+    PrintUsage();
+    return flags->Has("help") ? 0 : 2;
+  }
+  const std::string& mode = flags->positional()[0];
+  if (mode == "advise") return RunAdvise(*flags);
+  if (mode == "measure") return RunMeasure(*flags);
+  if (mode == "solve") return RunSolve(*flags);
+  std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+  PrintUsage();
+  return 2;
+}
