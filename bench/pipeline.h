@@ -8,7 +8,7 @@
 
 #include "bench_util.h"
 #include "common/check.h"
-#include "deploy/solve.h"
+#include "deploy/solver_registry.h"
 #include "graph/templates.h"
 #include "measure/protocols.h"
 #include "workloads/aggregation.h"
@@ -117,17 +117,25 @@ inline PipelineOutcome RunPipeline(const net::CloudSimulator& cloud,
   CLOUDIA_CHECK(measured.ok());
   deploy::CostMatrix costs = measure::BuildCostMatrix(*measured, metric);
 
+  // Paper-default solver per objective, dispatched through the registry.
+  deploy::NdpProblem problem;
+  problem.graph = &g;
+  problem.costs = &costs;
+  problem.objective = WorkloadObjective(w);
+  const bool longest_link =
+      problem.objective == deploy::Objective::kLongestLink;
+  const deploy::NdpSolver* solver =
+      deploy::SolverRegistry::Global().Find(longest_link ? "cp" : "mip");
+  CLOUDIA_CHECK(solver != nullptr);
+
   deploy::NdpSolveOptions sopts;
-  sopts.objective = WorkloadObjective(w);
-  sopts.method = sopts.objective == deploy::Objective::kLongestLink
-                     ? deploy::Method::kCp
-                     : deploy::Method::kMip;
-  sopts.cost_clusters =
-      sopts.objective == deploy::Objective::kLongestLink ? 20 : 0;
-  // Half the paper's 15-minute budget: both solvers converge well before it.
-  sopts.time_budget_s = ScaledSeconds(7.5 * 60, 5);
+  sopts.objective = problem.objective;
+  sopts.cost_clusters = longest_link ? 20 : 0;
   sopts.seed = seed;
-  auto solved = deploy::SolveNodeDeployment(g, costs, sopts);
+  // Half the paper's 15-minute budget: both solvers converge well before it.
+  deploy::SolveContext context(
+      Deadline::After(ScaledSeconds(7.5 * 60, 5)));
+  auto solved = solver->Solve(problem, sopts, context);
   CLOUDIA_CHECK(solved.ok());
 
   wl::NodePlacement optimized, fallback;

@@ -1,11 +1,10 @@
 #include "cloudia/advisor.h"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
 
+#include "cloudia/session.h"
 #include "common/check.h"
-#include "common/rng.h"
-#include "common/timer.h"
+#include "deploy/solver_registry.h"
 
 namespace cloudia {
 
@@ -15,80 +14,43 @@ Advisor::Advisor(net::CloudSimulator* cloud, AdvisorConfig config)
 }
 
 Result<AdvisorReport> Advisor::Run(const graph::CommGraph& app_graph) {
-  const int n = app_graph.num_nodes();
-  if (n < 2) return Status::InvalidArgument("application needs >= 2 nodes");
-  if (config_.over_allocation < 0) {
-    return Status::InvalidArgument("over_allocation must be >= 0");
-  }
+  SessionOptions options;
+  options.over_allocation = config_.over_allocation;
+  options.protocol = config_.protocol;
+  options.metric = config_.metric;
+  options.measure_duration_s = config_.measure_duration_s;
+  options.probe_bytes = config_.probe_bytes;
+  options.seed = config_.seed;
+
+  DeploymentSession session(cloud_, &app_graph, options);
+
+  SolveSpec spec;
+  spec.method = deploy::MethodKey(config_.method);
+  spec.objective = config_.objective;
+  spec.time_budget_s = config_.search_budget_s;
+  spec.cost_clusters = config_.cost_clusters;
+  spec.seed = config_.seed;
+
+  CLOUDIA_ASSIGN_OR_RETURN(SessionSolve solve, session.Solve(spec));
+  CLOUDIA_ASSIGN_OR_RETURN(std::vector<net::Instance> terminated,
+                           session.Terminate(solve));
 
   AdvisorReport report;
-
-  // --- Step 1: allocate instances (paper Fig. 3, "Allocate Instances") ----
-  int total = n + static_cast<int>(std::floor(
-                      static_cast<double>(n) * config_.over_allocation));
-  CLOUDIA_ASSIGN_OR_RETURN(report.allocated, cloud_->Allocate(total));
-
-  // --- Step 2: get measurements -------------------------------------------
-  measure::ProtocolOptions popts;
-  popts.msg_bytes = config_.probe_bytes;
-  popts.seed = SplitMix64Mix();
-  popts.duration_s = config_.measure_duration_s > 0
-                         ? config_.measure_duration_s
-                         : 300.0 * static_cast<double>(total) / 100.0;
-  CLOUDIA_ASSIGN_OR_RETURN(
-      measure::MeasurementResult measurement,
-      measure::RunProtocol(*cloud_, report.allocated, config_.protocol,
-                           popts));
-  report.measure_virtual_s = measurement.virtual_time_ms / 1e3;
-  deploy::CostMatrix costs =
-      measure::BuildCostMatrix(measurement, config_.metric);
-
-  // --- Step 3: search deployment ------------------------------------------
-  deploy::NdpSolveOptions sopts;
-  sopts.objective = config_.objective;
-  sopts.method = config_.method;
-  sopts.time_budget_s = config_.search_budget_s;
-  sopts.cost_clusters = config_.cost_clusters;
-  sopts.seed = config_.seed;
-  Stopwatch search_clock;
-  CLOUDIA_ASSIGN_OR_RETURN(report.solve,
-                           deploy::SolveNodeDeployment(app_graph, costs, sopts));
-  report.search_wall_s = search_clock.ElapsedSeconds();
-
-  // Costs of the optimized and default plans under the measured matrix.
-  deploy::Deployment default_deployment(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) default_deployment[static_cast<size_t>(i)] = i;
-  CLOUDIA_ASSIGN_OR_RETURN(
-      deploy::CostEvaluator eval,
-      deploy::CostEvaluator::Create(&app_graph, &costs, config_.objective));
-  report.optimized_cost_ms = report.solve.cost;
-  report.default_cost_ms = eval.Cost(default_deployment);
-  report.predicted_improvement =
-      report.default_cost_ms > 0
-          ? (report.default_cost_ms - report.optimized_cost_ms) /
-                report.default_cost_ms
-          : 0.0;
-
-  // --- Step 4: terminate extra instances ----------------------------------
-  std::vector<bool> used(report.allocated.size(), false);
-  report.placement.reserve(static_cast<size_t>(n));
+  report.allocated = session.allocated();
+  report.placement = std::move(solve.placement);
+  const int n = app_graph.num_nodes();
+  report.default_placement.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    int idx = report.solve.deployment[static_cast<size_t>(i)];
-    used[static_cast<size_t>(idx)] = true;
-    report.placement.push_back(report.allocated[static_cast<size_t>(idx)]);
     report.default_placement.push_back(report.allocated[static_cast<size_t>(i)]);
   }
-  for (size_t i = 0; i < report.allocated.size(); ++i) {
-    if (!used[i]) report.terminated.push_back(report.allocated[i]);
-  }
-  cloud_->Terminate(report.terminated);
+  report.terminated = std::move(terminated);
+  report.optimized_cost_ms = solve.cost_ms;
+  report.default_cost_ms = solve.default_cost_ms;
+  report.predicted_improvement = solve.predicted_improvement;
+  report.measure_virtual_s = session.measure_virtual_s();
+  report.search_wall_s = solve.wall_s;
+  report.solve = std::move(solve.result);
   return report;
-}
-
-uint64_t Advisor::SplitMix64Mix() const {
-  // Derive the measurement seed from the config seed without disturbing it.
-  uint64_t s = config_.seed ^ 0x6d656173756572ULL;  // "measur"
-  return SplitMix64(s);
 }
 
 }  // namespace cloudia

@@ -1,13 +1,28 @@
-// ClouDiA's public entry point: the deployment-tuning pipeline of paper
+// ClouDiA's one-shot entry point: the deployment-tuning pipeline of paper
 // Fig. 3 -- allocate instances (with over-allocation), measure pairwise
-// latencies, search for a deployment plan, terminate the extra instances.
+// latencies, search for a deployment plan, terminate the extra instances --
+// in a single call. A thin wrapper over the staged cloudia::DeploymentSession
+// (cloudia/session.h), which is the API to reach for when one measurement
+// should serve several solves (different methods, objectives, budgets, or
+// application graphs), or when a long search needs progress reporting and
+// cancellation.
 //
-// Quickstart:
+// One-shot quickstart:
 //   net::CloudSimulator cloud(net::AmazonEc2Profile(), /*seed=*/42);
 //   graph::CommGraph app = graph::Mesh2D(10, 10);
 //   cloudia::Advisor advisor(&cloud, {});
 //   auto report = advisor.Run(app);
 //   // report->placement holds the instance for each application node.
+//
+// Staged equivalent, measuring once and comparing two solvers:
+//   cloudia::DeploymentSession session(&cloud, &app, {});
+//   auto st = session.Measure();                  // allocates, then probes
+//   cloudia::SolveSpec spec;
+//   spec.method = "cp";
+//   auto cp = session.Solve(spec);                // uses the cached matrix
+//   spec.method = "g2";
+//   auto g2 = session.Solve(spec);                // no re-measurement
+//   auto terminated = session.Terminate();        // keeps the best plan
 #ifndef CLOUDIA_CLOUDIA_ADVISOR_H_
 #define CLOUDIA_CLOUDIA_ADVISOR_H_
 
@@ -79,7 +94,8 @@ struct AdvisorReport {
 };
 
 /// The deployment advisor. Holds a non-owning pointer to the cloud; one
-/// Advisor can run multiple applications against the same cloud.
+/// Advisor can run multiple applications against the same cloud. Each Run()
+/// drives a fresh DeploymentSession end to end.
 class Advisor {
  public:
   Advisor(net::CloudSimulator* cloud, AdvisorConfig config);
@@ -90,9 +106,6 @@ class Advisor {
   const AdvisorConfig& config() const { return config_; }
 
  private:
-  /// Derives the measurement seed from the config seed.
-  uint64_t SplitMix64Mix() const;
-
   net::CloudSimulator* cloud_;
   AdvisorConfig config_;
 };

@@ -1,0 +1,195 @@
+#include "cloudia/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "deploy/solver_registry.h"
+
+namespace cloudia {
+
+namespace {
+
+// Derives the measurement seed from the session seed without disturbing it.
+uint64_t MeasurementSeed(uint64_t seed) {
+  uint64_t s = seed ^ 0x6d656173756572ULL;  // "measur"
+  return SplitMix64(s);
+}
+
+}  // namespace
+
+DeploymentSession::DeploymentSession(net::CloudSimulator* cloud,
+                                     const graph::CommGraph* app,
+                                     SessionOptions options)
+    : cloud_(cloud), app_(app), options_(std::move(options)) {
+  CLOUDIA_CHECK(cloud != nullptr);
+  CLOUDIA_CHECK(app != nullptr);
+}
+
+Status DeploymentSession::Allocate() {
+  if (allocated_done_) {
+    return Status::InvalidArgument("Allocate() already ran in this session");
+  }
+  const int n = app_->num_nodes();
+  if (n < 2) return Status::InvalidArgument("application needs >= 2 nodes");
+  if (options_.over_allocation < 0) {
+    return Status::InvalidArgument("over_allocation must be >= 0");
+  }
+  int total = n + static_cast<int>(std::floor(
+                      static_cast<double>(n) * options_.over_allocation));
+  CLOUDIA_ASSIGN_OR_RETURN(allocated_, cloud_->Allocate(total));
+  allocated_done_ = true;
+  return Status::OK();
+}
+
+Status DeploymentSession::Measure() {
+  if (measured_done_) {
+    return Status::InvalidArgument(
+        "Measure() already ran; the session caches one cost matrix and "
+        "reuses it across Solve() calls");
+  }
+  if (!allocated_done_) CLOUDIA_RETURN_IF_ERROR(Allocate());
+
+  measure::ProtocolOptions popts;
+  popts.msg_bytes = options_.probe_bytes;
+  popts.seed = MeasurementSeed(options_.seed);
+  popts.duration_s =
+      options_.measure_duration_s > 0
+          ? options_.measure_duration_s
+          : 300.0 * static_cast<double>(allocated_.size()) / 100.0;
+  CLOUDIA_ASSIGN_OR_RETURN(
+      measure::MeasurementResult measurement,
+      measure::RunProtocol(*cloud_, allocated_, options_.protocol, popts));
+  measure_virtual_s_ = measurement.virtual_time_ms / 1e3;
+  costs_ = measure::BuildCostMatrix(measurement, options_.metric);
+  measured_done_ = true;
+  return Status::OK();
+}
+
+Result<SessionSolve> DeploymentSession::Solve(const SolveSpec& spec) {
+  if (terminated_done_) {
+    return Status::InvalidArgument(
+        "Solve() after Terminate(): the over-allocated instances are gone");
+  }
+  if (!measured_done_) CLOUDIA_RETURN_IF_ERROR(Measure());
+
+  const graph::CommGraph* graph = spec.app != nullptr ? spec.app : app_;
+  const int n = graph->num_nodes();
+  if (n > static_cast<int>(allocated_.size())) {
+    return Status::InvalidArgument(
+        "application graph needs " + std::to_string(n) +
+        " nodes but the session allocated only " +
+        std::to_string(allocated_.size()) + " instances");
+  }
+
+  CLOUDIA_ASSIGN_OR_RETURN(const deploy::NdpSolver* solver,
+                           deploy::SolverRegistry::Global().Require(spec.method));
+  if (!solver->Supports(spec.objective)) {
+    return Status::InvalidArgument(
+        std::string(solver->display_name()) + " is not formulated for the " +
+        deploy::ObjectiveName(spec.objective) +
+        " objective (see paper Sect. 4.4 for the CP/LPNDP case)");
+  }
+  // Validate objective/graph compatibility before launching the solver.
+  CLOUDIA_ASSIGN_OR_RETURN(
+      deploy::CostEvaluator eval,
+      deploy::CostEvaluator::Create(graph, &costs_, spec.objective));
+
+  deploy::NdpProblem problem;
+  problem.graph = graph;
+  problem.costs = &costs_;
+  problem.objective = spec.objective;
+
+  deploy::NdpSolveOptions sopts;
+  sopts.objective = spec.objective;
+  sopts.cost_clusters = spec.cost_clusters;
+  sopts.r1_samples = spec.r1_samples;
+  sopts.threads = spec.threads;
+  sopts.seed = spec.seed;
+  sopts.initial = spec.initial;
+  sopts.warm_start_hints = spec.warm_start_hints;
+
+  deploy::SolveContext context(Deadline::After(spec.time_budget_s),
+                               spec.cancel, spec.on_progress);
+  CLOUDIA_ASSIGN_OR_RETURN(deploy::NdpSolveResult result,
+                           solver->Solve(problem, sopts, context));
+
+  SessionSolve solve;
+  solve.method = solver->name();
+  solve.objective = spec.objective;
+  solve.wall_s = context.ElapsedSeconds();
+  solve.cost_ms = result.cost;
+
+  deploy::Deployment default_deployment(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) default_deployment[static_cast<size_t>(i)] = i;
+  solve.default_cost_ms = eval.Cost(default_deployment);
+  solve.predicted_improvement =
+      solve.default_cost_ms > 0
+          ? (solve.default_cost_ms - solve.cost_ms) / solve.default_cost_ms
+          : 0.0;
+
+  solve.placement.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    int idx = result.deployment[static_cast<size_t>(i)];
+    solve.placement.push_back(allocated_[static_cast<size_t>(idx)]);
+  }
+  solve.result = std::move(result);
+
+  solves_.push_back(std::move(solve));
+  return solves_.back();
+}
+
+const SessionSolve* DeploymentSession::best_solve() const {
+  const SessionSolve* best = nullptr;
+  for (const SessionSolve& solve : solves_) {
+    if (best == nullptr || solve.cost_ms < best->cost_ms) best = &solve;
+  }
+  return best;
+}
+
+Result<std::vector<net::Instance>> DeploymentSession::Terminate() {
+  const SessionSolve* best = best_solve();
+  if (best != nullptr) return Terminate(*best);
+  // No successful solve: abandon the session, releasing the whole pool.
+  if (terminated_done_) {
+    return Status::InvalidArgument("Terminate() already ran in this session");
+  }
+  if (!allocated_done_) {
+    return Status::InvalidArgument("Terminate() before Allocate()");
+  }
+  std::vector<net::Instance> terminated = allocated_;
+  cloud_->Terminate(terminated);
+  terminated_done_ = true;
+  return terminated;
+}
+
+Result<std::vector<net::Instance>> DeploymentSession::Terminate(
+    const SessionSolve& keep) {
+  if (terminated_done_) {
+    return Status::InvalidArgument("Terminate() already ran in this session");
+  }
+  if (!allocated_done_) {
+    return Status::InvalidArgument("Terminate() before Allocate()");
+  }
+  std::vector<bool> used(allocated_.size(), false);
+  for (const net::Instance& inst : keep.placement) {
+    for (size_t i = 0; i < allocated_.size(); ++i) {
+      if (allocated_[i].id == inst.id) {
+        used[i] = true;
+        break;
+      }
+    }
+  }
+  std::vector<net::Instance> terminated;
+  for (size_t i = 0; i < allocated_.size(); ++i) {
+    if (!used[i]) terminated.push_back(allocated_[i]);
+  }
+  cloud_->Terminate(terminated);
+  terminated_done_ = true;
+  return terminated;
+}
+
+}  // namespace cloudia

@@ -1,0 +1,32 @@
+// Cooperative cancellation for long-running solves. A CancelToken is a
+// cheap, copyable handle to a shared flag: the controlling thread calls
+// Cancel(), workers poll Cancelled() at their convenience (solvers check it
+// alongside their deadline). Copies share state, so a token handed to a
+// solver running on another thread can be cancelled from the caller.
+#ifndef CLOUDIA_COMMON_CANCEL_H_
+#define CLOUDIA_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <memory>
+
+namespace cloudia {
+
+class CancelToken {
+ public:
+  CancelToken() : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation; visible to all copies of this token. Safe to call
+  /// from any thread, any number of times.
+  void Cancel() const { cancelled_->store(true, std::memory_order_relaxed); }
+
+  bool Cancelled() const {
+    return cancelled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+}  // namespace cloudia
+
+#endif  // CLOUDIA_COMMON_CANCEL_H_

@@ -11,7 +11,8 @@ namespace cloudia::deploy {
 
 Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
                                     const CostMatrix& costs,
-                                    const CpLlndpOptions& options) {
+                                    const CpLlndpOptions& options,
+                                    SolveContext& context) {
   CLOUDIA_ASSIGN_OR_RETURN(
       CostEvaluator actual_eval,
       CostEvaluator::Create(&graph, &costs, Objective::kLongestLink));
@@ -23,7 +24,6 @@ Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
       CostEvaluator clustered_eval,
       CostEvaluator::Create(&graph, &clustered, Objective::kLongestLink));
 
-  Stopwatch clock;
   NdpSolveResult result;
 
   Deployment incumbent = options.initial;
@@ -36,7 +36,7 @@ Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
                                              Objective::kLongestLink));
   result.deployment = incumbent;
   result.cost = actual_eval.Cost(incumbent);
-  result.trace.push_back({clock.ElapsedSeconds(), result.cost});
+  result.trace.push_back(context.ReportIncumbent(result.cost, incumbent));
 
   if (graph.num_nodes() == 0 || graph.num_edges() == 0) {
     result.proven_optimal = true;
@@ -55,7 +55,7 @@ Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
   distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
 
   double incumbent_clustered = clustered_eval.Cost(incumbent);
-  while (!options.deadline.Expired()) {
+  while (!context.ShouldStop()) {
     // Largest distinct value strictly below the incumbent's clustered cost.
     auto it = std::lower_bound(distinct.begin(), distinct.end(),
                                incumbent_clustered);
@@ -79,7 +79,8 @@ Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
     }
 
     cp::SipOptions sip;
-    sip.limits.deadline = options.deadline;
+    sip.limits.deadline = context.deadline();
+    sip.limits.cancel = context.cancel_token();
     sip.degree_filter = options.degree_filter;
     sip.neighborhood_filter = options.neighborhood_filter;
     if (options.warm_start_hints) sip.value_hints = incumbent;
@@ -88,7 +89,7 @@ Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
       if (phi.status().code() == StatusCode::kInfeasible) {
         result.proven_optimal = true;  // optimal w.r.t. clustered costs
       }
-      break;  // infeasible or timeout
+      break;  // infeasible, timeout, or cancelled
     }
     incumbent = std::move(phi).value();
     incumbent_clustered = clustered_eval.Cost(incumbent);
@@ -96,10 +97,17 @@ Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
     if (actual < result.cost) {
       result.cost = actual;
       result.deployment = incumbent;
-      result.trace.push_back({clock.ElapsedSeconds(), actual});
+      result.trace.push_back(context.ReportIncumbent(actual, incumbent));
     }
   }
   return result;
+}
+
+Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
+                                    const CostMatrix& costs,
+                                    const CpLlndpOptions& options) {
+  SolveContext context(options.deadline);
+  return SolveLlndpCp(graph, costs, options, context);
 }
 
 }  // namespace cloudia::deploy

@@ -14,11 +14,14 @@
 
 #include "common/result.h"
 #include "common/timer.h"
+#include "deploy/solver.h"
 #include "deploy/solver_result.h"
 
 namespace cloudia::deploy {
 
 struct CpLlndpOptions {
+  /// Budget for the convenience overload only; the SolveContext overload
+  /// takes its deadline (and cancellation) from the context.
   Deadline deadline = Deadline::Infinite();
   /// Number of k-means cost clusters; 0 disables clustering.
   int cost_clusters = 0;
@@ -34,8 +37,15 @@ struct CpLlndpOptions {
   bool neighborhood_filter = true;
 };
 
-/// Solves LLNDP with CP threshold descent. Always returns a deployment (at
-/// worst the bootstrap one) unless inputs are invalid.
+/// Solves LLNDP with CP threshold descent under `context` (deadline,
+/// cancellation, incumbent progress). Always returns a deployment (at worst
+/// the bootstrap one) unless inputs are invalid.
+Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
+                                    const CostMatrix& costs,
+                                    const CpLlndpOptions& options,
+                                    SolveContext& context);
+
+/// Convenience overload: context built from `options.deadline` only.
 Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
                                     const CostMatrix& costs,
                                     const CpLlndpOptions& options);

@@ -13,11 +13,11 @@ namespace {
 // One first-improvement descent pass; returns true if any move improved.
 // Neighborhoods: swap the instances of two nodes; move a node to an unused
 // instance.
-bool DescendOnce(const CostEvaluator& eval, const Deadline& deadline,
+bool DescendOnce(const CostEvaluator& eval, const SolveContext& context,
                  Deployment& d, double& cost, std::vector<int>& unused) {
   const int n = static_cast<int>(d.size());
   bool improved = false;
-  for (int a = 0; a < n && !deadline.Expired(); ++a) {
+  for (int a = 0; a < n && !context.ShouldStop(); ++a) {
     // Moves to unused instances.
     for (size_t u = 0; u < unused.size(); ++u) {
       std::swap(d[static_cast<size_t>(a)], unused[u]);
@@ -59,11 +59,11 @@ std::vector<int> UnusedInstances(const Deployment& d, int m) {
 Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
                                         const CostMatrix& costs,
                                         Objective objective,
-                                        const LocalSearchOptions& options) {
+                                        const LocalSearchOptions& options,
+                                        SolveContext& context) {
   CLOUDIA_ASSIGN_OR_RETURN(CostEvaluator eval,
                            CostEvaluator::Create(&graph, &costs, objective));
   const int m = static_cast<int>(costs.size());
-  Stopwatch clock;
   Rng rng(options.seed);
 
   Deployment start = options.initial;
@@ -77,27 +77,35 @@ Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
   NdpSolveResult result;
   result.deployment = start;
   result.cost = eval.Cost(start);
-  result.trace.push_back({clock.ElapsedSeconds(), result.cost});
+  result.trace.push_back(context.ReportIncumbent(result.cost, start));
 
   Deployment current = std::move(start);
   for (int restart = 0; restart <= options.max_restarts; ++restart) {
-    if (options.deadline.Expired()) break;
+    if (context.ShouldStop()) break;
     if (restart > 0) {
       current = RandomDeployment(graph.num_nodes(), m, rng);
     }
     double cost = eval.Cost(current);
     std::vector<int> unused = UnusedInstances(current, m);
     ++result.iterations;
-    while (!options.deadline.Expired() &&
-           DescendOnce(eval, options.deadline, current, cost, unused)) {
+    while (!context.ShouldStop() &&
+           DescendOnce(eval, context, current, cost, unused)) {
     }
     if (cost < result.cost - 1e-12) {
       result.cost = cost;
       result.deployment = current;
-      result.trace.push_back({clock.ElapsedSeconds(), cost});
+      result.trace.push_back(context.ReportIncumbent(cost, current));
     }
   }
   return result;
+}
+
+Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
+                                        const CostMatrix& costs,
+                                        Objective objective,
+                                        const LocalSearchOptions& options) {
+  SolveContext context(options.deadline);
+  return SolveLocalSearch(graph, costs, objective, options, context);
 }
 
 }  // namespace cloudia::deploy

@@ -15,11 +15,14 @@
 
 #include "common/result.h"
 #include "common/timer.h"
+#include "deploy/solver.h"
 #include "deploy/solver_result.h"
 
 namespace cloudia::deploy {
 
 struct LocalSearchOptions {
+  /// Budget for the convenience overload only; the SolveContext overload
+  /// takes its deadline (and cancellation) from the context.
   Deadline deadline = Deadline::Infinite();
   /// Random restarts after reaching a local optimum (0 = single descent).
   int max_restarts = 8;
@@ -28,7 +31,15 @@ struct LocalSearchOptions {
   uint64_t seed = 1;
 };
 
-/// Multi-start steepest-descent over swap/move neighborhoods.
+/// Multi-start steepest-descent over swap/move neighborhoods, under
+/// `context` (deadline, cancellation, incumbent progress).
+Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
+                                        const CostMatrix& costs,
+                                        Objective objective,
+                                        const LocalSearchOptions& options,
+                                        SolveContext& context);
+
+/// Convenience overload: context built from `options.deadline` only.
 Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
                                         const CostMatrix& costs,
                                         Objective objective,

@@ -53,7 +53,8 @@ std::vector<std::vector<int>> SupportsPerNode(const std::vector<double>& x,
 
 Result<NdpSolveResult> SolveLlndpMip(const graph::CommGraph& graph,
                                      const CostMatrix& costs,
-                                     const MipNdpOptions& options) {
+                                     const MipNdpOptions& options,
+                                     SolveContext& context) {
   CLOUDIA_ASSIGN_OR_RETURN(
       CostEvaluator actual_eval,
       CostEvaluator::Create(&graph, &costs, Objective::kLongestLink));
@@ -62,7 +63,6 @@ Result<NdpSolveResult> SolveLlndpMip(const graph::CommGraph& graph,
 
   const int n = graph.num_nodes();
   const int m = static_cast<int>(costs.size());
-  Stopwatch clock;
   NdpSolveResult result;
 
   Deployment initial = options.initial;
@@ -76,7 +76,7 @@ Result<NdpSolveResult> SolveLlndpMip(const graph::CommGraph& graph,
       ValidateDeployment(graph, initial, costs, Objective::kLongestLink));
   result.deployment = initial;
   result.cost = n > 0 ? actual_eval.Cost(initial) : 0.0;
-  result.trace.push_back({0.0, result.cost});
+  result.trace.push_back(context.ReportIncumbent(result.cost, initial));
   if (n == 0 || graph.num_edges() == 0) {
     result.proven_optimal = true;
     return result;
@@ -105,7 +105,8 @@ Result<NdpSolveResult> SolveLlndpMip(const graph::CommGraph& graph,
   }
 
   mip::MipOptions mip_options;
-  mip_options.deadline = options.deadline;
+  mip_options.deadline = context.deadline();
+  mip_options.cancel = context.cancel_token();
   // Separation of c >= CL(j,j')(x_ij + x_i'j' - 1): rewritten as
   //   c - CL * x_ij - CL * x_i'j'  >=  -CL.
   mip_options.lazy = [&graph, &clustered, &options, n, m, c_var](
@@ -169,8 +170,8 @@ Result<NdpSolveResult> SolveLlndpMip(const graph::CommGraph& graph,
     double actual = actual_eval.Cost(d);
     if (actual < result.cost) {
       result.cost = actual;
+      result.trace.push_back(context.ReportIncumbent(actual, d));
       result.deployment = std::move(d);
-      result.trace.push_back({clock.ElapsedSeconds(), actual});
     }
   };
 
@@ -178,6 +179,13 @@ Result<NdpSolveResult> SolveLlndpMip(const graph::CommGraph& graph,
   result.proven_optimal = (mip_result.status == mip::MipStatus::kOptimal);
   result.iterations = mip_result.nodes;
   return result;
+}
+
+Result<NdpSolveResult> SolveLlndpMip(const graph::CommGraph& graph,
+                                     const CostMatrix& costs,
+                                     const MipNdpOptions& options) {
+  SolveContext context(options.deadline);
+  return SolveLlndpMip(graph, costs, options, context);
 }
 
 }  // namespace cloudia::deploy

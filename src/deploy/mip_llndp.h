@@ -17,11 +17,14 @@
 
 #include "common/result.h"
 #include "common/timer.h"
+#include "deploy/solver.h"
 #include "deploy/solver_result.h"
 
 namespace cloudia::deploy {
 
 struct MipNdpOptions {
+  /// Budget for the convenience overloads only; the SolveContext overloads
+  /// take their deadline (and cancellation) from the context.
   Deadline deadline = Deadline::Infinite();
   /// k-means cost clusters; 0 disables clustering (Sect. 6.3 studies both).
   int cost_clusters = 0;
@@ -32,7 +35,14 @@ struct MipNdpOptions {
   int max_lazy_rows_per_round = 64;
 };
 
-/// Solves LLNDP via branch & bound on the encoding above.
+/// Solves LLNDP via branch & bound on the encoding above, under `context`
+/// (deadline, cancellation, incumbent progress).
+Result<NdpSolveResult> SolveLlndpMip(const graph::CommGraph& graph,
+                                     const CostMatrix& costs,
+                                     const MipNdpOptions& options,
+                                     SolveContext& context);
+
+/// Convenience overload: context built from `options.deadline` only.
 Result<NdpSolveResult> SolveLlndpMip(const graph::CommGraph& graph,
                                      const CostMatrix& costs,
                                      const MipNdpOptions& options);

@@ -18,7 +18,8 @@ constexpr double kViolationTol = 1e-6;
 
 Result<NdpSolveResult> SolveLpndpMip(const graph::CommGraph& graph,
                                      const CostMatrix& costs,
-                                     const MipNdpOptions& options) {
+                                     const MipNdpOptions& options,
+                                     SolveContext& context) {
   CLOUDIA_ASSIGN_OR_RETURN(
       CostEvaluator actual_eval,
       CostEvaluator::Create(&graph, &costs, Objective::kLongestPath));
@@ -29,7 +30,6 @@ Result<NdpSolveResult> SolveLpndpMip(const graph::CommGraph& graph,
   const int n = graph.num_nodes();
   const int m = static_cast<int>(costs.size());
   const int num_edges = graph.num_edges();
-  Stopwatch clock;
   NdpSolveResult result;
 
   Deployment initial = options.initial;
@@ -43,7 +43,7 @@ Result<NdpSolveResult> SolveLpndpMip(const graph::CommGraph& graph,
       ValidateDeployment(graph, initial, costs, Objective::kLongestPath));
   result.deployment = initial;
   result.cost = n > 0 ? actual_eval.Cost(initial) : 0.0;
-  result.trace.push_back({0.0, result.cost});
+  result.trace.push_back(context.ReportIncumbent(result.cost, initial));
   if (n == 0 || num_edges == 0) {
     result.proven_optimal = true;
     return result;
@@ -91,7 +91,8 @@ Result<NdpSolveResult> SolveLpndpMip(const graph::CommGraph& graph,
   }
 
   mip::MipOptions mip_options;
-  mip_options.deadline = options.deadline;
+  mip_options.deadline = context.deadline();
+  mip_options.cancel = context.cancel_token();
   // Separation of c_e >= CL(j,j')(x_ij + x_i'j' - 1) per edge e = (i, i').
   mip_options.lazy = [&graph, &clustered, &options, n, m, c_base](
                          const std::vector<double>& x,
@@ -189,8 +190,8 @@ Result<NdpSolveResult> SolveLpndpMip(const graph::CommGraph& graph,
     double actual = actual_eval.Cost(d);
     if (actual < result.cost) {
       result.cost = actual;
+      result.trace.push_back(context.ReportIncumbent(actual, d));
       result.deployment = std::move(d);
-      result.trace.push_back({clock.ElapsedSeconds(), actual});
     }
   };
 
@@ -198,6 +199,13 @@ Result<NdpSolveResult> SolveLpndpMip(const graph::CommGraph& graph,
   result.proven_optimal = (mip_result.status == mip::MipStatus::kOptimal);
   result.iterations = mip_result.nodes;
   return result;
+}
+
+Result<NdpSolveResult> SolveLpndpMip(const graph::CommGraph& graph,
+                                     const CostMatrix& costs,
+                                     const MipNdpOptions& options) {
+  SolveContext context(options.deadline);
+  return SolveLpndpMip(graph, costs, options, context);
 }
 
 }  // namespace cloudia::deploy

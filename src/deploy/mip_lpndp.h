@@ -20,9 +20,16 @@
 
 namespace cloudia::deploy {
 
-/// Solves LPNDP via branch & bound on the encoding above. Note the paper's
-/// finding that cost clustering does *not* help LPNDP (costs are summed
-/// along paths, Fig. 9); the option is still honored for that experiment.
+/// Solves LPNDP via branch & bound on the encoding above, under `context`
+/// (deadline, cancellation, incumbent progress). Note the paper's finding
+/// that cost clustering does *not* help LPNDP (costs are summed along
+/// paths, Fig. 9); the option is still honored for that experiment.
+Result<NdpSolveResult> SolveLpndpMip(const graph::CommGraph& graph,
+                                     const CostMatrix& costs,
+                                     const MipNdpOptions& options,
+                                     SolveContext& context);
+
+/// Convenience overload: context built from `options.deadline` only.
 Result<NdpSolveResult> SolveLpndpMip(const graph::CommGraph& graph,
                                      const CostMatrix& costs,
                                      const MipNdpOptions& options);

@@ -37,9 +37,9 @@ Result<RandomSearchResult> RandomSearchR1(const graph::CommGraph& graph,
 
 Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
                                           const CostMatrix& costs,
-                                          Objective objective,
-                                          Deadline deadline, int threads,
-                                          uint64_t seed) {
+                                          Objective objective, int threads,
+                                          uint64_t seed,
+                                          SolveContext& context) {
   if (threads < 1) return Status::InvalidArgument("threads must be >= 1");
   // Validate once up front so workers can assume success.
   CLOUDIA_RETURN_IF_ERROR(
@@ -56,8 +56,9 @@ Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
     Deployment local_best;
     double local_cost = std::numeric_limits<double>::infinity();
     int64_t local_samples = 0;
-    // Check the deadline in batches to keep the hot loop tight.
-    while (!deadline.Expired()) {
+    // Check the deadline/cancellation in batches to keep the hot loop tight.
+    while (!context.ShouldStop()) {
+      bool batch_improved = false;
       for (int i = 0; i < 64; ++i) {
         Deployment d =
             RandomDeployment(graph.num_nodes(), eval->num_instances(), rng);
@@ -66,6 +67,17 @@ Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
         if (c < local_cost) {
           local_cost = c;
           local_best = std::move(d);
+          batch_improved = true;
+        }
+      }
+      // Publish improvements per batch so progress callbacks see the
+      // incumbent while the search runs, not only at the end.
+      if (batch_improved) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (local_cost < best.cost) {
+          best.cost = local_cost;
+          best.deployment = local_best;
+          context.ReportIncumbent(best.cost, best.deployment);
         }
       }
     }
@@ -74,6 +86,7 @@ Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
     if (local_cost < best.cost) {
       best.cost = local_cost;
       best.deployment = std::move(local_best);
+      context.ReportIncumbent(best.cost, best.deployment);
     }
   };
 
@@ -84,13 +97,23 @@ Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
   for (auto& th : pool) th.join();
 
   if (best.deployment.empty() && graph.num_nodes() > 0) {
-    // Deadline was already expired on entry: fall back to a single sample so
+    // Budget was already exhausted on entry: fall back to a single sample so
     // callers always receive a valid deployment.
     auto r1 = RandomSearchR1(graph, costs, objective, 1, seed);
     CLOUDIA_CHECK(r1.ok());
+    context.ReportIncumbent(r1->cost, r1->deployment);
     return r1;
   }
   return best;
+}
+
+Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
+                                          const CostMatrix& costs,
+                                          Objective objective,
+                                          Deadline deadline, int threads,
+                                          uint64_t seed) {
+  SolveContext context(deadline);
+  return RandomSearchR2(graph, costs, objective, threads, seed, context);
 }
 
 Result<Deployment> BootstrapDeployment(const graph::CommGraph& graph,

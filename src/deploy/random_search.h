@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "deploy/cost.h"
+#include "deploy/solver.h"
 
 namespace cloudia::deploy {
 
@@ -29,9 +30,17 @@ Result<RandomSearchResult> RandomSearchR1(const graph::CommGraph& graph,
                                           Objective objective, int samples,
                                           uint64_t seed);
 
-/// R2: runs `threads` workers until `deadline`, returns the best deployment
-/// found overall. Deterministic in the set of explored streams given the
-/// seed, but the sample *count* depends on wall-clock speed.
+/// R2: runs `threads` workers until `context` says stop (deadline or
+/// cancellation), returns the best deployment found overall. Deterministic
+/// in the set of explored streams given the seed, but the sample *count*
+/// depends on wall-clock speed.
+Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
+                                          const CostMatrix& costs,
+                                          Objective objective, int threads,
+                                          uint64_t seed,
+                                          SolveContext& context);
+
+/// Convenience overload: context built from `deadline` only.
 Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
                                           const CostMatrix& costs,
                                           Objective objective,

@@ -1,136 +1,40 @@
 #include "deploy/solve.h"
 
-#include <thread>
-
 #include "common/check.h"
-#include "deploy/cp_llndp.h"
-#include "deploy/greedy.h"
-#include "deploy/local_search.h"
-#include "deploy/mip_llndp.h"
-#include "deploy/mip_lpndp.h"
-#include "deploy/random_search.h"
+#include "deploy/solver_registry.h"
 
 namespace cloudia::deploy {
 
-const char* MethodName(Method method) {
-  switch (method) {
-    case Method::kGreedyG1:
-      return "G1";
-    case Method::kGreedyG2:
-      return "G2";
-    case Method::kRandomR1:
-      return "R1";
-    case Method::kRandomR2:
-      return "R2";
-    case Method::kCp:
-      return "CP";
-    case Method::kMip:
-      return "MIP";
-    case Method::kLocalSearch:
-      return "LocalSearch";
+Result<NdpSolveResult> SolveNodeDeployment(const graph::CommGraph& graph,
+                                           const CostMatrix& costs,
+                                           const NdpSolveOptions& options,
+                                           SolveContext& context) {
+  // Validate objective/graph compatibility up front.
+  CLOUDIA_RETURN_IF_ERROR(
+      CostEvaluator::Create(&graph, &costs, options.objective).status());
+
+  CLOUDIA_ASSIGN_OR_RETURN(
+      const NdpSolver* solver,
+      SolverRegistry::Global().Require(MethodKey(options.method)));
+  if (!solver->Supports(options.objective)) {
+    return Status::InvalidArgument(
+        std::string(solver->display_name()) + " is not formulated for the " +
+        ObjectiveName(options.objective) +
+        " objective (see paper Sect. 4.4 for the CP/LPNDP case)");
   }
-  return "Unknown";
+
+  NdpProblem problem;
+  problem.graph = &graph;
+  problem.costs = &costs;
+  problem.objective = options.objective;
+  return solver->Solve(problem, options, context);
 }
-
-namespace {
-
-// Wraps a single deployment into a one-point result under `objective`.
-Result<NdpSolveResult> WrapSingle(const graph::CommGraph& graph,
-                                  const CostMatrix& costs, Objective objective,
-                                  Deployment deployment) {
-  CLOUDIA_ASSIGN_OR_RETURN(CostEvaluator eval,
-                           CostEvaluator::Create(&graph, &costs, objective));
-  NdpSolveResult r;
-  r.cost = eval.Cost(deployment);
-  r.deployment = std::move(deployment);
-  r.trace.push_back({0.0, r.cost});
-  return r;
-}
-
-}  // namespace
 
 Result<NdpSolveResult> SolveNodeDeployment(const graph::CommGraph& graph,
                                            const CostMatrix& costs,
                                            const NdpSolveOptions& options) {
-  const Objective objective = options.objective;
-  // Validate objective/graph compatibility up front.
-  CLOUDIA_RETURN_IF_ERROR(
-      CostEvaluator::Create(&graph, &costs, objective).status());
-
-  switch (options.method) {
-    case Method::kGreedyG1:
-    case Method::kGreedyG2: {
-      // G1/G2 optimize the longest-link criterion; for LPNDP they act as
-      // heuristics (Sect. 4.5.2) and the result is costed under LPNDP.
-      Rng rng(options.seed);
-      auto d = options.method == Method::kGreedyG1
-                   ? GreedyG1(graph, costs, rng)
-                   : GreedyG2(graph, costs, rng);
-      if (!d.ok()) return d.status();
-      return WrapSingle(graph, costs, objective, std::move(d).value());
-    }
-    case Method::kRandomR1: {
-      CLOUDIA_ASSIGN_OR_RETURN(
-          RandomSearchResult r,
-          RandomSearchR1(graph, costs, objective, options.r1_samples,
-                         options.seed));
-      NdpSolveResult out;
-      out.deployment = std::move(r.deployment);
-      out.cost = r.cost;
-      out.iterations = r.samples;
-      out.trace.push_back({0.0, out.cost});
-      return out;
-    }
-    case Method::kRandomR2: {
-      int threads = options.threads > 0
-                        ? options.threads
-                        : static_cast<int>(std::thread::hardware_concurrency());
-      if (threads < 1) threads = 1;
-      CLOUDIA_ASSIGN_OR_RETURN(
-          RandomSearchResult r,
-          RandomSearchR2(graph, costs, objective,
-                         Deadline::After(options.time_budget_s), threads,
-                         options.seed));
-      NdpSolveResult out;
-      out.deployment = std::move(r.deployment);
-      out.cost = r.cost;
-      out.iterations = r.samples;
-      out.trace.push_back({options.time_budget_s, out.cost});
-      return out;
-    }
-    case Method::kCp: {
-      if (objective != Objective::kLongestLink) {
-        return Status::InvalidArgument(
-            "the CP formulation exists only for the longest-link objective "
-            "(paper Sect. 4.4)");
-      }
-      CpLlndpOptions cp;
-      cp.deadline = Deadline::After(options.time_budget_s);
-      cp.cost_clusters = options.cost_clusters;
-      cp.initial = options.initial;
-      cp.seed = options.seed;
-      cp.warm_start_hints = options.warm_start_hints;
-      return SolveLlndpCp(graph, costs, cp);
-    }
-    case Method::kMip: {
-      MipNdpOptions mip;
-      mip.deadline = Deadline::After(options.time_budget_s);
-      mip.cost_clusters = options.cost_clusters;
-      mip.initial = options.initial;
-      mip.seed = options.seed;
-      return objective == Objective::kLongestLink
-                 ? SolveLlndpMip(graph, costs, mip)
-                 : SolveLpndpMip(graph, costs, mip);
-    }
-    case Method::kLocalSearch: {
-      LocalSearchOptions ls;
-      ls.deadline = Deadline::After(options.time_budget_s);
-      ls.initial = options.initial;
-      ls.seed = options.seed;
-      return SolveLocalSearch(graph, costs, objective, ls);
-    }
-  }
-  return Status::InvalidArgument("unknown method");
+  SolveContext context(Deadline::After(options.time_budget_s));
+  return SolveNodeDeployment(graph, costs, options, context);
 }
 
 }  // namespace cloudia::deploy

@@ -1,14 +1,21 @@
 // Facade over all node-deployment search methods (paper Sect. 4): one entry
-// point that dispatches to greedy (G1/G2), randomized (R1/R2), CP threshold
-// descent, or the MIP encodings, honoring the paper's method/objective
-// compatibility (CP is only formulated for LLNDP, Sect. 4.4; greedy solves
-// LLNDP and serves as a heuristic for LPNDP, Sect. 4.5.2).
+// point that dispatches through the SolverRegistry (deploy/solver_registry.h)
+// to greedy (G1/G2), randomized (R1/R2), CP threshold descent, or the MIP
+// encodings, honoring the paper's method/objective compatibility (CP is only
+// formulated for LLNDP, Sect. 4.4; greedy solves LLNDP and serves as a
+// heuristic for LPNDP, Sect. 4.5.2).
+//
+// The Method enum names the built-in solvers for call sites that prefer an
+// enum over a registry name; dispatch itself is name-based, so solvers
+// registered at startup beyond this enum are reachable via the registry and
+// the staged cloudia::DeploymentSession without touching this facade.
 #ifndef CLOUDIA_DEPLOY_SOLVE_H_
 #define CLOUDIA_DEPLOY_SOLVE_H_
 
 #include <cstdint>
 
 #include "common/result.h"
+#include "deploy/solver.h"
 #include "deploy/solver_result.h"
 
 namespace cloudia::deploy {
@@ -25,12 +32,15 @@ enum class Method {
   kLocalSearch,
 };
 
+/// Display name ("G1", "CP", "LocalSearch"); round-trips with ParseMethod
+/// (deploy/solver_registry.h).
 const char* MethodName(Method method);
 
 struct NdpSolveOptions {
   Objective objective = Objective::kLongestLink;
   Method method = Method::kCp;
-  /// Wall-clock budget for R2 / CP / MIP (ignored by G1/G2/R1).
+  /// Wall-clock budget for R2 / CP / MIP (ignored by G1/G2/R1). Ignored by
+  /// the SolveContext overload, whose context carries the deadline.
   double time_budget_s = 60.0;
   /// k-means cost clusters for CP / MIP; 0 = no clustering. The paper's best
   /// configuration is k=20 for LLNDP-CP and no clustering for LPNDP-MIP.
@@ -46,8 +56,16 @@ struct NdpSolveOptions {
   bool warm_start_hints = false;
 };
 
-/// Runs the selected method. Fails on invalid input or on method/objective
-/// combinations the paper does not define (CP for LPNDP).
+/// Runs the selected method under `context` (deadline, cancellation,
+/// progress). Fails on invalid input or on method/objective combinations the
+/// paper does not define (CP for LPNDP).
+Result<NdpSolveResult> SolveNodeDeployment(const graph::CommGraph& graph,
+                                           const CostMatrix& costs,
+                                           const NdpSolveOptions& options,
+                                           SolveContext& context);
+
+/// Convenience overload: budget-only context built from
+/// `options.time_budget_s`, no cancellation, no progress callback.
 Result<NdpSolveResult> SolveNodeDeployment(const graph::CommGraph& graph,
                                            const CostMatrix& costs,
                                            const NdpSolveOptions& options);

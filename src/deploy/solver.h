@@ -1,0 +1,110 @@
+// The pluggable node-deployment solver interface.
+//
+// Each search method of the paper (G1/G2, R1/R2, CP threshold descent, the
+// MIP encodings) plus extensions (local search) implements NdpSolver and is
+// registered in a SolverRegistry (deploy/solver_registry.h), discoverable by
+// name. Dispatch, the CLI's --method parsing, and the staged
+// cloudia::DeploymentSession all go through the registry, so a new solver
+// never requires touching the facade.
+//
+// A SolveContext is threaded through every solver in place of per-solver
+// budget bookkeeping: it owns the wall clock, the deadline, a cooperative
+// cancellation token, and an optional incumbent-progress callback (the
+// convergence curves of paper Figs. 6/7/9 are exactly the reported points).
+#ifndef CLOUDIA_DEPLOY_SOLVER_H_
+#define CLOUDIA_DEPLOY_SOLVER_H_
+
+#include <functional>
+
+#include "common/cancel.h"
+#include "common/result.h"
+#include "common/timer.h"
+#include "deploy/solver_result.h"
+
+namespace cloudia::deploy {
+
+struct NdpSolveOptions;  // deploy/solve.h
+
+/// A node-deployment problem instance: which application graph to place on
+/// which measured cost matrix, under which objective. Non-owning; graph and
+/// costs must outlive any solve using the problem.
+struct NdpProblem {
+  const graph::CommGraph* graph = nullptr;
+  const CostMatrix* costs = nullptr;
+  Objective objective = Objective::kLongestLink;
+};
+
+/// Invoked whenever a solver improves its incumbent deployment. `point`
+/// carries the solver-relative wall time; `deployment` is the new incumbent.
+/// Called from the solver's thread; keep it cheap and do not re-enter the
+/// solver from it.
+using ProgressCallback =
+    std::function<void(const TracePoint& point, const Deployment& deployment)>;
+
+/// Per-solve execution state shared by caller and solver: wall clock,
+/// deadline, cancellation, and progress reporting. Solvers poll ShouldStop()
+/// in their search loops and call ReportIncumbent() on improvement; they do
+/// not keep private stopwatches or deadlines.
+class SolveContext {
+ public:
+  SolveContext() = default;
+  explicit SolveContext(Deadline deadline, CancelToken cancel = {},
+                        ProgressCallback on_incumbent = nullptr)
+      : deadline_(deadline),
+        cancel_(std::move(cancel)),
+        on_incumbent_(std::move(on_incumbent)) {}
+
+  const Deadline& deadline() const { return deadline_; }
+  const CancelToken& cancel_token() const { return cancel_; }
+
+  bool Cancelled() const { return cancel_.Cancelled(); }
+
+  /// True once the solver should wind down: budget exhausted or cancelled.
+  bool ShouldStop() const { return cancel_.Cancelled() || deadline_.Expired(); }
+
+  /// Seconds since this context was constructed (solve-relative wall time).
+  double ElapsedSeconds() const { return clock_.ElapsedSeconds(); }
+
+  /// Records an incumbent improvement at the current elapsed time and
+  /// forwards it to the progress callback, if any. Returns the trace point so
+  /// solvers can append it to their result trace.
+  TracePoint ReportIncumbent(double cost, const Deployment& deployment) const {
+    TracePoint point{clock_.ElapsedSeconds(), cost};
+    if (on_incumbent_) on_incumbent_(point, deployment);
+    return point;
+  }
+
+ private:
+  Stopwatch clock_;
+  Deadline deadline_ = Deadline::Infinite();
+  CancelToken cancel_;
+  ProgressCallback on_incumbent_;
+};
+
+/// One deployment search method. Implementations are stateless (all per-run
+/// state lives in locals / the context) and therefore safely shared across
+/// concurrent solves.
+class NdpSolver {
+ public:
+  virtual ~NdpSolver() = default;
+
+  /// Canonical registry key, lowercase ("g1", "cp", "local", ...).
+  virtual const char* name() const = 0;
+  /// Human-facing name as printed in reports ("G1", "CP", "LocalSearch").
+  virtual const char* display_name() const { return name(); }
+
+  /// Whether the method is defined for `objective` (e.g. the paper's CP
+  /// formulation exists only for longest link, Sect. 4.4).
+  virtual bool Supports(Objective objective) const = 0;
+
+  /// Runs the search. `problem.objective` is authoritative; `options` carries
+  /// method tuning knobs (samples, clusters, threads, seed, initial);
+  /// `context` carries deadline / cancellation / progress.
+  virtual Result<NdpSolveResult> Solve(const NdpProblem& problem,
+                                       const NdpSolveOptions& options,
+                                       SolveContext& context) const = 0;
+};
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_SOLVER_H_

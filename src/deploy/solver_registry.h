@@ -1,0 +1,69 @@
+// Name-indexed registry of node-deployment solvers plus the canonical
+// method/objective name round-trips shared by the facade, the CLI, and the
+// staged session API.
+//
+// The global registry self-populates with the paper's methods (G1/G2, R1/R2,
+// CP, MIP) and the local-search extension on first use; additional solvers
+// can be registered at startup and become immediately usable by name
+// everywhere (deploy::SolveNodeDeployment, cloudia::DeploymentSession,
+// cloudia_cli --method=...).
+#ifndef CLOUDIA_DEPLOY_SOLVER_REGISTRY_H_
+#define CLOUDIA_DEPLOY_SOLVER_REGISTRY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "deploy/solve.h"
+#include "deploy/solver.h"
+
+namespace cloudia::deploy {
+
+class SolverRegistry {
+ public:
+  /// The process-wide registry, with the built-in solvers pre-registered.
+  static SolverRegistry& Global();
+
+  /// Registers `solver` under its canonical name. Fails with InvalidArgument
+  /// on a null solver, an empty name, or a name that is already taken.
+  Status Register(std::unique_ptr<NdpSolver> solver);
+
+  /// Case-insensitive lookup; nullptr when unknown. The returned solver is
+  /// owned by the registry and valid for the registry's lifetime.
+  const NdpSolver* Find(std::string_view name) const;
+
+  /// Like Find, but a clean NotFound error (listing the known names) instead
+  /// of nullptr -- never a crash on a typo.
+  Result<const NdpSolver*> Require(std::string_view name) const;
+
+  /// Canonical solver names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<NdpSolver>> solvers_;
+};
+
+/// Registers the built-in methods into `registry`; ignores names already
+/// present (so it is idempotent and composes with custom registrations).
+void RegisterBuiltinSolvers(SolverRegistry& registry);
+
+/// Canonical registry key for a facade Method ("g1", "cp", "local", ...).
+const char* MethodKey(Method method);
+
+/// Parses a method name as the CLI and config files spell it. Accepts the
+/// registry key ("cp"), the display name ("CP", "LocalSearch"), and common
+/// aliases ("local"), case-insensitively. Round-trips with MethodName and
+/// MethodKey. Unknown names fail with InvalidArgument listing the options.
+Result<Method> ParseMethod(std::string_view name);
+
+/// Parses an objective name: "longest-link" / "LongestLink" / "ll" and
+/// "longest-path" / "LongestPath" / "lp". Round-trips with ObjectiveName.
+Result<Objective> ParseObjective(std::string_view name);
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_SOLVER_REGISTRY_H_

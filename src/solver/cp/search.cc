@@ -113,7 +113,7 @@ bool Csp::Dfs(std::vector<BitSet>& domains, const SearchLimits& limits,
               SearchStats* stats,
               const std::function<bool(const std::vector<int>&)>& on_solution) {
   if ((limits.max_nodes >= 0 && stats->nodes >= limits.max_nodes) ||
-      limits.deadline.Expired()) {
+      limits.deadline.Expired() || limits.cancel.Cancelled()) {
     stats->limit_hit = true;
     return true;
   }

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "common/timer.h"
 #include "solver/cp/alldifferent.h"
@@ -28,6 +29,9 @@ struct SearchLimits {
   Deadline deadline = Deadline::Infinite();
   /// Stop after this many search nodes (-1 = unlimited).
   int64_t max_nodes = -1;
+  /// Cooperative cancellation, polled at every search node; a cancelled
+  /// search reports Timeout like an expired deadline.
+  CancelToken cancel;
 };
 
 /// Counters for introspection and the solver micro-benchmarks.

@@ -97,7 +97,7 @@ MipResult SolveMip(const MipModel& model, const MipOptions& options) {
 
   std::vector<double> x;  // LP solution scratch
   while (!stack.empty()) {
-    if (options.deadline.Expired() ||
+    if (options.deadline.Expired() || options.cancel.Cancelled() ||
         (options.max_nodes >= 0 && result.nodes >= options.max_nodes)) {
       limit_hit = true;
       break;

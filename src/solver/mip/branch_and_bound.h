@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/timer.h"
 #include "solver/mip/model.h"
 
@@ -28,6 +29,10 @@ using LazyConstraintCallback = std::function<std::vector<lp::Row>(
 
 struct MipOptions {
   Deadline deadline = Deadline::Infinite();
+  /// Cooperative cancellation, polled once per branch-and-bound node; a
+  /// cancelled solve terminates like an expired deadline (kFeasible /
+  /// kLimitNoSolution, best incumbent in hand).
+  CancelToken cancel;
   int64_t max_nodes = -1;
   double integrality_tol = 1e-6;
   /// Prune nodes whose LP bound is >= incumbent - gap_tol.

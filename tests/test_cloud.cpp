@@ -85,7 +85,9 @@ TEST(CloudTest, ExpectedRttMatrixShape) {
   for (size_t i = 0; i < 10; ++i) {
     EXPECT_EQ(m[i][i], 0.0);
     for (size_t j = 0; j < 10; ++j) {
-      if (i != j) EXPECT_GT(m[i][j], 0.0);
+      if (i != j) {
+        EXPECT_GT(m[i][j], 0.0);
+      }
     }
   }
 }

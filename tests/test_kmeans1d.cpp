@@ -159,7 +159,9 @@ TEST(ClusterToMeansTest, ClusteringIsMonotone) {
   ASSERT_TRUE(r.ok());
   for (size_t i = 0; i < v.size(); ++i) {
     for (size_t j = 0; j < v.size(); ++j) {
-      if (v[i] < v[j]) EXPECT_LE((*r)[i], (*r)[j]);
+      if (v[i] < v[j]) {
+        EXPECT_LE((*r)[i], (*r)[j]);
+      }
     }
   }
 }

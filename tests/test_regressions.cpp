@@ -29,7 +29,9 @@ TEST(RegressionTest, StagedCoversAllOrderedPairsAtShortBudgets) {
   auto costs = measure::BuildCostMatrix(*r, measure::CostMetric::kMean);
   for (size_t i = 0; i < costs.size(); ++i) {
     for (size_t j = 0; j < costs.size(); ++j) {
-      if (i != j) EXPECT_LT(costs[i][j], 100.0) << "fallback cost leaked";
+      if (i != j) {
+        EXPECT_LT(costs[i][j], 100.0) << "fallback cost leaked";
+      }
     }
   }
 }

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "cloudia/advisor.h"
+#include "cloudia/session.h"
+#include "graph/templates.h"
+
+namespace cloudia {
+namespace {
+
+SessionOptions FastOptions(uint64_t seed = 7) {
+  SessionOptions options;
+  options.measure_duration_s = 20.0;  // virtual seconds; keeps tests quick
+  options.seed = seed;
+  return options;
+}
+
+TEST(DeploymentSessionTest, MeasureOnceSolveManyReusesTheCostMatrix) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 11);
+  graph::CommGraph app = graph::Mesh2D(5, 6);  // 30 nodes
+  DeploymentSession session(&cloud, &app, FastOptions());
+
+  ASSERT_TRUE(session.Measure().ok());
+  deploy::CostMatrix snapshot = session.costs();
+  ASSERT_EQ(snapshot.size(), 33u);  // 30 * 1.1
+
+  // Acceptance shape: one Measure(), three registered methods, zero
+  // re-measurement, per-solver results.
+  for (const char* method : {"g2", "cp", "local"}) {
+    SolveSpec spec;
+    spec.method = method;
+    spec.time_budget_s = 1.0;
+    spec.seed = 5;
+    auto solve = session.Solve(spec);
+    ASSERT_TRUE(solve.ok()) << method << ": " << solve.status().ToString();
+    EXPECT_EQ(solve->method, method);
+    EXPECT_TRUE(deploy::ValidateDeployment(app, solve->result.deployment,
+                                           session.costs(), spec.objective)
+                    .ok())
+        << method;
+    EXPECT_EQ(solve->placement.size(), 30u);
+    EXPECT_LE(solve->cost_ms, solve->default_cost_ms + 1e-9) << method;
+  }
+  EXPECT_EQ(session.solves().size(), 3u);
+  // The matrix is measured once and never mutated by solving.
+  EXPECT_EQ(session.costs(), snapshot);
+
+  // Identical (method, seed) solves on the cached matrix are reproducible,
+  // and each solve's result is independent of the solves before it.
+  SolveSpec g2;
+  g2.method = "g2";
+  g2.seed = 5;
+  auto again = session.Solve(g2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->result.deployment, session.solves()[0].result.deployment);
+}
+
+TEST(DeploymentSessionTest, SolveRunsMissingStagesImplicitly) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 13);
+  graph::CommGraph app = graph::Mesh2D(3, 4);
+  DeploymentSession session(&cloud, &app, FastOptions());
+  SolveSpec spec;
+  spec.method = "g1";
+  auto solve = session.Solve(spec);
+  ASSERT_TRUE(solve.ok()) << solve.status().ToString();
+  EXPECT_TRUE(session.allocated_stage_done());
+  EXPECT_TRUE(session.measured_stage_done());
+  EXPECT_EQ(solve->placement.size(), 12u);
+}
+
+TEST(DeploymentSessionTest, StageMisuseIsACleanError) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 17);
+  graph::CommGraph app = graph::Mesh2D(3, 3);
+  DeploymentSession session(&cloud, &app, FastOptions());
+
+  EXPECT_FALSE(session.Terminate().ok());  // nothing solved yet
+  ASSERT_TRUE(session.Allocate().ok());
+  EXPECT_FALSE(session.Allocate().ok());  // allocate twice
+  ASSERT_TRUE(session.Measure().ok());
+  EXPECT_FALSE(session.Measure().ok());  // measure twice
+
+  SolveSpec spec;
+  spec.method = "g2";
+  ASSERT_TRUE(session.Solve(spec).ok());
+  ASSERT_TRUE(session.Terminate().ok());
+  EXPECT_FALSE(session.Terminate().ok());   // terminate twice
+  EXPECT_FALSE(session.Solve(spec).ok());   // solve after terminate
+
+  // Unknown solver names fail cleanly.
+  DeploymentSession session2(&cloud, &app, FastOptions());
+  SolveSpec unknown;
+  unknown.method = "simulated-annealing";
+  auto r = session2.Solve(unknown);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  // A session whose solves all failed can still release its pool: Terminate
+  // with no successful solve abandons everything instead of leaking it.
+  auto abandoned = session2.Terminate();
+  ASSERT_TRUE(abandoned.ok());
+  EXPECT_EQ(abandoned->size(), session2.allocated().size());
+}
+
+TEST(DeploymentSessionTest, OneMeasurementServesMultipleAppGraphs) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 19);
+  graph::CommGraph app = graph::Mesh2D(5, 6);
+  DeploymentSession session(&cloud, &app, FastOptions());
+  ASSERT_TRUE(session.Measure().ok());
+
+  graph::CommGraph smaller = graph::AggregationTree(3, 3);  // 13 nodes
+  SolveSpec spec;
+  spec.method = "mip";
+  spec.objective = deploy::Objective::kLongestPath;
+  spec.cost_clusters = 0;
+  spec.time_budget_s = 1.0;
+  spec.app = &smaller;
+  auto solve = session.Solve(spec);
+  ASSERT_TRUE(solve.ok()) << solve.status().ToString();
+  EXPECT_EQ(solve->placement.size(), 13u);
+  EXPECT_TRUE(deploy::ValidateDeployment(smaller, solve->result.deployment,
+                                         session.costs(), spec.objective)
+                  .ok());
+
+  graph::CommGraph too_big = graph::Mesh2D(10, 10);
+  SolveSpec oversized;
+  oversized.app = &too_big;
+  EXPECT_FALSE(session.Solve(oversized).ok());
+}
+
+TEST(DeploymentSessionTest, TerminateKeepsTheBestSolvesInstances) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 23);
+  graph::CommGraph app = graph::Mesh2D(4, 5);
+  DeploymentSession session(&cloud, &app, FastOptions());
+
+  SolveSpec r1;
+  r1.method = "r1";
+  r1.r1_samples = 50;
+  ASSERT_TRUE(session.Solve(r1).ok());
+  SolveSpec cp;
+  cp.method = "cp";
+  cp.time_budget_s = 1.0;
+  ASSERT_TRUE(session.Solve(cp).ok());
+
+  const SessionSolve* best = session.best_solve();
+  ASSERT_NE(best, nullptr);
+  auto terminated = session.Terminate();
+  ASSERT_TRUE(terminated.ok());
+  EXPECT_EQ(terminated->size(),
+            session.allocated().size() - best->placement.size());
+  for (const net::Instance& gone : *terminated) {
+    for (const net::Instance& kept : best->placement) {
+      EXPECT_NE(gone.id, kept.id);
+    }
+  }
+}
+
+TEST(DeploymentSessionTest, ProgressCallbackSeesMonotoneIncumbents) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 29);
+  graph::CommGraph app = graph::Mesh2D(4, 5);
+  DeploymentSession session(&cloud, &app, FastOptions());
+
+  std::vector<double> costs_seen;
+  SolveSpec spec;
+  spec.method = "local";
+  spec.time_budget_s = 2.0;
+  spec.on_progress = [&costs_seen](const deploy::TracePoint& point,
+                                   const deploy::Deployment& d) {
+    EXPECT_FALSE(d.empty());
+    costs_seen.push_back(point.cost);
+  };
+  auto solve = session.Solve(spec);
+  ASSERT_TRUE(solve.ok());
+  ASSERT_FALSE(costs_seen.empty());
+  for (size_t i = 1; i < costs_seen.size(); ++i) {
+    EXPECT_LE(costs_seen[i], costs_seen[i - 1] + 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(costs_seen.back(), solve->cost_ms);
+}
+
+TEST(DeploymentSessionTest, CancellationStopsR2MidBudget) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 31);
+  graph::CommGraph app = graph::Mesh2D(4, 5);
+  DeploymentSession session(&cloud, &app, FastOptions());
+  ASSERT_TRUE(session.Measure().ok());
+
+  SolveSpec spec;
+  spec.method = "r2";
+  spec.threads = 2;
+  spec.time_budget_s = 30.0;  // far longer than the test may take
+
+  Result<SessionSolve> solve = Status::Internal("not run");
+  std::thread worker([&session, &spec, &solve] { solve = session.Solve(spec); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  spec.cancel.Cancel();
+  worker.join();
+
+  ASSERT_TRUE(solve.ok()) << solve.status().ToString();
+  EXPECT_LT(solve->wall_s, 10.0) << "cancel must cut the 30 s budget short";
+  EXPECT_TRUE(deploy::ValidateDeployment(app, solve->result.deployment,
+                                         session.costs(), spec.objective)
+                  .ok());
+}
+
+TEST(DeploymentSessionTest, CancellationStopsCpMidBudget) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 37);
+  graph::CommGraph app = graph::Mesh2D(5, 6);
+  DeploymentSession session(&cloud, &app, FastOptions());
+  ASSERT_TRUE(session.Measure().ok());
+
+  SolveSpec spec;
+  spec.method = "cp";
+  spec.cost_clusters = 0;  // many thresholds: keeps the descent busy
+  spec.time_budget_s = 30.0;
+
+  Result<SessionSolve> solve = Status::Internal("not run");
+  std::thread worker([&session, &spec, &solve] { solve = session.Solve(spec); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  spec.cancel.Cancel();
+  worker.join();
+
+  ASSERT_TRUE(solve.ok()) << solve.status().ToString();
+  EXPECT_LT(solve->wall_s, 10.0) << "cancel must cut the 30 s budget short";
+  EXPECT_TRUE(deploy::ValidateDeployment(app, solve->result.deployment,
+                                         session.costs(), spec.objective)
+                  .ok());
+}
+
+TEST(DeploymentSessionTest, AdvisorWrapperMatchesSessionPipeline) {
+  // The one-shot Advisor is a thin wrapper over DeploymentSession: same
+  // cloud seed + config must produce the identical deployment either way.
+  AdvisorConfig config;
+  config.method = deploy::Method::kGreedyG2;  // deterministic given the seed
+  config.search_budget_s = 1.0;
+  config.measure_duration_s = 20.0;
+  config.seed = 7;
+  graph::CommGraph app = graph::Mesh2D(4, 5);
+
+  net::CloudSimulator cloud_a(net::AmazonEc2Profile(), 41);
+  Advisor advisor(&cloud_a, config);
+  auto report = advisor.Run(app);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  net::CloudSimulator cloud_b(net::AmazonEc2Profile(), 41);
+  DeploymentSession session(&cloud_b, &app, FastOptions(config.seed));
+  SolveSpec spec;
+  spec.method = "g2";
+  spec.time_budget_s = config.search_budget_s;
+  spec.seed = config.seed;
+  auto solve = session.Solve(spec);
+  ASSERT_TRUE(solve.ok()) << solve.status().ToString();
+
+  EXPECT_EQ(report->solve.deployment, solve->result.deployment);
+  EXPECT_DOUBLE_EQ(report->optimized_cost_ms, solve->cost_ms);
+  EXPECT_DOUBLE_EQ(report->default_cost_ms, solve->default_cost_ms);
+}
+
+}  // namespace
+}  // namespace cloudia

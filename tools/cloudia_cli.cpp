@@ -14,8 +14,9 @@
 #include <cstdio>
 #include <string>
 
-#include "cloudia/advisor.h"
+#include "cloudia/session.h"
 #include "common/flags.h"
+#include "deploy/solver_registry.h"
 #include "graph/templates.h"
 #include "measure/io.h"
 #include "measure/protocols.h"
@@ -23,6 +24,15 @@
 namespace {
 
 using namespace cloudia;
+
+std::string KnownMethods() {
+  std::string out;
+  for (const std::string& name : deploy::SolverRegistry::Global().Names()) {
+    if (!out.empty()) out += " | ";
+    out += name;
+  }
+  return out;
+}
 
 void PrintUsage() {
   std::printf(
@@ -35,7 +45,7 @@ void PrintUsage() {
       "  --nodes=N            application nodes (default 30; shapes snap to\n"
       "                       the nearest template size)\n"
       "  --objective=NAME     longest-link | longest-path\n"
-      "  --method=NAME        g1 | g2 | r1 | r2 | cp | mip | local\n"
+      "  --method=NAME        %s\n"
       "  --budget=SECONDS     search budget (default 10)\n"
       "  --clusters=K         cost clusters for cp/mip (default 20)\n"
       "advise/measure flags:\n"
@@ -43,7 +53,8 @@ void PrintUsage() {
       "  --minutes=M          virtual measurement minutes (default auto)\n"
       "  --out=FILE           save the measured mean-cost matrix\n"
       "solve flags:\n"
-      "  --costs=FILE         cost matrix produced by 'measure'\n");
+      "  --costs=FILE         cost matrix produced by 'measure'\n",
+      KnownMethods().c_str());
 }
 
 net::ProviderProfile ProviderByName(const std::string& name) {
@@ -76,23 +87,6 @@ graph::CommGraph GraphByName(const std::string& name, int nodes) {
   return graph::Mesh2D(rows, nodes / rows);
 }
 
-Result<deploy::Method> MethodByName(const std::string& name) {
-  if (name == "g1") return deploy::Method::kGreedyG1;
-  if (name == "g2") return deploy::Method::kGreedyG2;
-  if (name == "r1") return deploy::Method::kRandomR1;
-  if (name == "r2") return deploy::Method::kRandomR2;
-  if (name == "cp") return deploy::Method::kCp;
-  if (name == "mip") return deploy::Method::kMip;
-  if (name == "local") return deploy::Method::kLocalSearch;
-  return Status::InvalidArgument("unknown --method: " + name);
-}
-
-Result<deploy::Objective> ObjectiveByName(const std::string& name) {
-  if (name == "longest-link") return deploy::Objective::kLongestLink;
-  if (name == "longest-path") return deploy::Objective::kLongestPath;
-  return Status::InvalidArgument("unknown --objective: " + name);
-}
-
 int RunAdvise(const Flags& flags) {
   auto seed = flags.GetInt("seed", 1);
   auto nodes = flags.GetInt("nodes", 30);
@@ -105,12 +99,23 @@ int RunAdvise(const Flags& flags) {
     std::fprintf(stderr, "bad numeric flag\n");
     return 2;
   }
-  auto method = MethodByName(flags.GetString("method", "cp"));
-  auto objective = ObjectiveByName(flags.GetString("objective", "longest-link"));
-  if (!method.ok() || !objective.ok()) {
-    std::fprintf(stderr, "%s\n", (!method.ok() ? method.status() : objective.status())
-                                     .ToString()
-                                     .c_str());
+  auto objective =
+      deploy::ParseObjective(flags.GetString("objective", "longest-link"));
+  if (!objective.ok()) {
+    std::fprintf(stderr, "%s\n", objective.status().ToString().c_str());
+    return 2;
+  }
+  // Reject a bad --method before paying for allocation + measurement.
+  auto solver = deploy::SolverRegistry::Global().Require(
+      flags.GetString("method", "cp"));
+  if (!solver.ok()) {
+    std::fprintf(stderr, "%s\n", solver.status().ToString().c_str());
+    return 2;
+  }
+  if (!(*solver)->Supports(*objective)) {
+    std::fprintf(stderr, "%s does not support the %s objective\n",
+                 (*solver)->display_name(),
+                 deploy::ObjectiveName(*objective));
     return 2;
   }
 
@@ -120,33 +125,68 @@ int RunAdvise(const Flags& flags) {
                                      static_cast<int>(*nodes));
   std::printf("application graph: %s\n", app.ToString().c_str());
 
-  AdvisorConfig config;
-  config.over_allocation = *over;
-  config.objective = *objective;
-  config.method = *method;
-  config.cost_clusters = static_cast<int>(*clusters);
-  config.search_budget_s = *budget;
-  config.measure_duration_s = *minutes * 60.0;
-  config.seed = static_cast<uint64_t>(*seed);
+  SessionOptions options;
+  options.over_allocation = *over;
+  options.measure_duration_s = *minutes * 60.0;
+  options.seed = static_cast<uint64_t>(*seed);
 
-  Advisor advisor(&cloud, config);
-  auto report = advisor.Run(app);
-  if (!report.ok()) {
-    std::fprintf(stderr, "advisor failed: %s\n",
-                 report.status().ToString().c_str());
+  // Staged pipeline so the measured matrix is still around for --out.
+  DeploymentSession session(&cloud, &app, options);
+  Status measured = session.Measure();
+  if (!measured.ok()) {
+    std::fprintf(stderr, "measurement failed: %s\n",
+                 measured.ToString().c_str());
     return 1;
   }
-  std::printf("%s", report->ToString().c_str());
   std::string out = flags.GetString("out", "");
   if (!out.empty()) {
-    // Recompute the measured matrix for persistence? The advisor consumed
-    // it internally; persist the plan instead.
-    std::printf("plan:\n");
+    Status saved = measure::SaveCostMatrix(
+        out, session.costs(), measure::CostMetricName(options.metric));
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved measured cost matrix to %s\n", out.c_str());
   }
-  for (size_t i = 0; i < report->placement.size(); ++i) {
+
+  SolveSpec spec;
+  spec.method = (*solver)->name();
+  spec.objective = *objective;
+  spec.time_budget_s = *budget;
+  spec.cost_clusters = static_cast<int>(*clusters);
+  spec.seed = static_cast<uint64_t>(*seed);
+  auto solve = session.Solve(spec);
+  if (!solve.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 solve.status().ToString().c_str());
+    session.Terminate();  // release the whole pool before giving up
+    return 1;
+  }
+  auto terminated = session.Terminate(*solve);
+  if (!terminated.ok()) {
+    std::fprintf(stderr, "terminate failed: %s\n",
+                 terminated.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("ClouDiA deployment report\n");
+  std::printf("  allocated instances : %zu\n", session.allocated().size());
+  std::printf("  application nodes   : %zu\n", solve->placement.size());
+  std::printf("  terminated extras   : %zu\n", terminated->size());
+  std::printf("  measurement time    : %.1f s (virtual)\n",
+              session.measure_virtual_s());
+  std::printf("  search time         : %.2f s (wall, %s)\n", solve->wall_s,
+              solve->method.c_str());
+  std::printf("  default cost        : %.4f ms\n", solve->default_cost_ms);
+  std::printf("  optimized cost      : %.4f ms%s\n", solve->cost_ms,
+              solve->result.proven_optimal ? " (proven optimal)" : "");
+  std::printf("  predicted reduction : %.1f %%\n",
+              100.0 * solve->predicted_improvement);
+  std::printf("plan:\n");
+  for (size_t i = 0; i < solve->placement.size(); ++i) {
     std::printf("  node %3zu -> instance %3d (%s)\n", i,
-                report->placement[i].id,
-                net::IpToString(report->placement[i].internal_ip).c_str());
+                solve->placement[i].id,
+                net::IpToString(solve->placement[i].internal_ip).c_str());
   }
   return 0;
 }
@@ -207,10 +247,14 @@ int RunSolve(const Flags& flags) {
     std::fprintf(stderr, "bad numeric flag\n");
     return 2;
   }
-  auto method = MethodByName(flags.GetString("method", "cp"));
-  auto objective = ObjectiveByName(flags.GetString("objective", "longest-link"));
+  auto method = deploy::ParseMethod(flags.GetString("method", "cp"));
+  auto objective =
+      deploy::ParseObjective(flags.GetString("objective", "longest-link"));
   if (!method.ok() || !objective.ok()) {
-    std::fprintf(stderr, "bad method/objective\n");
+    std::fprintf(stderr, "%s\n",
+                 (!method.ok() ? method.status() : objective.status())
+                     .ToString()
+                     .c_str());
     return 2;
   }
   graph::CommGraph app = GraphByName(flags.GetString("graph", "mesh"),
