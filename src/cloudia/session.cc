@@ -108,12 +108,14 @@ Result<SessionSolve> DeploymentSession::Solve(const SolveSpec& spec) {
   sopts.cost_clusters = spec.cost_clusters;
   sopts.r1_samples = spec.r1_samples;
   sopts.threads = spec.threads;
+  sopts.portfolio_members = spec.portfolio_members;
   sopts.seed = spec.seed;
   sopts.initial = spec.initial;
   sopts.warm_start_hints = spec.warm_start_hints;
 
   deploy::SolveContext context(Deadline::After(spec.time_budget_s),
                                spec.cancel, spec.on_progress);
+  context.set_max_threads(spec.threads);
   CLOUDIA_ASSIGN_OR_RETURN(deploy::NdpSolveResult result,
                            solver->Solve(problem, sopts, context));
 

@@ -73,8 +73,11 @@ struct SolveSpec {
   int cost_clusters = 20;
   /// Samples for R1 (the paper uses 1,000).
   int r1_samples = 1000;
-  /// Worker threads for R2; 0 = hardware concurrency.
+  /// Worker threads for R2 and the portfolio; 0 = hardware concurrency.
   int threads = 0;
+  /// Member solvers for method "portfolio" (registry names); empty selects
+  /// the default set ("cp", "mip", "local", "r2").
+  std::vector<std::string> portfolio_members;
   uint64_t seed = 1;
   /// Optional starting deployment for CP / MIP (empty = best of 10 random).
   deploy::Deployment initial;

@@ -1,8 +1,17 @@
 // Cooperative cancellation for long-running solves. A CancelToken is a
-// cheap, copyable handle to a shared flag: the controlling thread calls
-// Cancel(), workers poll Cancelled() at their convenience (solvers check it
-// alongside their deadline). Copies share state, so a token handed to a
-// solver running on another thread can be cancelled from the caller.
+// cheap, copyable handle to a shared atomic flag: the controlling thread
+// calls Cancel(), workers poll Cancelled() at their convenience (solvers
+// check it alongside their deadline). Copies share state, so a token handed
+// to a solver running on another thread can be cancelled from the caller.
+//
+// Thread-safety: the flag is a single std::atomic<bool>, so Cancel() and
+// Cancelled() are safe from any thread with no external locking, including
+// many concurrent cancellers and pollers on the same shared state (the
+// portfolio solver cancels one token observed by every member thread).
+// Cancel() uses release ordering and Cancelled() acquire, so writes made
+// before Cancel() are visible to a thread that observes Cancelled() == true.
+// Copying/assigning a token concurrently with *mutating* the same handle
+// object is a data race, as with any value type -- copy first, then share.
 #ifndef CLOUDIA_COMMON_CANCEL_H_
 #define CLOUDIA_COMMON_CANCEL_H_
 
@@ -17,10 +26,10 @@ class CancelToken {
 
   /// Requests cancellation; visible to all copies of this token. Safe to call
   /// from any thread, any number of times.
-  void Cancel() const { cancelled_->store(true, std::memory_order_relaxed); }
+  void Cancel() const { cancelled_->store(true, std::memory_order_release); }
 
   bool Cancelled() const {
-    return cancelled_->load(std::memory_order_relaxed);
+    return cancelled_->load(std::memory_order_acquire);
   }
 
  private:

@@ -1,0 +1,87 @@
+// A fixed-size worker pool for CPU-bound solver work (the portfolio racer in
+// deploy/portfolio.h and the R2 random search both run their members on one).
+//
+// Semantics:
+//   * Submit() enqueues a callable and returns a std::future for its result;
+//     exceptions thrown by the task are captured and re-thrown by get().
+//   * Tasks are executed in FIFO submission order per pool; with one worker
+//     thread execution order therefore equals submission order (the
+//     deterministic mode the portfolio relies on for --threads=1), with more
+//     workers tasks run concurrently and completion order is unspecified.
+//   * Shutdown() (also run by the destructor) stops the workers after
+//     draining every task already queued -- submitted work is never dropped.
+//   * Submit() during or after Shutdown() runs the task inline on the calling
+//     thread, so futures stay valid even when a pool is torn down while
+//     producers are still active.
+#ifndef CLOUDIA_COMMON_THREAD_POOL_H_
+#define CLOUDIA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cloudia {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (values < 1 clamp to 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue and joins the workers (see Shutdown()).
+  ~ThreadPool();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `f` and returns the future for its result. Thread-safe; may be
+  /// called from worker tasks themselves. Once Shutdown() has begun the task
+  /// runs inline on the calling thread instead.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!stopping_) {
+        queue_.emplace_back([task] { (*task)(); });
+        lock.unlock();
+        cv_.notify_one();
+        return future;
+      }
+    }
+    (*task)();  // pool is winding down: run on the caller
+    return future;
+  }
+
+  /// Stops accepting queued execution, waits for every already-submitted task
+  /// to finish, and joins the workers. Idempotent; safe to call while other
+  /// threads are still submitting (their tasks run inline, see Submit()).
+  void Shutdown();
+
+  /// Tasks submitted but not yet started (for tests / introspection).
+  size_t QueuedTasks() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::mutex shutdown_mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace cloudia
+
+#endif  // CLOUDIA_COMMON_THREAD_POOL_H_

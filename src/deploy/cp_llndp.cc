@@ -56,6 +56,20 @@ Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
 
   double incumbent_clustered = clustered_eval.Cost(incumbent);
   while (!context.ShouldStop()) {
+    // Cross-pollination under a portfolio race: adopt a strictly better
+    // global incumbent so the next threshold starts below the peer's cost
+    // instead of re-proving levels another solver already beat.
+    double peer_cost = 0.0;
+    Deployment peer;
+    if (context.SnapshotBestKnown(&peer_cost, &peer) &&
+        peer_cost < result.cost - 1e-12 &&
+        peer.size() == static_cast<size_t>(graph.num_nodes())) {
+      incumbent = std::move(peer);
+      incumbent_clustered = clustered_eval.Cost(incumbent);
+      result.cost = actual_eval.Cost(incumbent);
+      result.deployment = incumbent;
+      result.trace.push_back({context.ElapsedSeconds(), result.cost});
+    }
     // Largest distinct value strictly below the incumbent's clustered cost.
     auto it = std::lower_bound(distinct.begin(), distinct.end(),
                                incumbent_clustered);

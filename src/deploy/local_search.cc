@@ -79,23 +79,40 @@ Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
   result.cost = eval.Cost(start);
   result.trace.push_back(context.ReportIncumbent(result.cost, start));
 
+  // One full descent from `from`, folding any improvement into `result`.
+  auto descend_from = [&](Deployment from) {
+    double cost = eval.Cost(from);
+    std::vector<int> unused = UnusedInstances(from, m);
+    ++result.iterations;
+    while (!context.ShouldStop() &&
+           DescendOnce(eval, context, from, cost, unused)) {
+    }
+    if (cost < result.cost - 1e-12) {
+      result.cost = cost;
+      result.deployment = from;
+      result.trace.push_back(context.ReportIncumbent(cost, from));
+    }
+  };
+
   Deployment current = std::move(start);
   for (int restart = 0; restart <= options.max_restarts; ++restart) {
     if (context.ShouldStop()) break;
     if (restart > 0) {
+      // Cross-pollination under a portfolio race: additionally descend from a
+      // strictly better global incumbent. This never replaces the scheduled
+      // random restart (the rng stream is untouched), so a portfolio member
+      // explores a superset of its solo run's descents.
+      double peer_cost = 0.0;
+      Deployment peer;
+      if (context.SnapshotBestKnown(&peer_cost, &peer) &&
+          peer_cost < result.cost - 1e-12 &&
+          peer.size() == static_cast<size_t>(graph.num_nodes())) {
+        descend_from(std::move(peer));
+        if (context.ShouldStop()) break;
+      }
       current = RandomDeployment(graph.num_nodes(), m, rng);
     }
-    double cost = eval.Cost(current);
-    std::vector<int> unused = UnusedInstances(current, m);
-    ++result.iterations;
-    while (!context.ShouldStop() &&
-           DescendOnce(eval, context, current, cost, unused)) {
-    }
-    if (cost < result.cost - 1e-12) {
-      result.cost = cost;
-      result.deployment = current;
-      result.trace.push_back(context.ReportIncumbent(cost, current));
-    }
+    descend_from(std::move(current));
   }
   return result;
 }

@@ -1,0 +1,215 @@
+#include "deploy/portfolio.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "deploy/solver_registry.h"
+
+namespace cloudia::deploy {
+
+namespace {
+
+// Deadline::RemainingSeconds() reports a huge constant when infinite; treat
+// anything in that regime as "no budget" so splitting does not manufacture
+// a finite deadline out of an infinite one.
+constexpr double kEffectivelyInfinite = 1e17;
+
+int EffectiveThreads(const NdpSolveOptions& options,
+                     const SolveContext& context) {
+  int threads = options.threads;
+  if (threads <= 0) threads = context.max_threads();
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return threads < 1 ? 1 : threads;
+}
+
+}  // namespace
+
+std::vector<std::string> DefaultPortfolioMembers() {
+  return {"cp", "mip", "local", "r2"};
+}
+
+bool PortfolioSolver::Supports(Objective objective) const {
+  for (const std::string& name : DefaultPortfolioMembers()) {
+    const NdpSolver* member = SolverRegistry::Global().Find(name);
+    if (member != nullptr && member->Supports(objective)) return true;
+  }
+  return false;
+}
+
+Result<NdpSolveResult> PortfolioSolver::Solve(const NdpProblem& problem,
+                                              const NdpSolveOptions& options,
+                                              SolveContext& context) const {
+  // Resolve the member set up front so a typo fails cleanly before any
+  // thread is spawned.
+  std::vector<std::string> names = options.portfolio_members.empty()
+                                       ? DefaultPortfolioMembers()
+                                       : options.portfolio_members;
+  std::vector<const NdpSolver*> members;
+  members.reserve(names.size());
+  for (const std::string& name : names) {
+    CLOUDIA_ASSIGN_OR_RETURN(const NdpSolver* member,
+                             SolverRegistry::Global().Require(name));
+    if (member == this || std::string(member->name()) == "portfolio") {
+      return Status::InvalidArgument(
+          "the portfolio cannot race itself (member '" + name + "')");
+    }
+    // Members that are not formulated for this objective are skipped, not
+    // errors: the default set deliberately mixes LLNDP-only CP with
+    // objective-agnostic solvers.
+    if (!member->Supports(problem.objective)) continue;
+    members.push_back(member);
+  }
+  if (members.empty()) {
+    return Status::InvalidArgument(
+        "no portfolio member supports the " +
+        std::string(ObjectiveName(problem.objective)) + " objective");
+  }
+
+  const int member_count = static_cast<int>(members.size());
+  const int total_threads = EffectiveThreads(options, context);
+  const int concurrency = std::min(total_threads, member_count);
+
+  // Budget split: the members together must fit the parent budget. With
+  // `concurrency` running at a time, giving each member
+  // budget * concurrency / members keeps total wall time <= budget while
+  // letting a fully parallel race (concurrency == members) use all of it.
+  const double parent_remaining = context.deadline().RemainingSeconds();
+  const bool unbounded = parent_remaining >= kEffectivelyInfinite;
+  const double member_share =
+      unbounded ? parent_remaining
+                : parent_remaining * static_cast<double>(concurrency) /
+                      static_cast<double>(member_count);
+
+  // One shared incumbent cell for the whole race. Reuse the caller's cell if
+  // it attached one (a portfolio nested under a larger orchestration), so
+  // improvements propagate all the way out.
+  std::shared_ptr<SharedIncumbent> cell = context.shared_incumbent();
+  if (cell == nullptr) cell = std::make_shared<SharedIncumbent>();
+
+  // Portfolio-scope cancellation: tripped when the parent is cancelled, when
+  // the parent deadline passes, or when a member proves optimality at the
+  // global best.
+  CancelToken race_cancel;
+
+  // Globally monotone incumbent forwarding: improvements from any member are
+  // reported to the parent context (and its progress callback) exactly once,
+  // in decreasing cost order. forward_mu_ also guards the merged trace.
+  std::mutex forward_mu;
+  std::vector<TracePoint> merged_trace;
+  double forwarded_best = std::numeric_limits<double>::infinity();
+  auto forward = [&context, &forward_mu, &merged_trace,
+                  &forwarded_best](const TracePoint& point,
+                                   const Deployment& deployment) {
+    std::lock_guard<std::mutex> lock(forward_mu);
+    if (point.cost < forwarded_best) {
+      forwarded_best = point.cost;
+      merged_trace.push_back(context.ReportIncumbent(point.cost, deployment));
+    }
+  };
+
+  struct MemberRun {
+    Result<NdpSolveResult> result = Status::Internal("member did not run");
+  };
+  std::vector<MemberRun> runs(static_cast<size_t>(member_count));
+
+  ThreadPool pool(concurrency);
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(member_count));
+  for (int i = 0; i < member_count; ++i) {
+    const NdpSolver* member = members[static_cast<size_t>(i)];
+    MemberRun* run = &runs[static_cast<size_t>(i)];
+    // Threads beyond one per member are not wasted: member i of k gets
+    // total/k (plus one of the remainder), so internally parallel members
+    // (r2) use the surplus while the total stays within the user's budget.
+    const int member_threads =
+        std::max(1, total_threads / member_count +
+                        (i < total_threads % member_count ? 1 : 0));
+    futures.push_back(pool.Submit([&, member, run, member_threads] {
+      // Budget measured from when this member actually starts (later waves
+      // start later), never exceeding what remains of the parent budget.
+      const double remaining_now = context.deadline().RemainingSeconds();
+      const double allow = std::min(member_share, remaining_now);
+      Deadline deadline = allow >= kEffectivelyInfinite
+                              ? Deadline::Infinite()
+                              : Deadline::After(allow);
+
+      NdpSolveOptions member_options = options;
+      member_options.threads = member_threads;
+      member_options.portfolio_members.clear();
+
+      SolveContext member_context(deadline, race_cancel, forward);
+      member_context.set_shared_incumbent(cell);
+      member_context.set_max_threads(member_threads);
+      run->result = member->Solve(problem, member_options, member_context);
+
+      // Optimality at (or below) the global best settles the race: no other
+      // member can improve on a proven optimum, so stop paying for them.
+      // Only when the proof is exact, though -- with cost clustering CP/MIP
+      // prove optimality w.r.t. the *clustered* matrix only, and another
+      // member may still lower the actual cost within a cluster.
+      if (run->result.ok() && run->result->proven_optimal &&
+          options.cost_clusters == 0 &&
+          run->result->cost <= cell->cost() + 1e-12) {
+        race_cancel.Cancel();
+      }
+    }));
+  }
+
+  // Wait for the members, propagating parent-side cancellation (and the
+  // parent deadline) into the race while it runs.
+  for (std::future<void>& future : futures) {
+    while (future.wait_for(std::chrono::milliseconds(10)) !=
+           std::future_status::ready) {
+      if (context.ShouldStop()) race_cancel.Cancel();
+    }
+  }
+  pool.Shutdown();
+
+  // Aggregate: best member result, summed iterations, merged monotone trace.
+  NdpSolveResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  bool have_result = false;
+  double best_proven = std::numeric_limits<double>::infinity();
+  Status first_error = Status::OK();
+  for (const MemberRun& run : runs) {
+    if (!run.result.ok()) {
+      if (first_error.ok()) first_error = run.result.status();
+      continue;
+    }
+    const NdpSolveResult& r = *run.result;
+    best.iterations += r.iterations;
+    if (!have_result || r.cost < best.cost) {
+      best.cost = r.cost;
+      best.deployment = r.deployment;
+      have_result = true;
+    }
+    if (r.proven_optimal) best_proven = std::min(best_proven, r.cost);
+  }
+  // A member that failed after publishing incumbents leaves its best in the
+  // shared cell; never return worse than what the race actually found.
+  double cell_cost = 0.0;
+  Deployment cell_deployment;
+  if (cell->Snapshot(&cell_cost, &cell_deployment) &&
+      (!have_result || cell_cost < best.cost)) {
+    best.cost = cell_cost;
+    best.deployment = std::move(cell_deployment);
+    have_result = true;
+  }
+  if (!have_result) {
+    return first_error.ok()
+               ? Status::Internal("portfolio produced no deployment")
+               : first_error;
+  }
+  best.proven_optimal = best_proven <= best.cost + 1e-12;
+  best.trace = std::move(merged_trace);
+  return best;
+}
+
+}  // namespace cloudia::deploy

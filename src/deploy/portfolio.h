@@ -1,0 +1,62 @@
+// Concurrent solver portfolio (extension beyond the paper, in the spirit of
+// decision-support systems that hedge across heterogeneous optimizers):
+// races a configurable set of registered NdpSolvers on a common::ThreadPool
+// against one SharedIncumbent, so each member can prune with -- and adopt --
+// the global best, and returns the best deployment any member found.
+//
+// The paper's central trade-off is solver quality vs. time-to-deployment
+// (Sect. 6.3 runs CP and MIP under a wall-clock budget and takes the best
+// incumbent); the portfolio turns that sequential comparison into a race.
+//
+// Execution model:
+//   * `options.portfolio_members` names the members (registry names); empty
+//     selects the default set {"cp", "mip", "local", "r2"}. Members that do
+//     not support the requested objective are skipped (e.g. CP under LPNDP).
+//   * Members run on min(threads, members) pool workers. The wall budget is
+//     split so that total wall time never exceeds the context's deadline:
+//     each member receives budget * concurrency / members seconds (capped by
+//     the remaining parent budget at its start). With threads >= members
+//     everyone gets the full budget concurrently; with --threads=1 members
+//     run sequentially on equal slices, which together with the FIFO pool
+//     order makes the portfolio fully deterministic for deterministic
+//     members and a fixed seed.
+//   * Every member's SolveContext shares one SharedIncumbent cell and one
+//     portfolio-scope CancelToken. Improvements are forwarded (serialized,
+//     globally monotone) to the parent context's progress callback. A member
+//     that proves optimality at (or below) the global best cancels the rest;
+//     cancelling the parent token cancels all members.
+//   * A member that fails (bad options, unsupported instance) does not sink
+//     the race; its status is reported only if *no* member produced a
+//     deployment.
+#ifndef CLOUDIA_DEPLOY_PORTFOLIO_H_
+#define CLOUDIA_DEPLOY_PORTFOLIO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "deploy/solve.h"
+#include "deploy/solver.h"
+
+namespace cloudia::deploy {
+
+/// The registry names raced when NdpSolveOptions::portfolio_members is empty.
+std::vector<std::string> DefaultPortfolioMembers();
+
+class PortfolioSolver : public NdpSolver {
+ public:
+  const char* name() const override { return "portfolio"; }
+  const char* display_name() const override { return "Portfolio"; }
+
+  /// The portfolio itself supports any objective at least one default member
+  /// supports; per-member support is filtered again at Solve() time.
+  bool Supports(Objective objective) const override;
+
+  Result<NdpSolveResult> Solve(const NdpProblem& problem,
+                               const NdpSolveOptions& options,
+                               SolveContext& context) const override;
+};
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_PORTFOLIO_H_

@@ -1,9 +1,10 @@
 #include "deploy/random_search.h"
 
+#include <future>
 #include <mutex>
-#include <thread>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace cloudia::deploy {
 
@@ -91,10 +92,21 @@ Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
   };
 
   Rng seeder(seed);
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, seeder.Next());
-  for (auto& th : pool) th.join();
+  if (threads == 1) {
+    // No point paying for a pool the submitting thread would only block on
+    // (the portfolio runs one r2 per pool slot this way).
+    worker(seeder.Next());
+  } else {
+    ThreadPool pool(threads);
+    std::vector<std::future<void>> workers;
+    workers.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      uint64_t worker_seed = seeder.Next();
+      workers.push_back(
+          pool.Submit([&worker, worker_seed] { worker(worker_seed); }));
+    }
+    for (auto& w : workers) w.get();
+  }
 
   if (best.deployment.empty() && graph.num_nodes() > 0) {
     // Budget was already exhausted on entry: fall back to a single sample so

@@ -1,0 +1,61 @@
+// A thread-safe best-deployment cell shared by concurrently racing solvers.
+//
+// The portfolio solver (deploy/portfolio.h) attaches one SharedIncumbent to
+// every member's SolveContext: members publish improvements through
+// SolveContext::ReportIncumbent() and read the global best back to prune
+// their own search (CP adopts a better peer incumbent as its next descent
+// point; local search restarts from it instead of from a random deployment).
+//
+// All deployments stored in one cell must refer to the same problem
+// (same graph, same cost matrix, same objective) -- the cell itself only
+// compares costs.
+#ifndef CLOUDIA_DEPLOY_SHARED_INCUMBENT_H_
+#define CLOUDIA_DEPLOY_SHARED_INCUMBENT_H_
+
+#include <atomic>
+#include <limits>
+#include <mutex>
+
+#include "deploy/cost.h"
+
+namespace cloudia::deploy {
+
+class SharedIncumbent {
+ public:
+  /// Best cost published so far; +infinity while empty. Lock-free, so search
+  /// hot loops can poll it for pruning without contending on the mutex.
+  double cost() const { return cost_.load(std::memory_order_acquire); }
+
+  bool empty() const {
+    return cost() == std::numeric_limits<double>::infinity();
+  }
+
+  /// Installs (cost, deployment) iff `cost` is strictly better than the
+  /// current best. Returns whether it improved. Thread-safe.
+  bool TryImprove(double cost, const Deployment& deployment) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cost >= cost_.load(std::memory_order_relaxed)) return false;
+    deployment_ = deployment;
+    cost_.store(cost, std::memory_order_release);
+    return true;
+  }
+
+  /// Copies the current best into (cost, deployment) and returns true, or
+  /// returns false while the cell is still empty. Thread-safe.
+  bool Snapshot(double* cost, Deployment* deployment) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (deployment_.empty()) return false;
+    *cost = cost_.load(std::memory_order_relaxed);
+    *deployment = deployment_;
+    return true;
+  }
+
+ private:
+  std::atomic<double> cost_{std::numeric_limits<double>::infinity()};
+  mutable std::mutex mu_;
+  Deployment deployment_;
+};
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_SHARED_INCUMBENT_H_

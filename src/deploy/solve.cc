@@ -5,17 +5,17 @@
 
 namespace cloudia::deploy {
 
-Result<NdpSolveResult> SolveNodeDeployment(const graph::CommGraph& graph,
-                                           const CostMatrix& costs,
-                                           const NdpSolveOptions& options,
-                                           SolveContext& context) {
+Result<NdpSolveResult> SolveNodeDeploymentByName(const graph::CommGraph& graph,
+                                                 const CostMatrix& costs,
+                                                 std::string_view method,
+                                                 const NdpSolveOptions& options,
+                                                 SolveContext& context) {
   // Validate objective/graph compatibility up front.
   CLOUDIA_RETURN_IF_ERROR(
       CostEvaluator::Create(&graph, &costs, options.objective).status());
 
-  CLOUDIA_ASSIGN_OR_RETURN(
-      const NdpSolver* solver,
-      SolverRegistry::Global().Require(MethodKey(options.method)));
+  CLOUDIA_ASSIGN_OR_RETURN(const NdpSolver* solver,
+                           SolverRegistry::Global().Require(method));
   if (!solver->Supports(options.objective)) {
     return Status::InvalidArgument(
         std::string(solver->display_name()) + " is not formulated for the " +
@@ -28,6 +28,14 @@ Result<NdpSolveResult> SolveNodeDeployment(const graph::CommGraph& graph,
   problem.costs = &costs;
   problem.objective = options.objective;
   return solver->Solve(problem, options, context);
+}
+
+Result<NdpSolveResult> SolveNodeDeployment(const graph::CommGraph& graph,
+                                           const CostMatrix& costs,
+                                           const NdpSolveOptions& options,
+                                           SolveContext& context) {
+  return SolveNodeDeploymentByName(graph, costs, MethodKey(options.method),
+                                   options, context);
 }
 
 Result<NdpSolveResult> SolveNodeDeployment(const graph::CommGraph& graph,

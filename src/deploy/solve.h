@@ -13,6 +13,9 @@
 #define CLOUDIA_DEPLOY_SOLVE_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "deploy/solver.h"
@@ -30,6 +33,9 @@ enum class Method {
   /// Extension beyond the paper: multi-start swap/move hill climbing
   /// (deploy/local_search.h). Works for both objectives.
   kLocalSearch,
+  /// Extension beyond the paper: races several registered solvers
+  /// concurrently against one shared incumbent (deploy/portfolio.h).
+  kPortfolio,
 };
 
 /// Display name ("G1", "CP", "LocalSearch"); round-trips with ParseMethod
@@ -47,8 +53,11 @@ struct NdpSolveOptions {
   int cost_clusters = 0;
   /// Samples for R1 (the paper uses 1,000).
   int r1_samples = 1000;
-  /// Worker threads for R2; 0 = hardware concurrency.
+  /// Worker threads for R2 and the portfolio; 0 = hardware concurrency.
   int threads = 0;
+  /// Member solvers for the portfolio (registry names); empty selects the
+  /// default set ("cp", "mip", "local", "r2"). Ignored by other methods.
+  std::vector<std::string> portfolio_members;
   uint64_t seed = 1;
   /// Optional starting deployment for CP / MIP (empty = best of 10 random).
   Deployment initial;
@@ -63,6 +72,16 @@ Result<NdpSolveResult> SolveNodeDeployment(const graph::CommGraph& graph,
                                            const CostMatrix& costs,
                                            const NdpSolveOptions& options,
                                            SolveContext& context);
+
+/// Name-based variant: dispatches to any solver registered under `method`
+/// (case-insensitive registry key or display name), including solvers beyond
+/// the Method enum. The enum overload is a thin wrapper over this;
+/// `options.method` is ignored here.
+Result<NdpSolveResult> SolveNodeDeploymentByName(const graph::CommGraph& graph,
+                                                 const CostMatrix& costs,
+                                                 std::string_view method,
+                                                 const NdpSolveOptions& options,
+                                                 SolveContext& context);
 
 /// Convenience overload: budget-only context built from
 /// `options.time_budget_s`, no cancellation, no progress callback.

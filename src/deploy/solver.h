@@ -15,10 +15,15 @@
 #define CLOUDIA_DEPLOY_SOLVER_H_
 
 #include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "common/cancel.h"
 #include "common/result.h"
 #include "common/timer.h"
+#include "deploy/shared_incumbent.h"
 #include "deploy/solver_result.h"
 
 namespace cloudia::deploy {
@@ -36,15 +41,32 @@ struct NdpProblem {
 
 /// Invoked whenever a solver improves its incumbent deployment. `point`
 /// carries the solver-relative wall time; `deployment` is the new incumbent.
-/// Called from the solver's thread; keep it cheap and do not re-enter the
-/// solver from it.
+///
+/// Threading contract: the callback runs on whichever thread discovered the
+/// improvement -- never necessarily the thread that launched the solve. With
+/// a multi-threaded solver (R2, the portfolio) that means worker threads, but
+/// SolveContext serializes all invocations on one context, so the callback
+/// never runs concurrently with itself and needs no internal locking as long
+/// as it only touches state that is not mutated elsewhere during the solve.
+/// Keep it cheap (it runs under the context's progress lock) and do not
+/// re-enter the solver or the context's ReportIncumbent() from it.
 using ProgressCallback =
     std::function<void(const TracePoint& point, const Deployment& deployment)>;
 
 /// Per-solve execution state shared by caller and solver: wall clock,
-/// deadline, cancellation, and progress reporting. Solvers poll ShouldStop()
-/// in their search loops and call ReportIncumbent() on improvement; they do
-/// not keep private stopwatches or deadlines.
+/// deadline, cancellation, progress reporting, and -- for concurrent
+/// portfolio solves -- a shared global-incumbent cell plus an advisory
+/// thread budget. Solvers poll ShouldStop() in their search loops and call
+/// ReportIncumbent() on improvement; they do not keep private stopwatches or
+/// deadlines.
+///
+/// Concurrency contract: every method is safe to call from any thread.
+/// ShouldStop()/Cancelled()/BestKnownCost() are lock-free polls;
+/// ReportIncumbent() serializes (shared-incumbent publish + progress
+/// callback happen atomically with respect to other reporters on the same
+/// context), so callers may share one context across worker threads. The
+/// context itself is neither copyable nor movable -- hand threads a
+/// reference or pointer.
 class SolveContext {
  public:
   SolveContext() = default;
@@ -53,6 +75,9 @@ class SolveContext {
       : deadline_(deadline),
         cancel_(std::move(cancel)),
         on_incumbent_(std::move(on_incumbent)) {}
+
+  SolveContext(const SolveContext&) = delete;
+  SolveContext& operator=(const SolveContext&) = delete;
 
   const Deadline& deadline() const { return deadline_; }
   const CancelToken& cancel_token() const { return cancel_; }
@@ -65,11 +90,47 @@ class SolveContext {
   /// Seconds since this context was constructed (solve-relative wall time).
   double ElapsedSeconds() const { return clock_.ElapsedSeconds(); }
 
-  /// Records an incumbent improvement at the current elapsed time and
-  /// forwards it to the progress callback, if any. Returns the trace point so
-  /// solvers can append it to their result trace.
+  /// Advisory worker-thread budget for solvers that parallelize internally
+  /// (0 = let the solver pick, typically hardware concurrency). Set it before
+  /// handing the context to a solver; it is not synchronized.
+  void set_max_threads(int n) { max_threads_ = n; }
+  int max_threads() const { return max_threads_; }
+
+  /// Attaches the cell through which concurrently racing solvers share their
+  /// global best (deploy/shared_incumbent.h). Set it before handing the
+  /// context to a solver; all deployments published through this context
+  /// must refer to the same problem as the cell's other publishers.
+  void set_shared_incumbent(std::shared_ptr<SharedIncumbent> cell) {
+    shared_incumbent_ = std::move(cell);
+  }
+  const std::shared_ptr<SharedIncumbent>& shared_incumbent() const {
+    return shared_incumbent_;
+  }
+
+  /// Best cost published to the shared incumbent cell by *any* racing solver;
+  /// +infinity without a cell. Lock-free -- cheap enough for search loops to
+  /// poll for pruning.
+  double BestKnownCost() const {
+    return shared_incumbent_ ? shared_incumbent_->cost()
+                             : std::numeric_limits<double>::infinity();
+  }
+
+  /// Copies the racing solvers' global best into (cost, deployment); false
+  /// when no shared cell is attached or nothing was published yet.
+  bool SnapshotBestKnown(double* cost, Deployment* deployment) const {
+    return shared_incumbent_ != nullptr &&
+           shared_incumbent_->Snapshot(cost, deployment);
+  }
+
+  /// Records an incumbent improvement at the current elapsed time, publishes
+  /// it to the shared incumbent cell (if attached), and forwards it to the
+  /// progress callback, if any. Returns the trace point so solvers can append
+  /// it to their result trace. Serialized: concurrent reporters on the same
+  /// context never overlap (see the class comment).
   TracePoint ReportIncumbent(double cost, const Deployment& deployment) const {
+    std::lock_guard<std::mutex> lock(progress_mu_);
     TracePoint point{clock_.ElapsedSeconds(), cost};
+    if (shared_incumbent_) shared_incumbent_->TryImprove(cost, deployment);
     if (on_incumbent_) on_incumbent_(point, deployment);
     return point;
   }
@@ -79,6 +140,10 @@ class SolveContext {
   Deadline deadline_ = Deadline::Infinite();
   CancelToken cancel_;
   ProgressCallback on_incumbent_;
+  std::shared_ptr<SharedIncumbent> shared_incumbent_;
+  int max_threads_ = 0;
+  /// Serializes ReportIncumbent() across the threads sharing this context.
+  mutable std::mutex progress_mu_;
 };
 
 /// One deployment search method. Implementations are stateless (all per-run

@@ -10,6 +10,7 @@
 #include "deploy/local_search.h"
 #include "deploy/mip_llndp.h"
 #include "deploy/mip_lpndp.h"
+#include "deploy/portfolio.h"
 #include "deploy/random_search.h"
 
 namespace cloudia::deploy {
@@ -39,6 +40,7 @@ constexpr MethodInfo kMethodTable[] = {
     {Method::kCp, "cp", "CP"},
     {Method::kMip, "mip", "MIP"},
     {Method::kLocalSearch, "local", "LocalSearch"},
+    {Method::kPortfolio, "portfolio", "Portfolio"},
 };
 
 // Wraps a single deployment into a one-point result under `objective`.
@@ -106,9 +108,11 @@ class RandomR2Solver : public NdpSolver {
   Result<NdpSolveResult> Solve(const NdpProblem& problem,
                                const NdpSolveOptions& options,
                                SolveContext& context) const override {
-    int threads = options.threads > 0
-                      ? options.threads
-                      : static_cast<int>(std::thread::hardware_concurrency());
+    int threads = options.threads > 0 ? options.threads
+                                      : context.max_threads();
+    if (threads <= 0) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
     if (threads < 1) threads = 1;
     CLOUDIA_ASSIGN_OR_RETURN(
         RandomSearchResult r,
@@ -256,6 +260,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
   add(std::make_unique<CpSolver>());
   add(std::make_unique<MipSolver>());
   add(std::make_unique<LocalSearchSolver>());
+  add(std::make_unique<PortfolioSolver>());
 }
 
 const char* MethodKey(Method method) {

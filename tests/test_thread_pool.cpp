@@ -1,0 +1,128 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace cloudia {
+namespace {
+
+TEST(ThreadPoolTest, RunsTasksAndReturnsTheirValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ResultIsIndependentOfExecutionOrder) {
+  // Whatever order the workers pick tasks in, each future maps to its own
+  // task and an order-insensitive aggregate comes out exact.
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::atomic<long long> sum{0};
+    std::vector<std::future<int>> futures;
+    for (int i = 1; i <= 200; ++i) {
+      futures.push_back(pool.Submit([i, &sum] {
+        sum.fetch_add(i, std::memory_order_relaxed);
+        return i;
+      }));
+    }
+    std::set<int> seen;
+    for (auto& f : futures) seen.insert(f.get());
+    EXPECT_EQ(seen.size(), 200u) << threads << " threads";
+    EXPECT_EQ(sum.load(), 200ll * 201 / 2) << threads << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerExecutesInSubmissionOrder) {
+  // The portfolio's --threads=1 determinism rests on this FIFO guarantee.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([i, &order] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughTheFuture) {
+  ThreadPool pool(2);
+  auto boom = pool.Submit([]() -> int {
+    throw std::runtime_error("task exploded");
+  });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // The worker that ran the throwing task survives and keeps serving.
+  auto after = pool.Submit([] { return 7; });
+  EXPECT_EQ(after.get(), 7);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsEveryQueuedTask) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor shuts down while most of the 64 tasks are still queued.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInline) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::thread::id caller = std::this_thread::get_id();
+  auto future = pool.Submit([caller] {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    return 11;
+  });
+  EXPECT_EQ(future.get(), 11);
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolStressTest, ShutdownWhileProducersAreStillSubmitting) {
+  // Producers keep submitting while the main thread tears the pool down;
+  // every task must still run exactly once (queued ones are drained, late
+  // ones run inline on their producer) and nothing may deadlock.
+  constexpr int kProducers = 4;
+  constexpr int kTasksPerProducer = 250;
+  std::atomic<int> ran{0};
+  ThreadPool pool(3);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &ran] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kTasksPerProducer);
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        futures.push_back(pool.Submit(
+            [&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  pool.Shutdown();  // races the producers on purpose
+  for (std::thread& producer : producers) producer.join();
+  EXPECT_EQ(ran.load(), kProducers * kTasksPerProducer);
+}
+
+}  // namespace
+}  // namespace cloudia

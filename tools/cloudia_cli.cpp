@@ -11,6 +11,7 @@
 //   cloudia_cli advise --nodes=100 --graph=mesh --method=cp --budget=10
 //   cloudia_cli measure --instances=50 --minutes=5 --out=costs.txt
 //   cloudia_cli solve --costs=costs.txt --graph=tree --objective=longest-path
+#include <cctype>
 #include <cstdio>
 #include <string>
 
@@ -24,6 +25,25 @@
 namespace {
 
 using namespace cloudia;
+
+// "cp, mip,local" -> {"cp", "mip", "local"}: splits on commas and trims
+// surrounding whitespace so quoted lists with spaces work. Empty -> empty.
+std::vector<std::string> SplitCommaList(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    size_t lo = start, hi = comma;
+    while (lo < hi && std::isspace(static_cast<unsigned char>(csv[lo]))) ++lo;
+    while (hi > lo && std::isspace(static_cast<unsigned char>(csv[hi - 1]))) {
+      --hi;
+    }
+    if (hi > lo) out.push_back(csv.substr(lo, hi - lo));
+    start = comma + 1;
+  }
+  return out;
+}
 
 std::string KnownMethods() {
   std::string out;
@@ -48,6 +68,10 @@ void PrintUsage() {
       "  --method=NAME        %s\n"
       "  --budget=SECONDS     search budget (default 10)\n"
       "  --clusters=K         cost clusters for cp/mip (default 20)\n"
+      "  --threads=N          worker threads for r2/portfolio (default:\n"
+      "                       hardware concurrency)\n"
+      "  --portfolio=A,B,...  member solvers for --method=portfolio\n"
+      "                       (default cp,mip,local,r2)\n"
       "advise/measure flags:\n"
       "  --over-allocation=F  extra instance fraction (default 0.10)\n"
       "  --minutes=M          virtual measurement minutes (default auto)\n"
@@ -92,10 +116,11 @@ int RunAdvise(const Flags& flags) {
   auto nodes = flags.GetInt("nodes", 30);
   auto budget = flags.GetDouble("budget", 10.0);
   auto clusters = flags.GetInt("clusters", 20);
+  auto threads = flags.GetInt("threads", 0);
   auto over = flags.GetDouble("over-allocation", 0.10);
   auto minutes = flags.GetDouble("minutes", 0.0);
   if (!seed.ok() || !nodes.ok() || !budget.ok() || !clusters.ok() ||
-      !over.ok() || !minutes.ok()) {
+      !threads.ok() || !over.ok() || !minutes.ok()) {
     std::fprintf(stderr, "bad numeric flag\n");
     return 2;
   }
@@ -154,6 +179,8 @@ int RunAdvise(const Flags& flags) {
   spec.objective = *objective;
   spec.time_budget_s = *budget;
   spec.cost_clusters = static_cast<int>(*clusters);
+  spec.threads = static_cast<int>(*threads);
+  spec.portfolio_members = SplitCommaList(flags.GetString("portfolio", ""));
   spec.seed = static_cast<uint64_t>(*seed);
   auto solve = session.Solve(spec);
   if (!solve.ok()) {
@@ -241,18 +268,23 @@ int RunSolve(const Flags& flags) {
   auto seed = flags.GetInt("seed", 1);
   auto budget = flags.GetDouble("budget", 10.0);
   auto clusters = flags.GetInt("clusters", 20);
+  auto threads = flags.GetInt("threads", 0);
   auto nodes = flags.GetInt(
       "nodes", static_cast<int64_t>(loaded->costs.size() * 9 / 10));
-  if (!seed.ok() || !budget.ok() || !clusters.ok() || !nodes.ok()) {
+  if (!seed.ok() || !budget.ok() || !clusters.ok() || !threads.ok() ||
+      !nodes.ok()) {
     std::fprintf(stderr, "bad numeric flag\n");
     return 2;
   }
-  auto method = deploy::ParseMethod(flags.GetString("method", "cp"));
+  // Registry-based lookup so every registered solver (including the
+  // portfolio) is reachable, not only the Method enum's built-ins.
+  auto solver = deploy::SolverRegistry::Global().Require(
+      flags.GetString("method", "cp"));
   auto objective =
       deploy::ParseObjective(flags.GetString("objective", "longest-link"));
-  if (!method.ok() || !objective.ok()) {
+  if (!solver.ok() || !objective.ok()) {
     std::fprintf(stderr, "%s\n",
-                 (!method.ok() ? method.status() : objective.status())
+                 (!solver.ok() ? solver.status() : objective.status())
                      .ToString()
                      .c_str());
     return 2;
@@ -266,17 +298,21 @@ int RunSolve(const Flags& flags) {
   }
   deploy::NdpSolveOptions opts;
   opts.objective = *objective;
-  opts.method = *method;
   opts.time_budget_s = *budget;
   opts.cost_clusters = static_cast<int>(*clusters);
+  opts.threads = static_cast<int>(*threads);
+  opts.portfolio_members = SplitCommaList(flags.GetString("portfolio", ""));
   opts.seed = static_cast<uint64_t>(*seed);
-  auto result = deploy::SolveNodeDeployment(app, loaded->costs, opts);
+  deploy::SolveContext context(Deadline::After(*budget));
+  context.set_max_threads(opts.threads);
+  auto result = deploy::SolveNodeDeploymentByName(
+      app, loaded->costs, (*solver)->name(), opts, context);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
   std::printf("graph %s, %s / %s: cost %.4f ms%s after %.1f s\n",
-              app.ToString().c_str(), deploy::MethodName(*method),
+              app.ToString().c_str(), (*solver)->display_name(),
               deploy::ObjectiveName(*objective), result->cost,
               result->proven_optimal ? " (optimal)" : "",
               result->trace.empty() ? 0.0 : result->trace.back().seconds);
