@@ -33,14 +33,12 @@ int main() {
     double conv_total = 0, cost_total = 0;
     for (int s = 0; s < subsets; ++s) {
       std::vector<int> subset = rng.SampleWithoutReplacement(100, m);
-      deploy::CostMatrix costs(static_cast<size_t>(m),
-                               std::vector<double>(static_cast<size_t>(m), 0));
+      deploy::CostMatrix costs(m);
       for (int i = 0; i < m; ++i) {
         for (int j = 0; j < m; ++j) {
           if (i != j) {
-            costs[static_cast<size_t>(i)][static_cast<size_t>(j)] =
-                full_costs[static_cast<size_t>(subset[static_cast<size_t>(i)])]
-                          [static_cast<size_t>(subset[static_cast<size_t>(j)])];
+            costs.At(i, j) = full_costs.At(subset[static_cast<size_t>(i)],
+                                           subset[static_cast<size_t>(j)]);
           }
         }
       }

@@ -4,8 +4,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <optional>
 
 #include "cluster/kmeans1d.h"
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "deploy/cost.h"
@@ -145,9 +147,9 @@ BENCHMARK(BM_SimplexAssignment)->Arg(10)->Arg(20);
 void BM_CostEvaluatorLongestLink(benchmark::State& state) {
   Rng rng(8);
   graph::CommGraph mesh = graph::Mesh2D(10, 10);
-  deploy::CostMatrix costs(110, std::vector<double>(110, 0));
-  for (auto& row : costs) {
-    for (auto& c : row) c = rng.Uniform(0.2, 1.4);
+  deploy::CostMatrix costs(110);
+  for (int i = 0; i < costs.size(); ++i) {
+    for (int j = 0; j < costs.size(); ++j) costs.At(i, j) = rng.Uniform(0.2, 1.4);
   }
   auto eval = deploy::CostEvaluator::Create(&mesh, &costs,
                                             deploy::Objective::kLongestLink);
@@ -155,6 +157,107 @@ void BM_CostEvaluatorLongestLink(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(eval->Cost(d));
 }
 BENCHMARK(BM_CostEvaluatorLongestLink);
+
+// Local-search swap-evaluation kernels: pricing the candidate "swap nodes
+// a and b" on a side x side mesh (LLNDP). The Full variant is what the
+// descent loop cost before the incremental API (mutate, full O(E)
+// re-evaluation, revert); the Delta variant prices the same candidate in
+// O(deg) through the evaluator's incident-edge lists. Same probe sequence,
+// same answers -- the ratio is the hot-path speedup.
+struct SwapEvalFixture {
+  explicit SwapEvalFixture(int side, uint64_t seed = 9)
+      : rng(seed), mesh(graph::Mesh2D(side, side)) {
+    const int n = mesh.num_nodes();
+    const int m = n + n / 10;  // the paper's 10% over-allocation
+    costs = deploy::CostMatrix(m);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < m; ++j) {
+        if (i != j) costs.At(i, j) = rng.Uniform(0.2, 1.4);
+      }
+    }
+    auto created = deploy::CostEvaluator::Create(
+        &mesh, &costs, deploy::Objective::kLongestLink);
+    CLOUDIA_CHECK(created.ok());
+    eval.emplace(std::move(created).value());
+    d = rng.SampleWithoutReplacement(m, n);
+    cost = eval->Cost(d);
+  }
+
+  // Deterministic non-degenerate probe sequence over node pairs.
+  void Advance(int* a, int* b) const {
+    const int n = mesh.num_nodes();
+    *a = (*a + 7) % n;
+    *b = (*b + 13) % n;
+    if (*a == *b) *b = (*b + 1) % n;
+  }
+
+  // An instance no node occupies (exists: m > n), the move kernels' target.
+  int FirstUnusedInstance() const {
+    std::vector<bool> used(static_cast<size_t>(costs.size()), false);
+    for (int s : d) used[static_cast<size_t>(s)] = true;
+    int target = 0;
+    while (used[static_cast<size_t>(target)]) ++target;
+    return target;
+  }
+
+  Rng rng;
+  graph::CommGraph mesh;
+  deploy::CostMatrix costs;
+  std::optional<deploy::CostEvaluator> eval;
+  deploy::Deployment d;
+  double cost = 0.0;
+};
+
+void BM_SwapEvalLongestLinkFull(benchmark::State& state) {
+  SwapEvalFixture fx(static_cast<int>(state.range(0)));
+  int a = 0, b = 1;
+  for (auto _ : state) {
+    std::swap(fx.d[static_cast<size_t>(a)], fx.d[static_cast<size_t>(b)]);
+    double c = fx.eval->Cost(fx.d);
+    std::swap(fx.d[static_cast<size_t>(a)], fx.d[static_cast<size_t>(b)]);
+    benchmark::DoNotOptimize(c);
+    fx.Advance(&a, &b);
+  }
+}
+BENCHMARK(BM_SwapEvalLongestLinkFull)->Arg(15)->Arg(24);
+
+void BM_SwapEvalLongestLinkDelta(benchmark::State& state) {
+  SwapEvalFixture fx(static_cast<int>(state.range(0)));
+  int a = 0, b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.eval->SwapCost(fx.d, fx.cost, a, b));
+    fx.Advance(&a, &b);
+  }
+}
+BENCHMARK(BM_SwapEvalLongestLinkDelta)->Arg(15)->Arg(24);
+
+void BM_MoveEvalLongestLinkFull(benchmark::State& state) {
+  SwapEvalFixture fx(static_cast<int>(state.range(0)));
+  const int n = fx.mesh.num_nodes();
+  const int target = fx.FirstUnusedInstance();
+  int a = 0;
+  for (auto _ : state) {
+    int old = fx.d[static_cast<size_t>(a)];
+    fx.d[static_cast<size_t>(a)] = target;
+    double c = fx.eval->Cost(fx.d);
+    fx.d[static_cast<size_t>(a)] = old;
+    benchmark::DoNotOptimize(c);
+    a = (a + 7) % n;
+  }
+}
+BENCHMARK(BM_MoveEvalLongestLinkFull)->Arg(15);
+
+void BM_MoveEvalLongestLinkDelta(benchmark::State& state) {
+  SwapEvalFixture fx(static_cast<int>(state.range(0)));
+  const int n = fx.mesh.num_nodes();
+  const int target = fx.FirstUnusedInstance();
+  int a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.eval->MoveCost(fx.d, fx.cost, a, target));
+    a = (a + 7) % n;
+  }
+}
+BENCHMARK(BM_MoveEvalLongestLinkDelta)->Arg(15);
 
 void BM_EventQueueChain(benchmark::State& state) {
   for (auto _ : state) {

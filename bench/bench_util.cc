@@ -68,16 +68,32 @@ deploy::CostMatrix MeasuredMeanCosts(const net::CloudSimulator& cloud,
   opts.seed = seed;
   auto result = measure::RunStaged(cloud, instances, opts);
   CLOUDIA_CHECK(result.ok());
-  return measure::BuildCostMatrix(*result, measure::CostMetric::kMean);
+  // Short scaled budgets may leave links unsampled; benches prefer a warned
+  // sentinel fill over aborting the whole figure.
+  measure::BuildCostMatrixOptions bopts;
+  bopts.allow_missing = true;
+  measure::CostMatrixCoverage coverage;
+  auto costs = measure::BuildCostMatrix(*result, measure::CostMetric::kMean,
+                                        bopts, &coverage);
+  CLOUDIA_CHECK(costs.ok());
+  if (coverage.missing_links > 0) {
+    std::fprintf(stderr,
+                 "warning: %lld of %lld links unsampled; filled with the "
+                 "%g ms sentinel\n",
+                 static_cast<long long>(coverage.missing_links),
+                 static_cast<long long>(coverage.total_links),
+                 deploy::kUnmeasuredCostMs);
+  }
+  return std::move(costs).value();
 }
 
 std::vector<double> OffDiagonal(const deploy::CostMatrix& m) {
   std::vector<double> out;
-  size_t n = m.size();
-  out.reserve(n * (n - 1));
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < n; ++j) {
-      if (i != j) out.push_back(m[i][j]);
+  int n = m.size();
+  out.reserve(static_cast<size_t>(n) * static_cast<size_t>(n > 0 ? n - 1 : 0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) out.push_back(m.At(i, j));
     }
   }
   return out;

@@ -115,7 +115,11 @@ inline PipelineOutcome RunPipeline(const net::CloudSimulator& cloud,
   popts.seed = seed * 13 + 1;
   auto measured = measure::RunStaged(cloud, allocated, popts);
   CLOUDIA_CHECK(measured.ok());
-  deploy::CostMatrix costs = measure::BuildCostMatrix(*measured, metric);
+  measure::BuildCostMatrixOptions bopts;
+  bopts.allow_missing = true;  // scaled-down budgets may leave gaps
+  auto built = measure::BuildCostMatrix(*measured, metric, bopts);
+  CLOUDIA_CHECK(built.ok());
+  deploy::CostMatrix costs = std::move(built).value();
 
   // Paper-default solver per objective, dispatched through the registry.
   deploy::NdpProblem problem;

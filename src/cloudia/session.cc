@@ -64,7 +64,10 @@ Status DeploymentSession::Measure() {
       measure::MeasurementResult measurement,
       measure::RunProtocol(*cloud_, allocated_, options_.protocol, popts));
   measure_virtual_s_ = measurement.virtual_time_ms / 1e3;
-  costs_ = measure::BuildCostMatrix(measurement, options_.metric);
+  // Full coverage is required here: a sentinel-poisoned matrix would skew
+  // every Solve() this session caches it for.
+  CLOUDIA_ASSIGN_OR_RETURN(
+      costs_, measure::BuildCostMatrix(measurement, options_.metric));
   measured_done_ = true;
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "cluster/kmeans1d.h"
 #include "common/check.h"
@@ -32,12 +33,7 @@ bool IsInjective(const Deployment& deployment, int num_instances) {
 Status ValidateDeployment(const graph::CommGraph& graph,
                           const Deployment& deployment,
                           const CostMatrix& costs, Objective objective) {
-  int m = static_cast<int>(costs.size());
-  for (const auto& row : costs) {
-    if (static_cast<int>(row.size()) != m) {
-      return Status::InvalidArgument("cost matrix is not square");
-    }
-  }
+  int m = costs.size();
   if (static_cast<int>(deployment.size()) != graph.num_nodes()) {
     return Status::InvalidArgument(StrFormat(
         "deployment has %zu entries for %d nodes", deployment.size(),
@@ -60,13 +56,7 @@ Result<CostEvaluator> CostEvaluator::Create(const graph::CommGraph* graph,
                                             const CostMatrix* costs,
                                             Objective objective) {
   CLOUDIA_CHECK(graph != nullptr && costs != nullptr);
-  int m = static_cast<int>(costs->size());
-  for (const auto& row : *costs) {
-    if (static_cast<int>(row.size()) != m) {
-      return Status::InvalidArgument("cost matrix is not square");
-    }
-  }
-  if (graph->num_nodes() > m) {
+  if (graph->num_nodes() > costs->size()) {
     return Status::InvalidArgument("more nodes than instances");
   }
   std::vector<int> order;
@@ -85,28 +75,50 @@ CostEvaluator::CostEvaluator(const graph::CommGraph* graph,
       costs_(costs),
       objective_(objective),
       topo_order_(std::move(topo_order)),
-      path_scratch_(static_cast<size_t>(graph->num_nodes()), 0.0) {}
-
-double CostEvaluator::Cost(const Deployment& d) const {
-  CLOUDIA_DCHECK(static_cast<int>(d.size()) == graph_->num_nodes());
-  const CostMatrix& c = *costs_;
-  if (objective_ == Objective::kLongestLink) {
-    double worst = 0.0;
-    for (const graph::Edge& e : graph_->edges()) {
-      double cost = c[static_cast<size_t>(d[static_cast<size_t>(e.src)])]
-                     [static_cast<size_t>(d[static_cast<size_t>(e.dst)])];
-      worst = std::max(worst, cost);
-    }
-    return worst;
+      path_scratch_(static_cast<size_t>(graph->num_nodes()), 0.0) {
+  // CSR incident-edge lists: every edge lands in both endpoints' ranges
+  // (CommGraph rejects self-loops, so the two endpoints are distinct).
+  const size_t n = static_cast<size_t>(graph->num_nodes());
+  incident_offsets_.assign(n + 1, 0);
+  for (const graph::Edge& e : graph->edges()) {
+    ++incident_offsets_[static_cast<size_t>(e.src) + 1];
+    ++incident_offsets_[static_cast<size_t>(e.dst) + 1];
   }
-  // Longest path over the DAG in topological order.
+  std::partial_sum(incident_offsets_.begin(), incident_offsets_.end(),
+                   incident_offsets_.begin());
+  incident_edges_.resize(static_cast<size_t>(incident_offsets_[n]));
+  std::vector<int> cursor(incident_offsets_.begin(),
+                          incident_offsets_.end() - 1);
+  for (const graph::Edge& e : graph->edges()) {
+    incident_edges_[static_cast<size_t>(
+        cursor[static_cast<size_t>(e.src)]++)] = e;
+    incident_edges_[static_cast<size_t>(
+        cursor[static_cast<size_t>(e.dst)]++)] = e;
+  }
+}
+
+double CostEvaluator::LongestLink(const int* d) const {
+  const double* c = costs_->data();
+  const size_t m = static_cast<size_t>(costs_->size());
+  double worst = 0.0;
+  for (const graph::Edge& e : graph_->edges()) {
+    double cost = c[static_cast<size_t>(d[e.src]) * m +
+                    static_cast<size_t>(d[e.dst])];
+    worst = std::max(worst, cost);
+  }
+  return worst;
+}
+
+double CostEvaluator::LongestPath(const int* d) const {
+  const double* c = costs_->data();
+  const size_t m = static_cast<size_t>(costs_->size());
   std::fill(path_scratch_.begin(), path_scratch_.end(), 0.0);
   double best = 0.0;
   for (int v : topo_order_) {
     double dv = path_scratch_[static_cast<size_t>(v)];
+    const double* row = c + static_cast<size_t>(d[v]) * m;
     for (int w : graph_->OutNeighbors(v)) {
-      double cand = dv + c[static_cast<size_t>(d[static_cast<size_t>(v)])]
-                          [static_cast<size_t>(d[static_cast<size_t>(w)])];
+      double cand = dv + row[static_cast<size_t>(d[w])];
       if (cand > path_scratch_[static_cast<size_t>(w)]) {
         path_scratch_[static_cast<size_t>(w)] = cand;
         best = std::max(best, cand);
@@ -114,6 +126,99 @@ double CostEvaluator::Cost(const Deployment& d) const {
     }
   }
   return best;
+}
+
+double CostEvaluator::Cost(const Deployment& d) const {
+  CLOUDIA_DCHECK(static_cast<int>(d.size()) == graph_->num_nodes());
+  return objective_ == Objective::kLongestLink ? LongestLink(d.data())
+                                               : LongestPath(d.data());
+}
+
+template <typename InstanceOf>
+double CostEvaluator::IncidentMax(int v, const InstanceOf& inst) const {
+  const double* c = costs_->data();
+  const size_t m = static_cast<size_t>(costs_->size());
+  double worst = 0.0;
+  const int begin = incident_offsets_[static_cast<size_t>(v)];
+  const int end = incident_offsets_[static_cast<size_t>(v) + 1];
+  for (int t = begin; t < end; ++t) {
+    const graph::Edge& e = incident_edges_[static_cast<size_t>(t)];
+    double cost = c[static_cast<size_t>(inst(e.src)) * m +
+                    static_cast<size_t>(inst(e.dst))];
+    worst = std::max(worst, cost);
+  }
+  return worst;
+}
+
+double CostEvaluator::SwapCost(const Deployment& d, double current_cost,
+                               int a, int b) const {
+  CLOUDIA_DCHECK(a >= 0 && a < graph_->num_nodes());
+  CLOUDIA_DCHECK(b >= 0 && b < graph_->num_nodes());
+  if (a == b) return current_cost;
+  const int* dp = d.data();
+  auto swapped = [dp, a, b](int v) {
+    return v == a ? dp[b] : v == b ? dp[a] : dp[v];
+  };
+  if (objective_ == Objective::kLongestPath) {
+    // Exact fallback (see header): the critical path is a global property.
+    deploy_scratch_.assign(d.begin(), d.end());
+    std::swap(deploy_scratch_[static_cast<size_t>(a)],
+              deploy_scratch_[static_cast<size_t>(b)]);
+    return LongestPath(deploy_scratch_.data());
+  }
+  auto original = [dp](int v) { return dp[v]; };
+  double old_affected =
+      std::max(IncidentMax(a, original), IncidentMax(b, original));
+  double new_affected =
+      std::max(IncidentMax(a, swapped), IncidentMax(b, swapped));
+  if (old_affected < current_cost) {
+    // The bottleneck edge is untouched, so current_cost is exactly the max
+    // over the unaffected edges.
+    return std::max(current_cost, new_affected);
+  }
+  if (new_affected >= current_cost) return new_affected;
+  // The bottleneck edge was affected and improved: only a full rescan knows
+  // the runner-up.
+  double worst = 0.0;
+  const double* c = costs_->data();
+  const size_t m = static_cast<size_t>(costs_->size());
+  for (const graph::Edge& e : graph_->edges()) {
+    double cost = c[static_cast<size_t>(swapped(e.src)) * m +
+                    static_cast<size_t>(swapped(e.dst))];
+    worst = std::max(worst, cost);
+  }
+  return worst;
+}
+
+double CostEvaluator::MoveCost(const Deployment& d, double current_cost,
+                               int node, int new_instance) const {
+  CLOUDIA_DCHECK(node >= 0 && node < graph_->num_nodes());
+  CLOUDIA_DCHECK(new_instance >= 0 && new_instance < costs_->size());
+  const int* dp = d.data();
+  auto moved = [dp, node, new_instance](int v) {
+    return v == node ? new_instance : dp[v];
+  };
+  if (objective_ == Objective::kLongestPath) {
+    deploy_scratch_.assign(d.begin(), d.end());
+    deploy_scratch_[static_cast<size_t>(node)] = new_instance;
+    return LongestPath(deploy_scratch_.data());
+  }
+  auto original = [dp](int v) { return dp[v]; };
+  double old_affected = IncidentMax(node, original);
+  double new_affected = IncidentMax(node, moved);
+  if (old_affected < current_cost) {
+    return std::max(current_cost, new_affected);
+  }
+  if (new_affected >= current_cost) return new_affected;
+  double worst = 0.0;
+  const double* c = costs_->data();
+  const size_t m = static_cast<size_t>(costs_->size());
+  for (const graph::Edge& e : graph_->edges()) {
+    double cost = c[static_cast<size_t>(moved(e.src)) * m +
+                    static_cast<size_t>(moved(e.dst))];
+    worst = std::max(worst, cost);
+  }
+  return worst;
 }
 
 double LongestLinkCost(const graph::CommGraph& graph,
@@ -133,30 +238,43 @@ Result<double> LongestPathCost(const graph::CommGraph& graph,
 
 Result<CostMatrix> ClusterCostMatrix(const CostMatrix& costs, int k) {
   if (k <= 0) return costs;
-  int m = static_cast<int>(costs.size());
+  const int m = costs.size();
   std::vector<double> flat;
   flat.reserve(static_cast<size_t>(m) * static_cast<size_t>(m > 0 ? m - 1 : 0));
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < m; ++j) {
+      if (i == j) continue;
+      double v = costs.At(i, j);
+      // Never-sampled sentinel entries are unknowns, not data: clustering
+      // them would waste a cluster on 1e6 or drag a mean upward. They are
+      // preserved verbatim below.
+      if (v >= kUnmeasuredCostMs) continue;
       // Round to a 0.01 ms grid first, exactly as the paper does before
       // clustering ("rounded to nearest 0.01 ms", Sect. 6.3): this bounds
       // the number of distinct values the O(k d^2) k-means DP sees.
-      if (i != j) {
-        flat.push_back(
-            std::round(costs[static_cast<size_t>(i)][static_cast<size_t>(j)] *
-                       100.0) /
-            100.0);
-      }
+      flat.push_back(std::round(v * 100.0) / 100.0);
     }
   }
   if (flat.empty()) return costs;
+  {
+    // k >= #distinct rounded values: every value would become its own
+    // center, i.e. the "clustering" could only snap costs to the rounding
+    // grid without reducing levels. Return the input unchanged instead of
+    // fabricating a gridded copy.
+    std::vector<double> distinct = flat;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    if (static_cast<size_t>(k) >= distinct.size()) return costs;
+  }
   CLOUDIA_ASSIGN_OR_RETURN(std::vector<double> mapped,
                            cluster::ClusterToMeans(flat, k));
   CostMatrix out = costs;
   size_t idx = 0;
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < m; ++j) {
-      if (i != j) out[static_cast<size_t>(i)][static_cast<size_t>(j)] = mapped[idx++];
+      if (i == j || costs.At(i, j) >= kUnmeasuredCostMs) continue;
+      out.At(i, j) = mapped[idx++];
     }
   }
   return out;

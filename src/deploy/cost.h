@@ -5,20 +5,23 @@
 //   Class 1, longest link (LLNDP): max edge cost -- barrier-synchronized HPC.
 //   Class 2, longest path (LPNDP): max root-to-sink path cost sum over an
 //   acyclic communication graph -- service call trees.
+//
+// Cost evaluation is the hot kernel under every search method (greedy,
+// random, local, CP threshold descent, MIP bounding): CostEvaluator
+// therefore reads the flat row-major CostMatrix (deploy/cost_matrix.h) and
+// offers an *incremental* API -- SwapCost/MoveCost and their *Delta forms --
+// that prices a local move in O(deg) via precomputed per-node incident-edge
+// lists instead of re-scanning all O(E) edges.
 #ifndef CLOUDIA_DEPLOY_COST_H_
 #define CLOUDIA_DEPLOY_COST_H_
 
 #include <vector>
 
 #include "common/result.h"
+#include "deploy/cost_matrix.h"
 #include "graph/comm_graph.h"
 
 namespace cloudia::deploy {
-
-/// Pairwise communication cost CL in milliseconds: costs[i][j] is the cost of
-/// the directed link from instance i to instance j. Asymmetry allowed; the
-/// diagonal is ignored.
-using CostMatrix = std::vector<std::vector<double>>;
 
 /// node -> instance index; must be injective (Definition 2).
 using Deployment = std::vector<int>;
@@ -40,7 +43,8 @@ Status ValidateDeployment(const graph::CommGraph& graph,
                           const CostMatrix& costs, Objective objective);
 
 /// Fast repeated evaluation of one objective for a fixed (graph, costs).
-/// Precomputes the topological order for kLongestPath.
+/// Precomputes the topological order for kLongestPath and per-node
+/// incident-edge lists (CSR layout) for the incremental API.
 class CostEvaluator {
  public:
   /// Fails (InvalidArgument/Infeasible) on malformed input; the evaluator
@@ -54,18 +58,72 @@ class CostEvaluator {
   /// via DCHECK in debug builds.
   double Cost(const Deployment& deployment) const;
 
+  // -- Incremental evaluation ------------------------------------------------
+  //
+  // All four calls price the *modified* deployment without mutating `d`.
+  // `current_cost` must be Cost(d) (typically tracked by the caller's search
+  // loop); passing a stale value yields garbage.
+  //
+  // Exactness: the returned cost is bit-identical to Cost() on the modified
+  // deployment for both objectives -- the fast path reconstructs the same
+  // max over the same doubles.
+  //
+  // Complexity, kLongestLink: O(deg(a) + deg(b)) over the incident-edge
+  // lists; the only full O(E) rescan happens when the current bottleneck
+  // edge itself is affected *and* improves (rare relative to candidate
+  // probes in a descent, which are overwhelmingly rejections).
+  // Complexity, kLongestPath: the path objective is global -- one relocated
+  // node can re-route the critical path anywhere -- so there is no O(deg)
+  // shortcut; these calls fall back to an exact full O(V + E) re-evaluation
+  // on an internal scratch deployment. Still cheaper than cloning `d` at
+  // every probe, and it keeps one call site for both objectives.
+
+  /// Cost of `d` with the instances of nodes `a` and `b` exchanged.
+  double SwapCost(const Deployment& d, double current_cost, int a,
+                  int b) const;
+  /// Cost of `d` with `node` relocated to the (unused) `new_instance`.
+  double MoveCost(const Deployment& d, double current_cost, int node,
+                  int new_instance) const;
+
+  /// Delta forms: SwapCost/MoveCost minus `current_cost`, so that
+  /// Cost(d') == Cost(d) + SwapDelta(d, Cost(d), a, b) up to the one
+  /// subtraction's rounding. Negative deltas are improvements.
+  double SwapDelta(const Deployment& d, double current_cost, int a,
+                   int b) const {
+    return SwapCost(d, current_cost, a, b) - current_cost;
+  }
+  double MoveDelta(const Deployment& d, double current_cost, int node,
+                   int new_instance) const {
+    return MoveCost(d, current_cost, node, new_instance) - current_cost;
+  }
+
   Objective objective() const { return objective_; }
-  int num_instances() const { return static_cast<int>(costs_->size()); }
+  int num_instances() const { return costs_->size(); }
 
  private:
   CostEvaluator(const graph::CommGraph* graph, const CostMatrix* costs,
                 Objective objective, std::vector<int> topo_order);
 
+  double LongestLink(const int* d) const;
+  double LongestPath(const int* d) const;
+
+  /// Max cost over the edges incident to `v`, mapping node w to inst(w).
+  template <typename InstanceOf>
+  double IncidentMax(int v, const InstanceOf& inst) const;
+
   const graph::CommGraph* graph_;
   const CostMatrix* costs_;
   Objective objective_;
-  std::vector<int> topo_order_;             // empty for kLongestLink
+  std::vector<int> topo_order_;  // empty for kLongestLink
+
+  // CSR incident-edge lists: incident_edges_[incident_offsets_[v] ..
+  // incident_offsets_[v + 1]) are the directed edges touching node v (an
+  // edge appears in both endpoints' lists).
+  std::vector<int> incident_offsets_;
+  std::vector<graph::Edge> incident_edges_;
+
   mutable std::vector<double> path_scratch_;  // reused per evaluation
+  mutable Deployment deploy_scratch_;         // reused by the LPNDP fallback
 };
 
 /// One-shot longest-link cost (Class 1).
@@ -77,8 +135,16 @@ Result<double> LongestPathCost(const graph::CommGraph& graph,
                                const Deployment& deployment,
                                const CostMatrix& costs);
 
-/// Replaces every off-diagonal cost by its exact 1-D k-means cluster mean
-/// (paper Sect. 6.3); k <= 0 returns the matrix unchanged.
+/// Replaces every measured off-diagonal cost by its exact 1-D k-means
+/// cluster mean (paper Sect. 6.3); k <= 0 returns the matrix unchanged.
+///
+/// Edge cases that must never fabricate cost levels:
+///   - k >= the number of distinct (0.01 ms-rounded) off-diagonal costs:
+///     clustering would be the identity on levels, so the matrix is returned
+///     unchanged rather than snapped to the rounding grid.
+///   - Entries at or above kUnmeasuredCostMs (the never-sampled sentinel)
+///     are excluded from clustering and preserved verbatim, so a poisoned
+///     link neither consumes a cluster nor drags a cluster mean upward.
 Result<CostMatrix> ClusterCostMatrix(const CostMatrix& costs, int k);
 
 }  // namespace cloudia::deploy

@@ -1,0 +1,43 @@
+#include "deploy/cost_matrix.h"
+
+#include "common/table.h"
+
+namespace cloudia::deploy {
+
+CostMatrix::CostMatrix(
+    std::initializer_list<std::initializer_list<double>> rows)
+    : m_(static_cast<int>(rows.size())) {
+  values_.reserve(static_cast<size_t>(m_) * static_cast<size_t>(m_));
+  for (const auto& row : rows) {
+    CLOUDIA_CHECK(static_cast<int>(row.size()) == m_);
+    values_.insert(values_.end(), row.begin(), row.end());
+  }
+}
+
+Result<CostMatrix> CostMatrix::FromRows(
+    const std::vector<std::vector<double>>& rows) {
+  CostMatrix out;
+  out.m_ = static_cast<int>(rows.size());
+  out.values_.reserve(static_cast<size_t>(out.m_) *
+                      static_cast<size_t>(out.m_));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != rows.size()) {
+      return Status::InvalidArgument(
+          StrFormat("cost matrix is not square: row %zu has %zu of %zu "
+                    "entries",
+                    i, rows[i].size(), rows.size()));
+    }
+    out.values_.insert(out.values_.end(), rows[i].begin(), rows[i].end());
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> CostMatrix::ToRows() const {
+  std::vector<std::vector<double>> rows(static_cast<size_t>(m_));
+  for (int i = 0; i < m_; ++i) {
+    rows[static_cast<size_t>(i)].assign(Row(i), Row(i) + m_);
+  }
+  return rows;
+}
+
+}  // namespace cloudia::deploy

@@ -1,0 +1,88 @@
+// Flat, contiguous pairwise communication-cost matrix.
+//
+// The solver hot path evaluates millions of CL(i, j) lookups per second; a
+// vector-of-vectors layout costs a pointer chase (and a cache miss) per
+// lookup. CostMatrix stores the full m x m matrix row-major in one
+// allocation, so At(i, j) is a single fused multiply-add away from the base
+// pointer and row scans are hardware-prefetch friendly.
+#ifndef CLOUDIA_DEPLOY_COST_MATRIX_H_
+#define CLOUDIA_DEPLOY_COST_MATRIX_H_
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/check.h"
+#include "common/result.h"
+
+namespace cloudia::deploy {
+
+/// Cost written for a link that was never measured (see
+/// measure::BuildCostMatrix): deliberately enormous so any deployment using
+/// such a link is dominated. Code that aggregates or clusters costs must
+/// treat entries >= this value as "unknown", not as data.
+inline constexpr double kUnmeasuredCostMs = 1e6;
+
+/// Pairwise communication cost CL in milliseconds over `size()` instances:
+/// At(i, j) is the cost of the directed link from instance i to instance j.
+/// Asymmetry is allowed; the diagonal is by convention 0 and ignored by every
+/// consumer. Storage is row-major and contiguous (`values()` / `Row(i)`).
+class CostMatrix {
+ public:
+  CostMatrix() = default;
+
+  /// m x m matrix with every entry `fill` (including the diagonal).
+  explicit CostMatrix(int m, double fill = 0.0)
+      : m_(m),
+        values_(static_cast<size_t>(m) * static_cast<size_t>(m), fill) {
+    CLOUDIA_CHECK(m >= 0);
+  }
+
+  /// Square literal, e.g. CostMatrix{{0, 1}, {2, 0}}. CHECK-fails on ragged
+  /// rows (use FromRows for untrusted input).
+  CostMatrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Validating conversion from a nested-vector matrix (e.g. freshly parsed
+  /// input); InvalidArgument on ragged rows.
+  static Result<CostMatrix> FromRows(
+      const std::vector<std::vector<double>>& rows);
+
+  /// Number of instances (the matrix is size() x size()).
+  int size() const { return m_; }
+  bool empty() const { return m_ == 0; }
+
+  double At(int i, int j) const {
+    CLOUDIA_DCHECK(i >= 0 && i < m_ && j >= 0 && j < m_);
+    return values_[static_cast<size_t>(i) * static_cast<size_t>(m_) +
+                   static_cast<size_t>(j)];
+  }
+  double& At(int i, int j) {
+    CLOUDIA_DCHECK(i >= 0 && i < m_ && j >= 0 && j < m_);
+    return values_[static_cast<size_t>(i) * static_cast<size_t>(m_) +
+                   static_cast<size_t>(j)];
+  }
+
+  /// Base of row i (size() doubles), for tight row scans.
+  const double* Row(int i) const {
+    CLOUDIA_DCHECK(i >= 0 && i < m_);
+    return values_.data() + static_cast<size_t>(i) * static_cast<size_t>(m_);
+  }
+
+  /// The flat row-major storage (size() * size() entries). data() is the
+  /// raw pointer form for kernel-style loops.
+  const std::vector<double>& values() const { return values_; }
+  const double* data() const { return values_.data(); }
+  double* data() { return values_.data(); }
+
+  /// Nested-vector copy, for serialization boundaries.
+  std::vector<std::vector<double>> ToRows() const;
+
+  bool operator==(const CostMatrix&) const = default;
+
+ private:
+  int m_ = 0;
+  std::vector<double> values_;  // m_ * m_, row-major
+};
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_COST_MATRIX_H_

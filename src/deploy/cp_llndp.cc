@@ -16,7 +16,7 @@ Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
   CLOUDIA_ASSIGN_OR_RETURN(
       CostEvaluator actual_eval,
       CostEvaluator::Create(&graph, &costs, Objective::kLongestLink));
-  const int m = static_cast<int>(costs.size());
+  const int m = costs.size();
 
   CLOUDIA_ASSIGN_OR_RETURN(CostMatrix clustered,
                            ClusterCostMatrix(costs, options.cost_clusters));
@@ -48,7 +48,7 @@ Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
   distinct.reserve(static_cast<size_t>(m) * static_cast<size_t>(m - 1));
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < m; ++j) {
-      if (i != j) distinct.push_back(clustered[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+      if (i != j) distinct.push_back(clustered.At(i, j));
     }
   }
   std::sort(distinct.begin(), distinct.end());
@@ -84,9 +84,7 @@ Result<NdpSolveResult> SolveLlndpCp(const graph::CommGraph& graph,
     cp::BitMatrix target(m, m);
     for (int j = 0; j < m; ++j) {
       for (int j2 = 0; j2 < m; ++j2) {
-        if (j != j2 &&
-            clustered[static_cast<size_t>(j)][static_cast<size_t>(j2)] <=
-                threshold) {
+        if (j != j2 && clustered.At(j, j2) <= threshold) {
           target.Set(j, j2);
         }
       }

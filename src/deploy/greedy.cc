@@ -17,7 +17,7 @@ struct GreedyState {
   explicit GreedyState(const graph::CommGraph& graph, const CostMatrix& costs)
       : g(graph),
         c(costs),
-        m(static_cast<int>(costs.size())),
+        m(costs.size()),
         node_of_instance(static_cast<size_t>(m), kUnassigned),
         instance_of_node(static_cast<size_t>(graph.num_nodes()), kUnassigned) {}
 
@@ -51,8 +51,8 @@ struct GreedyState {
     for (int x : g.Neighbors(w)) {
       int ix = instance_of_node[static_cast<size_t>(x)];
       if (ix == kUnassigned) continue;
-      if (g.HasEdge(w, x)) worst = std::max(worst, c[static_cast<size_t>(v)][static_cast<size_t>(ix)]);
-      if (g.HasEdge(x, w)) worst = std::max(worst, c[static_cast<size_t>(ix)][static_cast<size_t>(v)]);
+      if (g.HasEdge(w, x)) worst = std::max(worst, c.At(v, ix));
+      if (g.HasEdge(x, w)) worst = std::max(worst, c.At(ix, v));
     }
     return worst;
   }
@@ -72,8 +72,8 @@ Status SeedFirstEdge(GreedyState& state, Rng& rng) {
   double best = kInf;
   for (int u = 0; u < state.m; ++u) {
     for (int v = 0; v < state.m; ++v) {
-      if (u != v && c[static_cast<size_t>(u)][static_cast<size_t>(v)] < best) {
-        best = c[static_cast<size_t>(u)][static_cast<size_t>(v)];
+      if (u != v && c.At(u, v) < best) {
+        best = c.At(u, v);
         u0 = u;
         v0 = v;
       }
@@ -122,7 +122,7 @@ void ReSeed(GreedyState& state) {
 Result<Deployment> RunGreedy(const graph::CommGraph& graph,
                              const CostMatrix& costs, Rng& rng, bool refined) {
   int n = graph.num_nodes();
-  int m = static_cast<int>(costs.size());
+  int m = costs.size();
   if (n > m) return Status::InvalidArgument("more nodes than instances");
   if (n == 0) return Deployment{};
   if (m < 2) {
@@ -147,8 +147,8 @@ Result<Deployment> RunGreedy(const graph::CommGraph& graph,
           if (state.NodeAssigned(w)) continue;
           for (int v = 0; v < state.m; ++v) {
             if (state.InstanceUsed(v) || v == u) continue;
-            double cuv = state.c[static_cast<size_t>(u)][static_cast<size_t>(v)];
-            cuv = std::max(cuv, state.ImplicitWorstCost(w, v));
+            double cuv = std::max(state.c.At(u, v),
+                                  state.ImplicitWorstCost(w, v));
             if (cuv < cmin) {
               cmin = cuv;
               vmin = v;
@@ -162,7 +162,7 @@ Result<Deployment> RunGreedy(const graph::CommGraph& graph,
         if (w == -1) continue;
         for (int v = 0; v < state.m; ++v) {
           if (state.InstanceUsed(v) || v == u) continue;
-          double cuv = state.c[static_cast<size_t>(u)][static_cast<size_t>(v)];
+          double cuv = state.c.At(u, v);
           if (cuv < cmin) {
             cmin = cuv;
             vmin = v;

@@ -12,7 +12,9 @@ namespace {
 
 // One first-improvement descent pass; returns true if any move improved.
 // Neighborhoods: swap the instances of two nodes; move a node to an unused
-// instance.
+// instance. Candidates are priced incrementally -- O(deg) per probe via the
+// evaluator's incident-edge lists instead of a full O(E) re-evaluation --
+// and the deployment is only touched when a move is accepted.
 bool DescendOnce(const CostEvaluator& eval, const SolveContext& context,
                  Deployment& d, double& cost, std::vector<int>& unused) {
   const int n = static_cast<int>(d.size());
@@ -20,24 +22,21 @@ bool DescendOnce(const CostEvaluator& eval, const SolveContext& context,
   for (int a = 0; a < n && !context.ShouldStop(); ++a) {
     // Moves to unused instances.
     for (size_t u = 0; u < unused.size(); ++u) {
-      std::swap(d[static_cast<size_t>(a)], unused[u]);
-      double c = eval.Cost(d);
+      double c = eval.MoveCost(d, cost, a, unused[u]);
       if (c < cost - 1e-12) {
+        // The node's old instance becomes the unused one.
+        std::swap(d[static_cast<size_t>(a)], unused[u]);
         cost = c;
         improved = true;
-      } else {
-        std::swap(d[static_cast<size_t>(a)], unused[u]);  // revert
       }
     }
     // Swaps with other nodes.
     for (int b = a + 1; b < n; ++b) {
-      std::swap(d[static_cast<size_t>(a)], d[static_cast<size_t>(b)]);
-      double c = eval.Cost(d);
+      double c = eval.SwapCost(d, cost, a, b);
       if (c < cost - 1e-12) {
+        std::swap(d[static_cast<size_t>(a)], d[static_cast<size_t>(b)]);
         cost = c;
         improved = true;
-      } else {
-        std::swap(d[static_cast<size_t>(a)], d[static_cast<size_t>(b)]);
       }
     }
   }
@@ -63,7 +62,7 @@ Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
                                         SolveContext& context) {
   CLOUDIA_ASSIGN_OR_RETURN(CostEvaluator eval,
                            CostEvaluator::Create(&graph, &costs, objective));
-  const int m = static_cast<int>(costs.size());
+  const int m = costs.size();
   Rng rng(options.seed);
 
   Deployment start = options.initial;

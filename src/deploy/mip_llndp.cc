@@ -62,7 +62,7 @@ Result<NdpSolveResult> SolveLlndpMip(const graph::CommGraph& graph,
                            ClusterCostMatrix(costs, options.cost_clusters));
 
   const int n = graph.num_nodes();
-  const int m = static_cast<int>(costs.size());
+  const int m = costs.size();
   NdpSolveResult result;
 
   Deployment initial = options.initial;
@@ -119,7 +119,7 @@ Result<NdpSolveResult> SolveLlndpMip(const graph::CommGraph& graph,
       for (int j : support[static_cast<size_t>(e.src)]) {
         for (int j2 : support[static_cast<size_t>(e.dst)]) {
           if (j == j2) continue;
-          double cl = clustered[static_cast<size_t>(j)][static_cast<size_t>(j2)];
+          double cl = clustered.At(j, j2);
           double activation = x[static_cast<size_t>(e.src * m + j)] +
                               x[static_cast<size_t>(e.dst * m + j2)] - 1.0;
           double violation = cl * activation - c_val;
@@ -147,9 +147,8 @@ Result<NdpSolveResult> SolveLlndpMip(const graph::CommGraph& graph,
     // c must cover every clustered link cost of the deployment.
     double c0 = 0.0;
     for (const graph::Edge& e : graph.edges()) {
-      c0 = std::max(
-          c0, clustered[static_cast<size_t>(initial[static_cast<size_t>(e.src)])]
-                       [static_cast<size_t>(initial[static_cast<size_t>(e.dst)])]);
+      c0 = std::max(c0, clustered.At(initial[static_cast<size_t>(e.src)],
+                                     initial[static_cast<size_t>(e.dst)]));
     }
     warm[static_cast<size_t>(c_var)] = c0;
     mip_options.warm_start = std::move(warm);

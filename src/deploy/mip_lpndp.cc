@@ -28,7 +28,7 @@ Result<NdpSolveResult> SolveLpndpMip(const graph::CommGraph& graph,
   CLOUDIA_ASSIGN_OR_RETURN(std::vector<int> topo, graph.TopologicalOrder());
 
   const int n = graph.num_nodes();
-  const int m = static_cast<int>(costs.size());
+  const int m = costs.size();
   const int num_edges = graph.num_edges();
   NdpSolveResult result;
 
@@ -116,7 +116,7 @@ Result<NdpSolveResult> SolveLpndpMip(const graph::CommGraph& graph,
       for (int j : support[static_cast<size_t>(edge.src)]) {
         for (int j2 : support[static_cast<size_t>(edge.dst)]) {
           if (j == j2) continue;
-          double cl = clustered[static_cast<size_t>(j)][static_cast<size_t>(j2)];
+          double cl = clustered.At(j, j2);
           double violation = cl * (x[static_cast<size_t>(edge.src * m + j)] +
                                    x[static_cast<size_t>(edge.dst * m + j2)] -
                                    1.0) -
@@ -156,16 +156,15 @@ Result<NdpSolveResult> SolveLpndpMip(const graph::CommGraph& graph,
     for (int e = 0; e < num_edges; ++e) {
       const graph::Edge& edge = graph.edges()[static_cast<size_t>(e)];
       warm[static_cast<size_t>(c_base + e)] =
-          clustered[static_cast<size_t>(initial[static_cast<size_t>(edge.src)])]
-                   [static_cast<size_t>(initial[static_cast<size_t>(edge.dst)])];
+          clustered.At(initial[static_cast<size_t>(edge.src)],
+                       initial[static_cast<size_t>(edge.dst)]);
     }
     double t_max = 0.0;
     for (int v : topo) {
       double tv = warm[static_cast<size_t>(t_base + v)];
       for (int w : graph.OutNeighbors(v)) {
-        double cl =
-            clustered[static_cast<size_t>(initial[static_cast<size_t>(v)])]
-                     [static_cast<size_t>(initial[static_cast<size_t>(w)])];
+        double cl = clustered.At(initial[static_cast<size_t>(v)],
+                                 initial[static_cast<size_t>(w)]);
         double& tw = warm[static_cast<size_t>(t_base + w)];
         tw = std::max(tw, tv + cl);
         t_max = std::max(t_max, tw);

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 #include "deploy/solver_registry.h"
 
@@ -46,20 +47,19 @@ bool PortfolioSolver::Supports(Objective objective) const {
 Result<NdpSolveResult> PortfolioSolver::Solve(const NdpProblem& problem,
                                               const NdpSolveOptions& options,
                                               SolveContext& context) const {
-  // Resolve the member set up front so a typo fails cleanly before any
-  // thread is spawned.
-  std::vector<std::string> names = options.portfolio_members.empty()
-                                       ? DefaultPortfolioMembers()
-                                       : options.portfolio_members;
+  // Resolve the member set up front so a typo, a duplicate, or a
+  // self-reference fails cleanly before any thread is spawned.
+  CLOUDIA_ASSIGN_OR_RETURN(
+      std::vector<std::string> names,
+      ValidatePortfolioMembers(SolverRegistry::Global(),
+                               options.portfolio_members.empty()
+                                   ? DefaultPortfolioMembers()
+                                   : options.portfolio_members));
   std::vector<const NdpSolver*> members;
   members.reserve(names.size());
   for (const std::string& name : names) {
-    CLOUDIA_ASSIGN_OR_RETURN(const NdpSolver* member,
-                             SolverRegistry::Global().Require(name));
-    if (member == this || std::string(member->name()) == "portfolio") {
-      return Status::InvalidArgument(
-          "the portfolio cannot race itself (member '" + name + "')");
-    }
+    const NdpSolver* member = SolverRegistry::Global().Find(name);
+    CLOUDIA_CHECK(member != nullptr);  // just validated
     // Members that are not formulated for this objective are skipped, not
     // errors: the default set deliberately mixes LLNDP-only CP with
     // objective-agnostic solvers.

@@ -54,21 +54,43 @@ Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
     auto eval = CostEvaluator::Create(&graph, &costs, objective);
     CLOUDIA_CHECK(eval.ok());
     Rng rng(worker_seed);
+    const int n = graph.num_nodes();
     Deployment local_best;
     double local_cost = std::numeric_limits<double>::infinity();
     int64_t local_samples = 0;
     // Check the deadline/cancellation in batches to keep the hot loop tight.
     while (!context.ShouldStop()) {
       bool batch_improved = false;
-      for (int i = 0; i < 64; ++i) {
-        Deployment d =
-            RandomDeployment(graph.num_nodes(), eval->num_instances(), rng);
-        double c = eval->Cost(d);
+      // Each batch draws one fresh deployment (global exploration over the
+      // whole instance pool, including unused instances), then runs a
+      // random-swap walk from it with every step priced incrementally in
+      // O(deg) by the evaluator's delta API -- a batch costs roughly one
+      // full evaluation instead of 64.
+      Deployment d =
+          RandomDeployment(n, eval->num_instances(), rng);
+      double c = eval->Cost(d);
+      ++local_samples;
+      if (c < local_cost) {
+        local_cost = c;
+        local_best = d;
+        batch_improved = true;
+      }
+      for (int i = 0; i < 63 && n >= 2; ++i) {
+        int a = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+        int b = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
         ++local_samples;
-        if (c < local_cost) {
-          local_cost = c;
-          local_best = std::move(d);
-          batch_improved = true;
+        if (a == b) continue;
+        double nc = eval->SwapCost(d, c, a, b);
+        // Accept any non-worsening swap: downhill progress plus free
+        // plateau diffusion (common under clustered cost levels).
+        if (nc <= c) {
+          std::swap(d[static_cast<size_t>(a)], d[static_cast<size_t>(b)]);
+          c = nc;
+          if (c < local_cost) {
+            local_cost = c;
+            local_best = d;
+            batch_improved = true;
+          }
         }
       }
       // Publish improvements per batch so progress callbacks see the

@@ -303,4 +303,26 @@ Result<Objective> ParseObjective(std::string_view name) {
                                  "' (known: longest-link, longest-path)");
 }
 
+Result<std::vector<std::string>> ValidatePortfolioMembers(
+    const SolverRegistry& registry, const std::vector<std::string>& members) {
+  std::vector<std::string> canonical;
+  canonical.reserve(members.size());
+  for (const std::string& name : members) {
+    CLOUDIA_ASSIGN_OR_RETURN(const NdpSolver* solver, registry.Require(name));
+    if (std::string(solver->name()) == "portfolio") {
+      return Status::InvalidArgument(
+          "the portfolio cannot race itself (member '" + name + "')");
+    }
+    for (const std::string& seen : canonical) {
+      if (seen == solver->name()) {
+        return Status::InvalidArgument(
+            "duplicate portfolio member '" + name +
+            "': racing two copies of one solver only burns threads");
+      }
+    }
+    canonical.emplace_back(solver->name());
+  }
+  return canonical;
+}
+
 }  // namespace cloudia::deploy

@@ -64,6 +64,14 @@ Result<Method> ParseMethod(std::string_view name);
 /// "longest-path" / "LongestPath" / "lp". Round-trips with ObjectiveName.
 Result<Objective> ParseObjective(std::string_view name);
 
+/// Validates a portfolio member list against `registry` and canonicalizes
+/// each entry to its registry key. Fails with InvalidArgument on an unknown
+/// name (listing the known ones), a duplicate member (racing two copies of
+/// one solver only burns threads), or "portfolio" itself (the race cannot
+/// contain itself). An empty list is valid and means "the default set".
+Result<std::vector<std::string>> ValidatePortfolioMembers(
+    const SolverRegistry& registry, const std::vector<std::string>& members);
+
 }  // namespace cloudia::deploy
 
 #endif  // CLOUDIA_DEPLOY_SOLVER_REGISTRY_H_

@@ -23,13 +23,7 @@ Status ValidateWeightedProblem(const WeightedProblem& problem,
   for (double w : problem.edge_weights) {
     if (!(w > 0)) return Status::InvalidArgument("weights must be positive");
   }
-  int m = static_cast<int>(problem.costs->size());
-  for (const auto& row : *problem.costs) {
-    if (static_cast<int>(row.size()) != m) {
-      return Status::InvalidArgument("cost matrix is not square");
-    }
-  }
-  if (problem.graph->num_nodes() > m) {
+  if (problem.graph->num_nodes() > problem.costs->size()) {
     return Status::InvalidArgument("more nodes than instances");
   }
   if (objective == Objective::kLongestPath && !problem.graph->IsAcyclic()) {
@@ -50,11 +44,10 @@ Result<double> WeightedCost(const WeightedProblem& problem,
     double worst = 0.0;
     for (int e = 0; e < g.num_edges(); ++e) {
       const graph::Edge& edge = g.edges()[static_cast<size_t>(e)];
-      worst = std::max(
-          worst,
-          problem.edge_weights[static_cast<size_t>(e)] *
-              c[static_cast<size_t>(deployment[static_cast<size_t>(edge.src)])]
-               [static_cast<size_t>(deployment[static_cast<size_t>(edge.dst)])]);
+      worst = std::max(worst,
+                       problem.edge_weights[static_cast<size_t>(e)] *
+                           c.At(deployment[static_cast<size_t>(edge.src)],
+                                deployment[static_cast<size_t>(edge.dst)]));
     }
     return worst;
   }
@@ -66,9 +59,8 @@ Result<double> WeightedCost(const WeightedProblem& problem,
         problem.edge_weights[static_cast<size_t>(e)];
   }
   return g.LongestPathCost([&](int i, int j) {
-    return weight_of[{i, j}] *
-           c[static_cast<size_t>(deployment[static_cast<size_t>(i)])]
-            [static_cast<size_t>(deployment[static_cast<size_t>(j)])];
+    return weight_of[{i, j}] * c.At(deployment[static_cast<size_t>(i)],
+                                     deployment[static_cast<size_t>(j)]);
   });
 }
 
@@ -79,7 +71,7 @@ Result<RandomSearchResult> WeightedRandomSearch(const WeightedProblem& problem,
   if (samples < 1) return Status::InvalidArgument("samples must be >= 1");
   Rng rng(seed);
   int n = problem.graph->num_nodes();
-  int m = static_cast<int>(problem.costs->size());
+  int m = problem.costs->size();
   RandomSearchResult best;
   best.cost = std::numeric_limits<double>::infinity();
   for (int s = 0; s < samples; ++s) {
@@ -101,7 +93,7 @@ Result<NdpSolveResult> SolveWeightedLlndpCp(const WeightedProblem& problem,
   const graph::CommGraph& g = *problem.graph;
   const CostMatrix& costs = *problem.costs;
   const int n = g.num_nodes();
-  const int m = static_cast<int>(costs.size());
+  const int m = costs.size();
 
   Stopwatch clock;
   NdpSolveResult result;
@@ -141,7 +133,7 @@ Result<NdpSolveResult> SolveWeightedLlndpCp(const WeightedProblem& problem,
       for (int j = 0; j < m; ++j) {
         for (int j2 = 0; j2 < m; ++j2) {
           if (j == j2) continue;
-          double v = w * costs[static_cast<size_t>(j)][static_cast<size_t>(j2)];
+          double v = w * costs.At(j, j2);
           if (v < result.cost - 1e-12 && v > next) next = v;
         }
       }
@@ -160,9 +152,7 @@ Result<NdpSolveResult> SolveWeightedLlndpCp(const WeightedProblem& problem,
       cp::BitMatrix allowed(m, m);
       for (int j = 0; j < m; ++j) {
         for (int j2 = 0; j2 < m; ++j2) {
-          if (j != j2 &&
-              w * costs[static_cast<size_t>(j)][static_cast<size_t>(j2)] <=
-                  next + 1e-12) {
+          if (j != j2 && w * costs.At(j, j2) <= next + 1e-12) {
             allowed.Set(j, j2);
           }
         }

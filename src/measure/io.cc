@@ -1,5 +1,6 @@
 #include "measure/io.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -12,15 +13,16 @@ namespace {
 constexpr char kHeader[] = "cloudia-cost-matrix v1";
 }  // namespace
 
-std::string CostMatrixToString(const std::vector<std::vector<double>>& costs,
+std::string CostMatrixToString(const deploy::CostMatrix& costs,
                                const std::string& metric_name) {
   std::string out = kHeader;
   out += '\n';
-  out += StrFormat("n %zu\n", costs.size());
+  out += StrFormat("n %d\n", costs.size());
   out += StrFormat("metric %s\n", metric_name.c_str());
-  for (size_t i = 0; i < costs.size(); ++i) {
-    out += StrFormat("row %zu:", i);
-    for (double v : costs[i]) out += StrFormat(" %.17g", v);
+  for (int i = 0; i < costs.size(); ++i) {
+    out += StrFormat("row %d:", i);
+    const double* row = costs.Row(i);
+    for (int j = 0; j < costs.size(); ++j) out += StrFormat(" %.17g", row[j]);
     out += '\n';
   }
   return out;
@@ -32,15 +34,25 @@ Result<LoadedCostMatrix> CostMatrixFromString(const std::string& text) {
   if (!std::getline(in, line) || line != kHeader) {
     return Status::InvalidArgument("missing cost-matrix header");
   }
+  // Far beyond any real allocation (the matrix holds n^2 doubles), and small
+  // enough that a hostile 'n' can neither overflow the int dimension nor
+  // drive a huge allocation before the row parsing fails.
+  constexpr long kMaxInstances = 1 << 16;
   size_t n = 0;
   {
     if (!std::getline(in, line) || line.rfind("n ", 0) != 0) {
       return Status::InvalidArgument("missing 'n <count>' line");
     }
     char* end = nullptr;
+    errno = 0;
     long parsed = std::strtol(line.c_str() + 2, &end, 10);
-    if (parsed < 0 || (end != nullptr && *end != '\0')) {
+    if (parsed < 0 || errno != 0 || (end != nullptr && *end != '\0')) {
       return Status::InvalidArgument("malformed instance count");
+    }
+    if (parsed > kMaxInstances) {
+      return Status::InvalidArgument(
+          StrFormat("instance count %ld exceeds the supported maximum %ld",
+                    parsed, kMaxInstances));
     }
     n = static_cast<size_t>(parsed);
   }
@@ -50,7 +62,7 @@ Result<LoadedCostMatrix> CostMatrixFromString(const std::string& text) {
   }
   loaded.metric_name = line.substr(7);
 
-  loaded.costs.assign(n, std::vector<double>(n, 0.0));
+  loaded.costs = deploy::CostMatrix(static_cast<int>(n));
   for (size_t i = 0; i < n; ++i) {
     if (!std::getline(in, line)) {
       return Status::InvalidArgument(StrFormat("missing row %zu", i));
@@ -61,7 +73,8 @@ Result<LoadedCostMatrix> CostMatrixFromString(const std::string& text) {
     }
     std::istringstream cells(line.substr(expected_prefix.size()));
     for (size_t j = 0; j < n; ++j) {
-      if (!(cells >> loaded.costs[i][j])) {
+      if (!(cells >> loaded.costs.At(static_cast<int>(i),
+                                     static_cast<int>(j)))) {
         return Status::InvalidArgument(
             StrFormat("row %zu has fewer than %zu values", i, n));
       }
@@ -76,7 +89,7 @@ Result<LoadedCostMatrix> CostMatrixFromString(const std::string& text) {
 }
 
 Status SaveCostMatrix(const std::string& path,
-                      const std::vector<std::vector<double>>& costs,
+                      const deploy::CostMatrix& costs,
                       const std::string& metric_name) {
   std::ofstream out(path);
   if (!out) {

@@ -13,27 +13,27 @@
 #define CLOUDIA_MEASURE_IO_H_
 
 #include <string>
-#include <vector>
 
 #include "common/result.h"
+#include "deploy/cost_matrix.h"
 
 namespace cloudia::measure {
 
 /// Serializes `costs` (with a human-readable `metric_name` tag).
-std::string CostMatrixToString(const std::vector<std::vector<double>>& costs,
+std::string CostMatrixToString(const deploy::CostMatrix& costs,
                                const std::string& metric_name);
 
 /// Parses what CostMatrixToString produced. Fails with InvalidArgument on
 /// malformed content (bad header, ragged rows, non-numeric cells).
 struct LoadedCostMatrix {
-  std::vector<std::vector<double>> costs;
+  deploy::CostMatrix costs;
   std::string metric_name;
 };
 Result<LoadedCostMatrix> CostMatrixFromString(const std::string& text);
 
 /// File convenience wrappers.
 Status SaveCostMatrix(const std::string& path,
-                      const std::vector<std::vector<double>>& costs,
+                      const deploy::CostMatrix& costs,
                       const std::string& metric_name);
 Result<LoadedCostMatrix> LoadCostMatrix(const std::string& path);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/table.h"
 
 namespace cloudia::measure {
 
@@ -65,18 +66,22 @@ const char* CostMetricName(CostMetric metric) {
   return "Unknown";
 }
 
-std::vector<std::vector<double>> BuildCostMatrix(const MeasurementResult& r,
-                                                 CostMetric metric,
-                                                 double fallback_ms) {
+Result<deploy::CostMatrix> BuildCostMatrix(const MeasurementResult& r,
+                                           CostMetric metric,
+                                           const BuildCostMatrixOptions& options,
+                                           CostMatrixCoverage* coverage) {
   int n = r.num_instances();
-  std::vector<std::vector<double>> m(
-      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), 0.0));
+  deploy::CostMatrix m(n);
+  CostMatrixCoverage cov;
+  cov.total_links =
+      static_cast<int64_t>(n) * static_cast<int64_t>(n > 0 ? n - 1 : 0);
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
       const LinkSamples& link = r.Link(i, j);
-      if (link.count() == 0) {
-        m[static_cast<size_t>(i)][static_cast<size_t>(j)] = fallback_ms;
+      if (link.count() < options.min_samples) {
+        ++cov.missing_links;
+        m.At(i, j) = options.fallback_ms;
         continue;
       }
       double v = 0.0;
@@ -91,8 +96,19 @@ std::vector<std::vector<double>> BuildCostMatrix(const MeasurementResult& r,
           v = link.Percentile(99.0);
           break;
       }
-      m[static_cast<size_t>(i)][static_cast<size_t>(j)] = v;
+      m.At(i, j) = v;
     }
+  }
+  if (coverage != nullptr) *coverage = cov;
+  if (cov.missing_links > 0 && !options.allow_missing) {
+    return Status::InvalidArgument(StrFormat(
+        "measurement covers only %lld of %lld links at min_samples=%zu "
+        "(%.1f%%); measure longer, or set allow_missing to fill the %lld "
+        "gaps with the %g ms sentinel",
+        static_cast<long long>(cov.total_links - cov.missing_links),
+        static_cast<long long>(cov.total_links), options.min_samples,
+        100.0 * cov.fraction(), static_cast<long long>(cov.missing_links),
+        options.fallback_ms));
   }
   return m;
 }

@@ -6,8 +6,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/result.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "deploy/cost_matrix.h"
 
 namespace cloudia::measure {
 
@@ -65,11 +67,40 @@ enum class CostMetric {
 
 const char* CostMetricName(CostMetric metric);
 
-/// Builds the cost matrix CL for the chosen metric; links that were never
-/// sampled get `fallback_ms` (callers should ensure coverage first).
-std::vector<std::vector<double>> BuildCostMatrix(const MeasurementResult& r,
-                                                 CostMetric metric,
-                                                 double fallback_ms = 1e6);
+/// Coverage policy for BuildCostMatrix.
+struct BuildCostMatrixOptions {
+  /// A link counts as covered once it holds at least this many samples.
+  size_t min_samples = 1;
+  /// false (the default): any uncovered link fails the build with
+  /// InvalidArgument naming how many links are missing -- a sentinel-filled
+  /// matrix silently poisons every downstream solve, so opting into it must
+  /// be explicit. true: uncovered links get `fallback_ms` and are counted
+  /// in the coverage report.
+  bool allow_missing = false;
+  /// Cost written for uncovered links when allow_missing is set.
+  double fallback_ms = deploy::kUnmeasuredCostMs;
+};
+
+/// Coverage accounting of one BuildCostMatrix call.
+struct CostMatrixCoverage {
+  int64_t total_links = 0;    ///< ordered off-diagonal pairs
+  int64_t missing_links = 0;  ///< links with fewer than min_samples samples
+  double fraction() const {
+    return total_links == 0
+               ? 1.0
+               : static_cast<double>(total_links - missing_links) /
+                     static_cast<double>(total_links);
+  }
+};
+
+/// Builds the cost matrix CL for the chosen metric. Fails (or fills and
+/// reports, per `options`) when measurement coverage is below 100% at
+/// options.min_samples; `coverage`, when non-null, receives the counts
+/// either way.
+Result<deploy::CostMatrix> BuildCostMatrix(
+    const MeasurementResult& r, CostMetric metric,
+    const BuildCostMatrixOptions& options = {},
+    CostMatrixCoverage* coverage = nullptr);
 
 }  // namespace cloudia::measure
 

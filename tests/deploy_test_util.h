@@ -14,14 +14,12 @@ namespace cloudia::deploy {
 /// Random symmetric-ish cost matrix in [lo, hi] ms with zero diagonal.
 inline CostMatrix RandomCosts(int m, Rng& rng, double lo = 0.2,
                               double hi = 1.4, double asymmetry = 0.02) {
-  CostMatrix c(static_cast<size_t>(m), std::vector<double>(static_cast<size_t>(m), 0.0));
+  CostMatrix c(m);
   for (int i = 0; i < m; ++i) {
     for (int j = i + 1; j < m; ++j) {
       double base = rng.Uniform(lo, hi);
-      c[static_cast<size_t>(i)][static_cast<size_t>(j)] =
-          base + rng.Uniform(-asymmetry, asymmetry);
-      c[static_cast<size_t>(j)][static_cast<size_t>(i)] =
-          base + rng.Uniform(-asymmetry, asymmetry);
+      c.At(i, j) = base + rng.Uniform(-asymmetry, asymmetry);
+      c.At(j, i) = base + rng.Uniform(-asymmetry, asymmetry);
     }
   }
   return c;
@@ -33,7 +31,7 @@ inline double BruteForceOptimum(const graph::CommGraph& graph,
   auto eval = CostEvaluator::Create(&graph, &costs, objective);
   CLOUDIA_CHECK(eval.ok());
   int n = graph.num_nodes();
-  int m = static_cast<int>(costs.size());
+  int m = costs.size();
   Deployment d(static_cast<size_t>(n), -1);
   std::vector<bool> used(static_cast<size_t>(m), false);
   double best = std::numeric_limits<double>::infinity();

@@ -92,9 +92,8 @@ TEST(CostTest, ValidationCatchesProblems) {
       ValidateDeployment(g, {0, 1, 1}, c, Objective::kLongestLink).ok());
   EXPECT_FALSE(
       ValidateDeployment(g, {0, 1, 9}, c, Objective::kLongestLink).ok());
-  CostMatrix ragged = {{0.0, 1.0}, {1.0}};
-  EXPECT_FALSE(
-      ValidateDeployment(g, {0, 1, 2}, ragged, Objective::kLongestLink).ok());
+  // Ragged input cannot even construct a CostMatrix.
+  EXPECT_FALSE(CostMatrix::FromRows({{0.0, 1.0}, {1.0}}).ok());
   CommGraph cyclic = Make(3, {{0, 1}, {1, 0}});
   EXPECT_FALSE(
       ValidateDeployment(cyclic, {0, 1, 2}, c, Objective::kLongestPath).ok());
@@ -114,12 +113,59 @@ TEST(CostTest, ClusterCostMatrixReducesDistinctValues) {
   std::set<double> distinct;
   for (int i = 0; i < 12; ++i) {
     for (int j = 0; j < 12; ++j) {
-      if (i != j) distinct.insert((*clustered)[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+      if (i != j) distinct.insert(clustered->At(i, j));
     }
   }
   EXPECT_LE(distinct.size(), 5u);
   // Diagonal untouched.
-  for (int i = 0; i < 12; ++i) EXPECT_EQ((*clustered)[static_cast<size_t>(i)][static_cast<size_t>(i)], 0.0);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(clustered->At(i, i), 0.0);
+}
+
+TEST(CostTest, ClusterWithKAboveDistinctValuesIsIdentity) {
+  // 4 instances, only 3 distinct off-diagonal values: k >= 3 must return the
+  // matrix *unchanged* -- not snapped to the 0.01 ms rounding grid, not
+  // padded with fabricated levels.
+  CostMatrix c{{0.0, 0.2041, 0.307, 0.307},
+               {0.2041, 0.0, 0.307, 0.4},
+               {0.307, 0.307, 0.0, 0.2041},
+               {0.4, 0.4, 0.2041, 0.0}};
+  for (int k : {3, 4, 10, 1000}) {
+    auto clustered = ClusterCostMatrix(c, k);
+    ASSERT_TRUE(clustered.ok()) << "k=" << k;
+    EXPECT_EQ(*clustered, c) << "k=" << k;
+  }
+  // k below the distinct count still clusters.
+  auto merged = ClusterCostMatrix(c, 2);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_NE(*merged, c);
+}
+
+TEST(CostTest, ClusterPreservesUnmeasuredSentinelEntries) {
+  Rng rng(11);
+  CostMatrix c = RandomCosts(8, rng);  // values in ~[0.2, 1.4]
+  c.At(2, 5) = kUnmeasuredCostMs;
+  c.At(6, 1) = kUnmeasuredCostMs;
+  auto clustered = ClusterCostMatrix(c, 3);
+  ASSERT_TRUE(clustered.ok());
+  // Sentinels survive verbatim...
+  EXPECT_EQ(clustered->At(2, 5), kUnmeasuredCostMs);
+  EXPECT_EQ(clustered->At(6, 1), kUnmeasuredCostMs);
+  // ...and do not drag any cluster mean above the measured range: every
+  // other entry stays near [0.2, 1.4] instead of drifting toward 1e6.
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      if (i == j || (i == 2 && j == 5) || (i == 6 && j == 1)) continue;
+      EXPECT_LT(clustered->At(i, j), 2.0) << i << "," << j;
+    }
+  }
+}
+
+TEST(CostTest, ClusterAllSentinelMatrixIsIdentity) {
+  CostMatrix c(3, kUnmeasuredCostMs);
+  for (int i = 0; i < 3; ++i) c.At(i, i) = 0.0;
+  auto clustered = ClusterCostMatrix(c, 2);
+  ASSERT_TRUE(clustered.ok());
+  EXPECT_EQ(*clustered, c);
 }
 
 TEST(CostTest, ClusterZeroIsIdentity) {

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "deploy/cost_matrix.h"
+
+namespace cloudia::deploy {
+namespace {
+
+TEST(CostMatrixTest, DefaultIsEmpty) {
+  CostMatrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0);
+  EXPECT_TRUE(m.values().empty());
+}
+
+TEST(CostMatrixTest, FillConstructor) {
+  CostMatrix m(3, 1.5);
+  EXPECT_EQ(m.size(), 3);
+  EXPECT_EQ(m.values().size(), 9u);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m.At(i, j), 1.5);
+  }
+}
+
+TEST(CostMatrixTest, StorageIsRowMajorAndContiguous) {
+  CostMatrix m{{0.0, 1.0, 2.0}, {3.0, 0.0, 5.0}, {6.0, 7.0, 0.0}};
+  EXPECT_EQ(m.size(), 3);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 7.0);
+  // values() lays rows out back to back.
+  const std::vector<double> expected = {0, 1, 2, 3, 0, 5, 6, 7, 0};
+  EXPECT_EQ(m.values(), expected);
+  // Row(i) aliases the flat storage.
+  EXPECT_EQ(m.Row(1), m.data() + 3);
+  EXPECT_DOUBLE_EQ(m.Row(2)[0], 6.0);
+}
+
+TEST(CostMatrixTest, AtIsWritable) {
+  CostMatrix m(2);
+  m.At(0, 1) = 4.25;
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 4.25);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 0.0);
+}
+
+TEST(CostMatrixTest, FromRowsRoundTripsViaToRows) {
+  std::vector<std::vector<double>> rows = {{0.0, 2.5}, {1.5, 0.0}};
+  auto m = CostMatrix::FromRows(rows);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->ToRows(), rows);
+}
+
+TEST(CostMatrixTest, FromRowsRejectsRagged) {
+  auto ragged = CostMatrix::FromRows({{0.0, 1.0}, {1.0}});
+  ASSERT_FALSE(ragged.ok());
+  EXPECT_EQ(ragged.status().code(), StatusCode::kInvalidArgument);
+  // Too many columns is just as ragged as too few.
+  EXPECT_FALSE(CostMatrix::FromRows({{0.0, 1.0, 2.0}, {1.0, 0.0, 3.0}}).ok());
+}
+
+TEST(CostMatrixTest, EqualityComparesDimensionsAndValues) {
+  CostMatrix a{{0.0, 1.0}, {2.0, 0.0}};
+  CostMatrix b{{0.0, 1.0}, {2.0, 0.0}};
+  EXPECT_EQ(a, b);
+  b.At(0, 1) = 1.25;
+  EXPECT_NE(a, b);
+  EXPECT_NE(CostMatrix(2), CostMatrix(3));
+}
+
+}  // namespace
+}  // namespace cloudia::deploy

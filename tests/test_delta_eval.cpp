@@ -1,0 +1,155 @@
+// Randomized property tests for CostEvaluator's incremental API: on random
+// graphs, deployments, and moves, the O(deg) SwapCost/MoveCost fast path
+// must agree with a full re-evaluation -- bit-identically, since the fast
+// path reconstructs the same max over the same doubles -- and the *Delta
+// forms must be consistent with Cost(d') - Cost(d).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "deploy/cost.h"
+#include "deploy_test_util.h"
+#include "graph/templates.h"
+
+namespace cloudia::deploy {
+namespace {
+
+struct Instance {
+  graph::CommGraph graph;
+  CostMatrix costs;
+};
+
+// A varied pool of shapes: meshes (every node degree 2-4), random DAGs,
+// random symmetric digraphs, sparse rings, and an edgeless graph.
+Instance RandomInstance(int trial, Rng& rng, bool need_dag) {
+  graph::CommGraph g = [&]() -> graph::CommGraph {
+    switch (trial % (need_dag ? 3 : 5)) {
+      case 0:
+        return graph::RandomDag(4 + static_cast<int>(rng.Below(8)),
+                                rng.Uniform(0.1, 0.6), rng);
+      case 1:
+        return graph::AggregationTree(2 + static_cast<int>(rng.Below(2)), 3);
+      case 2:
+        return graph::Bipartite(2 + static_cast<int>(rng.Below(3)),
+                                3 + static_cast<int>(rng.Below(4)));
+      case 3:
+        return graph::RandomSymmetric(5 + static_cast<int>(rng.Below(8)),
+                                      3.0, rng);
+      default:
+        return graph::Mesh2D(2 + static_cast<int>(rng.Below(2)),
+                             3 + static_cast<int>(rng.Below(3)));
+    }
+  }();
+  // 0-30% spare instances so both swap and move neighborhoods exist.
+  int m = g.num_nodes() + static_cast<int>(rng.Below(
+                              static_cast<uint64_t>(g.num_nodes()) / 3 + 1));
+  return {std::move(g), RandomCosts(m, rng)};
+}
+
+std::vector<int> UnusedInstances(const Deployment& d, int m) {
+  std::vector<bool> used(static_cast<size_t>(m), false);
+  for (int s : d) used[static_cast<size_t>(s)] = true;
+  std::vector<int> unused;
+  for (int s = 0; s < m; ++s) {
+    if (!used[static_cast<size_t>(s)]) unused.push_back(s);
+  }
+  return unused;
+}
+
+// RandomDeployment lives in random_search.h; keep this test focused on
+// cost.h by sampling directly.
+Deployment RandomDeploymentForTest(int n, int m, Rng& rng) {
+  return rng.SampleWithoutReplacement(m, n);
+}
+
+void RunTrials(Objective objective) {
+  Rng rng(objective == Objective::kLongestLink ? 101 : 202);
+  int swap_checks = 0, move_checks = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    Instance inst =
+        RandomInstance(trial, rng, objective == Objective::kLongestPath);
+    const int n = inst.graph.num_nodes();
+    const int m = inst.costs.size();
+    auto eval = CostEvaluator::Create(&inst.graph, &inst.costs, objective);
+    ASSERT_TRUE(eval.ok());
+
+    Deployment d = RandomDeploymentForTest(n, m, rng);
+    const double cost = eval->Cost(d);
+
+    // Swaps: a handful of random pairs plus the degenerate a == b.
+    for (int probe = 0; probe < 6 && n >= 2; ++probe) {
+      int a = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+      int b = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+      Deployment swapped = d;
+      std::swap(swapped[static_cast<size_t>(a)],
+                swapped[static_cast<size_t>(b)]);
+      const double full = eval->Cost(swapped);
+      // Exactness contract: the incremental path returns the same double.
+      EXPECT_EQ(eval->SwapCost(d, cost, a, b), full)
+          << "trial " << trial << " swap(" << a << "," << b << ")";
+      // Delta consistency: Cost(d') == Cost(d) + SwapDelta(...).
+      EXPECT_DOUBLE_EQ(cost + eval->SwapDelta(d, cost, a, b), full);
+      ++swap_checks;
+    }
+
+    // Moves to every unused instance for a few random nodes.
+    std::vector<int> unused = UnusedInstances(d, m);
+    for (int probe = 0; probe < 4 && n >= 1 && !unused.empty(); ++probe) {
+      int node = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+      for (int target : unused) {
+        Deployment moved = d;
+        moved[static_cast<size_t>(node)] = target;
+        const double full = eval->Cost(moved);
+        EXPECT_EQ(eval->MoveCost(d, cost, node, target), full)
+            << "trial " << trial << " move(" << node << "->" << target << ")";
+        EXPECT_DOUBLE_EQ(cost + eval->MoveDelta(d, cost, node, target), full);
+        ++move_checks;
+      }
+    }
+  }
+  // The loop really exercised the API (guards against degenerate pools).
+  EXPECT_GT(swap_checks, 100);
+  EXPECT_GT(move_checks, 100);
+}
+
+TEST(DeltaEvalPropertyTest, LongestLinkMatchesFullEvaluator) {
+  RunTrials(Objective::kLongestLink);
+}
+
+TEST(DeltaEvalPropertyTest, LongestPathMatchesFullEvaluator) {
+  RunTrials(Objective::kLongestPath);
+}
+
+// Chains of accepted moves (the local-search usage pattern): tracking the
+// cost via the returned SwapCost/MoveCost never drifts from a from-scratch
+// evaluation, even after hundreds of accepted moves.
+TEST(DeltaEvalPropertyTest, AcceptedMoveChainsStayExact) {
+  for (Objective objective :
+       {Objective::kLongestLink, Objective::kLongestPath}) {
+    Rng rng(303);
+    graph::CommGraph g = graph::RandomDag(10, 0.35, rng);
+    CostMatrix costs = RandomCosts(13, rng);
+    auto eval = CostEvaluator::Create(&g, &costs, objective);
+    ASSERT_TRUE(eval.ok());
+    Deployment d = rng.SampleWithoutReplacement(13, 10);
+    double cost = eval->Cost(d);
+    for (int step = 0; step < 300; ++step) {
+      int a = static_cast<int>(rng.Below(10));
+      int b = static_cast<int>(rng.Below(10));
+      cost = eval->SwapCost(d, cost, a, b);
+      std::swap(d[static_cast<size_t>(a)], d[static_cast<size_t>(b)]);
+      if (step % 7 == 0) {
+        std::vector<int> unused = UnusedInstances(d, 13);
+        int node = static_cast<int>(rng.Below(10));
+        int target = unused[rng.Below(unused.size())];
+        cost = eval->MoveCost(d, cost, node, target);
+        d[static_cast<size_t>(node)] = target;
+      }
+      ASSERT_EQ(cost, eval->Cost(d)) << ObjectiveName(objective) << " step "
+                                     << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudia::deploy

@@ -65,9 +65,9 @@ TEST(GreedyTest, HandlesDisconnectedGraphs) {
 
 TEST(GreedyTest, G1PicksCheapestPairForFirstEdge) {
   // Craft costs where pair (2, 3) is globally cheapest; G1 must start there.
-  CostMatrix costs(5, std::vector<double>(5, 1.0));
-  for (int i = 0; i < 5; ++i) costs[static_cast<size_t>(i)][static_cast<size_t>(i)] = 0;
-  costs[2][3] = 0.1;
+  CostMatrix costs(5, 1.0);
+  for (int i = 0; i < 5; ++i) costs.At(i, i) = 0;
+  costs.At(2, 3) = 0.1;
   auto g = graph::CommGraph::Create(2, {{0, 1}});
   Rng r(5);
   auto d = GreedyG1(*g, costs, r);
@@ -84,11 +84,11 @@ TEST(GreedyTest, G2AvoidsExpensiveImplicitLinks) {
   // Cost design: cheap pair (0,1) = 0.1 seeds the first edge. For the third
   // node: instance 2 costs 0.5 from/to both 0 and 1; instance 3 costs 0.2
   // from 0 but 5.0 from/to 1.
-  CostMatrix costs(4, std::vector<double>(4, 5.0));
-  for (int i = 0; i < 4; ++i) costs[static_cast<size_t>(i)][static_cast<size_t>(i)] = 0;
+  CostMatrix costs(4, 5.0);
+  for (int i = 0; i < 4; ++i) costs.At(i, i) = 0;
   auto set_pair = [&costs](int a, int b, double v) {
-    costs[static_cast<size_t>(a)][static_cast<size_t>(b)] = v;
-    costs[static_cast<size_t>(b)][static_cast<size_t>(a)] = v;
+    costs.At(a, b) = v;
+    costs.At(b, a) = v;
   };
   set_pair(0, 1, 0.1);
   set_pair(0, 2, 0.5);

@@ -8,13 +8,12 @@
 namespace cloudia::measure {
 namespace {
 
-std::vector<std::vector<double>> RandomMatrix(int n, uint64_t seed) {
+deploy::CostMatrix RandomMatrix(int n, uint64_t seed) {
   Rng rng(seed);
-  std::vector<std::vector<double>> m(static_cast<size_t>(n),
-                                     std::vector<double>(static_cast<size_t>(n), 0.0));
+  deploy::CostMatrix m(n);
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
-      if (i != j) m[static_cast<size_t>(i)][static_cast<size_t>(j)] = rng.Uniform(0.2, 1.4);
+      if (i != j) m.At(i, j) = rng.Uniform(0.2, 1.4);
     }
   }
   return m;
@@ -26,16 +25,16 @@ TEST(MeasureIoTest, RoundTripPreservesEverything) {
   auto loaded = CostMatrixFromString(text);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->metric_name, "Mean");
-  ASSERT_EQ(loaded->costs.size(), 7u);
-  for (size_t i = 0; i < 7; ++i) {
-    for (size_t j = 0; j < 7; ++j) {
-      EXPECT_DOUBLE_EQ(loaded->costs[i][j], m[i][j]) << i << "," << j;
+  ASSERT_EQ(loaded->costs.size(), 7);
+  for (int i = 0; i < 7; ++i) {
+    for (int j = 0; j < 7; ++j) {
+      EXPECT_DOUBLE_EQ(loaded->costs.At(i, j), m.At(i, j)) << i << "," << j;
     }
   }
 }
 
 TEST(MeasureIoTest, EmptyMatrixRoundTrips) {
-  std::vector<std::vector<double>> empty;
+  deploy::CostMatrix empty;
   auto loaded = CostMatrixFromString(CostMatrixToString(empty, "Mean"));
   ASSERT_TRUE(loaded.ok());
   EXPECT_TRUE(loaded->costs.empty());
@@ -55,6 +54,22 @@ TEST(MeasureIoTest, RejectsCorruptedContent) {
   EXPECT_FALSE(CostMatrixFromString(padded).ok());
 }
 
+// A hostile instance count must be a clean parse error: the count is used
+// to size an n^2 allocation, and values above int range once truncated the
+// matrix dimension while the fill loop kept running to the full count
+// (heap corruption in release builds).
+TEST(MeasureIoTest, RejectsOverlargeInstanceCounts) {
+  for (const char* n_line :
+       {"n 4294967301", "n 9223372036854775807", "n 99999999999999999999",
+        "n 65537"}) {
+    std::string text = std::string("cloudia-cost-matrix v1\n") + n_line +
+                       "\nmetric Mean\n";
+    auto loaded = CostMatrixFromString(text);
+    ASSERT_FALSE(loaded.ok()) << n_line;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument) << n_line;
+  }
+}
+
 TEST(MeasureIoTest, MetricNameWithSpacesSurvives) {
   auto m = RandomMatrix(2, 5);
   auto loaded = CostMatrixFromString(CostMatrixToString(m, "Mean+SD"));
@@ -68,7 +83,7 @@ TEST(MeasureIoTest, FileRoundTrip) {
   ASSERT_TRUE(SaveCostMatrix(path, m, "Mean").ok());
   auto loaded = LoadCostMatrix(path);
   ASSERT_TRUE(loaded.ok());
-  EXPECT_DOUBLE_EQ(loaded->costs[1][2], m[1][2]);
+  EXPECT_DOUBLE_EQ(loaded->costs.At(1, 2), m.At(1, 2));
   std::remove(path.c_str());
 }
 

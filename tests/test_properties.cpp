@@ -199,8 +199,8 @@ INSTANTIATE_TEST_SUITE_P(AllProviders, ProviderPropertyTest,
 
 TEST(DegenerateCostsTest, AllMethodsAgreeOnUniformCosts) {
   graph::CommGraph g = graph::Mesh2D(2, 3);
-  deploy::CostMatrix costs(8, std::vector<double>(8, 0.5));
-  for (int i = 0; i < 8; ++i) costs[static_cast<size_t>(i)][static_cast<size_t>(i)] = 0;
+  deploy::CostMatrix costs(8, 0.5);
+  for (int i = 0; i < 8; ++i) costs.At(i, i) = 0;
   for (Method m : {Method::kGreedyG1, Method::kGreedyG2, Method::kRandomR1,
                    Method::kCp, Method::kMip}) {
     deploy::NdpSolveOptions opts;

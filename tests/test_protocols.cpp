@@ -193,22 +193,58 @@ TEST(BuildCostMatrixTest, MetricsOrdering) {
   auto mean = BuildCostMatrix(r, CostMetric::kMean);
   auto mean_sd = BuildCostMatrix(r, CostMetric::kMeanPlusStdDev);
   auto p99 = BuildCostMatrix(r, CostMetric::kP99);
+  ASSERT_TRUE(mean.ok() && mean_sd.ok() && p99.ok());
   for (int i = 0; i < 3; ++i) {
     for (int j = 0; j < 3; ++j) {
       if (i == j) continue;
-      EXPECT_GT(mean_sd[static_cast<size_t>(i)][static_cast<size_t>(j)],
-                mean[static_cast<size_t>(i)][static_cast<size_t>(j)]);
-      EXPECT_GT(p99[static_cast<size_t>(i)][static_cast<size_t>(j)],
-                mean[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+      EXPECT_GT(mean_sd->At(i, j), mean->At(i, j));
+      EXPECT_GT(p99->At(i, j), mean->At(i, j));
     }
   }
 }
 
-TEST(BuildCostMatrixTest, FallbackForUnsampledLinks) {
+// Unsampled links fail the build by default (a silent 1e6 sentinel poisons
+// every downstream solve); opting into the fill reports the gap count.
+TEST(BuildCostMatrixTest, UnsampledLinksFailTheBuildByDefault) {
+  Rng rng(4);
+  MeasurementResult r(3);
+  r.Link(0, 1).Add(0.7, rng);  // 1 of 6 ordered links sampled
+  auto failed = BuildCostMatrix(r, CostMetric::kMean);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInvalidArgument);
+  // The message carries the counted coverage report.
+  EXPECT_NE(failed.status().ToString().find("1 of 6"), std::string::npos)
+      << failed.status().ToString();
+}
+
+TEST(BuildCostMatrixTest, ExplicitFallbackFillsAndReportsMissingLinks) {
   MeasurementResult r(2);
-  auto m = BuildCostMatrix(r, CostMetric::kMean, /*fallback_ms=*/123.0);
-  EXPECT_DOUBLE_EQ(m[0][1], 123.0);
-  EXPECT_DOUBLE_EQ(m[0][0], 0.0);
+  BuildCostMatrixOptions opts;
+  opts.allow_missing = true;
+  opts.fallback_ms = 123.0;
+  CostMatrixCoverage coverage;
+  auto m = BuildCostMatrix(r, CostMetric::kMean, opts, &coverage);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->At(0, 1), 123.0);
+  EXPECT_DOUBLE_EQ(m->At(0, 0), 0.0);
+  EXPECT_EQ(coverage.total_links, 2);
+  EXPECT_EQ(coverage.missing_links, 2);
+  EXPECT_DOUBLE_EQ(coverage.fraction(), 0.0);
+}
+
+// min_samples thresholds coverage, not just presence: a link with one sample
+// is not covered at min_samples=2.
+TEST(BuildCostMatrixTest, MinSamplesGatesCoverage) {
+  Rng rng(5);
+  MeasurementResult r(2);
+  r.Link(0, 1).Add(0.6, rng);
+  r.Link(1, 0).Add(0.8, rng);
+  r.Link(1, 0).Add(0.9, rng);
+  BuildCostMatrixOptions opts;
+  opts.min_samples = 2;
+  EXPECT_FALSE(BuildCostMatrix(r, CostMetric::kMean, opts).ok());
+  opts.min_samples = 1;
+  EXPECT_TRUE(BuildCostMatrix(r, CostMetric::kMean, opts).ok());
 }
 
 }  // namespace

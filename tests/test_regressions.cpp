@@ -27,10 +27,11 @@ TEST(RegressionTest, StagedCoversAllOrderedPairsAtShortBudgets) {
   EXPECT_EQ(r->CoverageFraction(1), 1.0)
       << "every ordered pair must have at least one sample";
   auto costs = measure::BuildCostMatrix(*r, measure::CostMetric::kMean);
-  for (size_t i = 0; i < costs.size(); ++i) {
-    for (size_t j = 0; j < costs.size(); ++j) {
+  ASSERT_TRUE(costs.ok()) << costs.status().ToString();
+  for (int i = 0; i < costs->size(); ++i) {
+    for (int j = 0; j < costs->size(); ++j) {
       if (i != j) {
-        EXPECT_LT(costs[i][j], 100.0) << "fallback cost leaked";
+        EXPECT_LT(costs->At(i, j), 100.0) << "fallback cost leaked";
       }
     }
   }
@@ -56,13 +57,11 @@ TEST(RegressionTest, StagedHandlesOddInstanceCounts) {
 TEST(RegressionTest, ClusterCostMatrixFastAtLargeKAndManyDistinctValues) {
   Rng rng(9);
   int m = 100;
-  deploy::CostMatrix costs(static_cast<size_t>(m),
-                           std::vector<double>(static_cast<size_t>(m), 0.0));
+  deploy::CostMatrix costs(m);
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < m; ++j) {
       if (i != j) {
-        costs[static_cast<size_t>(i)][static_cast<size_t>(j)] =
-            rng.Uniform(0.2, 1.4);  // ~9900 distinct values
+        costs.At(i, j) = rng.Uniform(0.2, 1.4);  // ~9900 distinct values
       }
     }
   }
@@ -75,7 +74,7 @@ TEST(RegressionTest, ClusterCostMatrixFastAtLargeKAndManyDistinctValues) {
   std::set<double> distinct;
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < m; ++j) {
-      if (i != j) distinct.insert((*clustered)[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+      if (i != j) distinct.insert(clustered->At(i, j));
     }
   }
   EXPECT_LE(distinct.size(), 80u);

@@ -25,7 +25,7 @@ TEST(DeploymentSessionTest, MeasureOnceSolveManyReusesTheCostMatrix) {
 
   ASSERT_TRUE(session.Measure().ok());
   deploy::CostMatrix snapshot = session.costs();
-  ASSERT_EQ(snapshot.size(), 33u);  // 30 * 1.1
+  ASSERT_EQ(snapshot.size(), 33);  // 30 * 1.1
 
   // Acceptance shape: one Measure(), three registered methods, zero
   // re-measurement, per-solver results.

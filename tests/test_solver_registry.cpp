@@ -102,6 +102,58 @@ TEST(SolverRegistryTest, CustomSolverBecomesDiscoverable) {
   EXPECT_STREQ((*found)->name(), "constant");
 }
 
+// The CLI's --portfolio list goes through ValidatePortfolioMembers: typos,
+// duplicates, and self-references must come back as clean InvalidArgument /
+// NotFound errors (never a crash or CHECK) before any thread is spawned.
+TEST(SolverRegistryTest, ValidatePortfolioMembersCanonicalizesKnownNames) {
+  auto ok = ValidatePortfolioMembers(SolverRegistry::Global(),
+                                     {"CP", "LocalSearch", "r2"});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, (std::vector<std::string>{"cp", "local", "r2"}));
+  // Empty means "the default set" and is valid.
+  auto empty = ValidatePortfolioMembers(SolverRegistry::Global(), {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(SolverRegistryTest, ValidatePortfolioMembersRejectsUnknownNames) {
+  auto unknown = ValidatePortfolioMembers(SolverRegistry::Global(),
+                                          {"cp", "tabu-search"});
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(unknown.status().message().find("tabu-search"),
+            std::string::npos);
+}
+
+TEST(SolverRegistryTest, ValidatePortfolioMembersRejectsDuplicates) {
+  // Spelled differently, same solver: still a duplicate.
+  auto dup = ValidatePortfolioMembers(SolverRegistry::Global(),
+                                      {"local", "cp", "LocalSearch"});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(SolverRegistryTest, ValidatePortfolioMembersRejectsSelfReference) {
+  auto self = ValidatePortfolioMembers(SolverRegistry::Global(),
+                                       {"cp", "portfolio"});
+  ASSERT_FALSE(self.ok());
+  EXPECT_EQ(self.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolverRegistryTest, PortfolioSolveRejectsDuplicateMembersCleanly) {
+  Rng master(17);
+  graph::CommGraph mesh = graph::Mesh2D(2, 3);
+  CostMatrix costs = RandomCosts(8, master);
+  NdpSolveOptions opts;
+  opts.portfolio_members = {"local", "local"};
+  opts.time_budget_s = 1.0;
+  SolveContext context(Deadline::After(1.0));
+  auto r = SolveNodeDeploymentByName(mesh, costs, "portfolio", opts, context);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(SolverRegistryTest, ParseMethodRoundTripsWithBothSpellings) {
   for (Method method :
        {Method::kGreedyG1, Method::kGreedyG2, Method::kRandomR1,

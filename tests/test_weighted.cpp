@@ -77,8 +77,8 @@ TEST(WeightedTest, UnitWeightsMatchUnweightedCosts) {
 TEST(WeightedTest, WeightsScaleLinkCosts) {
   // Two-edge path; heavy weight on edge 0 dominates.
   auto g = graph::CommGraph::Create(3, {{0, 1}, {1, 2}});
-  CostMatrix c(3, std::vector<double>(3, 1.0));
-  for (int i = 0; i < 3; ++i) c[static_cast<size_t>(i)][static_cast<size_t>(i)] = 0;
+  CostMatrix c(3, 1.0);
+  for (int i = 0; i < 3; ++i) c.At(i, i) = 0;
   auto p = MakeProblem(&*g, &c, {10.0, 1.0});
   Deployment d = {0, 1, 2};
   auto ll = WeightedCost(p, d, Objective::kLongestLink);
@@ -151,11 +151,10 @@ TEST(WeightedCpTest, HeavyEdgeGetsTheBestLink) {
   double min_cost = 1e18;
   for (int i = 0; i < 6; ++i) {
     for (int j = 0; j < 6; ++j) {
-      if (i != j) min_cost = std::min(min_cost, c[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+      if (i != j) min_cost = std::min(min_cost, c.At(i, j));
     }
   }
-  double heavy_link =
-      c[static_cast<size_t>(r->deployment[0])][static_cast<size_t>(r->deployment[1])];
+  double heavy_link = c.At(r->deployment[0], r->deployment[1]);
   EXPECT_DOUBLE_EQ(heavy_link, min_cost);
 }
 

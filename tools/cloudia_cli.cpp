@@ -45,6 +45,32 @@ std::vector<std::string> SplitCommaList(const std::string& csv) {
   return out;
 }
 
+// --threads must be a non-negative count (0 = hardware concurrency).
+// Returns false after printing a usage-style error.
+bool ValidateThreads(int64_t threads) {
+  if (threads >= 0) return true;
+  std::fprintf(stderr,
+               "--threads=%lld: thread count cannot be negative "
+               "(use 0 for hardware concurrency)\n",
+               static_cast<long long>(threads));
+  return false;
+}
+
+// Canonicalizes --portfolio members via the registry; prints the error and
+// returns false on unknown or duplicate names.
+bool ValidatePortfolio(const std::string& csv,
+                       std::vector<std::string>* members) {
+  auto validated = deploy::ValidatePortfolioMembers(
+      deploy::SolverRegistry::Global(), SplitCommaList(csv));
+  if (!validated.ok()) {
+    std::fprintf(stderr, "--portfolio: %s\n",
+                 validated.status().ToString().c_str());
+    return false;
+  }
+  *members = std::move(validated).value();
+  return true;
+}
+
 std::string KnownMethods() {
   std::string out;
   for (const std::string& name : deploy::SolverRegistry::Global().Names()) {
@@ -124,6 +150,12 @@ int RunAdvise(const Flags& flags) {
     std::fprintf(stderr, "bad numeric flag\n");
     return 2;
   }
+  if (!ValidateThreads(*threads)) return 2;
+  std::vector<std::string> portfolio_members;
+  if (!ValidatePortfolio(flags.GetString("portfolio", ""),
+                         &portfolio_members)) {
+    return 2;
+  }
   auto objective =
       deploy::ParseObjective(flags.GetString("objective", "longest-link"));
   if (!objective.ok()) {
@@ -180,7 +212,7 @@ int RunAdvise(const Flags& flags) {
   spec.time_budget_s = *budget;
   spec.cost_clusters = static_cast<int>(*clusters);
   spec.threads = static_cast<int>(*threads);
-  spec.portfolio_members = SplitCommaList(flags.GetString("portfolio", ""));
+  spec.portfolio_members = std::move(portfolio_members);
   spec.seed = static_cast<uint64_t>(*seed);
   auto solve = session.Solve(spec);
   if (!solve.ok()) {
@@ -243,7 +275,11 @@ int RunMeasure(const Flags& flags) {
     return 1;
   }
   auto costs = measure::BuildCostMatrix(*measured, measure::CostMetric::kMean);
-  Status saved = measure::SaveCostMatrix(out, costs, "Mean");
+  if (!costs.ok()) {
+    std::fprintf(stderr, "%s\n", costs.status().ToString().c_str());
+    return 1;
+  }
+  Status saved = measure::SaveCostMatrix(out, *costs, "Mean");
   if (!saved.ok()) {
     std::fprintf(stderr, "%s\n", saved.ToString().c_str());
     return 1;
@@ -276,6 +312,12 @@ int RunSolve(const Flags& flags) {
     std::fprintf(stderr, "bad numeric flag\n");
     return 2;
   }
+  if (!ValidateThreads(*threads)) return 2;
+  std::vector<std::string> portfolio_members;
+  if (!ValidatePortfolio(flags.GetString("portfolio", ""),
+                         &portfolio_members)) {
+    return 2;
+  }
   // Registry-based lookup so every registered solver (including the
   // portfolio) is reachable, not only the Method enum's built-ins.
   auto solver = deploy::SolverRegistry::Global().Require(
@@ -291,8 +333,8 @@ int RunSolve(const Flags& flags) {
   }
   graph::CommGraph app = GraphByName(flags.GetString("graph", "mesh"),
                                      static_cast<int>(*nodes));
-  if (app.num_nodes() > static_cast<int>(loaded->costs.size())) {
-    std::fprintf(stderr, "graph needs %d nodes but matrix has %zu instances\n",
+  if (app.num_nodes() > loaded->costs.size()) {
+    std::fprintf(stderr, "graph needs %d nodes but matrix has %d instances\n",
                  app.num_nodes(), loaded->costs.size());
     return 2;
   }
@@ -301,7 +343,7 @@ int RunSolve(const Flags& flags) {
   opts.time_budget_s = *budget;
   opts.cost_clusters = static_cast<int>(*clusters);
   opts.threads = static_cast<int>(*threads);
-  opts.portfolio_members = SplitCommaList(flags.GetString("portfolio", ""));
+  opts.portfolio_members = std::move(portfolio_members);
   opts.seed = static_cast<uint64_t>(*seed);
   deploy::SolveContext context(Deadline::After(*budget));
   context.set_max_threads(opts.threads);
