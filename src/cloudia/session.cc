@@ -5,33 +5,26 @@
 #include <limits>
 
 #include "common/check.h"
-#include "common/rng.h"
 #include "common/timer.h"
 #include "deploy/solver_registry.h"
 
 namespace cloudia {
 
-namespace {
-
-// Derives the measurement seed from the session seed without disturbing it.
-uint64_t MeasurementSeed(uint64_t seed) {
-  uint64_t s = seed ^ 0x6d656173756572ULL;  // "measur"
-  return SplitMix64(s);
-}
-
-}  // namespace
-
 DeploymentSession::DeploymentSession(net::CloudSimulator* cloud,
                                      const graph::CommGraph* app,
                                      SessionOptions options)
     : cloud_(cloud), app_(app), options_(std::move(options)) {
-  CLOUDIA_CHECK(cloud != nullptr);
   CLOUDIA_CHECK(app != nullptr);
 }
 
 Status DeploymentSession::Allocate() {
   if (allocated_done_) {
     return Status::InvalidArgument("Allocate() already ran in this session");
+  }
+  if (cloud_ == nullptr) {
+    return Status::InvalidArgument(
+        "session has no cloud: construct it with a CloudSimulator or feed it "
+        "via AdoptMeasurement()");
   }
   const int n = app_->num_nodes();
   if (n < 2) return Status::InvalidArgument("application needs >= 2 nodes");
@@ -55,11 +48,11 @@ Status DeploymentSession::Measure() {
 
   measure::ProtocolOptions popts;
   popts.msg_bytes = options_.probe_bytes;
-  popts.seed = MeasurementSeed(options_.seed);
-  popts.duration_s =
-      options_.measure_duration_s > 0
-          ? options_.measure_duration_s
-          : 300.0 * static_cast<double>(allocated_.size()) / 100.0;
+  popts.seed = measure::MeasurementProtocolSeed(options_.seed);
+  popts.cancel = options_.cancel;
+  popts.duration_s = options_.measure_duration_s > 0
+                         ? options_.measure_duration_s
+                         : measure::DefaultMeasureDurationS(allocated_.size());
   CLOUDIA_ASSIGN_OR_RETURN(
       measure::MeasurementResult measurement,
       measure::RunProtocol(*cloud_, allocated_, options_.protocol, popts));
@@ -69,6 +62,30 @@ Status DeploymentSession::Measure() {
   CLOUDIA_ASSIGN_OR_RETURN(
       costs_, measure::BuildCostMatrix(measurement, options_.metric));
   measured_done_ = true;
+  return Status::OK();
+}
+
+Status DeploymentSession::AdoptMeasurement(std::vector<net::Instance> instances,
+                                           deploy::CostMatrix costs,
+                                           double measure_virtual_s) {
+  if (allocated_done_ || measured_done_) {
+    return Status::InvalidArgument(
+        "AdoptMeasurement() on a session that already allocated or measured");
+  }
+  if (instances.size() < 2) {
+    return Status::InvalidArgument("adopted pool needs >= 2 instances");
+  }
+  if (costs.size() != static_cast<int>(instances.size())) {
+    return Status::InvalidArgument(
+        "adopted cost matrix covers " + std::to_string(costs.size()) +
+        " instances but the pool has " + std::to_string(instances.size()));
+  }
+  allocated_ = std::move(instances);
+  costs_ = std::move(costs);
+  measure_virtual_s_ = measure_virtual_s;
+  allocated_done_ = true;
+  measured_done_ = true;
+  owns_pool_ = false;
   return Status::OK();
 }
 
@@ -119,6 +136,9 @@ Result<SessionSolve> DeploymentSession::Solve(const SolveSpec& spec) {
   deploy::SolveContext context(Deadline::After(spec.time_budget_s),
                                spec.cancel, spec.on_progress);
   context.set_max_threads(spec.threads);
+  if (spec.shared_incumbent != nullptr) {
+    context.set_shared_incumbent(spec.shared_incumbent);
+  }
   CLOUDIA_ASSIGN_OR_RETURN(deploy::NdpSolveResult result,
                            solver->Solve(problem, sopts, context));
 
@@ -165,6 +185,11 @@ Result<std::vector<net::Instance>> DeploymentSession::Terminate() {
   if (!allocated_done_) {
     return Status::InvalidArgument("Terminate() before Allocate()");
   }
+  if (!owns_pool_) {
+    return Status::InvalidArgument(
+        "Terminate() on an adopted pool: the layer that measured these "
+        "instances owns their lifetime");
+  }
   std::vector<net::Instance> terminated = allocated_;
   cloud_->Terminate(terminated);
   terminated_done_ = true;
@@ -178,6 +203,11 @@ Result<std::vector<net::Instance>> DeploymentSession::Terminate(
   }
   if (!allocated_done_) {
     return Status::InvalidArgument("Terminate() before Allocate()");
+  }
+  if (!owns_pool_) {
+    return Status::InvalidArgument(
+        "Terminate() on an adopted pool: the layer that measured these "
+        "instances owns their lifetime");
   }
   std::vector<bool> used(allocated_.size(), false);
   for (const net::Instance& inst : keep.placement) {

@@ -29,6 +29,7 @@
 #define CLOUDIA_CLOUDIA_SESSION_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,13 @@ struct SessionOptions {
 
   /// Seeds allocation and measurement (solves carry their own seeds).
   uint64_t seed = 1;
+
+  /// Cooperative cancellation of the *measurement* stage: Cancel() from any
+  /// thread makes an in-flight Measure() abort at its next probe poll and
+  /// return Status::Cancelled (solves carry their own tokens in SolveSpec).
+  /// Measurement is the billed, minutes-long step of a real run, so an
+  /// abandoned session must be able to stop it mid-flight.
+  CancelToken cancel;
 };
 
 /// One Solve() request: which registered solver to run, under which
@@ -94,6 +102,13 @@ struct SolveSpec {
   /// Cooperative cancellation: Cancel() from any thread stops the solve at
   /// the next poll; the best incumbent found so far is still returned.
   CancelToken cancel;
+  /// Optional shared global-incumbent cell attached to the solve's
+  /// SolveContext. Concurrent solves on the same (matrix, graph, objective)
+  /// that share one cell exchange incumbents live (CP adopts better peer
+  /// solutions as descent points), and a service layer can carry the best
+  /// deployment across solves as a warm start. All publishers of one cell
+  /// must refer to the same problem; the cell only compares costs.
+  std::shared_ptr<deploy::SharedIncumbent> shared_incumbent;
 };
 
 /// Outcome of one Solve() call, kept in the session history.
@@ -123,6 +138,10 @@ struct SessionSolve {
 /// runs any missing predecessor, so `session.Solve(spec)` on a fresh session
 /// allocates and measures first. Holds non-owning pointers to the cloud and
 /// the application graph; both must outlive the session.
+///
+/// `cloud` may be null for a session fed via AdoptMeasurement() (it never
+/// allocates or terminates instances itself); the stages that need the cloud
+/// then fail with InvalidArgument instead of crashing.
 class DeploymentSession {
  public:
   DeploymentSession(net::CloudSimulator* cloud, const graph::CommGraph* app,
@@ -134,8 +153,21 @@ class DeploymentSession {
 
   /// Runs the measurement protocol over the allocated instances and caches
   /// the cost matrix. Allocates first if needed. Error when called twice:
-  /// the session's point is to measure once and solve many times.
+  /// the session's point is to measure once and solve many times. Aborts
+  /// with Status::Cancelled when options().cancel is tripped mid-measure.
   Status Measure();
+
+  /// Installs an externally obtained measurement -- the allocated pool and
+  /// its measured cost matrix -- marking the Allocate and Measure stages
+  /// done. This is the reuse hook for layers that cache matrices across
+  /// sessions (service::AdvisorService measures an environment once and
+  /// hands the matrix to every session solving on it). The session does not
+  /// own the adopted instances: Terminate() is an error on such a session.
+  /// Fails when a stage already ran or the matrix size does not match the
+  /// instance count.
+  Status AdoptMeasurement(std::vector<net::Instance> instances,
+                          deploy::CostMatrix costs,
+                          double measure_virtual_s = 0.0);
 
   /// Searches a deployment with the named registered solver against the
   /// cached cost matrix. Measures (and allocates) first if needed. Any
@@ -178,6 +210,9 @@ class DeploymentSession {
   bool allocated_done_ = false;
   bool measured_done_ = false;
   bool terminated_done_ = false;
+  /// False after AdoptMeasurement(): the pool belongs to whoever measured it,
+  /// so this session must not terminate instances.
+  bool owns_pool_ = true;
 
   std::vector<net::Instance> allocated_;
   deploy::CostMatrix costs_;

@@ -14,6 +14,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Infeasible";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kCancelled:
+      return "Cancelled";
     case StatusCode::kInternal:
       return "Internal";
     case StatusCode::kUnimplemented:

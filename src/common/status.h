@@ -15,6 +15,7 @@ enum class StatusCode {
   kNotFound,         ///< lookup missed
   kInfeasible,       ///< optimization problem has no feasible solution
   kTimeout,          ///< budget exhausted before completion
+  kCancelled,        ///< caller cancelled the operation via a CancelToken
   kInternal,         ///< invariant violation reported instead of aborting
   kUnimplemented,
 };
@@ -41,6 +42,9 @@ class Status {
   }
   static Status Timeout(std::string m) {
     return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));

@@ -52,6 +52,10 @@ class PortfolioSolver : public NdpSolver {
   /// supports; per-member support is filtered again at Solve() time.
   bool Supports(Objective objective) const override;
 
+  /// options.initial is forwarded to every member, and the default set
+  /// includes solvers that start from it (cp, mip, local).
+  bool ConsumesInitial() const override { return true; }
+
   Result<NdpSolveResult> Solve(const NdpProblem& problem,
                                const NdpSolveOptions& options,
                                SolveContext& context) const override;

@@ -162,6 +162,12 @@ class NdpSolver {
   /// formulation exists only for longest link, Sect. 4.4).
   virtual bool Supports(Objective objective) const = 0;
 
+  /// Whether Solve() reads NdpSolveOptions::initial as a starting
+  /// deployment. Lets warm-starting layers (service::AdvisorService) know
+  /// when offering an incumbent actually influences the search -- greedy
+  /// and pure random methods ignore it.
+  virtual bool ConsumesInitial() const { return false; }
+
   /// Runs the search. `problem.objective` is authoritative; `options` carries
   /// method tuning knobs (samples, clusters, threads, seed, initial);
   /// `context` carries deadline / cancellation / progress.

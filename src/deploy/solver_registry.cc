@@ -135,6 +135,7 @@ class CpSolver : public NdpSolver {
     // The CP formulation exists only for longest link (paper Sect. 4.4).
     return objective == Objective::kLongestLink;
   }
+  bool ConsumesInitial() const override { return true; }
   Result<NdpSolveResult> Solve(const NdpProblem& problem,
                                const NdpSolveOptions& options,
                                SolveContext& context) const override {
@@ -152,6 +153,7 @@ class MipSolver : public NdpSolver {
   const char* name() const override { return "mip"; }
   const char* display_name() const override { return "MIP"; }
   bool Supports(Objective) const override { return true; }
+  bool ConsumesInitial() const override { return true; }
   Result<NdpSolveResult> Solve(const NdpProblem& problem,
                                const NdpSolveOptions& options,
                                SolveContext& context) const override {
@@ -170,6 +172,7 @@ class LocalSearchSolver : public NdpSolver {
   const char* name() const override { return "local"; }
   const char* display_name() const override { return "LocalSearch"; }
   bool Supports(Objective) const override { return true; }
+  bool ConsumesInitial() const override { return true; }
   Result<NdpSolveResult> Solve(const NdpProblem& problem,
                                const NdpSolveOptions& options,
                                SolveContext& context) const override {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/rng.h"
 #include "measure/event_queue.h"
 
 namespace cloudia::measure {
@@ -20,7 +21,21 @@ double HoursAt(double start_t_hours, double now_ms) {
   return start_t_hours + now_ms / 3.6e6;
 }
 
+Status CancelledStatus(const char* protocol) {
+  return Status::Cancelled(std::string(protocol) +
+                           " measurement aborted by its cancel token");
+}
+
 }  // namespace
+
+uint64_t MeasurementProtocolSeed(uint64_t seed) {
+  uint64_t s = seed ^ 0x6d656173756572ULL;  // "measur"
+  return SplitMix64(s);
+}
+
+double DefaultMeasureDurationS(size_t instance_count) {
+  return 300.0 * static_cast<double>(instance_count) / 100.0;
+}
 
 const char* ProtocolName(Protocol protocol) {
   switch (protocol) {
@@ -61,6 +76,7 @@ Result<MeasurementResult> RunTokenPassing(
     rng.Shuffle(pairs);
     for (const auto& [i, j] : pairs) {
       if (now >= budget_ms) break;
+      if (options.cancel.Cancelled()) return CancelledStatus("token-passing");
       // Pass the token from the current holder to i (unless i holds it).
       if (holder != i) {
         now += 0.5 * cloud.SampleRtt(instances[static_cast<size_t>(holder)],
@@ -98,6 +114,9 @@ Result<MeasurementResult> RunUncoordinated(
 
   // Forward declaration idiom for recursive lambdas via std::function.
   std::function<void(int)> start_probe = [&](int i) {
+    // A tripped token stops new probes; the event queue then drains the few
+    // replies still in flight and RunAll() returns promptly.
+    if (options.cancel.Cancelled()) return;
     if (queue.now_ms() >= budget_ms) return;
     int j = static_cast<int>(rng.Below(static_cast<uint64_t>(n - 1)));
     if (j >= i) ++j;
@@ -135,6 +154,7 @@ Result<MeasurementResult> RunUncoordinated(
     queue.ScheduleAt(rng.Uniform() * 1.0, [&, i]() { start_probe(i); });
   }
   queue.RunAll();
+  if (options.cancel.Cancelled()) return CancelledStatus("uncoordinated");
   result.virtual_time_ms = std::min(queue.now_ms(), budget_ms);
   return result;
 }
@@ -165,8 +185,10 @@ Result<MeasurementResult> RunStaged(const net::CloudSimulator& cloud,
   int round = 0;
   int cycle = 0;
   while (now < budget_ms) {
+    if (options.cancel.Cancelled()) return CancelledStatus("staged");
     double stage_time = 0.0;
     for (int p = 0; p < nn / 2; ++p) {
+      if (options.cancel.Cancelled()) return CancelledStatus("staged");
       int i = circle[static_cast<size_t>(p)];
       int j = circle[static_cast<size_t>(nn - 1 - p)];
       if (i >= n || j >= n) continue;  // bye

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "measure/probe_engine.h"
 #include "netsim/cloud.h"
@@ -31,7 +32,22 @@ struct ProtocolOptions {
   /// Hour-of-day at which measurement starts (drives mean drift).
   double start_t_hours = 0.0;
   uint64_t seed = 1;
+  /// Cooperative abort: the protocols poll this token between probes and
+  /// fail with Status::Cancelled when tripped. A measurement is the billed,
+  /// minutes-long step of a real run, so an abandoned request must be able
+  /// to stop it mid-flight, not only at the next stage boundary.
+  CancelToken cancel;
 };
+
+/// Derives the protocol seed from a session/environment seed. Shared by
+/// cloudia::DeploymentSession and service::MeasureEnvironment so that both
+/// paths measure bit-identically given the same seed -- the cache's
+/// AdoptMeasurement consumers rely on interchangeable matrices.
+uint64_t MeasurementProtocolSeed(uint64_t seed);
+
+/// The paper's default measurement budget: 5 minutes per 100 instances,
+/// scaled linearly (Sect. 6.2).
+double DefaultMeasureDurationS(size_t instance_count);
 
 /// Runs the unique-token protocol. Fails on fewer than 2 instances.
 Result<MeasurementResult> RunTokenPassing(

@@ -1,0 +1,593 @@
+#include "service/advisor_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "deploy/solver_registry.h"
+
+namespace cloudia::service {
+
+namespace internal {
+
+struct StatsCell {
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> coalesced{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> cancelled{0};
+  std::atomic<uint64_t> expired{0};
+  std::atomic<uint64_t> warm_starts{0};
+  std::atomic<uint64_t> portfolio_routed{0};
+};
+
+// One scheduled unit of work: the leader request plus every byte-identical
+// request coalesced onto it. Owned via shared_ptr by the scheduler and by
+// each attached RequestState (the attached list is cleared on completion,
+// which breaks the ownership cycle).
+struct Job {
+  uint64_t seq = 0;
+  int priority = 0;
+  double deadline_s = std::numeric_limits<double>::infinity();
+  std::string fingerprint;
+  DeploymentRequest request;  // the leader's request
+  /// Tripped when every attached request has cancelled; polled by the
+  /// measurement (through the cache) and the solver.
+  CancelToken job_cancel;
+  Stopwatch submitted;
+
+  std::atomic<int> stage{static_cast<int>(RequestStage::kQueued)};
+  std::atomic<double> best_cost{std::numeric_limits<double>::infinity()};
+  std::atomic<int> incumbents{0};
+  /// Solver-internal threads granted to this job (0 until the solve stage);
+  /// guarded by the service mutex, returned to the budget when the job ends.
+  int granted_threads = 0;
+
+  std::mutex mu;
+  bool completed = false;                             // guarded by mu
+  std::vector<std::shared_ptr<RequestState>> attached;  // guarded by mu
+};
+
+// Per-Submit() state behind a RequestHandle. Completion is write-once.
+struct RequestState {
+  CancelToken cancel;
+  bool coalesced = false;
+  Stopwatch submitted;
+  std::shared_ptr<Job> job;          // null for requests rejected at submit
+  std::shared_ptr<StatsCell> stats;  // outcome counters outlive the service
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool done = false;
+  ServiceResult result;
+
+  /// First completion wins; later calls are no-ops. Returns whether this
+  /// call resolved the request, and counts the outcome exactly once.
+  bool Complete(ServiceResult r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (done) return false;
+      // Count the outcome before publishing `done`, so a caller woken by
+      // Wait() already sees its request in the service stats.
+      if (stats != nullptr) {
+        switch (r.status.code()) {
+          case StatusCode::kOk:
+            ++stats->completed;
+            break;
+          case StatusCode::kCancelled:
+            ++stats->cancelled;
+            break;
+          case StatusCode::kTimeout:
+            ++stats->expired;
+            break;
+          default:
+            ++stats->failed;
+            break;
+        }
+      }
+      result = std::move(r);
+      done = true;
+    }
+    cv.notify_all();
+    return true;
+  }
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::Job;
+using internal::RequestState;
+
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+/// Scheduling order: higher priority first, then earlier deadline, then
+/// submit order. `JobAfter(a, b)` == "a runs after b" (std::push_heap's
+/// less-than for a max-heap).
+bool JobAfter(const std::shared_ptr<Job>& a, const std::shared_ptr<Job>& b) {
+  if (a->priority != b->priority) return a->priority < b->priority;
+  if (a->deadline_s != b->deadline_s) return a->deadline_s > b->deadline_s;
+  return a->seq > b->seq;
+}
+
+std::string GraphFingerprint(const graph::CommGraph* app) {
+  std::string fp = "g:";
+  if (app == nullptr) return fp + "null";
+  fp += std::to_string(app->num_nodes());
+  for (const graph::Edge& e : app->edges()) {
+    fp += ',';
+    fp += std::to_string(e.src);
+    fp += '>';
+    fp += std::to_string(e.dst);
+  }
+  return fp;
+}
+
+}  // namespace
+
+const char* RequestStageName(RequestStage stage) {
+  switch (stage) {
+    case RequestStage::kQueued:
+      return "queued";
+    case RequestStage::kMeasuring:
+      return "measuring";
+    case RequestStage::kSolving:
+      return "solving";
+    case RequestStage::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+// --- RequestHandle -----------------------------------------------------------
+
+RequestHandle::RequestHandle(std::shared_ptr<internal::RequestState> state)
+    : state_(std::move(state)) {}
+
+const ServiceResult& RequestHandle::Wait() const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->result;
+}
+
+bool RequestHandle::WaitFor(double seconds) const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                             [this] { return state_->done; });
+}
+
+bool RequestHandle::done() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+RequestProgress RequestHandle::progress() const {
+  RequestProgress p;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->done) p.stage = RequestStage::kDone;
+  }
+  const std::shared_ptr<Job>& job = state_->job;
+  if (job != nullptr) {
+    if (p.stage != RequestStage::kDone) {
+      p.stage = static_cast<RequestStage>(job->stage.load());
+    }
+    p.best_cost_ms = job->best_cost.load();
+    p.incumbents = job->incumbents.load();
+  }
+  return p;
+}
+
+void RequestHandle::Cancel() const {
+  RequestState& state = *state_;
+  state.cancel.Cancel();
+  ServiceResult r;
+  r.status = Status::Cancelled("request cancelled by caller");
+  r.coalesced = state.coalesced;
+  r.total_s = state.submitted.ElapsedSeconds();
+  state.Complete(std::move(r));
+  // Abort the underlying job only once *every* coalesced caller is gone:
+  // one impatient tenant must not kill work its twins still want. The
+  // roster check and the cancel happen under the job lock (Cancel() is a
+  // plain atomic store), so a twin attaching concurrently either registers
+  // its live token before the check or observes job_cancel already tripped
+  // at attach time -- never a silently killed newcomer.
+  const std::shared_ptr<Job>& job = state.job;
+  if (job == nullptr) return;
+  std::lock_guard<std::mutex> lock(job->mu);
+  if (job->completed) return;
+  for (const std::shared_ptr<RequestState>& st : job->attached) {
+    if (!st->cancel.Cancelled()) return;
+  }
+  job->job_cancel.Cancel();
+}
+
+// --- AdvisorService ----------------------------------------------------------
+
+AdvisorService::AdvisorService() : AdvisorService(Options{}) {}
+
+AdvisorService::AdvisorService(Options options)
+    : options_(std::move(options)),
+      cache_([this] {
+        CostMatrixCache::Options copts;
+        copts.capacity = options_.cache_capacity;
+        copts.ttl_s = options_.cache_ttl_s;
+        copts.measure_fn = options_.measure_fn;
+        return copts;
+      }()),
+      stats_(std::make_shared<internal::StatsCell>()),
+      paused_(options_.start_paused) {
+  threads_ = options_.threads > 0
+                 ? options_.threads
+                 : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads_ < 1) threads_ = 1;
+  pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+AdvisorService::~AdvisorService() {
+  Resume();           // jobs queued while paused must still complete
+  pool_->Shutdown();  // drains every scheduled job, then joins
+}
+
+std::string AdvisorService::Fingerprint(const DeploymentRequest& request) {
+  std::string fp = request.environment.Key();
+  fp += '|';
+  fp += GraphFingerprint(request.app);
+  const cloudia::SolveSpec& s = request.solve;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "|m=%s|o=%s|t=%.17g|k=%d|r1=%d|th=%d|seed=%llu|ws=%d|pr=%d|"
+                "dl=%.17g",
+                s.method.c_str(), deploy::ObjectiveName(s.objective),
+                s.time_budget_s, s.cost_clusters, s.r1_samples, s.threads,
+                static_cast<unsigned long long>(s.seed),
+                s.warm_start_hints ? 1 : 0, request.priority,
+                request.deadline_s);
+  fp += buf;
+  for (const std::string& member : s.portfolio_members) fp += "|pm=" + member;
+  for (int v : s.initial) fp += "|i" + std::to_string(v);
+  return fp;
+}
+
+RequestHandle AdvisorService::Submit(DeploymentRequest request) {
+  auto state = std::make_shared<RequestState>();
+  state->cancel = request.cancel;
+  state->stats = stats_;
+  ++stats_->submitted;
+
+  if (request.app == nullptr) {
+    ServiceResult r;
+    r.status = Status::InvalidArgument("request has no application graph");
+    state->Complete(std::move(r));
+    return RequestHandle(std::move(state));
+  }
+  if (request.app->num_nodes() > request.environment.instances) {
+    ServiceResult r;
+    r.status = Status::InvalidArgument(
+        "application graph needs " +
+        std::to_string(request.app->num_nodes()) +
+        " nodes but the environment allocates only " +
+        std::to_string(request.environment.instances) + " instances");
+    state->Complete(std::move(r));
+    return RequestHandle(std::move(state));
+  }
+
+  const std::string fp = Fingerprint(request);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(fp);
+  if (it != active_.end()) {
+    const std::shared_ptr<Job>& job = it->second;
+    std::lock_guard<std::mutex> jlock(job->mu);
+    // Never attach to a job that finished or whose every caller cancelled
+    // (a cancel-and-retry resubmission must not inherit the cancellation);
+    // fall through to a fresh job instead -- active_[fp] is overwritten and
+    // the dying job's cleanup guard (`it->second == job`) skips it.
+    if (!job->completed && !job->job_cancel.Cancelled()) {
+      state->coalesced = true;
+      state->job = job;
+      job->attached.push_back(state);
+      ++stats_->coalesced;
+      return RequestHandle(std::move(state));
+    }
+  }
+
+  auto job = std::make_shared<Job>();
+  job->seq = next_seq_++;
+  job->priority = request.priority;
+  job->deadline_s = request.deadline_s;
+  job->fingerprint = fp;
+  job->request = std::move(request);
+  state->job = job;
+  {
+    std::lock_guard<std::mutex> jlock(job->mu);
+    job->attached.push_back(state);
+  }
+  active_[fp] = job;
+  pending_.push_back(job);
+  std::push_heap(pending_.begin(), pending_.end(), JobAfter);
+  if (paused_) {
+    ++deferred_;
+  } else {
+    pool_->Submit([this] { RunOne(); });
+  }
+  return RequestHandle(std::move(state));
+}
+
+void AdvisorService::Resume() {
+  size_t owed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!paused_) return;
+    paused_ = false;
+    owed = deferred_;
+    deferred_ = 0;
+  }
+  for (size_t i = 0; i < owed; ++i) {
+    pool_->Submit([this] { RunOne(); });
+  }
+}
+
+void AdvisorService::RunOne() {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.empty()) return;
+    std::pop_heap(pending_.begin(), pending_.end(), JobAfter);
+    job = std::move(pending_.back());
+    pending_.pop_back();
+    ++running_jobs_;
+  }
+  ExecuteJob(job);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_jobs_;
+    granted_threads_ -= job->granted_threads;
+    auto it = active_.find(job->fingerprint);
+    if (it != active_.end() && it->second == job) active_.erase(it);
+  }
+}
+
+void AdvisorService::ExecuteJob(const std::shared_ptr<Job>& job) {
+  const double queue_wait_s = job->submitted.ElapsedSeconds();
+
+  // Completes every still-pending attached request with `base` (plus
+  // per-request flags/timings) and closes the job to late coalescing.
+  auto complete_all = [&job, queue_wait_s](ServiceResult base) {
+    base.queue_wait_s = queue_wait_s;
+    std::vector<std::shared_ptr<RequestState>> attached;
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->completed = true;
+      attached.swap(job->attached);
+    }
+    job->stage.store(static_cast<int>(RequestStage::kDone));
+    for (const std::shared_ptr<RequestState>& state : attached) {
+      ServiceResult r = base;
+      r.coalesced = state->coalesced;
+      r.total_s = state->submitted.ElapsedSeconds();
+      state->Complete(std::move(r));
+    }
+  };
+
+  // Token-only cancellation: a caller that trips its request token without
+  // calling RequestHandle::Cancel() is observed here and at the next stage
+  // boundary (handle.Cancel() additionally aborts mid-stage).
+  auto all_callers_cancelled = [&job] {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (job->attached.empty()) return false;
+    for (const std::shared_ptr<RequestState>& state : job->attached) {
+      if (!state->cancel.Cancelled()) return false;
+    }
+    return true;
+  };
+  if (job->job_cancel.Cancelled() || all_callers_cancelled()) {
+    job->job_cancel.Cancel();
+    ServiceResult r;
+    r.status = Status::Cancelled("request cancelled before it was scheduled");
+    complete_all(std::move(r));
+    return;
+  }
+  if (job->deadline_s < std::numeric_limits<double>::infinity()) {
+    // Each attached request's deadline runs from its *own* submission: a
+    // coalesced twin that attached late may still be in time when the
+    // leader has already expired, and then the job must still run.
+    std::vector<std::shared_ptr<RequestState>> expired;
+    bool any_live = false;
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      auto& attached = job->attached;
+      for (auto it = attached.begin(); it != attached.end();) {
+        if ((*it)->submitted.ElapsedSeconds() > job->deadline_s) {
+          expired.push_back(std::move(*it));
+          it = attached.erase(it);
+        } else {
+          any_live = true;
+          ++it;
+        }
+      }
+      if (!any_live) job->completed = true;
+    }
+    for (const std::shared_ptr<RequestState>& state : expired) {
+      ServiceResult r;
+      r.status = Status::Timeout(
+          "request deadline (" + std::to_string(job->deadline_s) +
+          " s) passed while queued");
+      r.coalesced = state->coalesced;
+      r.queue_wait_s = queue_wait_s;
+      r.total_s = state->submitted.ElapsedSeconds();
+      state->Complete(std::move(r));
+    }
+    if (!any_live) {
+      job->stage.store(static_cast<int>(RequestStage::kDone));
+      return;
+    }
+  }
+
+  // -- Stage 1: resolve the cost matrix (cache / single-flight measure) ------
+  job->stage.store(static_cast<int>(RequestStage::kMeasuring));
+  Result<CostMatrixCache::Lookup> lookup =
+      cache_.Get(job->request.environment, job->job_cancel);
+  if (!lookup.ok()) {
+    ServiceResult r;
+    r.status = lookup.status();
+    complete_all(std::move(r));
+    return;
+  }
+  const CostMatrixCache::EntryPtr& env = lookup->entry;
+
+  // Stage boundary: skip the solve when every caller cancelled during the
+  // measurement through their tokens alone (the matrix itself stays cached
+  // for future requests either way).
+  if (job->job_cancel.Cancelled() || all_callers_cancelled()) {
+    job->job_cancel.Cancel();
+    ServiceResult r;
+    r.status = Status::Cancelled("request cancelled before solving");
+    complete_all(std::move(r));
+    return;
+  }
+
+  // -- Stage 2: solve on a session that adopts the shared measurement --------
+  job->stage.store(static_cast<int>(RequestStage::kSolving));
+  cloudia::DeploymentSession session(/*cloud=*/nullptr, job->request.app,
+                                     cloudia::SessionOptions{});
+  Status adopted = session.AdoptMeasurement(env->instances, env->costs,
+                                            env->measure_virtual_s);
+  if (!adopted.ok()) {
+    ServiceResult r;
+    r.status = adopted;
+    complete_all(std::move(r));
+    return;
+  }
+
+  cloudia::SolveSpec spec = job->request.solve;
+  spec.app = nullptr;  // the session already solves for request.app
+  spec.cancel = job->job_cancel;
+  spec.on_progress = [job](const deploy::TracePoint& point,
+                           const deploy::Deployment&) {
+    // Serialized by SolveContext's progress lock, so plain min-update is safe.
+    if (point.cost < job->best_cost.load()) job->best_cost.store(point.cost);
+    job->incumbents.fetch_add(1);
+  };
+
+  const int n = job->request.app->num_nodes();
+  if (spec.method.empty() || EqualsIgnoreCase(spec.method, "auto")) {
+    if (n >= options_.portfolio_node_threshold) {
+      spec.method = "portfolio";
+      if (spec.portfolio_members.empty()) {
+        spec.portfolio_members = options_.portfolio_members;
+      }
+      ++stats_->portfolio_routed;
+    } else {
+      spec.method = options_.default_method;
+    }
+  }
+
+  // Global thread budget: grant this job whatever the budget has left after
+  // the shares already granted to concurrently running solves (floored at
+  // one thread each -- the only unavoidable oversubscription).
+  bool warm_started = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int share = std::max(1, threads_ - granted_threads_);
+    spec.threads = spec.threads > 0 ? std::min(spec.threads, share) : share;
+    job->granted_threads = spec.threads;
+    granted_threads_ += spec.threads;
+
+    // Warm start: later solves on the same (environment, graph, objective)
+    // start from the best deployment any earlier solve found, and publish
+    // their own improvements back through the shared incumbent cell.
+    const std::string warm_key = job->request.environment.Key() + "|" +
+                                 GraphFingerprint(job->request.app) + "|" +
+                                 deploy::ObjectiveName(spec.objective);
+    spec.shared_incumbent = WarmStartCell(warm_key);
+    // Offer the incumbent as the starting point only when (a) the caller
+    // did not bring their own -- spec.initial is part of the request
+    // contract (and of the coalescing fingerprint), never
+    // service-overwritten -- and (b) the solver actually reads it (greedy
+    // and pure random methods ignore options.initial; flagging those
+    // "warm_started" would promise a seeding that never happened).
+    const deploy::NdpSolver* solver =
+        deploy::SolverRegistry::Global().Find(spec.method);
+    double warm_cost = 0.0;
+    deploy::Deployment warm;
+    if (spec.initial.empty() && solver != nullptr &&
+        solver->ConsumesInitial() &&
+        spec.shared_incumbent->Snapshot(&warm_cost, &warm) &&
+        warm.size() == static_cast<size_t>(n)) {
+      spec.initial = std::move(warm);
+      warm_started = true;
+      ++stats_->warm_starts;
+    }
+  }
+
+  Result<cloudia::SessionSolve> solve = session.Solve(spec);
+
+  ServiceResult base;
+  base.cache_hit = lookup->hit;
+  base.measurement_shared = lookup->waited;
+  base.warm_started = warm_started;
+  if (solve.ok()) {
+    // Belt and braces: solvers publish incumbents through the context, but
+    // pin the final result into the warm-start cell regardless.
+    spec.shared_incumbent->TryImprove(solve->cost_ms,
+                                      solve->result.deployment);
+    base.routed_method = solve->method;
+    base.solve = std::move(solve).value();
+  } else {
+    base.status = solve.status();
+    base.routed_method = spec.method;
+  }
+  complete_all(std::move(base));
+}
+
+std::shared_ptr<deploy::SharedIncumbent> AdvisorService::WarmStartCell(
+    const std::string& key) {
+  auto it = incumbents_.find(key);
+  if (it != incumbents_.end()) {
+    incumbents_lru_.splice(incumbents_lru_.begin(), incumbents_lru_,
+                           it->second.lru_it);
+    return it->second.cell;
+  }
+  const size_t capacity = std::max<size_t>(1, options_.warm_start_capacity);
+  while (incumbents_.size() >= capacity) {
+    incumbents_.erase(incumbents_lru_.back());
+    incumbents_lru_.pop_back();
+  }
+  incumbents_lru_.push_front(key);
+  WarmCell cell{std::make_shared<deploy::SharedIncumbent>(),
+                incumbents_lru_.begin()};
+  incumbents_[key] = cell;
+  return cell.cell;
+}
+
+AdvisorService::Stats AdvisorService::stats() const {
+  Stats s;
+  s.submitted = stats_->submitted.load();
+  s.coalesced = stats_->coalesced.load();
+  s.completed = stats_->completed.load();
+  s.failed = stats_->failed.load();
+  s.cancelled = stats_->cancelled.load();
+  s.expired = stats_->expired.load();
+  s.warm_starts = stats_->warm_starts.load();
+  s.portfolio_routed = stats_->portfolio_routed.load();
+  return s;
+}
+
+}  // namespace cloudia::service

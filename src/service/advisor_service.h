@@ -1,0 +1,238 @@
+// AdvisorService: a concurrent, multi-tenant front end over the staged
+// cloudia::DeploymentSession -- the ROADMAP's "serve heavy traffic" layer.
+//
+// Every caller today hand-drives one session synchronously. This service
+// accepts many asynchronous DeploymentRequests and schedules them across a
+// machine-wide worker pool, exploiting the paper's cost structure
+// (measurement is the expensive, billed step; solving the cached matrix is
+// cheap -- Sect. 6.2, Fig. 7) three ways:
+//
+//   1. CostMatrixCache: requests against the same environment share one
+//      measurement (TTL/LRU + single-flight; see cost_matrix_cache.h).
+//   2. Priority scheduling + request coalescing: jobs run highest priority
+//      first (earlier deadline, then FIFO, as tie-breaks); byte-identical
+//      requests in flight are coalesced onto one solve whose result every
+//      attached caller receives.
+//   3. Warm starts: the best deployment found for a (matrix, graph,
+//      objective) triple is kept in a deploy::SharedIncumbent and offered to
+//      later solves on the same triple as their starting incumbent, so
+//      repeated traffic keeps improving instead of restarting from scratch.
+//
+// Requests whose method is "auto" (or empty) are routed by problem size:
+// small instances get the default solver, big ones the concurrent portfolio
+// -- sized to the service's global thread budget.
+//
+//   service::AdvisorService service({.threads = 4});
+//   service::DeploymentRequest req;
+//   req.environment = {.provider = "ec2", .instances = 33, .seed = 7};
+//   req.app = &my_graph;
+//   req.solve.method = "auto";
+//   auto handle = service.Submit(std::move(req));
+//   const service::ServiceResult& r = handle.Wait();
+#ifndef CLOUDIA_SERVICE_ADVISOR_SERVICE_H_
+#define CLOUDIA_SERVICE_ADVISOR_SERVICE_H_
+
+#include <cstdint>
+#include <limits>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloudia/session.h"
+#include "common/cancel.h"
+#include "common/thread_pool.h"
+#include "service/cost_matrix_cache.h"
+
+namespace cloudia::service {
+
+/// Where a request currently is in its lifecycle.
+enum class RequestStage { kQueued, kMeasuring, kSolving, kDone };
+const char* RequestStageName(RequestStage stage);
+
+/// One asynchronous deployment request.
+struct DeploymentRequest {
+  /// Which environment to measure (or reuse from the cache).
+  EnvironmentSpec environment;
+  /// Application graph to place; must outlive the service. The graph must
+  /// fit the environment's instance pool.
+  const graph::CommGraph* app = nullptr;
+  /// Solve parameters (method, objective, budget, seed, ...). `method` may
+  /// be "auto" (or "") to let the service route by problem size. The
+  /// service-managed fields `app`, `cancel`, `on_progress`, and
+  /// `shared_incumbent` of the spec are ignored: use the request-level
+  /// fields instead.
+  cloudia::SolveSpec solve;
+  /// Higher runs first; ties broken by earlier deadline, then submit order.
+  int priority = 0;
+  /// Seconds after submission by which the job must have *started*; a job
+  /// still queued past its deadline fails with Status::Timeout instead of
+  /// occupying a worker. Infinity = no deadline.
+  double deadline_s = std::numeric_limits<double>::infinity();
+  /// Cancellation. RequestHandle::Cancel() is the precise channel: it
+  /// resolves the handle immediately and stops in-flight work at the next
+  /// cooperative poll (a shared measurement or coalesced solve is aborted
+  /// only when every attached caller has cancelled). Tripping this token
+  /// directly -- without the handle -- is also honored, but only at stage
+  /// boundaries: before the job starts and between measurement and solve.
+  CancelToken cancel;
+};
+
+/// Final outcome delivered through a RequestHandle.
+struct ServiceResult {
+  /// OK iff the solve ran to completion; Cancelled / Timeout / solver errors
+  /// otherwise.
+  Status status = Status::OK();
+  /// The solve outcome (valid iff status.ok()): cost, placement, trace, ...
+  cloudia::SessionSolve solve;
+  /// Canonical name of the solver that actually ran (after "auto" routing).
+  std::string routed_method;
+  bool cache_hit = false;      ///< matrix served from cache, nothing measured
+  /// Matrix came from a measurement another request started (single-flight
+  /// wait); mutually exclusive with cache_hit.
+  bool measurement_shared = false;
+  bool coalesced = false;      ///< this request attached to an identical one
+  bool warm_started = false;   ///< solve started from a prior incumbent
+  double queue_wait_s = 0.0;   ///< submission -> job start (wall)
+  double total_s = 0.0;        ///< submission -> completion (wall)
+};
+
+/// Point-in-time progress of a request (poll from any thread).
+struct RequestProgress {
+  RequestStage stage = RequestStage::kQueued;
+  /// Best incumbent cost reported so far; +infinity before the first.
+  double best_cost_ms = std::numeric_limits<double>::infinity();
+  int incumbents = 0;
+};
+
+namespace internal {
+struct RequestState;
+struct Job;
+struct StatsCell;
+}  // namespace internal
+
+/// Cheap, copyable future-like handle to a submitted request. All methods
+/// are thread-safe; the handle stays valid after the service is destroyed
+/// (the service drains its queue on destruction, so every handle completes).
+class RequestHandle {
+ public:
+  /// Blocks until the request completes and returns its result (also valid
+  /// on every later call).
+  const ServiceResult& Wait() const;
+  /// Waits up to `seconds`; true when the request completed.
+  bool WaitFor(double seconds) const;
+  bool done() const;
+  RequestProgress progress() const;
+  /// Cancels this request (see DeploymentRequest::cancel for semantics).
+  /// The handle completes with Status::Cancelled.
+  void Cancel() const;
+
+ private:
+  friend class AdvisorService;
+  explicit RequestHandle(std::shared_ptr<internal::RequestState> state);
+  std::shared_ptr<internal::RequestState> state_;
+};
+
+class AdvisorService {
+ public:
+  struct Options {
+    /// Global worker-thread budget: both the number of concurrent jobs and
+    /// the cap on solver-internal parallelism. 0 = hardware concurrency.
+    /// With threads = 1 the whole service is deterministic: jobs run
+    /// sequentially in strict priority order and every solver runs
+    /// single-threaded.
+    int threads = 0;
+    size_t cache_capacity = 8;
+    double cache_ttl_s = std::numeric_limits<double>::infinity();
+    /// Warm-start incumbent cells kept, one per (environment, graph,
+    /// objective) triple, before least-recently-used eviction -- each cell
+    /// holds a full Deployment, so the map must not grow with tenant count.
+    size_t warm_start_capacity = 64;
+    /// "auto" requests with at least this many application nodes are routed
+    /// to the portfolio solver; smaller ones to `default_method`.
+    int portfolio_node_threshold = 100;
+    std::string default_method = "cp";
+    /// Members for routed portfolio solves; empty = the portfolio default.
+    std::vector<std::string> portfolio_members;
+    /// Queue submissions without executing until Resume() -- lets batch
+    /// drivers (and determinism tests) make the execution order a pure
+    /// function of the submitted set instead of racing submission.
+    bool start_paused = false;
+    /// Test hook forwarded to the cache.
+    CostMatrixCache::MeasureFn measure_fn;
+  };
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t coalesced = 0;         ///< requests attached to an in-flight twin
+    uint64_t completed = 0;         ///< requests resolved OK
+    uint64_t failed = 0;            ///< requests resolved with a non-OK solve
+    uint64_t cancelled = 0;         ///< requests resolved Cancelled
+    uint64_t expired = 0;           ///< requests resolved Timeout (deadline)
+    uint64_t warm_starts = 0;       ///< solves seeded from a prior incumbent
+    uint64_t portfolio_routed = 0;  ///< "auto" requests sent to the portfolio
+  };
+
+  AdvisorService();  // all-default options
+  explicit AdvisorService(Options options);
+
+  /// Drains: resumes a paused service, runs every queued job to completion,
+  /// and joins the workers. Cancel handles first to shed queued work.
+  ~AdvisorService();
+
+  AdvisorService(const AdvisorService&) = delete;
+  AdvisorService& operator=(const AdvisorService&) = delete;
+
+  /// Enqueues the request and returns its handle. Never blocks on
+  /// measurement or solving. Fails requests with a null/oversized graph
+  /// asynchronously (through the handle), not by crashing.
+  RequestHandle Submit(DeploymentRequest request);
+
+  /// Starts executing queued jobs (no-op unless constructed start_paused).
+  void Resume();
+
+  /// Resolved worker budget (>= 1).
+  int threads() const { return threads_; }
+
+  Stats stats() const;
+  CostMatrixCache::Stats cache_stats() const { return cache_.stats(); }
+  CostMatrixCache& cache() { return cache_; }
+
+ private:
+  void RunOne();
+  void ExecuteJob(const std::shared_ptr<internal::Job>& job);
+  static std::string Fingerprint(const DeploymentRequest& request);
+
+  Options options_;
+  int threads_ = 1;
+  CostMatrixCache cache_;
+  std::shared_ptr<internal::StatsCell> stats_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 0;
+  bool paused_ = false;
+  size_t deferred_ = 0;  ///< drain tasks owed to the pool while paused
+  std::vector<std::shared_ptr<internal::Job>> pending_;  // max-heap
+  std::unordered_map<std::string, std::shared_ptr<internal::Job>> active_;
+  /// Warm-start cells keyed by (environment, graph, objective), bounded by
+  /// options_.warm_start_capacity with LRU eviction.
+  std::shared_ptr<deploy::SharedIncumbent> WarmStartCell(
+      const std::string& key);  // requires mu_ held
+  struct WarmCell {
+    std::shared_ptr<deploy::SharedIncumbent> cell;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, WarmCell> incumbents_;
+  std::list<std::string> incumbents_lru_;  // front = most recently used
+  int running_jobs_ = 0;
+  /// Sum of solver-internal threads currently granted to running jobs; a
+  /// new job's share is what the budget has left (floored at 1), so the
+  /// total stays within options_.threads instead of oversubscribing.
+  int granted_threads_ = 0;
+};
+
+}  // namespace cloudia::service
+
+#endif  // CLOUDIA_SERVICE_ADVISOR_SERVICE_H_

@@ -1,0 +1,191 @@
+#include "service/cost_matrix_cache.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cloudia::service {
+
+namespace {
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// All registered callers gone? Then nobody wants the measurement any more.
+bool AllCancelled(const std::vector<CancelToken>& tokens) {
+  for (const CancelToken& token : tokens) {
+    if (!token.Cancelled()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CostMatrixCache::CostMatrixCache() : CostMatrixCache(Options{}) {}
+
+CostMatrixCache::CostMatrixCache(Options options)
+    : options_(std::move(options)) {
+  if (options_.capacity < 1) options_.capacity = 1;
+  if (!options_.measure_fn) {
+    options_.measure_fn = [](const EnvironmentSpec& spec,
+                             const CancelToken& cancel) {
+      return MeasureEnvironment(spec, cancel);
+    };
+  }
+  if (!options_.now_fn) options_.now_fn = SteadySeconds;
+}
+
+double CostMatrixCache::Now() const { return options_.now_fn(); }
+
+void CostMatrixCache::Touch(const std::string& key) {
+  auto it = entries_.find(key);
+  CLOUDIA_DCHECK(it != entries_.end());
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+}
+
+void CostMatrixCache::Install(const std::string& key, EntryPtr entry) {
+  while (entries_.size() >= options_.capacity) {
+    const std::string& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  CacheEntry cached;
+  cached.entry = std::move(entry);
+  cached.expires_at = Now() + options_.ttl_s;
+  cached.lru_it = lru_.begin();
+  entries_[key] = std::move(cached);
+}
+
+Result<CostMatrixCache::EntryPtr> CostMatrixCache::GetOrMeasure(
+    const EnvironmentSpec& spec, CancelToken cancel) {
+  CLOUDIA_ASSIGN_OR_RETURN(Lookup lookup, Get(spec, std::move(cancel)));
+  return std::move(lookup.entry);
+}
+
+Result<CostMatrixCache::Lookup> CostMatrixCache::Get(
+    const EnvironmentSpec& spec, CancelToken cancel) {
+  const std::string key = spec.Key();
+  bool ever_waited = false;
+  bool counted_miss = false;  // one hit-or-miss per logical lookup
+  // Retried when an in-flight leader cancels while this caller is still
+  // interested: the next round finds no in-flight entry and measures itself.
+  for (;;) {
+    std::shared_ptr<InFlight> flight;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        if (Now() < it->second.expires_at) {
+          if (!counted_miss) ++stats_.hits;
+          Touch(key);
+          return Lookup{it->second.entry, /*hit=*/!ever_waited, ever_waited};
+        }
+        lru_.erase(it->second.lru_it);
+        entries_.erase(it);
+        ++stats_.expirations;
+      }
+      // A retry after a cancelled leader is still one logical lookup; only
+      // `measurements` keeps counting, since the re-measure is real work.
+      if (!counted_miss) {
+        ++stats_.misses;
+        counted_miss = true;
+      }
+      auto fit = inflight_.find(key);
+      if (fit == inflight_.end()) {
+        flight = std::make_shared<InFlight>();
+        flight->measure_cancel = cancel;  // the measurement polls this token
+        // Register the leader's token before the flight is published: a
+        // follower whose token is already tripped must never observe an
+        // empty roster and conclude "everyone cancelled".
+        flight->tokens.push_back(cancel);
+        inflight_[key] = flight;
+        leader = true;
+        ++stats_.measurements;
+      } else {
+        flight = fit->second;
+        ++stats_.coalesced;
+      }
+    }
+    if (!leader) {
+      std::lock_guard<std::mutex> flock(flight->mu);
+      flight->tokens.push_back(cancel);
+    }
+
+    if (leader) {
+      Result<MeasuredEnvironment> measured =
+          options_.measure_fn(spec, flight->measure_cancel);
+      EntryPtr entry;
+      if (measured.ok()) {
+        entry = std::make_shared<const MeasuredEnvironment>(
+            std::move(measured).value());
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_.erase(key);
+        if (entry != nullptr) Install(key, entry);
+        std::lock_guard<std::mutex> flock(flight->mu);
+        flight->done = true;
+        flight->entry = entry;
+        flight->status = entry != nullptr ? Status::OK() : measured.status();
+      }
+      flight->cv.notify_all();
+      if (entry == nullptr) return measured.status();
+      return Lookup{std::move(entry), /*hit=*/false, ever_waited};
+    }
+
+    // Follower: wait for the leader, polling our own token. wait_for (not
+    // wait) so a cancel that races the notify is observed within one tick.
+    ever_waited = true;
+    Status flight_status = Status::OK();
+    EntryPtr flight_entry;
+    {
+      std::unique_lock<std::mutex> flock(flight->mu);
+      while (!flight->done) {
+        if (cancel.Cancelled()) {
+          // Withdraw: abort the shared measurement only if every caller
+          // registered on this flight has given up.
+          if (AllCancelled(flight->tokens)) flight->measure_cancel.Cancel();
+          return Status::Cancelled(
+              "caller abandoned the in-flight measurement for " + key);
+        }
+        flight->cv.wait_for(flock, std::chrono::milliseconds(2));
+      }
+      flight_status = flight->status;
+      flight_entry = flight->entry;
+    }
+    if (flight_status.ok()) {
+      return Lookup{std::move(flight_entry), /*hit=*/false, /*waited=*/true};
+    }
+    if (flight_status.code() == StatusCode::kCancelled &&
+        !cancel.Cancelled()) {
+      continue;  // the leader bailed but we still want the matrix: remeasure
+    }
+    return flight_status;
+  }
+}
+
+size_t CostMatrixCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void CostMatrixCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+CostMatrixCache::Stats CostMatrixCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cloudia::service

@@ -1,0 +1,70 @@
+#include "service/environment.h"
+
+#include <cstdio>
+
+#include "netsim/provider.h"
+
+namespace cloudia::service {
+
+std::string EnvironmentSpec::Key() const {
+  // Canonicalize the duration: <= 0 means the paper's default rule, so a
+  // spec leaving it unset and one spelling the same value explicitly are
+  // byte-identical measurements and must share a cache entry.
+  const double duration_s =
+      measure_duration_s > 0
+          ? measure_duration_s
+          : measure::DefaultMeasureDurationS(
+                static_cast<size_t>(instances > 0 ? instances : 0));
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "|n=%d|p=%s|m=%s|d=%.17g|b=%.17g|s=%llu",
+                instances, measure::ProtocolName(protocol),
+                measure::CostMetricName(metric), duration_s, probe_bytes,
+                static_cast<unsigned long long>(seed));
+  return provider + buf;
+}
+
+Result<net::ProviderProfile> ProviderProfileByName(std::string_view name) {
+  if (name == "ec2") return net::AmazonEc2Profile();
+  if (name == "gce") return net::GoogleComputeEngineProfile();
+  if (name == "rackspace") return net::RackspaceCloudProfile();
+  return Status::InvalidArgument("unknown provider '" + std::string(name) +
+                                 "' (known: ec2, gce, rackspace)");
+}
+
+Result<MeasuredEnvironment> MeasureEnvironment(const EnvironmentSpec& spec,
+                                               const CancelToken& cancel) {
+  if (spec.instances < 2) {
+    return Status::InvalidArgument(
+        "environment needs >= 2 instances, got " +
+        std::to_string(spec.instances));
+  }
+  CLOUDIA_ASSIGN_OR_RETURN(net::ProviderProfile profile,
+                           ProviderProfileByName(spec.provider));
+  net::CloudSimulator cloud(std::move(profile), spec.seed);
+
+  MeasuredEnvironment env;
+  env.spec = spec;
+  CLOUDIA_ASSIGN_OR_RETURN(env.instances, cloud.Allocate(spec.instances));
+
+  // Same recipe as DeploymentSession::Measure() -- the shared helpers keep
+  // the two paths bit-identical (test_advisor_service pins this).
+  measure::ProtocolOptions popts;
+  popts.msg_bytes = spec.probe_bytes;
+  popts.seed = measure::MeasurementProtocolSeed(spec.seed);
+  popts.cancel = cancel;
+  popts.duration_s =
+      spec.measure_duration_s > 0
+          ? spec.measure_duration_s
+          : measure::DefaultMeasureDurationS(env.instances.size());
+  CLOUDIA_ASSIGN_OR_RETURN(
+      measure::MeasurementResult measurement,
+      measure::RunProtocol(cloud, env.instances, spec.protocol, popts));
+  env.measure_virtual_s = measurement.virtual_time_ms / 1e3;
+  // Full coverage required: a sentinel-poisoned matrix would skew every
+  // solve the cache serves it to (same policy as DeploymentSession).
+  CLOUDIA_ASSIGN_OR_RETURN(env.costs,
+                           measure::BuildCostMatrix(measurement, spec.metric));
+  return env;
+}
+
+}  // namespace cloudia::service

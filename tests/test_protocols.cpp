@@ -51,6 +51,22 @@ TEST_F(ProtocolsTest, AllProtocolsRejectTooFewInstances) {
   EXPECT_FALSE(RunStaged(cloud_, one, opts).ok());
 }
 
+TEST_F(ProtocolsTest, AllProtocolsAbortOnCancelledToken) {
+  // A pre-tripped token must abort every protocol at its first poll with
+  // Status::Cancelled -- the service layer relies on this to stop billed
+  // measurement work for abandoned requests.
+  ProtocolOptions options;
+  options.duration_s = 60.0;
+  options.cancel.Cancel();
+  for (Protocol protocol : {Protocol::kTokenPassing, Protocol::kUncoordinated,
+                            Protocol::kStaged}) {
+    auto r = RunProtocol(cloud_, instances_, protocol, options);
+    ASSERT_FALSE(r.ok()) << ProtocolName(protocol);
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled)
+        << ProtocolName(protocol) << ": " << r.status().ToString();
+  }
+}
+
 TEST_F(ProtocolsTest, StagedRejectsBadKs) {
   ProtocolOptions opts;
   opts.ks = 0;

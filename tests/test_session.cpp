@@ -227,6 +227,107 @@ TEST(DeploymentSessionTest, CancellationStopsCpMidBudget) {
                   .ok());
 }
 
+TEST(DeploymentSessionTest, MeasureAbortsOnPreCancelledToken) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 43);
+  graph::CommGraph app = graph::Mesh2D(3, 4);
+  SessionOptions options = FastOptions();
+  options.cancel.Cancel();
+  DeploymentSession session(&cloud, &app, options);
+  Status measured = session.Measure();
+  ASSERT_FALSE(measured.ok());
+  EXPECT_EQ(measured.code(), StatusCode::kCancelled);
+  EXPECT_FALSE(session.measured_stage_done());
+}
+
+TEST(DeploymentSessionTest, CancellationAbortsMeasureMidFlight) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 47);
+  graph::CommGraph app = graph::Mesh2D(4, 5);
+  SessionOptions options = FastOptions();
+  // A day of virtual measurement: hours of wall time if cancellation failed
+  // to cut it short (the assertion below would then fail loudly).
+  options.measure_duration_s = 24.0 * 3600.0;
+  DeploymentSession session(&cloud, &app, options);
+
+  Stopwatch wall;
+  Status measured = Status::OK();
+  std::thread worker([&session, &measured] { measured = session.Measure(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  options.cancel.Cancel();
+  worker.join();
+
+  ASSERT_FALSE(measured.ok());
+  EXPECT_EQ(measured.code(), StatusCode::kCancelled);
+  EXPECT_LT(wall.ElapsedSeconds(), 30.0)
+      << "cancel must abort the in-flight measurement promptly";
+  EXPECT_FALSE(session.measured_stage_done());
+}
+
+TEST(DeploymentSessionTest, AdoptMeasurementReusesAnotherSessionsMatrix) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 53);
+  graph::CommGraph app = graph::Mesh2D(4, 5);
+  DeploymentSession measured(&cloud, &app, FastOptions());
+  ASSERT_TRUE(measured.Measure().ok());
+
+  // A cloud-less session adopts the measurement and solves identically.
+  DeploymentSession adopted(/*cloud=*/nullptr, &app, FastOptions());
+  ASSERT_TRUE(adopted
+                  .AdoptMeasurement(measured.allocated(), measured.costs(),
+                                    measured.measure_virtual_s())
+                  .ok());
+  EXPECT_TRUE(adopted.allocated_stage_done());
+  EXPECT_TRUE(adopted.measured_stage_done());
+  EXPECT_EQ(adopted.costs(), measured.costs());
+
+  SolveSpec spec;
+  spec.method = "g2";
+  spec.seed = 3;
+  auto a = measured.Solve(spec);
+  auto b = adopted.Solve(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->result.deployment, b->result.deployment);
+  EXPECT_DOUBLE_EQ(a->cost_ms, b->cost_ms);
+
+  // The adopted pool belongs to whoever measured it.
+  EXPECT_FALSE(adopted.Terminate().ok());
+
+  // Mismatched matrix/pool sizes and double adoption fail cleanly.
+  DeploymentSession bad(/*cloud=*/nullptr, &app, FastOptions());
+  EXPECT_FALSE(
+      bad.AdoptMeasurement(measured.allocated(), deploy::CostMatrix(3), 0.0)
+          .ok());
+  ASSERT_TRUE(bad.AdoptMeasurement(measured.allocated(), measured.costs(), 0.0)
+                  .ok());
+  EXPECT_FALSE(
+      bad.AdoptMeasurement(measured.allocated(), measured.costs(), 0.0).ok());
+
+  // A cloud-less session cannot allocate or measure on its own.
+  DeploymentSession no_cloud(/*cloud=*/nullptr, &app, FastOptions());
+  EXPECT_FALSE(no_cloud.Allocate().ok());
+  EXPECT_FALSE(no_cloud.Measure().ok());
+}
+
+TEST(DeploymentSessionTest, SharedIncumbentCellCarriesSolutionsAcrossSolves) {
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 59);
+  graph::CommGraph app = graph::Mesh2D(4, 5);
+  DeploymentSession session(&cloud, &app, FastOptions());
+  ASSERT_TRUE(session.Measure().ok());
+
+  auto cell = std::make_shared<deploy::SharedIncumbent>();
+  SolveSpec spec;
+  spec.method = "local";
+  spec.time_budget_s = 1.0;
+  spec.shared_incumbent = cell;
+  auto solve = session.Solve(spec);
+  ASSERT_TRUE(solve.ok());
+
+  double cell_cost = 0.0;
+  deploy::Deployment cell_deployment;
+  ASSERT_TRUE(cell->Snapshot(&cell_cost, &cell_deployment));
+  EXPECT_LE(cell_cost, solve->cost_ms + 1e-9);
+  EXPECT_EQ(cell_deployment.size(), 20u);
+}
+
 TEST(DeploymentSessionTest, AdvisorWrapperMatchesSessionPipeline) {
   // The one-shot Advisor is a thin wrapper over DeploymentSession: same
   // cloud seed + config must produce the identical deployment either way.

@@ -118,5 +118,27 @@ TEST(SolveFacadeTest2, MethodNames) {
   EXPECT_STREQ(MethodName(Method::kMip), "MIP");
 }
 
+TEST(SolveFacadeTest2, UnknownMethodErrorListsRegisteredSolvers) {
+  Rng master(1);
+  graph::CommGraph mesh = graph::Mesh2D(2, 3);
+  CostMatrix costs = RandomCosts(8, master);
+  NdpSolveOptions opts;
+  SolveContext context(Deadline::After(0.1));
+  auto r = SolveNodeDeploymentByName(mesh, costs, "flying-solver", opts,
+                                     context);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  // Not a bare "unknown method": the message names the typo and every
+  // registered solver, so a caller can self-correct.
+  const std::string& message = r.status().message();
+  EXPECT_NE(message.find("flying-solver"), std::string::npos) << message;
+  EXPECT_NE(message.find("known:"), std::string::npos) << message;
+  for (const char* name :
+       {"cp", "mip", "g1", "g2", "r1", "r2", "local", "portfolio"}) {
+    EXPECT_NE(message.find(name), std::string::npos)
+        << "missing '" << name << "' in: " << message;
+  }
+}
+
 }  // namespace
 }  // namespace cloudia::deploy

@@ -21,40 +21,15 @@
 #include "graph/templates.h"
 #include "measure/io.h"
 #include "measure/protocols.h"
+#include "tool_util.h"
 
 namespace {
 
 using namespace cloudia;
 
-// "cp, mip,local" -> {"cp", "mip", "local"}: splits on commas and trims
-// surrounding whitespace so quoted lists with spaces work. Empty -> empty.
-std::vector<std::string> SplitCommaList(const std::string& csv) {
-  std::vector<std::string> out;
-  size_t start = 0;
-  while (start <= csv.size()) {
-    size_t comma = csv.find(',', start);
-    if (comma == std::string::npos) comma = csv.size();
-    size_t lo = start, hi = comma;
-    while (lo < hi && std::isspace(static_cast<unsigned char>(csv[lo]))) ++lo;
-    while (hi > lo && std::isspace(static_cast<unsigned char>(csv[hi - 1]))) {
-      --hi;
-    }
-    if (hi > lo) out.push_back(csv.substr(lo, hi - lo));
-    start = comma + 1;
-  }
-  return out;
-}
-
-// --threads must be a non-negative count (0 = hardware concurrency).
-// Returns false after printing a usage-style error.
-bool ValidateThreads(int64_t threads) {
-  if (threads >= 0) return true;
-  std::fprintf(stderr,
-               "--threads=%lld: thread count cannot be negative "
-               "(use 0 for hardware concurrency)\n",
-               static_cast<long long>(threads));
-  return false;
-}
+using tools::GraphByName;
+using tools::SplitCommaList;
+using tools::ValidateThreads;
 
 // Canonicalizes --portfolio members via the registry; prints the error and
 // returns false on unknown or duplicate names.
@@ -71,14 +46,7 @@ bool ValidatePortfolio(const std::string& csv,
   return true;
 }
 
-std::string KnownMethods() {
-  std::string out;
-  for (const std::string& name : deploy::SolverRegistry::Global().Names()) {
-    if (!out.empty()) out += " | ";
-    out += name;
-  }
-  return out;
-}
+std::string KnownMethods() { return tools::KnownSolverNames(" | "); }
 
 void PrintUsage() {
   std::printf(
@@ -87,7 +55,7 @@ void PrintUsage() {
       "common flags:\n"
       "  --seed=N             RNG seed (default 1)\n"
       "  --provider=NAME      ec2 | gce | rackspace (default ec2)\n"
-      "  --graph=NAME         mesh | tree | bipartite (default mesh)\n"
+      "  --graph=NAME         mesh | tree | bipartite | ring (default mesh)\n"
       "  --nodes=N            application nodes (default 30; shapes snap to\n"
       "                       the nearest template size)\n"
       "  --objective=NAME     longest-link | longest-path\n"
@@ -111,30 +79,6 @@ net::ProviderProfile ProviderByName(const std::string& name) {
   if (name == "gce") return net::GoogleComputeEngineProfile();
   if (name == "rackspace") return net::RackspaceCloudProfile();
   return net::AmazonEc2Profile();
-}
-
-// Builds the requested graph with roughly `nodes` nodes.
-graph::CommGraph GraphByName(const std::string& name, int nodes) {
-  if (name == "tree") {
-    // Deepest 3-ary tree with at most `nodes` nodes.
-    int levels = 1, count = 1, width = 3;
-    while (count + width <= nodes) {
-      count += width;
-      width *= 3;
-      ++levels;
-    }
-    return graph::AggregationTree(3, levels);
-  }
-  if (name == "bipartite") {
-    int frontends = std::max(1, nodes / 10);
-    return graph::Bipartite(frontends, std::max(1, nodes - frontends));
-  }
-  // mesh: nearest rows x cols factorization.
-  int rows = 1;
-  for (int r = 2; r * r <= nodes; ++r) {
-    if (nodes % r == 0) rows = r;
-  }
-  return graph::Mesh2D(rows, nodes / rows);
 }
 
 int RunAdvise(const Flags& flags) {

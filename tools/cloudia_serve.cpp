@@ -1,0 +1,322 @@
+// cloudia_serve -- line-delimited request front end for the concurrent
+// service::AdvisorService.
+//
+// Reads one deployment request per line from a file (or stdin), submits them
+// all to the service, and streams results back in submission order. Requests
+// against the same environment share one measurement through the service's
+// cost-matrix cache; byte-identical requests are coalesced onto one solve.
+//
+// Request lines are whitespace-separated key=value tokens; '#' starts a
+// comment. Example (see examples/service_requests.txt):
+//
+//   provider=ec2 instances=33 graph=mesh nodes=30 method=auto budget=2
+//       priority=1 seed=7
+//
+// Usage:
+//   cloudia_serve --file=examples/service_requests.txt --threads=4
+//   cloudia_serve --file=- < requests.txt        # stdin
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "deploy/solver_registry.h"
+#include "graph/templates.h"
+#include "service/advisor_service.h"
+#include "tool_util.h"
+
+namespace {
+
+using namespace cloudia;
+
+void PrintUsage() {
+  std::printf(
+      "usage: cloudia_serve [flags]\n"
+      "\n"
+      "Reads line-delimited deployment requests and streams results.\n"
+      "\n"
+      "flags:\n"
+      "  --file=PATH          request file; '-' = stdin (default '-')\n"
+      "  --threads=N          global worker budget (default: hardware;\n"
+      "                       1 = deterministic schedule)\n"
+      "  --cache-capacity=N   cost-matrix cache slots (default 8)\n"
+      "  --cache-ttl=SECONDS  cache entry TTL (default: never expires)\n"
+      "  --portfolio-threshold=N  'auto' requests with >= N application\n"
+      "                       nodes run the portfolio solver (default 100)\n"
+      "  --default-method=M   solver for small 'auto' requests (default cp)\n"
+      "  --batch              submit every line before executing, so the\n"
+      "                       schedule is a pure function of the file\n"
+      "\n"
+      "request line keys (whitespace-separated key=value; '#' comments):\n"
+      "  provider=ec2|gce|rackspace   instances=N     env-seed=N\n"
+      "  protocol=token|uncoordinated|staged   metric=mean|mean-sd|p99\n"
+      "  duration=VIRTUAL_SECONDS     probe-bytes=B\n"
+      "  graph=mesh|tree|bipartite|ring   nodes=N\n"
+      "  method=auto|%s\n"
+      "  objective=longest-link|longest-path   budget=S   clusters=K\n"
+      "  r1-samples=N   threads=N   portfolio=A,B,...   seed=N\n"
+      "  priority=P (higher first)    deadline=S (must start within)\n",
+      tools::KnownSolverNames(", ").c_str());
+}
+
+using tools::GraphByName;
+using tools::SplitCommaList;
+
+// One parsed request line -> DeploymentRequest. The graph store keeps every
+// distinct (graph, nodes) template alive for the service's lifetime.
+struct GraphStore {
+  const graph::CommGraph* Get(const std::string& name, int nodes) {
+    auto key = std::make_pair(name, nodes);
+    auto it = index.find(key);
+    if (it != index.end()) return it->second;
+    graphs.push_back(GraphByName(name, nodes));
+    index[key] = &graphs.back();
+    return &graphs.back();
+  }
+  std::deque<graph::CommGraph> graphs;  // deque: stable addresses
+  std::map<std::pair<std::string, int>, const graph::CommGraph*> index;
+};
+
+Result<service::DeploymentRequest> ParseRequestLine(const std::string& line,
+                                                    GraphStore& graphs) {
+  service::DeploymentRequest req;
+  std::string graph_name = "mesh";
+  int nodes = 30;
+  int instances = 0;  // 0 = nodes + 10% over-allocation
+  req.solve.method = "auto";
+
+  std::istringstream tokens(line);
+  std::string token;
+  while (tokens >> token) {
+    if (token[0] == '#') break;
+    size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("token '" + token +
+                                     "' is not key=value");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    auto as_int = [&]() -> Result<int> {
+      try {
+        return std::stoi(value);
+      } catch (...) {
+        return Status::InvalidArgument(key + "=" + value + ": not a number");
+      }
+    };
+    auto as_double = [&]() -> Result<double> {
+      try {
+        return std::stod(value);
+      } catch (...) {
+        return Status::InvalidArgument(key + "=" + value + ": not a number");
+      }
+    };
+    if (key == "provider") {
+      CLOUDIA_RETURN_IF_ERROR(
+          service::ProviderProfileByName(value).status());
+      req.environment.provider = value;
+    } else if (key == "instances") {
+      CLOUDIA_ASSIGN_OR_RETURN(instances, as_int());
+    } else if (key == "env-seed") {
+      CLOUDIA_ASSIGN_OR_RETURN(int v, as_int());
+      req.environment.seed = static_cast<uint64_t>(v);
+    } else if (key == "protocol") {
+      if (value == "token") {
+        req.environment.protocol = measure::Protocol::kTokenPassing;
+      } else if (value == "uncoordinated") {
+        req.environment.protocol = measure::Protocol::kUncoordinated;
+      } else if (value == "staged") {
+        req.environment.protocol = measure::Protocol::kStaged;
+      } else {
+        return Status::InvalidArgument(
+            "unknown protocol '" + value +
+            "' (known: token, uncoordinated, staged)");
+      }
+    } else if (key == "metric") {
+      if (value == "mean") {
+        req.environment.metric = measure::CostMetric::kMean;
+      } else if (value == "mean-sd") {
+        req.environment.metric = measure::CostMetric::kMeanPlusStdDev;
+      } else if (value == "p99") {
+        req.environment.metric = measure::CostMetric::kP99;
+      } else {
+        return Status::InvalidArgument("unknown metric '" + value +
+                                       "' (known: mean, mean-sd, p99)");
+      }
+    } else if (key == "duration") {
+      CLOUDIA_ASSIGN_OR_RETURN(req.environment.measure_duration_s,
+                               as_double());
+    } else if (key == "probe-bytes") {
+      CLOUDIA_ASSIGN_OR_RETURN(req.environment.probe_bytes, as_double());
+    } else if (key == "graph") {
+      graph_name = value;
+    } else if (key == "nodes") {
+      CLOUDIA_ASSIGN_OR_RETURN(nodes, as_int());
+      // Validate before the template builders, whose CHECKs would abort
+      // the whole server on a bad line instead of skipping it.
+      if (nodes < 2) {
+        return Status::InvalidArgument("nodes=" + value +
+                                       ": a graph needs >= 2 nodes");
+      }
+    } else if (key == "method") {
+      // Validate now so a typo is reported with the available solver names
+      // instead of failing deep inside the service.
+      if (value != "auto" && !value.empty()) {
+        CLOUDIA_RETURN_IF_ERROR(
+            deploy::SolverRegistry::Global().Require(value).status());
+      }
+      req.solve.method = value;
+    } else if (key == "objective") {
+      CLOUDIA_ASSIGN_OR_RETURN(req.solve.objective,
+                               deploy::ParseObjective(value));
+    } else if (key == "budget") {
+      CLOUDIA_ASSIGN_OR_RETURN(req.solve.time_budget_s, as_double());
+    } else if (key == "clusters") {
+      CLOUDIA_ASSIGN_OR_RETURN(req.solve.cost_clusters, as_int());
+    } else if (key == "r1-samples") {
+      CLOUDIA_ASSIGN_OR_RETURN(req.solve.r1_samples, as_int());
+    } else if (key == "threads") {
+      CLOUDIA_ASSIGN_OR_RETURN(req.solve.threads, as_int());
+      if (req.solve.threads < 0) {
+        return Status::InvalidArgument(
+            "threads=" + value +
+            ": thread count cannot be negative (use 0 for the service's "
+            "budget)");
+      }
+    } else if (key == "portfolio") {
+      CLOUDIA_ASSIGN_OR_RETURN(
+          req.solve.portfolio_members,
+          deploy::ValidatePortfolioMembers(deploy::SolverRegistry::Global(),
+                                           SplitCommaList(value)));
+    } else if (key == "seed") {
+      CLOUDIA_ASSIGN_OR_RETURN(int v, as_int());
+      req.solve.seed = static_cast<uint64_t>(v);
+    } else if (key == "priority") {
+      CLOUDIA_ASSIGN_OR_RETURN(req.priority, as_int());
+    } else if (key == "deadline") {
+      CLOUDIA_ASSIGN_OR_RETURN(req.deadline_s, as_double());
+    } else {
+      return Status::InvalidArgument("unknown request key '" + key + "'");
+    }
+  }
+
+  req.app = graphs.Get(graph_name, nodes);
+  nodes = req.app->num_nodes();
+  req.environment.instances =
+      instances > 0 ? instances : nodes + std::max(1, nodes / 10);
+  if (req.environment.instances < nodes) {
+    return Status::InvalidArgument(
+        "instances=" + std::to_string(req.environment.instances) +
+        " cannot hold the " + std::to_string(nodes) + "-node graph");
+  }
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  if (flags->Has("help")) {
+    PrintUsage();
+    return 0;
+  }
+  auto threads = flags->GetInt("threads", 0);
+  auto capacity = flags->GetInt("cache-capacity", 8);
+  auto ttl = flags->GetDouble("cache-ttl", 0.0);
+  auto threshold = flags->GetInt("portfolio-threshold", 100);
+  if (!threads.ok() || !capacity.ok() || !ttl.ok() || !threshold.ok()) {
+    std::fprintf(stderr, "bad numeric flag\n");
+    return 2;
+  }
+  if (!tools::ValidateThreads(*threads)) return 2;
+  const bool batch = flags->GetBool("batch", false);
+  const std::string path = flags->GetString("file", "-");
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (path != "-") {
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open request file '%s'\n", path.c_str());
+      return 2;
+    }
+    in = &file;
+  }
+
+  service::AdvisorService::Options options;
+  options.threads = static_cast<int>(*threads);
+  options.cache_capacity = static_cast<size_t>(*capacity);
+  if (*ttl > 0) options.cache_ttl_s = *ttl;
+  options.portfolio_node_threshold = static_cast<int>(*threshold);
+  options.default_method = flags->GetString("default-method", "cp");
+  options.start_paused = batch;
+  service::AdvisorService advisor(options);
+
+  GraphStore graphs;
+  std::vector<service::RequestHandle> handles;
+  std::string line;
+  int line_no = 0;
+  int parse_errors = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    // Skip blanks and comment lines.
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    auto request = ParseRequestLine(line, graphs);
+    if (!request.ok()) {
+      std::fprintf(stderr, "line %d: %s\n", line_no,
+                   request.status().ToString().c_str());
+      ++parse_errors;
+      continue;
+    }
+    handles.push_back(advisor.Submit(std::move(request).value()));
+  }
+  if (batch) advisor.Resume();
+
+  int failed_requests = 0;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const service::ServiceResult& r = handles[i].Wait();
+    if (!r.status.ok()) {
+      std::printf("req %3zu: FAILED %s\n", i + 1,
+                  r.status.ToString().c_str());
+      ++failed_requests;
+      continue;
+    }
+    std::printf(
+        "req %3zu: %-9s cost=%.4fms default=%.4fms improvement=%4.1f%% "
+        "%s%s%swall=%.2fs\n",
+        i + 1, r.routed_method.c_str(), r.solve.cost_ms,
+        r.solve.default_cost_ms, 100.0 * r.solve.predicted_improvement,
+        r.cache_hit ? "cache-hit "
+                    : (r.measurement_shared ? "shared-measure " : "measured "),
+        r.coalesced ? "coalesced " : "", r.warm_started ? "warm " : "",
+        r.total_s);
+  }
+
+  service::AdvisorService::Stats s = advisor.stats();
+  service::CostMatrixCache::Stats cs = advisor.cache_stats();
+  std::printf(
+      "served %llu requests (%llu coalesced, %llu failed, %llu cancelled, "
+      "%llu expired); %llu measurements for %llu matrix lookups "
+      "(%llu hits), %llu warm starts\n",
+      static_cast<unsigned long long>(s.submitted),
+      static_cast<unsigned long long>(s.coalesced),
+      static_cast<unsigned long long>(s.failed),
+      static_cast<unsigned long long>(s.cancelled),
+      static_cast<unsigned long long>(s.expired),
+      static_cast<unsigned long long>(cs.measurements),
+      static_cast<unsigned long long>(cs.hits + cs.misses),
+      static_cast<unsigned long long>(cs.hits),
+      static_cast<unsigned long long>(s.warm_starts));
+  // Repo convention: runtime failures exit 1 too, so scripts and CI notice
+  // failed requests, not only unparsable ones.
+  return parse_errors == 0 && failed_requests == 0 ? 0 : 1;
+}
