@@ -68,9 +68,16 @@ Status DeploymentSession::Measure() {
 Status DeploymentSession::AdoptMeasurement(std::vector<net::Instance> instances,
                                            deploy::CostMatrix costs,
                                            double measure_virtual_s) {
-  if (allocated_done_ || measured_done_) {
+  // Re-adoption is the redeployment re-solve path: a session fed by an
+  // external cache may adopt a *refreshed* matrix in place and keep its
+  // solve history. A session that allocated or measured its own pool owns
+  // those instances -- swapping the pool out from under it would leak them
+  // -- so only never-started and previously-adopted sessions qualify.
+  const bool readopting = !owns_pool_ && !terminated_done_;
+  if ((allocated_done_ || measured_done_) && !readopting) {
     return Status::InvalidArgument(
-        "AdoptMeasurement() on a session that already allocated or measured");
+        "AdoptMeasurement() on a session that already allocated or measured "
+        "its own pool (re-adoption only replaces adopted measurements)");
   }
   if (instances.size() < 2) {
     return Status::InvalidArgument("adopted pool needs >= 2 instances");

@@ -163,8 +163,14 @@ class DeploymentSession {
   /// sessions (service::AdvisorService measures an environment once and
   /// hands the matrix to every session solving on it). The session does not
   /// own the adopted instances: Terminate() is an error on such a session.
-  /// Fails when a stage already ran or the matrix size does not match the
-  /// instance count.
+  ///
+  /// A session that already adopted may adopt again: the redeployment path
+  /// refreshes an environment's matrix when the network drifts, and
+  /// re-adopting lets the same session re-solve against the fresh costs
+  /// (its solve history is kept; later solves simply see the new matrix).
+  /// Fails when the session allocated or measured its *own* pool (replacing
+  /// an owned pool would leak the instances) or when the matrix size does
+  /// not match the instance count.
   Status AdoptMeasurement(std::vector<net::Instance> instances,
                           deploy::CostMatrix costs,
                           double measure_virtual_s = 0.0);

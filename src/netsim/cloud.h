@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "netsim/dynamics.h"
 #include "netsim/latency_model.h"
 #include "netsim/provider.h"
 #include "netsim/topology.h"
@@ -50,6 +51,16 @@ class CloudSimulator {
   /// Releases the instances' slots (ClouDiA's "terminate extra instances").
   void Terminate(const std::vector<Instance>& instances);
 
+  /// Overlays time-varying behavior (congestion episodes, VM relocation; see
+  /// netsim/dynamics.h) on every subsequent RTT query. Non-owning: the
+  /// dynamics must outlive the simulator (or be detached with nullptr). The
+  /// overlay is deterministic in (dynamics seed, t_hours), so attaching it
+  /// keeps whole-pipeline runs reproducible.
+  void AttachDynamics(const NetworkDynamics* dynamics) {
+    dynamics_ = dynamics;
+  }
+  const NetworkDynamics* dynamics() const { return dynamics_; }
+
   /// Mean RTT of the ordered link a->b (ms) for `msg_bytes` messages at
   /// absolute time `t_hours`; this is the ground truth the measurement
   /// protocols estimate.
@@ -86,6 +97,7 @@ class CloudSimulator {
   ProviderProfile profile_;
   Topology topology_;
   LatencyModel model_;
+  const NetworkDynamics* dynamics_ = nullptr;
   Rng rng_;
   int next_instance_id_ = 0;
   /// host -> number of our VMs currently on it.

@@ -1,0 +1,133 @@
+#include "redeploy/online.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "measure/event_queue.h"
+#include "measure/probe_engine.h"
+
+namespace cloudia::redeploy {
+
+Result<OnlineOutcome> RunOnlineRedeployment(
+    const net::CloudSimulator& cloud,
+    const std::vector<net::Instance>& pool, const graph::CommGraph& graph,
+    const deploy::CostMatrix& baseline, const deploy::Deployment& initial,
+    const OnlineOptions& options,
+    const std::function<void(double t_hours, const deploy::CostMatrix&)>&
+        on_refresh) {
+  if (options.checks < 1 || options.check_interval_s <= 0.0) {
+    return Status::InvalidArgument(
+        "need checks >= 1 and check_interval_s > 0");
+  }
+  CLOUDIA_RETURN_IF_ERROR(deploy::ValidateDeployment(
+      graph, initial, baseline, options.planner.objective));
+  CLOUDIA_ASSIGN_OR_RETURN(
+      DriftMonitor monitor,
+      DriftMonitor::Create(&cloud, &pool, baseline, options.monitor));
+
+  OnlineOutcome outcome;
+  outcome.final_deployment = initial;
+  outcome.latest_costs = baseline;
+
+  // The loop is clocked by the same EventQueue the protocols use: one event
+  // per check, `check_interval_s` apart in virtual time. Events only record
+  // failures; the queue drains regardless and status is checked after.
+  measure::EventQueue clock;
+  Status failure = Status::OK();
+  for (int k = 1; k <= options.checks; ++k) {
+    clock.ScheduleAt(
+        static_cast<double>(k) * options.check_interval_s * 1e3, [&] {
+          if (!failure.ok()) return;
+          if (options.cancel.Cancelled()) {
+            failure = Status::Cancelled("online redeployment cancelled");
+            return;
+          }
+          const double t_hours =
+              options.start_t_hours + clock.now_ms() / 3.6e6;
+          OnlineCheckRecord record;
+          record.check = monitor.Check(t_hours);
+          if (!record.check.escalate) {
+            outcome.records.push_back(std::move(record));
+            return;
+          }
+          ++outcome.escalations;
+
+          // Full re-measure of the pool at this virtual instant, with the
+          // same recipe as the baseline measurement. The protocol seed is
+          // re-derived per escalation so repeated refreshes do not replay
+          // the baseline's sample stream.
+          measure::ProtocolOptions popts;
+          popts.msg_bytes = options.probe_bytes;
+          popts.start_t_hours = t_hours;
+          popts.seed = measure::MeasurementProtocolSeed(
+              options.measure_seed +
+              0x9e3779b97f4a7c15ULL *
+                  static_cast<uint64_t>(outcome.escalations));
+          popts.cancel = options.cancel;
+          popts.duration_s = options.measure_duration_s > 0
+                                 ? options.measure_duration_s
+                                 : measure::DefaultMeasureDurationS(pool.size());
+          auto measured =
+              measure::RunProtocol(cloud, pool, options.protocol, popts);
+          if (!measured.ok()) {
+            failure = measured.status();
+            return;
+          }
+          auto refreshed =
+              measure::BuildCostMatrix(*measured, options.metric);
+          if (!refreshed.ok()) {
+            failure = refreshed.status();
+            return;
+          }
+          ++outcome.remeasures;
+          record.remeasured = true;
+          outcome.latest_costs = std::move(refreshed).value();
+          // Observers get the instant the re-measure *completed*: that is
+          // where a drift timeline for this matrix starts (matching how a
+          // baseline measured from t = 0 is stamped with its duration).
+          if (on_refresh) {
+            on_refresh(t_hours + popts.duration_s / 3600.0,
+                       outcome.latest_costs);
+          }
+
+          // Plan the migration-constrained redeployment on the fresh
+          // matrix; a validated plan is applied, an empty one means the
+          // budget/penalty beat every candidate.
+          auto plan = PlanMigration(graph, outcome.latest_costs,
+                                    outcome.final_deployment, options.planner);
+          if (!plan.ok()) {
+            failure = plan.status();
+            return;
+          }
+          Status valid = ValidateMigrationPlan(
+              graph, outcome.latest_costs, outcome.final_deployment, *plan,
+              options.planner.objective);
+          if (!valid.ok()) {
+            failure = valid;
+            return;
+          }
+          outcome.migrations += plan->migrations;
+          outcome.final_deployment = plan->target;
+          record.plan = std::move(plan).value();
+
+          // The network genuinely changed: the refreshed matrix is the new
+          // baseline drift is measured against.
+          Status rebased = monitor.Rebase(outcome.latest_costs);
+          CLOUDIA_CHECK(rebased.ok());
+          outcome.records.push_back(std::move(record));
+        });
+  }
+  clock.RunAll();
+  if (!failure.ok()) return failure;
+
+  outcome.monitored_virtual_s =
+      static_cast<double>(options.checks) * options.check_interval_s;
+  CLOUDIA_ASSIGN_OR_RETURN(
+      deploy::CostEvaluator eval,
+      deploy::CostEvaluator::Create(&graph, &outcome.latest_costs,
+                                    options.planner.objective));
+  outcome.final_cost_ms = eval.Cost(outcome.final_deployment);
+  return outcome;
+}
+
+}  // namespace cloudia::redeploy

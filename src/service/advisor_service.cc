@@ -26,6 +26,9 @@ struct StatsCell {
   std::atomic<uint64_t> expired{0};
   std::atomic<uint64_t> warm_starts{0};
   std::atomic<uint64_t> portfolio_routed{0};
+  std::atomic<uint64_t> redeploys{0};
+  std::atomic<uint64_t> redeploys_drifted{0};
+  std::atomic<uint64_t> matrix_refreshes{0};
 };
 
 // One scheduled unit of work: the leader request plus every byte-identical
@@ -100,11 +103,41 @@ struct RequestState {
   }
 };
 
+// Per-SubmitRedeploy() state behind a RedeployHandle; completion is
+// write-once, mirroring RequestState.
+struct RedeployState {
+  RedeployRequest request;
+  CancelToken cancel;
+  Stopwatch submitted;
+  std::shared_ptr<StatsCell> stats;
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool done = false;
+  RedeployResult result;
+
+  bool Complete(RedeployResult r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (done) return false;
+      if (stats != nullptr && r.status.ok() && r.drift_detected) {
+        ++stats->redeploys_drifted;
+      }
+      r.total_s = submitted.ElapsedSeconds();
+      result = std::move(r);
+      done = true;
+    }
+    cv.notify_all();
+    return true;
+  }
+};
+
 }  // namespace internal
 
 namespace {
 
 using internal::Job;
+using internal::RedeployState;
 using internal::RequestState;
 
 bool EqualsIgnoreCase(const std::string& a, const char* b) {
@@ -217,6 +250,35 @@ void RequestHandle::Cancel() const {
     if (!st->cancel.Cancelled()) return;
   }
   job->job_cancel.Cancel();
+}
+
+// --- RedeployHandle ----------------------------------------------------------
+
+RedeployHandle::RedeployHandle(std::shared_ptr<internal::RedeployState> state)
+    : state_(std::move(state)) {}
+
+const RedeployResult& RedeployHandle::Wait() const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->result;
+}
+
+bool RedeployHandle::WaitFor(double seconds) const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                             [this] { return state_->done; });
+}
+
+bool RedeployHandle::done() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+void RedeployHandle::Cancel() const {
+  state_->cancel.Cancel();
+  RedeployResult r;
+  r.status = Status::Cancelled("redeploy request cancelled by caller");
+  state_->Complete(std::move(r));
 }
 
 // --- AdvisorService ----------------------------------------------------------
@@ -332,16 +394,233 @@ RequestHandle AdvisorService::Submit(DeploymentRequest request) {
 
 void AdvisorService::Resume() {
   size_t owed = 0;
+  std::vector<std::shared_ptr<RedeployState>> redeploys;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!paused_) return;
     paused_ = false;
     owed = deferred_;
     deferred_ = 0;
+    redeploys.swap(pending_redeploys_);
   }
   for (size_t i = 0; i < owed; ++i) {
     pool_->Submit([this] { RunOne(); });
   }
+  for (std::shared_ptr<RedeployState>& state : redeploys) {
+    pool_->Submit([this, state = std::move(state)] { ExecuteRedeploy(state); });
+  }
+}
+
+void AdvisorService::EnableRedeployment(const EnvironmentSpec& environment,
+                                        RedeployPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  redeploy_policies_[environment.Key()] = std::move(policy);
+}
+
+RedeployHandle AdvisorService::SubmitRedeploy(RedeployRequest request) {
+  auto state = std::make_shared<RedeployState>();
+  state->cancel = request.cancel;
+  state->stats = stats_;
+  state->request = std::move(request);
+  ++stats_->redeploys;
+
+  if (state->request.app == nullptr) {
+    RedeployResult r;
+    r.status = Status::InvalidArgument("request has no application graph");
+    state->Complete(std::move(r));
+    return RedeployHandle(std::move(state));
+  }
+  // Policy lookup happens at execution time, so batch drivers may enable
+  // policies and submit in any order before Resume().
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (paused_) {
+      pending_redeploys_.push_back(state);
+      return RedeployHandle(std::move(state));
+    }
+  }
+  pool_->Submit([this, state] { ExecuteRedeploy(state); });
+  return RedeployHandle(std::move(state));
+}
+
+void AdvisorService::ExecuteRedeploy(
+    const std::shared_ptr<internal::RedeployState>& state) {
+  const RedeployRequest& req = state->request;
+  auto fail = [&state](Status status) {
+    RedeployResult r;
+    r.status = std::move(status);
+    state->Complete(std::move(r));
+  };
+  if (state->cancel.Cancelled()) {
+    fail(Status::Cancelled("redeploy request cancelled before it ran"));
+    return;
+  }
+
+  // Drift probes and escalated re-measures run against the rebuilt
+  // simulated cloud; a service whose baseline matrices come from an
+  // injected measure_fn would mix two unrelated networks and Put()
+  // simulator matrices into a cache of synthetic ones. Refuse instead.
+  if (options_.measure_fn) {
+    fail(Status::InvalidArgument(
+        "redeployment monitors the built-in simulated cloud and cannot run "
+        "on a service configured with a custom measure_fn"));
+    return;
+  }
+
+  RedeployPolicy policy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = redeploy_policies_.find(req.environment.Key());
+    if (it == redeploy_policies_.end()) {
+      fail(Status::InvalidArgument(
+          "redeployment is not enabled for environment " +
+          req.environment.Key() +
+          " (opt in per environment with EnableRedeployment())"));
+      return;
+    }
+    policy = it->second;
+  }
+  // One objective end to end: the request's declared objective governs the
+  // baseline solve, every migration plan, and all reported costs -- a
+  // policy's planner default must never silently plan for an objective the
+  // tenant did not ask for.
+  policy.planner.objective = req.solve.objective;
+  if (req.app->num_nodes() > req.environment.instances) {
+    fail(Status::InvalidArgument(
+        "application graph needs " + std::to_string(req.app->num_nodes()) +
+        " nodes but the environment allocates only " +
+        std::to_string(req.environment.instances) + " instances"));
+    return;
+  }
+
+  // Baseline matrix: shared with deployment requests through the cache
+  // (single-flight, so a deploy and a redeploy on a cold environment still
+  // pay for one measurement).
+  Result<CostMatrixCache::Lookup> lookup =
+      cache_.Get(req.environment, state->cancel);
+  if (!lookup.ok()) {
+    fail(lookup.status());
+    return;
+  }
+  const CostMatrixCache::EntryPtr env = lookup->entry;
+
+  // Rebuild the environment's simulator: the latency model is a pure
+  // function of (profile, seed), so the cached pool probes the same network
+  // the baseline measurement saw -- now with the policy's drift scenario
+  // overlaid, anchored at the end of that measurement so "drift" means
+  // "change since the cached matrix".
+  Result<net::ProviderProfile> profile =
+      ProviderProfileByName(req.environment.provider);
+  if (!profile.ok()) {
+    fail(profile.status());
+    return;
+  }
+  net::CloudSimulator cloud(std::move(profile).value(), req.environment.seed);
+  const double baseline_end_h = env->measure_virtual_s / 3600.0;
+  net::DynamicsConfig dynamics_config = policy.dynamics;
+  if (dynamics_config.start_hours <= 0.0) {
+    dynamics_config.start_hours = baseline_end_h;
+  }
+  // A caller-supplied policy must fail through the handle, never trip the
+  // NetworkDynamics constructor's CHECKs and abort every tenant's service.
+  Status dynamics_ok = dynamics_config.Validate();
+  if (!dynamics_ok.ok()) {
+    fail(Status::InvalidArgument("invalid RedeployPolicy dynamics: " +
+                                 dynamics_ok.ToString()));
+    return;
+  }
+  net::NetworkDynamics dynamics(dynamics_config, &cloud.topology());
+  cloud.AttachDynamics(&dynamics);
+
+  // The deployment to keep good: the caller's, or a baseline solve on the
+  // cached matrix (the same path a deployment request takes).
+  deploy::Deployment initial = req.current;
+  if (initial.empty()) {
+    cloudia::DeploymentSession session(/*cloud=*/nullptr, req.app,
+                                       cloudia::SessionOptions{});
+    Status adopted = session.AdoptMeasurement(env->instances, env->costs,
+                                              env->measure_virtual_s);
+    if (!adopted.ok()) {
+      fail(adopted);
+      return;
+    }
+    cloudia::SolveSpec spec = req.solve;
+    spec.app = nullptr;
+    spec.cancel = state->cancel;
+    spec.threads = 1;  // redeploy advice must be deterministic
+    if (spec.method.empty() || EqualsIgnoreCase(spec.method, "auto")) {
+      spec.method = options_.default_method;
+    }
+    Result<cloudia::SessionSolve> solve = session.Solve(spec);
+    if (!solve.ok()) {
+      fail(solve.status());
+      return;
+    }
+    initial = solve->result.deployment;
+  }
+
+  redeploy::OnlineOptions online;
+  online.monitor = policy.monitor;
+  online.planner = policy.planner;
+  if (req.max_migrations >= -1) {
+    online.planner.max_migrations = req.max_migrations;
+  }
+  online.start_t_hours = baseline_end_h;
+  online.check_interval_s = policy.check_interval_s;
+  online.checks = req.checks > 0 ? req.checks : policy.checks;
+  online.protocol = req.environment.protocol;
+  online.metric = req.environment.metric;
+  online.measure_duration_s = req.environment.measure_duration_s;
+  online.probe_bytes = req.environment.probe_bytes;
+  online.measure_seed = req.environment.seed;
+  online.cancel = state->cancel;
+
+  RedeployResult result;
+  auto on_refresh = [this, &req, &env, &result](
+                        double t_hours, const deploy::CostMatrix& refreshed) {
+    MeasuredEnvironment fresh;
+    fresh.spec = req.environment;
+    fresh.instances = env->instances;
+    fresh.costs = refreshed;
+    // Stamp the entry with the virtual instant its re-measure completed
+    // (for the baseline, start 0 + duration is the same quantity): a later
+    // redeploy on this environment anchors its drift timeline here, not
+    // back at the original baseline's end.
+    fresh.measure_virtual_s = t_hours * 3600.0;
+    cache_.Put(std::move(fresh));
+    result.matrix_refreshed = true;
+    ++stats_->matrix_refreshes;
+  };
+  Result<redeploy::OnlineOutcome> outcome = redeploy::RunOnlineRedeployment(
+      cloud, env->instances, *req.app, env->costs, initial, online,
+      on_refresh);
+  if (!outcome.ok()) {
+    fail(outcome.status());
+    return;
+  }
+
+  result.drift_detected = outcome->escalations > 0;
+  result.checks_run = static_cast<int>(outcome->records.size());
+  result.escalations = outcome->escalations;
+  result.remeasures = outcome->remeasures;
+  result.migrations = outcome->migrations;
+  result.initial_deployment = initial;
+  result.final_deployment = outcome->final_deployment;
+  result.final_cost_ms = outcome->final_cost_ms;
+  result.checks = std::move(outcome->records);
+  {
+    auto eval = deploy::CostEvaluator::Create(req.app, &env->costs,
+                                              online.planner.objective);
+    CLOUDIA_CHECK(eval.ok());
+    result.initial_cost_ms = eval->Cost(initial);
+  }
+  {
+    auto eval = deploy::CostEvaluator::Create(req.app, &outcome->latest_costs,
+                                              online.planner.objective);
+    CLOUDIA_CHECK(eval.ok());
+    result.stale_cost_ms = eval->Cost(initial);
+  }
+  state->Complete(std::move(result));
 }
 
 void AdvisorService::RunOne() {
@@ -587,6 +866,9 @@ AdvisorService::Stats AdvisorService::stats() const {
   s.expired = stats_->expired.load();
   s.warm_starts = stats_->warm_starts.load();
   s.portfolio_routed = stats_->portfolio_routed.load();
+  s.redeploys = stats_->redeploys.load();
+  s.redeploys_drifted = stats_->redeploys_drifted.load();
+  s.matrix_refreshes = stats_->matrix_refreshes.load();
   return s;
 }
 

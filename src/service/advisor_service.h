@@ -43,6 +43,8 @@
 #include "cloudia/session.h"
 #include "common/cancel.h"
 #include "common/thread_pool.h"
+#include "netsim/dynamics.h"
+#include "redeploy/online.h"
 #include "service/cost_matrix_cache.h"
 
 namespace cloudia::service {
@@ -106,8 +108,83 @@ struct RequestProgress {
   int incumbents = 0;
 };
 
+/// Per-environment opt-in policy for online redeployment. An environment
+/// with no registered policy rejects redeploy requests: drift monitoring
+/// re-probes the tenant's instances and an escalation pays for a full
+/// re-measure, so the tenant must ask for it.
+struct RedeployPolicy {
+  /// The drift scenario the environment lives under (the simulator stands
+  /// in for the real cloud's drift). start_hours <= 0 anchors the scenario
+  /// at the end of the baseline measurement, so "drift" means "change since
+  /// the cached matrix was measured".
+  net::DynamicsConfig dynamics;
+  redeploy::MonitorOptions monitor;
+  /// Planner defaults; RedeployRequest::max_migrations overrides the K and
+  /// the request's solve.objective always overrides `planner.objective`
+  /// (plans must serve the tenant's declared objective).
+  redeploy::PlannerOptions planner;
+  /// Virtual seconds between drift checks.
+  double check_interval_s = 1800.0;
+  /// Default number of checks per redeploy request.
+  int checks = 12;
+
+  bool operator==(const RedeployPolicy&) const = default;
+};
+
+/// One asynchronous redeployment-advice request: "my deployment in this
+/// environment is `current`; watch for drift and tell me how to fix it".
+struct RedeployRequest {
+  /// Which environment to monitor; its baseline matrix comes from (or is
+  /// measured into) the cost-matrix cache, and a policy must have been
+  /// registered for it via EnableRedeployment().
+  EnvironmentSpec environment;
+  /// Application graph; must outlive the service.
+  const graph::CommGraph* app = nullptr;
+  /// The deployment currently running (node -> instance index into the
+  /// environment's pool). Empty: the service solves a baseline first with
+  /// `solve` and monitors that.
+  deploy::Deployment current;
+  /// Baseline solve parameters. The method/budget/seed are used only when
+  /// `current` is empty, but `solve.objective` always governs the whole
+  /// request: monitoring costs, migration planning, and every reported
+  /// cost run under it (overriding the policy's planner default).
+  /// "auto"/"" routes like a deployment request.
+  cloudia::SolveSpec solve;
+  /// Migration budget K for every plan; < -1 (the default sentinel -2)
+  /// defers to the policy, -1 = unlimited, 0 = monitor/refresh only.
+  int max_migrations = -2;
+  /// Overrides the policy's number of checks when > 0.
+  int checks = 0;
+  CancelToken cancel;
+};
+
+/// Outcome of a redeploy request.
+struct RedeployResult {
+  Status status = Status::OK();
+  bool drift_detected = false;   ///< at least one check escalated
+  bool matrix_refreshed = false; ///< the cache now holds a fresher matrix
+  int checks_run = 0;
+  int escalations = 0;
+  int remeasures = 0;
+  int migrations = 0;            ///< nodes moved across all applied plans
+  deploy::Deployment initial_deployment;
+  deploy::Deployment final_deployment;
+  /// Cost of the initial deployment under the baseline matrix.
+  double initial_cost_ms = 0.0;
+  /// Cost of the initial deployment under the *latest* matrix: what the
+  /// tenant would keep paying without migrating.
+  double stale_cost_ms = 0.0;
+  /// Cost of the final deployment under the latest matrix.
+  double final_cost_ms = 0.0;
+  /// Every drift check in order, escalations carrying their (validated)
+  /// migration plan.
+  std::vector<redeploy::OnlineCheckRecord> checks;
+  double total_s = 0.0;          ///< submission -> completion (wall)
+};
+
 namespace internal {
 struct RequestState;
+struct RedeployState;
 struct Job;
 struct StatsCell;
 }  // namespace internal
@@ -132,6 +209,24 @@ class RequestHandle {
   friend class AdvisorService;
   explicit RequestHandle(std::shared_ptr<internal::RequestState> state);
   std::shared_ptr<internal::RequestState> state_;
+};
+
+/// Cheap, copyable handle to a submitted redeploy request (same contract as
+/// RequestHandle: thread-safe, survives the service).
+class RedeployHandle {
+ public:
+  const RedeployResult& Wait() const;
+  bool WaitFor(double seconds) const;
+  bool done() const;
+  /// Cancels the request: resolves the handle with Status::Cancelled and
+  /// stops the monitoring loop at its next check (or the in-flight
+  /// re-measure at its next probe poll).
+  void Cancel() const;
+
+ private:
+  friend class AdvisorService;
+  explicit RedeployHandle(std::shared_ptr<internal::RedeployState> state);
+  std::shared_ptr<internal::RedeployState> state_;
 };
 
 class AdvisorService {
@@ -172,6 +267,9 @@ class AdvisorService {
     uint64_t expired = 0;           ///< requests resolved Timeout (deadline)
     uint64_t warm_starts = 0;       ///< solves seeded from a prior incumbent
     uint64_t portfolio_routed = 0;  ///< "auto" requests sent to the portfolio
+    uint64_t redeploys = 0;             ///< redeploy requests submitted
+    uint64_t redeploys_drifted = 0;     ///< completed with drift detected
+    uint64_t matrix_refreshes = 0;      ///< matrices fed back into the cache
   };
 
   AdvisorService();  // all-default options
@@ -189,6 +287,23 @@ class AdvisorService {
   /// asynchronously (through the handle), not by crashing.
   RequestHandle Submit(DeploymentRequest request);
 
+  /// Opts the environment into online redeployment (per-environment policy;
+  /// re-registering replaces the previous policy). Without this,
+  /// SubmitRedeploy() for the environment fails with InvalidArgument --
+  /// monitoring probes the tenant's instances and escalations pay for full
+  /// re-measures, so it is never on by default.
+  void EnableRedeployment(const EnvironmentSpec& environment,
+                          RedeployPolicy policy);
+
+  /// Enqueues a redeploy-advice request: resolve (or reuse) the
+  /// environment's baseline matrix, run `checks` drift checks over virtual
+  /// time, re-measure + plan a migration-constrained redeployment on every
+  /// escalation, and feed each refreshed matrix back into the cost-matrix
+  /// cache so later deployment requests solve against current costs.
+  /// Scheduled on the same worker pool as deployment requests (FIFO among
+  /// redeploys -- background maintenance does not preempt tenant solves).
+  RedeployHandle SubmitRedeploy(RedeployRequest request);
+
   /// Starts executing queued jobs (no-op unless constructed start_paused).
   void Resume();
 
@@ -202,6 +317,7 @@ class AdvisorService {
  private:
   void RunOne();
   void ExecuteJob(const std::shared_ptr<internal::Job>& job);
+  void ExecuteRedeploy(const std::shared_ptr<internal::RedeployState>& state);
   static std::string Fingerprint(const DeploymentRequest& request);
 
   Options options_;
@@ -226,6 +342,10 @@ class AdvisorService {
   };
   std::unordered_map<std::string, WarmCell> incumbents_;
   std::list<std::string> incumbents_lru_;  // front = most recently used
+  /// Redeployment opt-ins keyed by EnvironmentSpec::Key().
+  std::unordered_map<std::string, RedeployPolicy> redeploy_policies_;
+  /// Redeploy requests queued while paused (drained by Resume()).
+  std::vector<std::shared_ptr<internal::RedeployState>> pending_redeploys_;
   int running_jobs_ = 0;
   /// Sum of solver-internal threads currently granted to running jobs; a
   /// new job's share is what the budget has left (floored at 1), so the

@@ -48,7 +48,32 @@ void CostMatrixCache::Touch(const std::string& key) {
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
 }
 
+void CostMatrixCache::SweepExpired() {
+  if (options_.ttl_s == std::numeric_limits<double>::infinity()) return;
+  const double now = Now();
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now >= it->second.expires_at) {
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+      ++stats_.expirations;
+    } else {
+      ++it;
+    }
+  }
+}
+
 void CostMatrixCache::Install(const std::string& key, EntryPtr entry) {
+  // Refresh path: replace in place, keeping one LRU slot per key.
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.entry = std::move(entry);
+    it->second.expires_at = Now() + options_.ttl_s;
+    Touch(key);
+    return;
+  }
+  // Expired entries go first -- they can never be served again -- so they
+  // do not crowd live entries out of the capacity.
+  SweepExpired();
   while (entries_.size() >= options_.capacity) {
     const std::string& victim = lru_.back();
     entries_.erase(victim);
@@ -172,9 +197,24 @@ Result<CostMatrixCache::Lookup> CostMatrixCache::Get(
   }
 }
 
+void CostMatrixCache::Put(MeasuredEnvironment env) {
+  const std::string key = env.spec.Key();
+  auto entry = std::make_shared<const MeasuredEnvironment>(std::move(env));
+  std::lock_guard<std::mutex> lock(mu_);
+  Install(key, std::move(entry));
+  ++stats_.refreshes;
+}
+
 size_t CostMatrixCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  // TTL-expired entries can never be served again (Get() treats them as
+  // misses); do not report them as cached.
+  const double now = Now();
+  size_t live = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (now < entry.expires_at) ++live;
+  }
+  return live;
 }
 
 void CostMatrixCache::Clear() {

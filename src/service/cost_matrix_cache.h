@@ -64,6 +64,7 @@ class CostMatrixCache {
     uint64_t coalesced = 0;     ///< callers who waited on an in-flight run
     uint64_t evictions = 0;     ///< LRU evictions
     uint64_t expirations = 0;   ///< TTL expirations
+    uint64_t refreshes = 0;     ///< entries installed/replaced via Put()
   };
 
   CostMatrixCache();  // all-default options
@@ -85,7 +86,16 @@ class CostMatrixCache {
   };
   Result<Lookup> Get(const EnvironmentSpec& spec, CancelToken cancel = {});
 
-  /// Completed entries currently cached.
+  /// Installs (or replaces) the completed entry for `env.spec` with a fresh
+  /// TTL -- the redeployment path's refresh hook: when drift monitoring
+  /// re-measures an environment, the new matrix is fed back here so every
+  /// later lookup solves against current costs instead of the stale entry.
+  /// An in-flight measurement for the key is unaffected (its callers asked
+  /// before the refresh existed).
+  void Put(MeasuredEnvironment env);
+
+  /// Completed, still-valid entries (TTL-expired ones do not count: they
+  /// can never be served again).
   size_t size() const;
   /// Drops every completed entry (in-flight measurements are unaffected).
   void Clear();
@@ -115,7 +125,12 @@ class CostMatrixCache {
   double Now() const;
   /// Moves `key` to the front of the LRU list. Requires mu_ held.
   void Touch(const std::string& key);
-  /// Installs a completed entry, evicting LRU overflow. Requires mu_ held.
+  /// Drops every TTL-expired entry so a long-idle cache neither pins dead
+  /// matrices in memory nor lets them crowd live ones out of the LRU
+  /// capacity. Requires mu_ held.
+  void SweepExpired();
+  /// Installs a completed entry (replacing any previous one for the key),
+  /// sweeping expired entries and evicting LRU overflow. Requires mu_ held.
   void Install(const std::string& key, EntryPtr entry);
 
   Options options_;

@@ -53,7 +53,11 @@ struct MeasuredEnvironment {
   EnvironmentSpec spec;
   std::vector<net::Instance> instances;
   deploy::CostMatrix costs;
-  /// Virtual time the measurement occupied the instances (s).
+  /// Virtual-time mark of the measurement (s): a fresh environment measures
+  /// from t = 0, so this is the time it occupied the instances; an entry
+  /// refreshed by the redeployment path carries the virtual instant it was
+  /// re-measured at. Either way it is where a drift timeline for this
+  /// matrix starts.
   double measure_virtual_s = 0.0;
 };
 

@@ -120,6 +120,88 @@ TEST(CostMatrixCacheTest, TtlExpiresEntries) {
   EXPECT_EQ(cache.stats().measurements, 2u);
 }
 
+TEST(CostMatrixCacheTest, LongIdleCacheNeverServesAStaleMatrix) {
+  // The TTL check happens at *lookup* time, not only when inserts churn the
+  // cache: a service that sits idle past every entry's TTL must re-measure
+  // on the next lookup instead of serving the stale matrix.
+  double fake_now = 0.0;
+  CostMatrixCache::Options options;
+  options.ttl_s = 10.0;
+  options.measure_fn = FakeMeasure;
+  options.now_fn = [&fake_now] { return fake_now; };
+  CostMatrixCache cache(options);
+
+  ASSERT_TRUE(cache.GetOrMeasure(TinyEnv(1)).ok());
+  ASSERT_TRUE(cache.GetOrMeasure(TinyEnv(2)).ok());
+  EXPECT_EQ(cache.size(), 2u);
+
+  fake_now = 1000.0;  // long idle: no inserts, no lookups, TTLs long gone
+  EXPECT_EQ(cache.size(), 0u) << "expired entries reported as cached";
+  auto after = cache.GetOrMeasure(TinyEnv(1));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(cache.stats().measurements, 3u) << "stale entry served as a hit";
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(CostMatrixCacheTest, InsertSweepsExpiredEntriesOfOtherKeys) {
+  // Expired entries must not pin memory (or crowd live entries out of the
+  // LRU capacity) until their own key happens to be looked up again: any
+  // insert sweeps them all.
+  double fake_now = 0.0;
+  CostMatrixCache::Options options;
+  options.capacity = 8;
+  options.ttl_s = 10.0;
+  options.measure_fn = FakeMeasure;
+  options.now_fn = [&fake_now] { return fake_now; };
+  CostMatrixCache cache(options);
+
+  ASSERT_TRUE(cache.GetOrMeasure(TinyEnv(1)).ok());
+  ASSERT_TRUE(cache.GetOrMeasure(TinyEnv(2)).ok());
+  fake_now = 11.0;  // both expire
+  ASSERT_TRUE(cache.GetOrMeasure(TinyEnv(3)).ok());  // insert sweeps 1 and 2
+  EXPECT_EQ(cache.stats().expirations, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u)
+      << "sweeping expired entries must not count as LRU eviction";
+}
+
+TEST(CostMatrixCacheTest, PutRefreshesAnExistingEntryInPlace) {
+  CostMatrixCache::Options options;
+  options.capacity = 2;
+  options.measure_fn = FakeMeasure;
+  CostMatrixCache cache(options);
+
+  auto stale = cache.GetOrMeasure(TinyEnv(1));
+  ASSERT_TRUE(stale.ok());
+
+  // The redeployment path re-measured the environment: feed the fresh
+  // matrix back. The next lookup serves it without measuring.
+  auto remeasured = FakeMeasure(TinyEnv(1), {});
+  ASSERT_TRUE(remeasured.ok());
+  for (int i = 0; i < remeasured->costs.size(); ++i) {
+    for (int j = 0; j < remeasured->costs.size(); ++j) {
+      if (i != j) remeasured->costs.At(i, j) *= 3.0;
+    }
+  }
+  const deploy::CostMatrix refreshed_costs = remeasured->costs;
+  cache.Put(std::move(remeasured).value());
+  EXPECT_EQ(cache.size(), 1u) << "Put must replace, not duplicate";
+  EXPECT_EQ(cache.stats().refreshes, 1u);
+
+  auto fresh = cache.GetOrMeasure(TinyEnv(1));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ((*fresh)->costs, refreshed_costs);
+  EXPECT_EQ(cache.stats().measurements, 1u) << "refresh must not re-measure";
+
+  // Put on a cold key simply installs it (with LRU accounting).
+  auto cold = FakeMeasure(TinyEnv(5), {});
+  ASSERT_TRUE(cold.ok());
+  cache.Put(std::move(cold).value());
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_TRUE(cache.GetOrMeasure(TinyEnv(5)).ok());
+  EXPECT_EQ(cache.stats().measurements, 1u);
+}
+
 TEST(CostMatrixCacheTest, SingleFlightCoalescesConcurrentMeasurements) {
   std::atomic<int> measure_calls{0};
   CostMatrixCache::Options options;

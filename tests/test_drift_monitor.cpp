@@ -1,0 +1,191 @@
+#include "redeploy/drift_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/cloud.h"
+#include "netsim/dynamics.h"
+#include "netsim/provider.h"
+
+namespace cloudia::redeploy {
+namespace {
+
+// A truly stationary cloud: the calibrated profiles carry the paper's slow
+// sinusoidal drift (Figs. 2/19/21), which is exactly what the monitor must
+// *detect*, so the stationary null hypothesis zeroes it out.
+net::CloudSimulator StationaryCloud(uint64_t seed) {
+  net::ProviderProfile profile = net::AmazonEc2Profile();
+  profile.drift_amplitude = 0.0;
+  return net::CloudSimulator(std::move(profile), seed);
+}
+
+deploy::CostMatrix ExpectedMatrix(const net::CloudSimulator& cloud,
+                                  const std::vector<net::Instance>& pool,
+                                  double t_hours) {
+  auto rows = cloud.ExpectedRttMatrix(pool, net::kDefaultProbeBytes, t_hours);
+  auto matrix = deploy::CostMatrix::FromRows(rows);
+  CLOUDIA_CHECK(matrix.ok());
+  return std::move(matrix).value();
+}
+
+TEST(DriftMonitorTest, RejectsBadInput) {
+  net::CloudSimulator cloud = StationaryCloud(1);
+  auto pool = cloud.Allocate(8);
+  ASSERT_TRUE(pool.ok());
+  deploy::CostMatrix baseline = ExpectedMatrix(cloud, *pool, 0.0);
+
+  EXPECT_FALSE(DriftMonitor::Create(nullptr, &*pool, baseline, {}).ok());
+  EXPECT_FALSE(
+      DriftMonitor::Create(&cloud, &*pool, deploy::CostMatrix(3), {}).ok());
+  MonitorOptions bad;
+  bad.ewma_alpha = 0.0;
+  EXPECT_FALSE(DriftMonitor::Create(&cloud, &*pool, baseline, bad).ok());
+  bad = {};
+  bad.probes_per_link = 0;
+  EXPECT_FALSE(DriftMonitor::Create(&cloud, &*pool, baseline, bad).ok());
+  EXPECT_TRUE(DriftMonitor::Create(&cloud, &*pool, baseline, {}).ok());
+}
+
+TEST(DriftMonitorTest, SampledSubsetIsDeterministicAndBounded) {
+  net::CloudSimulator cloud = StationaryCloud(2);
+  auto pool = cloud.Allocate(6);
+  ASSERT_TRUE(pool.ok());
+  deploy::CostMatrix baseline = ExpectedMatrix(cloud, *pool, 0.0);
+
+  MonitorOptions options;
+  options.sampled_links = 1000;  // far more than the 6*5 ordered links
+  auto a = DriftMonitor::Create(&cloud, &*pool, baseline, options);
+  auto b = DriftMonitor::Create(&cloud, &*pool, baseline, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->sampled_links().size(), 30u);  // capped at the link count
+  EXPECT_EQ(a->sampled_links(), b->sampled_links());
+  for (const auto& [i, j] : a->sampled_links()) {
+    EXPECT_NE(i, j);
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 6);
+    EXPECT_GE(j, 0);
+    EXPECT_LT(j, 6);
+  }
+}
+
+TEST(DriftMonitorTest, NoFalsePositiveOnStationaryNetwork) {
+  // Satellite requirement: on a stationary netsim the monitor never
+  // escalates over many epochs -- the full re-measure it would trigger is
+  // the expensive, billed step.
+  net::CloudSimulator cloud = StationaryCloud(7);
+  auto pool = cloud.Allocate(20);
+  ASSERT_TRUE(pool.ok());
+  deploy::CostMatrix baseline = ExpectedMatrix(cloud, *pool, 0.0);
+
+  MonitorOptions options;
+  options.seed = 11;
+  auto monitor = DriftMonitor::Create(&cloud, &*pool, baseline, options);
+  ASSERT_TRUE(monitor.ok());
+  for (int epoch = 0; epoch < 48; ++epoch) {
+    DriftCheck check = monitor->Check(0.5 * epoch);  // every 30 virtual min
+    EXPECT_FALSE(check.escalate)
+        << "false positive at epoch " << epoch << " (links_drifted="
+        << check.links_drifted << ", max_score=" << check.max_score << ")";
+  }
+  EXPECT_EQ(monitor->checks_run(), 48);
+}
+
+TEST(DriftMonitorTest, DetectsAStepChangeQuickly) {
+  net::CloudSimulator cloud = StationaryCloud(9);
+  auto pool = cloud.Allocate(20);
+  ASSERT_TRUE(pool.ok());
+  deploy::CostMatrix baseline = ExpectedMatrix(cloud, *pool, 0.0);
+
+  // Step change at t = 4h: heavy congestion episodes start landing on the
+  // fabric (high rate, strong severity, slow recovery).
+  net::DynamicsConfig drift;
+  drift.start_hours = 4.0;
+  drift.epoch_minutes = 30.0;
+  drift.episode_rate = 0.5;
+  drift.severity_lo = 1.8;
+  drift.severity_hi = 3.0;
+  drift.recovery_per_epoch = 0.1;
+  drift.seed = 3;
+  net::NetworkDynamics dynamics(drift, &cloud.topology());
+  cloud.AttachDynamics(&dynamics);
+
+  MonitorOptions options;
+  options.seed = 11;
+  auto monitor = DriftMonitor::Create(&cloud, &*pool, baseline, options);
+  ASSERT_TRUE(monitor.ok());
+
+  int first_escalation = -1;
+  for (int epoch = 0; epoch < 32; ++epoch) {
+    const double t = 0.5 * epoch;
+    DriftCheck check = monitor->Check(t);
+    if (t < drift.start_hours) {
+      EXPECT_FALSE(check.escalate) << "escalated before the step at t=" << t;
+    } else if (check.escalate && first_escalation < 0) {
+      first_escalation = epoch;
+    }
+  }
+  ASSERT_GE(first_escalation, 8) << "escalated before the step";
+  // Detection latency: within 4 checks (2 virtual hours) of the step.
+  EXPECT_LE(first_escalation, 12)
+      << "step change detected too slowly (first escalation at check "
+      << first_escalation << ")";
+}
+
+TEST(DriftMonitorTest, ChecksAreDeterministicUnderAFixedSeed) {
+  auto run = [] {
+    net::CloudSimulator cloud = StationaryCloud(5);
+    auto pool = cloud.Allocate(16);
+    CLOUDIA_CHECK(pool.ok());
+    deploy::CostMatrix baseline = ExpectedMatrix(cloud, *pool, 0.0);
+    MonitorOptions options;
+    options.seed = 21;
+    auto monitor = DriftMonitor::Create(&cloud, &*pool, baseline, options);
+    CLOUDIA_CHECK(monitor.ok());
+    std::vector<double> scores;
+    for (int epoch = 0; epoch < 10; ++epoch) {
+      scores.push_back(monitor->Check(0.5 * epoch).max_score);
+    }
+    return scores;
+  };
+  EXPECT_EQ(run(), run());  // bitwise
+}
+
+TEST(DriftMonitorTest, RebaseResetsTheStatistics) {
+  net::CloudSimulator cloud = StationaryCloud(9);
+  auto pool = cloud.Allocate(20);
+  ASSERT_TRUE(pool.ok());
+  deploy::CostMatrix stale = ExpectedMatrix(cloud, *pool, 0.0);
+
+  net::DynamicsConfig drift;
+  drift.start_hours = 0.0;
+  drift.episode_rate = 0.5;
+  drift.severity_lo = 1.8;
+  drift.severity_hi = 3.0;
+  drift.recovery_per_epoch = 0.1;
+  drift.seed = 3;
+  net::NetworkDynamics dynamics(drift, &cloud.topology());
+  cloud.AttachDynamics(&dynamics);
+
+  auto monitor = DriftMonitor::Create(&cloud, &*pool, stale, {});
+  ASSERT_TRUE(monitor.ok());
+  bool escalated = false;
+  double t = 0.0;
+  for (int epoch = 0; epoch < 16 && !escalated; ++epoch) {
+    t = 0.5 * epoch;
+    escalated = monitor->Check(t).escalate;
+  }
+  ASSERT_TRUE(escalated);
+
+  // Rebase on the *current* ground truth: the statistics reset and the next
+  // check starts from zero scores against a matrix that matches reality.
+  EXPECT_FALSE(monitor->Rebase(deploy::CostMatrix(3)).ok());
+  ASSERT_TRUE(monitor->Rebase(ExpectedMatrix(cloud, *pool, t)).ok());
+  DriftCheck after = monitor->Check(t);
+  EXPECT_FALSE(after.escalate);
+  EXPECT_LT(after.max_score, 0.2);
+}
+
+}  // namespace
+}  // namespace cloudia::redeploy

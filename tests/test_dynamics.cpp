@@ -1,0 +1,164 @@
+#include "netsim/dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netsim/cloud.h"
+#include "netsim/provider.h"
+
+namespace cloudia::net {
+namespace {
+
+DynamicsConfig NoisyConfig(uint64_t seed = 3) {
+  DynamicsConfig config;
+  config.start_hours = 0.5;
+  config.epoch_minutes = 30.0;
+  config.episode_rate = 0.05;
+  config.severity_lo = 1.5;
+  config.severity_hi = 2.5;
+  config.relocation_window_hours = 4.0;
+  config.relocation_prob = 0.05;
+  config.seed = seed;
+  return config;
+}
+
+TEST(NetworkDynamicsTest, InertBeforeStartAndWithZeroRates) {
+  Topology topo(TopologyConfig{});
+  NetworkDynamics dynamics(NoisyConfig(), &topo);
+  // Before start_hours the overlay must be invisible, whatever the rates.
+  for (double t : {0.0, 0.25, 0.49}) {
+    EXPECT_EQ(dynamics.LinkMultiplier(0, 25, t), 1.0);
+    EXPECT_EQ(dynamics.EffectiveHost(7, 3, t), 3);
+  }
+  // Zero rates: inert forever.
+  DynamicsConfig quiet = NoisyConfig();
+  quiet.episode_rate = 0.0;
+  quiet.relocation_prob = 0.0;
+  NetworkDynamics still(quiet, &topo);
+  for (double t : {1.0, 10.0, 100.0}) {
+    EXPECT_EQ(still.LinkMultiplier(0, 25, t), 1.0);
+    EXPECT_EQ(still.EffectiveHost(7, 3, t), 3);
+  }
+}
+
+TEST(NetworkDynamicsTest, DeterministicAndSeedSensitive) {
+  Topology topo(TopologyConfig{});
+  NetworkDynamics a(NoisyConfig(3), &topo);
+  NetworkDynamics b(NoisyConfig(3), &topo);
+  NetworkDynamics c(NoisyConfig(4), &topo);
+  bool any_differs = false;
+  for (int h = 1; h < 40; ++h) {
+    for (double t : {1.0, 5.0, 24.0}) {
+      EXPECT_EQ(a.LinkMultiplier(0, h, t), b.LinkMultiplier(0, h, t));
+      EXPECT_EQ(a.EffectiveHost(h, h, t), b.EffectiveHost(h, h, t));
+      if (a.LinkMultiplier(0, h, t) != c.LinkMultiplier(0, h, t)) {
+        any_differs = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_differs) << "distinct seeds produced identical overlays";
+}
+
+TEST(NetworkDynamicsTest, EpisodesDegradeAndRecover) {
+  Topology topo(TopologyConfig{});
+  DynamicsConfig config = NoisyConfig();
+  config.start_hours = 0.0;
+  config.episode_rate = 0.2;  // frequent, so the scan below finds onsets
+  NetworkDynamics dynamics(config, &topo);
+
+  // Find an epoch where some rack pair starts an episode; the multiplier
+  // must exceed 1 there and decay toward 1 afterwards.
+  const double epoch_h = config.epoch_minutes / 60.0;
+  bool found = false;
+  for (int h = 20; h < 200 && !found; h += 20) {
+    for (int e = 0; e < 40 && !found; ++e) {
+      const double t = (static_cast<double>(e) + 0.5) * epoch_h;
+      const double now = dynamics.LinkMultiplier(0, h, t);
+      const double prev =
+          e > 0 ? dynamics.LinkMultiplier(0, h, t - epoch_h) : 1.0;
+      if (now > prev + 0.3) {  // fresh onset dominates whatever was live
+        found = true;
+        // Recovery: a horizon later the episode has fully decayed, so the
+        // multiplier no longer carries its excess (modulo later onsets,
+        // which can only be detected as >1 -- assert decay strictly below
+        // the onset level after one epoch of recovery at rate 0.35).
+        const double later = dynamics.LinkMultiplier(0, h, t + epoch_h);
+        EXPECT_LT(later, now + 1e-9);
+      }
+      EXPECT_GE(now, 1.0);
+    }
+  }
+  EXPECT_TRUE(found) << "no congestion onset observed at rate 0.2";
+}
+
+TEST(NetworkDynamicsTest, RelocationIsSticky) {
+  Topology topo(TopologyConfig{});
+  DynamicsConfig config = NoisyConfig();
+  config.start_hours = 0.0;
+  config.relocation_prob = 0.3;
+  NetworkDynamics dynamics(config, &topo);
+
+  // Some VM relocates within the first few windows; from then on its
+  // effective host stays the relocation target until the next relocation --
+  // in particular it is constant *within* a window.
+  bool found = false;
+  for (int vm = 0; vm < 50 && !found; ++vm) {
+    const int home = vm % topo.num_hosts();
+    for (int w = 0; w < 6; ++w) {
+      const double t = (static_cast<double>(w) + 0.25) *
+                       config.relocation_window_hours;
+      const int host = dynamics.EffectiveHost(vm, home, t);
+      const int later = dynamics.EffectiveHost(
+          vm, home, t + 0.5 * config.relocation_window_hours);
+      EXPECT_EQ(host, later) << "effective host changed within one window";
+      EXPECT_GE(host, 0);
+      EXPECT_LT(host, topo.num_hosts());
+      if (host != home) found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "no relocation observed at prob 0.3 over 50 VMs";
+}
+
+TEST(CloudDynamicsTest, AttachedOverlayShiftsRttsAfterStart) {
+  CloudSimulator cloud(AmazonEc2Profile(), /*seed=*/11);
+  auto instances = cloud.Allocate(12);
+  ASSERT_TRUE(instances.ok());
+
+  DynamicsConfig config;
+  config.start_hours = 1.0;
+  config.epoch_minutes = 30.0;
+  config.episode_rate = 0.25;
+  config.severity_lo = 1.8;
+  config.severity_hi = 2.2;
+  config.seed = 5;
+  NetworkDynamics dynamics(config, &cloud.topology());
+
+  // Without the overlay, record the static expectations.
+  auto before = cloud.ExpectedRttMatrix(*instances, kDefaultProbeBytes, 8.0);
+  cloud.AttachDynamics(&dynamics);
+  // Before start_hours the attached overlay must change nothing.
+  auto at_zero = cloud.ExpectedRttMatrix(*instances, kDefaultProbeBytes, 0.5);
+  CloudSimulator plain(AmazonEc2Profile(), /*seed=*/11);
+  auto plain_instances = plain.Allocate(12);
+  ASSERT_TRUE(plain_instances.ok());
+  auto plain_zero =
+      plain.ExpectedRttMatrix(*plain_instances, kDefaultProbeBytes, 0.5);
+  EXPECT_EQ(at_zero, plain_zero);
+
+  // After start_hours, at this episode rate, at least one pair drifted --
+  // and never *below* the static expectation (congestion only adds).
+  auto after = cloud.ExpectedRttMatrix(*instances, kDefaultProbeBytes, 8.0);
+  bool any_shifted = false;
+  for (size_t i = 0; i < after.size(); ++i) {
+    for (size_t j = 0; j < after.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_GE(after[i][j], before[i][j] - 1e-12);
+      if (after[i][j] > before[i][j] * 1.2) any_shifted = true;
+    }
+  }
+  EXPECT_TRUE(any_shifted) << "overlay attached but no pair drifted";
+}
+
+}  // namespace
+}  // namespace cloudia::net

@@ -291,20 +291,66 @@ TEST(DeploymentSessionTest, AdoptMeasurementReusesAnotherSessionsMatrix) {
   // The adopted pool belongs to whoever measured it.
   EXPECT_FALSE(adopted.Terminate().ok());
 
-  // Mismatched matrix/pool sizes and double adoption fail cleanly.
+  // Mismatched matrix/pool sizes fail cleanly.
   DeploymentSession bad(/*cloud=*/nullptr, &app, FastOptions());
   EXPECT_FALSE(
       bad.AdoptMeasurement(measured.allocated(), deploy::CostMatrix(3), 0.0)
           .ok());
-  ASSERT_TRUE(bad.AdoptMeasurement(measured.allocated(), measured.costs(), 0.0)
-                  .ok());
-  EXPECT_FALSE(
-      bad.AdoptMeasurement(measured.allocated(), measured.costs(), 0.0).ok());
 
   // A cloud-less session cannot allocate or measure on its own.
   DeploymentSession no_cloud(/*cloud=*/nullptr, &app, FastOptions());
   EXPECT_FALSE(no_cloud.Allocate().ok());
   EXPECT_FALSE(no_cloud.Measure().ok());
+}
+
+TEST(DeploymentSessionTest, ReAdoptionRefreshesTheMatrixInPlace) {
+  // The redeployment re-solve path: when drift monitoring refreshes an
+  // environment's matrix, the same session adopts the fresh costs and keeps
+  // solving -- no new session per refresh.
+  net::CloudSimulator cloud(net::AmazonEc2Profile(), 59);
+  graph::CommGraph app = graph::Mesh2D(4, 5);
+  DeploymentSession measured(&cloud, &app, FastOptions());
+  ASSERT_TRUE(measured.Measure().ok());
+
+  DeploymentSession session(/*cloud=*/nullptr, &app, FastOptions());
+  ASSERT_TRUE(session
+                  .AdoptMeasurement(measured.allocated(), measured.costs(),
+                                    measured.measure_virtual_s())
+                  .ok());
+  SolveSpec spec;
+  spec.method = "g2";
+  spec.seed = 3;
+  auto stale = session.Solve(spec);
+  ASSERT_TRUE(stale.ok());
+
+  // "The network drifted": every link doubled.
+  deploy::CostMatrix refreshed = measured.costs();
+  for (int i = 0; i < refreshed.size(); ++i) {
+    for (int j = 0; j < refreshed.size(); ++j) {
+      if (i != j) refreshed.At(i, j) *= 2.0;
+    }
+  }
+  ASSERT_TRUE(session
+                  .AdoptMeasurement(measured.allocated(), refreshed,
+                                    measured.measure_virtual_s())
+                  .ok());
+  EXPECT_EQ(session.costs(), refreshed);
+  EXPECT_EQ(session.solves().size(), 1u) << "history survives re-adoption";
+
+  auto fresh = session.Solve(spec);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(session.solves().size(), 2u);
+  // Same deterministic solver on a uniformly doubled matrix: same plan,
+  // doubled cost -- the re-solve really ran against the fresh matrix.
+  EXPECT_EQ(fresh->result.deployment, stale->result.deployment);
+  EXPECT_DOUBLE_EQ(fresh->cost_ms, 2.0 * stale->cost_ms);
+
+  // Re-adoption still refuses the pools a session owns: the measuring
+  // session allocated its own instances and must keep them.
+  EXPECT_FALSE(measured
+                   .AdoptMeasurement(measured.allocated(), refreshed,
+                                     measured.measure_virtual_s())
+                   .ok());
 }
 
 TEST(DeploymentSessionTest, SharedIncumbentCellCarriesSolutionsAcrossSolves) {

@@ -53,6 +53,7 @@ void PrintUsage() {
       "                       schedule is a pure function of the file\n"
       "\n"
       "request line keys (whitespace-separated key=value; '#' comments):\n"
+      "  verb=deploy|redeploy (default deploy)\n"
       "  provider=ec2|gce|rackspace   instances=N     env-seed=N\n"
       "  protocol=token|uncoordinated|staged   metric=mean|mean-sd|p99\n"
       "  duration=VIRTUAL_SECONDS     probe-bytes=B\n"
@@ -60,7 +61,16 @@ void PrintUsage() {
       "  method=auto|%s\n"
       "  objective=longest-link|longest-path   budget=S   clusters=K\n"
       "  r1-samples=N   threads=N   portfolio=A,B,...   seed=N\n"
-      "  priority=P (higher first)    deadline=S (must start within)\n",
+      "  priority=P (higher first)    deadline=S (must start within)\n"
+      "\n"
+      "redeploy lines additionally accept (and opt the environment into\n"
+      "online redeployment: solve a baseline, run drift checks over virtual\n"
+      "time, re-measure + plan migrations on escalation, refresh the cache):\n"
+      "  k=N (migration budget per plan; default 4)   checks=N (default 8)\n"
+      "  check-interval=VIRTUAL_SECONDS (default 1800)\n"
+      "  drift-rate=P (congestion episodes per rack pair per epoch, 0.35)\n"
+      "  drift-severity=X (episode RTT multiplier upper bound, 3.0)\n"
+      "  drift-seed=N (default env-seed+1)   relocation-prob=P (0.05/hour)\n",
       tools::KnownSolverNames(", ").c_str());
 }
 
@@ -82,13 +92,41 @@ struct GraphStore {
   std::map<std::pair<std::string, int>, const graph::CommGraph*> index;
 };
 
-Result<service::DeploymentRequest> ParseRequestLine(const std::string& line,
-                                                    GraphStore& graphs) {
-  service::DeploymentRequest req;
+// One parsed line: a deployment request, or a redeploy request plus the
+// per-environment policy its knobs describe (a redeploy line *is* the
+// environment's opt-in when driven from a file).
+struct ParsedRequest {
+  bool is_redeploy = false;
+  service::DeploymentRequest deploy;
+  service::RedeployRequest redeploy;
+  service::RedeployPolicy policy;
+};
+
+Result<ParsedRequest> ParseRequestLine(const std::string& line,
+                                       GraphStore& graphs) {
+  ParsedRequest parsed;
+  service::DeploymentRequest& req = parsed.deploy;
   std::string graph_name = "mesh";
   int nodes = 30;
   int instances = 0;  // 0 = nodes + 10% over-allocation
   req.solve.method = "auto";
+
+  // Redeploy defaults (only read when verb=redeploy).
+  parsed.redeploy.max_migrations = 4;
+  parsed.redeploy.checks = 8;
+  parsed.policy.check_interval_s = 1800.0;
+  parsed.policy.dynamics.epoch_minutes = 30.0;
+  parsed.policy.dynamics.episode_rate = 0.35;
+  parsed.policy.dynamics.severity_hi = 3.0;
+  parsed.policy.dynamics.recovery_per_epoch = 0.1;
+  parsed.policy.dynamics.relocation_window_hours = 1.0;
+  parsed.policy.dynamics.relocation_prob = 0.05;
+  parsed.policy.planner.time_budget_s = 1.0;
+  bool drift_seed_set = false;
+  /// Redeploy-only keys seen on the line; a deploy line using one is a
+  /// mistake (the knob would be silently dropped), so it fails like any
+  /// other unknown key instead.
+  std::string redeploy_only_key;
 
   std::istringstream tokens(line);
   std::string token;
@@ -115,7 +153,72 @@ Result<service::DeploymentRequest> ParseRequestLine(const std::string& line,
         return Status::InvalidArgument(key + "=" + value + ": not a number");
       }
     };
-    if (key == "provider") {
+    if (key == "verb") {
+      if (value == "deploy") {
+        parsed.is_redeploy = false;
+      } else if (value == "redeploy") {
+        parsed.is_redeploy = true;
+      } else {
+        return Status::InvalidArgument("unknown verb '" + value +
+                                       "' (known: deploy, redeploy)");
+      }
+    } else if (key == "k") {
+      redeploy_only_key = key;
+      CLOUDIA_ASSIGN_OR_RETURN(parsed.redeploy.max_migrations, as_int());
+      if (parsed.redeploy.max_migrations < -1) {
+        return Status::InvalidArgument(
+            "k=" + value + ": migration budget must be >= -1 (-1 = unlimited)");
+      }
+    } else if (key == "checks") {
+      redeploy_only_key = key;
+      CLOUDIA_ASSIGN_OR_RETURN(parsed.redeploy.checks, as_int());
+      if (parsed.redeploy.checks < 1) {
+        return Status::InvalidArgument("checks=" + value + ": need >= 1");
+      }
+    } else if (key == "check-interval") {
+      redeploy_only_key = key;
+      CLOUDIA_ASSIGN_OR_RETURN(parsed.policy.check_interval_s, as_double());
+      if (parsed.policy.check_interval_s <= 0) {
+        return Status::InvalidArgument("check-interval=" + value +
+                                       ": need > 0 virtual seconds");
+      }
+    } else if (key == "drift-rate") {
+      redeploy_only_key = key;
+      CLOUDIA_ASSIGN_OR_RETURN(parsed.policy.dynamics.episode_rate,
+                               as_double());
+      if (parsed.policy.dynamics.episode_rate < 0 ||
+          parsed.policy.dynamics.episode_rate > 1) {
+        return Status::InvalidArgument("drift-rate=" + value +
+                                       ": a probability in [0, 1]");
+      }
+    } else if (key == "drift-severity") {
+      redeploy_only_key = key;
+      CLOUDIA_ASSIGN_OR_RETURN(parsed.policy.dynamics.severity_hi,
+                               as_double());
+      if (parsed.policy.dynamics.severity_hi < 1.0) {
+        return Status::InvalidArgument(
+            "drift-severity=" + value +
+            ": an RTT multiplier, must be >= 1");
+      }
+    } else if (key == "drift-seed") {
+      redeploy_only_key = key;
+      CLOUDIA_ASSIGN_OR_RETURN(int v, as_int());
+      if (v < 0) {
+        return Status::InvalidArgument("drift-seed=" + value +
+                                       ": must be >= 0");
+      }
+      parsed.policy.dynamics.seed = static_cast<uint64_t>(v);
+      drift_seed_set = true;
+    } else if (key == "relocation-prob") {
+      redeploy_only_key = key;
+      CLOUDIA_ASSIGN_OR_RETURN(parsed.policy.dynamics.relocation_prob,
+                               as_double());
+      if (parsed.policy.dynamics.relocation_prob < 0 ||
+          parsed.policy.dynamics.relocation_prob > 1) {
+        return Status::InvalidArgument("relocation-prob=" + value +
+                                       ": a probability in [0, 1]");
+      }
+    } else if (key == "provider") {
       CLOUDIA_RETURN_IF_ERROR(
           service::ProviderProfileByName(value).status());
       req.environment.provider = value;
@@ -213,7 +316,22 @@ Result<service::DeploymentRequest> ParseRequestLine(const std::string& line,
         "instances=" + std::to_string(req.environment.instances) +
         " cannot hold the " + std::to_string(nodes) + "-node graph");
   }
-  return req;
+  if (!parsed.is_redeploy && !redeploy_only_key.empty()) {
+    return Status::InvalidArgument(
+        "key '" + redeploy_only_key +
+        "' requires verb=redeploy (a deploy request would silently drop it)");
+  }
+  if (parsed.is_redeploy) {
+    parsed.redeploy.environment = req.environment;
+    parsed.redeploy.app = req.app;
+    parsed.redeploy.solve = req.solve;  // solve.objective governs the plans
+    if (!drift_seed_set) {
+      parsed.policy.dynamics.seed = req.environment.seed + 1;
+    }
+    const double hi = parsed.policy.dynamics.severity_hi;
+    parsed.policy.dynamics.severity_lo = 1.0 + 0.6 * (hi - 1.0);
+  }
+  return parsed;
 }
 
 }  // namespace
@@ -261,7 +379,18 @@ int main(int argc, char** argv) {
   service::AdvisorService advisor(options);
 
   GraphStore graphs;
+  // Results print in submission order; deploy and redeploy handles live in
+  // separate vectors, `order` interleaves them.
+  struct Submitted {
+    bool redeploy;
+    size_t index;
+  };
   std::vector<service::RequestHandle> handles;
+  std::vector<service::RedeployHandle> redeploy_handles;
+  std::vector<Submitted> order;
+  /// Env key -> (policy, line that registered it); guards --batch conflicts.
+  std::map<std::string, std::pair<service::RedeployPolicy, int>>
+      redeploy_policies;
   std::string line;
   int line_no = 0;
   int parse_errors = 0;
@@ -277,13 +406,59 @@ int main(int argc, char** argv) {
       ++parse_errors;
       continue;
     }
-    handles.push_back(advisor.Submit(std::move(request).value()));
+    if (request->is_redeploy) {
+      // The line is the environment's opt-in: register its drift policy.
+      // Policies are per *environment* (last registration wins inside the
+      // service), so in --batch mode a second line with different drift
+      // knobs would silently re-scenario the first line's request -- fail
+      // the conflicting line instead. Identical duplicates are fine.
+      const std::string env_key = request->redeploy.environment.Key();
+      auto [it, inserted] = redeploy_policies.try_emplace(
+          env_key, std::make_pair(request->policy, line_no));
+      if (!inserted && !(it->second.first == request->policy)) {
+        std::fprintf(stderr,
+                     "line %d: environment already opted into redeployment "
+                     "with a different drift policy on line %d\n",
+                     line_no, it->second.second);
+        ++parse_errors;
+        continue;
+      }
+      advisor.EnableRedeployment(request->redeploy.environment,
+                                 request->policy);
+      order.push_back({true, redeploy_handles.size()});
+      redeploy_handles.push_back(
+          advisor.SubmitRedeploy(std::move(request->redeploy)));
+    } else {
+      order.push_back({false, handles.size()});
+      handles.push_back(advisor.Submit(std::move(request->deploy)));
+    }
   }
   if (batch) advisor.Resume();
 
   int failed_requests = 0;
-  for (size_t i = 0; i < handles.size(); ++i) {
-    const service::ServiceResult& r = handles[i].Wait();
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i].redeploy) {
+      const service::RedeployResult& r =
+          redeploy_handles[order[i].index].Wait();
+      if (!r.status.ok()) {
+        std::printf("req %3zu: redeploy FAILED %s\n", i + 1,
+                    r.status.ToString().c_str());
+        ++failed_requests;
+        continue;
+      }
+      std::printf(
+          "req %3zu: redeploy  drift=%s checks=%d escalations=%d "
+          "migrations=%d stale=%.4fms replanned=%.4fms retained=%4.1f%% "
+          "wall=%.2fs\n",
+          i + 1, r.drift_detected ? "yes" : "no", r.checks_run,
+          r.escalations, r.migrations, r.stale_cost_ms, r.final_cost_ms,
+          r.stale_cost_ms > 0
+              ? 100.0 * (r.stale_cost_ms - r.final_cost_ms) / r.stale_cost_ms
+              : 0.0,
+          r.total_s);
+      continue;
+    }
+    const service::ServiceResult& r = handles[order[i].index].Wait();
     if (!r.status.ok()) {
       std::printf("req %3zu: FAILED %s\n", i + 1,
                   r.status.ToString().c_str());
@@ -316,6 +491,14 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(cs.hits + cs.misses),
       static_cast<unsigned long long>(cs.hits),
       static_cast<unsigned long long>(s.warm_starts));
+  if (s.redeploys > 0) {
+    std::printf(
+        "online redeployment: %llu requests (%llu detected drift); "
+        "%llu refreshed matrices fed back into the cache\n",
+        static_cast<unsigned long long>(s.redeploys),
+        static_cast<unsigned long long>(s.redeploys_drifted),
+        static_cast<unsigned long long>(s.matrix_refreshes));
+  }
   // Repo convention: runtime failures exit 1 too, so scripts and CI notice
   // failed requests, not only unparsable ones.
   return parse_errors == 0 && failed_requests == 0 ? 0 : 1;
