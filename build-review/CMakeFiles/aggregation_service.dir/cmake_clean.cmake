@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregation_service.dir/examples/aggregation_service.cpp.o"
+  "CMakeFiles/aggregation_service.dir/examples/aggregation_service.cpp.o.d"
+  "examples/aggregation_service"
+  "examples/aggregation_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregation_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

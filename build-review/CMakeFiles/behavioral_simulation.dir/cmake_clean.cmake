@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/behavioral_simulation.dir/examples/behavioral_simulation.cpp.o"
+  "CMakeFiles/behavioral_simulation.dir/examples/behavioral_simulation.cpp.o.d"
+  "examples/behavioral_simulation"
+  "examples/behavioral_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/behavioral_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

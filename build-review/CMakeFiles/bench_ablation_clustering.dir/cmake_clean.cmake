@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_clustering.dir/bench/bench_ablation_clustering.cpp.o"
+  "CMakeFiles/bench_ablation_clustering.dir/bench/bench_ablation_clustering.cpp.o.d"
+  "CMakeFiles/bench_ablation_clustering.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_ablation_clustering.dir/bench/bench_util.cc.o.d"
+  "bench/bench_ablation_clustering"
+  "bench/bench_ablation_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

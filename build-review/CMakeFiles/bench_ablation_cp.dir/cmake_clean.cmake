@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cp.dir/bench/bench_ablation_cp.cpp.o"
+  "CMakeFiles/bench_ablation_cp.dir/bench/bench_ablation_cp.cpp.o.d"
+  "CMakeFiles/bench_ablation_cp.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_ablation_cp.dir/bench/bench_util.cc.o.d"
+  "bench/bench_ablation_cp"
+  "bench/bench_ablation_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_latency_stability.dir/bench/bench_fig02_latency_stability.cpp.o"
+  "CMakeFiles/bench_fig02_latency_stability.dir/bench/bench_fig02_latency_stability.cpp.o.d"
+  "CMakeFiles/bench_fig02_latency_stability.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig02_latency_stability.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig02_latency_stability"
+  "bench/bench_fig02_latency_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_latency_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_measurement_accuracy.dir/bench/bench_fig04_measurement_accuracy.cpp.o"
+  "CMakeFiles/bench_fig04_measurement_accuracy.dir/bench/bench_fig04_measurement_accuracy.cpp.o.d"
+  "CMakeFiles/bench_fig04_measurement_accuracy.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig04_measurement_accuracy.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig04_measurement_accuracy"
+  "bench/bench_fig04_measurement_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_measurement_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

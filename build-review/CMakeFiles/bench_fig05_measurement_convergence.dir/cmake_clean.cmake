@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_measurement_convergence.dir/bench/bench_fig05_measurement_convergence.cpp.o"
+  "CMakeFiles/bench_fig05_measurement_convergence.dir/bench/bench_fig05_measurement_convergence.cpp.o.d"
+  "CMakeFiles/bench_fig05_measurement_convergence.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig05_measurement_convergence.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig05_measurement_convergence"
+  "bench/bench_fig05_measurement_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_measurement_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_cp_clusters.dir/bench/bench_fig06_cp_clusters.cpp.o"
+  "CMakeFiles/bench_fig06_cp_clusters.dir/bench/bench_fig06_cp_clusters.cpp.o.d"
+  "CMakeFiles/bench_fig06_cp_clusters.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig06_cp_clusters.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig06_cp_clusters"
+  "bench/bench_fig06_cp_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_cp_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

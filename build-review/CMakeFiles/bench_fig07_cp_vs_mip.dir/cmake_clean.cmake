@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_cp_vs_mip.dir/bench/bench_fig07_cp_vs_mip.cpp.o"
+  "CMakeFiles/bench_fig07_cp_vs_mip.dir/bench/bench_fig07_cp_vs_mip.cpp.o.d"
+  "CMakeFiles/bench_fig07_cp_vs_mip.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig07_cp_vs_mip.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig07_cp_vs_mip"
+  "bench/bench_fig07_cp_vs_mip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_cp_vs_mip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_cp_vs_mip.
+# This may be replaced when dependencies are built.

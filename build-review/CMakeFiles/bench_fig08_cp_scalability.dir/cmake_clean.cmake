@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_cp_scalability.dir/bench/bench_fig08_cp_scalability.cpp.o"
+  "CMakeFiles/bench_fig08_cp_scalability.dir/bench/bench_fig08_cp_scalability.cpp.o.d"
+  "CMakeFiles/bench_fig08_cp_scalability.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig08_cp_scalability.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig08_cp_scalability"
+  "bench/bench_fig08_cp_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_cp_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

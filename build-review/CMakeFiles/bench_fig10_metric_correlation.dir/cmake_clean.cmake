@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_metric_correlation.dir/bench/bench_fig10_metric_correlation.cpp.o"
+  "CMakeFiles/bench_fig10_metric_correlation.dir/bench/bench_fig10_metric_correlation.cpp.o.d"
+  "CMakeFiles/bench_fig10_metric_correlation.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig10_metric_correlation.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig10_metric_correlation"
+  "bench/bench_fig10_metric_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_metric_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_metric_improvement.dir/bench/bench_fig11_metric_improvement.cpp.o"
+  "CMakeFiles/bench_fig11_metric_improvement.dir/bench/bench_fig11_metric_improvement.cpp.o.d"
+  "CMakeFiles/bench_fig11_metric_improvement.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig11_metric_improvement.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig11_metric_improvement"
+  "bench/bench_fig11_metric_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_metric_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_overall_effectiveness.dir/bench/bench_fig12_overall_effectiveness.cpp.o"
+  "CMakeFiles/bench_fig12_overall_effectiveness.dir/bench/bench_fig12_overall_effectiveness.cpp.o.d"
+  "CMakeFiles/bench_fig12_overall_effectiveness.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig12_overall_effectiveness.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig12_overall_effectiveness"
+  "bench/bench_fig12_overall_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_overall_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

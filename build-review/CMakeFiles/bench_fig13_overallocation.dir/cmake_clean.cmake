@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_overallocation.dir/bench/bench_fig13_overallocation.cpp.o"
+  "CMakeFiles/bench_fig13_overallocation.dir/bench/bench_fig13_overallocation.cpp.o.d"
+  "CMakeFiles/bench_fig13_overallocation.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig13_overallocation.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig13_overallocation"
+  "bench/bench_fig13_overallocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_overallocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_lightweight_llndp.dir/bench/bench_fig14_lightweight_llndp.cpp.o"
+  "CMakeFiles/bench_fig14_lightweight_llndp.dir/bench/bench_fig14_lightweight_llndp.cpp.o.d"
+  "CMakeFiles/bench_fig14_lightweight_llndp.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig14_lightweight_llndp.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig14_lightweight_llndp"
+  "bench/bench_fig14_lightweight_llndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_lightweight_llndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

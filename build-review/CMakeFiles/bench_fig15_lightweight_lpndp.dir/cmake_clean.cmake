@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_lightweight_lpndp.dir/bench/bench_fig15_lightweight_lpndp.cpp.o"
+  "CMakeFiles/bench_fig15_lightweight_lpndp.dir/bench/bench_fig15_lightweight_lpndp.cpp.o.d"
+  "CMakeFiles/bench_fig15_lightweight_lpndp.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig15_lightweight_lpndp.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig15_lightweight_lpndp"
+  "bench/bench_fig15_lightweight_lpndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_lightweight_lpndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

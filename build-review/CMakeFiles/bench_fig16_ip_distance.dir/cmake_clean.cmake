@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_ip_distance.dir/bench/bench_fig16_ip_distance.cpp.o"
+  "CMakeFiles/bench_fig16_ip_distance.dir/bench/bench_fig16_ip_distance.cpp.o.d"
+  "CMakeFiles/bench_fig16_ip_distance.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig16_ip_distance.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig16_ip_distance"
+  "bench/bench_fig16_ip_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_ip_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_hop_count.dir/bench/bench_fig17_hop_count.cpp.o"
+  "CMakeFiles/bench_fig17_hop_count.dir/bench/bench_fig17_hop_count.cpp.o.d"
+  "CMakeFiles/bench_fig17_hop_count.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig17_hop_count.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig17_hop_count"
+  "bench/bench_fig17_hop_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_hop_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

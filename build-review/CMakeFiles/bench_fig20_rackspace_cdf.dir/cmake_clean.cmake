@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_rackspace_cdf.dir/bench/bench_fig20_rackspace_cdf.cpp.o"
+  "CMakeFiles/bench_fig20_rackspace_cdf.dir/bench/bench_fig20_rackspace_cdf.cpp.o.d"
+  "CMakeFiles/bench_fig20_rackspace_cdf.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig20_rackspace_cdf.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig20_rackspace_cdf"
+  "bench/bench_fig20_rackspace_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_rackspace_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_redeploy.dir/bench/bench_redeploy.cpp.o"
+  "CMakeFiles/bench_redeploy.dir/bench/bench_redeploy.cpp.o.d"
+  "CMakeFiles/bench_redeploy.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_redeploy.dir/bench/bench_util.cc.o.d"
+  "bench/bench_redeploy"
+  "bench/bench_redeploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redeploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

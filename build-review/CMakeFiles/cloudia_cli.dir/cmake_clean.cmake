@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudia_cli.dir/tools/cloudia_cli.cpp.o"
+  "CMakeFiles/cloudia_cli.dir/tools/cloudia_cli.cpp.o.d"
+  "cloudia_cli"
+  "cloudia_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudia_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

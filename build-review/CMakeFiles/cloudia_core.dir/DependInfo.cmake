@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloudia/advisor.cc" "CMakeFiles/cloudia_core.dir/src/cloudia/advisor.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/cloudia/advisor.cc.o.d"
+  "/root/repo/src/cloudia/overlap.cc" "CMakeFiles/cloudia_core.dir/src/cloudia/overlap.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/cloudia/overlap.cc.o.d"
+  "/root/repo/src/cloudia/report.cc" "CMakeFiles/cloudia_core.dir/src/cloudia/report.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/cloudia/report.cc.o.d"
+  "/root/repo/src/cloudia/session.cc" "CMakeFiles/cloudia_core.dir/src/cloudia/session.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/cloudia/session.cc.o.d"
+  "/root/repo/src/cluster/kmeans1d.cc" "CMakeFiles/cloudia_core.dir/src/cluster/kmeans1d.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/cluster/kmeans1d.cc.o.d"
+  "/root/repo/src/common/flags.cc" "CMakeFiles/cloudia_core.dir/src/common/flags.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/common/flags.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/cloudia_core.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/cloudia_core.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/cloudia_core.dir/src/common/status.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/cloudia_core.dir/src/common/table.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/common/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/cloudia_core.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/deploy/cost.cc" "CMakeFiles/cloudia_core.dir/src/deploy/cost.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/deploy/cost.cc.o.d"
+  "/root/repo/src/deploy/cost_matrix.cc" "CMakeFiles/cloudia_core.dir/src/deploy/cost_matrix.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/deploy/cost_matrix.cc.o.d"
+  "/root/repo/src/deploy/cp_llndp.cc" "CMakeFiles/cloudia_core.dir/src/deploy/cp_llndp.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/deploy/cp_llndp.cc.o.d"
+  "/root/repo/src/deploy/greedy.cc" "CMakeFiles/cloudia_core.dir/src/deploy/greedy.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/deploy/greedy.cc.o.d"
+  "/root/repo/src/deploy/local_search.cc" "CMakeFiles/cloudia_core.dir/src/deploy/local_search.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/deploy/local_search.cc.o.d"
+  "/root/repo/src/deploy/mip_llndp.cc" "CMakeFiles/cloudia_core.dir/src/deploy/mip_llndp.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/deploy/mip_llndp.cc.o.d"
+  "/root/repo/src/deploy/mip_lpndp.cc" "CMakeFiles/cloudia_core.dir/src/deploy/mip_lpndp.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/deploy/mip_lpndp.cc.o.d"
+  "/root/repo/src/deploy/portfolio.cc" "CMakeFiles/cloudia_core.dir/src/deploy/portfolio.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/deploy/portfolio.cc.o.d"
+  "/root/repo/src/deploy/random_search.cc" "CMakeFiles/cloudia_core.dir/src/deploy/random_search.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/deploy/random_search.cc.o.d"
+  "/root/repo/src/deploy/solve.cc" "CMakeFiles/cloudia_core.dir/src/deploy/solve.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/deploy/solve.cc.o.d"
+  "/root/repo/src/deploy/solver_registry.cc" "CMakeFiles/cloudia_core.dir/src/deploy/solver_registry.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/deploy/solver_registry.cc.o.d"
+  "/root/repo/src/deploy/weighted.cc" "CMakeFiles/cloudia_core.dir/src/deploy/weighted.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/deploy/weighted.cc.o.d"
+  "/root/repo/src/graph/comm_graph.cc" "CMakeFiles/cloudia_core.dir/src/graph/comm_graph.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/graph/comm_graph.cc.o.d"
+  "/root/repo/src/graph/templates.cc" "CMakeFiles/cloudia_core.dir/src/graph/templates.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/graph/templates.cc.o.d"
+  "/root/repo/src/measure/approximations.cc" "CMakeFiles/cloudia_core.dir/src/measure/approximations.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/measure/approximations.cc.o.d"
+  "/root/repo/src/measure/event_queue.cc" "CMakeFiles/cloudia_core.dir/src/measure/event_queue.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/measure/event_queue.cc.o.d"
+  "/root/repo/src/measure/io.cc" "CMakeFiles/cloudia_core.dir/src/measure/io.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/measure/io.cc.o.d"
+  "/root/repo/src/measure/probe_engine.cc" "CMakeFiles/cloudia_core.dir/src/measure/probe_engine.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/measure/probe_engine.cc.o.d"
+  "/root/repo/src/measure/protocols.cc" "CMakeFiles/cloudia_core.dir/src/measure/protocols.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/measure/protocols.cc.o.d"
+  "/root/repo/src/netsim/cloud.cc" "CMakeFiles/cloudia_core.dir/src/netsim/cloud.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/netsim/cloud.cc.o.d"
+  "/root/repo/src/netsim/dynamics.cc" "CMakeFiles/cloudia_core.dir/src/netsim/dynamics.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/netsim/dynamics.cc.o.d"
+  "/root/repo/src/netsim/latency_model.cc" "CMakeFiles/cloudia_core.dir/src/netsim/latency_model.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/netsim/latency_model.cc.o.d"
+  "/root/repo/src/netsim/provider.cc" "CMakeFiles/cloudia_core.dir/src/netsim/provider.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/netsim/provider.cc.o.d"
+  "/root/repo/src/netsim/topology.cc" "CMakeFiles/cloudia_core.dir/src/netsim/topology.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/netsim/topology.cc.o.d"
+  "/root/repo/src/redeploy/drift_monitor.cc" "CMakeFiles/cloudia_core.dir/src/redeploy/drift_monitor.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/redeploy/drift_monitor.cc.o.d"
+  "/root/repo/src/redeploy/migration_planner.cc" "CMakeFiles/cloudia_core.dir/src/redeploy/migration_planner.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/redeploy/migration_planner.cc.o.d"
+  "/root/repo/src/redeploy/online.cc" "CMakeFiles/cloudia_core.dir/src/redeploy/online.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/redeploy/online.cc.o.d"
+  "/root/repo/src/service/advisor_service.cc" "CMakeFiles/cloudia_core.dir/src/service/advisor_service.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/service/advisor_service.cc.o.d"
+  "/root/repo/src/service/cost_matrix_cache.cc" "CMakeFiles/cloudia_core.dir/src/service/cost_matrix_cache.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/service/cost_matrix_cache.cc.o.d"
+  "/root/repo/src/service/environment.cc" "CMakeFiles/cloudia_core.dir/src/service/environment.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/service/environment.cc.o.d"
+  "/root/repo/src/solver/cp/alldifferent.cc" "CMakeFiles/cloudia_core.dir/src/solver/cp/alldifferent.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/solver/cp/alldifferent.cc.o.d"
+  "/root/repo/src/solver/cp/domain.cc" "CMakeFiles/cloudia_core.dir/src/solver/cp/domain.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/solver/cp/domain.cc.o.d"
+  "/root/repo/src/solver/cp/edge_compat.cc" "CMakeFiles/cloudia_core.dir/src/solver/cp/edge_compat.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/solver/cp/edge_compat.cc.o.d"
+  "/root/repo/src/solver/cp/search.cc" "CMakeFiles/cloudia_core.dir/src/solver/cp/search.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/solver/cp/search.cc.o.d"
+  "/root/repo/src/solver/cp/subgraph_iso.cc" "CMakeFiles/cloudia_core.dir/src/solver/cp/subgraph_iso.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/solver/cp/subgraph_iso.cc.o.d"
+  "/root/repo/src/solver/lp/simplex.cc" "CMakeFiles/cloudia_core.dir/src/solver/lp/simplex.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/solver/lp/simplex.cc.o.d"
+  "/root/repo/src/solver/mip/branch_and_bound.cc" "CMakeFiles/cloudia_core.dir/src/solver/mip/branch_and_bound.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/solver/mip/branch_and_bound.cc.o.d"
+  "/root/repo/src/solver/mip/model.cc" "CMakeFiles/cloudia_core.dir/src/solver/mip/model.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/solver/mip/model.cc.o.d"
+  "/root/repo/src/workloads/aggregation.cc" "CMakeFiles/cloudia_core.dir/src/workloads/aggregation.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/workloads/aggregation.cc.o.d"
+  "/root/repo/src/workloads/behavioral.cc" "CMakeFiles/cloudia_core.dir/src/workloads/behavioral.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/workloads/behavioral.cc.o.d"
+  "/root/repo/src/workloads/kvstore.cc" "CMakeFiles/cloudia_core.dir/src/workloads/kvstore.cc.o" "gcc" "CMakeFiles/cloudia_core.dir/src/workloads/kvstore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcloudia_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudia_serve.dir/tools/cloudia_serve.cpp.o"
+  "CMakeFiles/cloudia_serve.dir/tools/cloudia_serve.cpp.o.d"
+  "cloudia_serve"
+  "cloudia_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudia_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

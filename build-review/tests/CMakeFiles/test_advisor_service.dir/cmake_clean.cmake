@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advisor_service.dir/test_advisor_service.cpp.o"
+  "CMakeFiles/test_advisor_service.dir/test_advisor_service.cpp.o.d"
+  "test_advisor_service"
+  "test_advisor_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advisor_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alldifferent.dir/test_alldifferent.cpp.o"
+  "CMakeFiles/test_alldifferent.dir/test_alldifferent.cpp.o.d"
+  "test_alldifferent"
+  "test_alldifferent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alldifferent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

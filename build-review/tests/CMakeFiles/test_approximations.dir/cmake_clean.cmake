@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_approximations.dir/test_approximations.cpp.o"
+  "CMakeFiles/test_approximations.dir/test_approximations.cpp.o.d"
+  "test_approximations"
+  "test_approximations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_approximations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

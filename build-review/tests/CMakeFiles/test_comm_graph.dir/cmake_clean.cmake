@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_graph.dir/test_comm_graph.cpp.o"
+  "CMakeFiles/test_comm_graph.dir/test_comm_graph.cpp.o.d"
+  "test_comm_graph"
+  "test_comm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_matrix.dir/test_cost_matrix.cpp.o"
+  "CMakeFiles/test_cost_matrix.dir/test_cost_matrix.cpp.o.d"
+  "test_cost_matrix"
+  "test_cost_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_matrix_cache.dir/test_cost_matrix_cache.cpp.o"
+  "CMakeFiles/test_cost_matrix_cache.dir/test_cost_matrix_cache.cpp.o.d"
+  "test_cost_matrix_cache"
+  "test_cost_matrix_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_matrix_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

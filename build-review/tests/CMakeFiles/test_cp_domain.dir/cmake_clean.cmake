@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cp_domain.dir/test_cp_domain.cpp.o"
+  "CMakeFiles/test_cp_domain.dir/test_cp_domain.cpp.o.d"
+  "test_cp_domain"
+  "test_cp_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cp_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cp_llndp.dir/test_cp_llndp.cpp.o"
+  "CMakeFiles/test_cp_llndp.dir/test_cp_llndp.cpp.o.d"
+  "test_cp_llndp"
+  "test_cp_llndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cp_llndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

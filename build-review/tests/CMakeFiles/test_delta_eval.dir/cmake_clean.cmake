@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delta_eval.dir/test_delta_eval.cpp.o"
+  "CMakeFiles/test_delta_eval.dir/test_delta_eval.cpp.o.d"
+  "test_delta_eval"
+  "test_delta_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delta_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drift_monitor.dir/test_drift_monitor.cpp.o"
+  "CMakeFiles/test_drift_monitor.dir/test_drift_monitor.cpp.o.d"
+  "test_drift_monitor"
+  "test_drift_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drift_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greedy.dir/test_greedy.cpp.o"
+  "CMakeFiles/test_greedy.dir/test_greedy.cpp.o.d"
+  "test_greedy"
+  "test_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kmeans1d.dir/test_kmeans1d.cpp.o"
+  "CMakeFiles/test_kmeans1d.dir/test_kmeans1d.cpp.o.d"
+  "test_kmeans1d"
+  "test_kmeans1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kmeans1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

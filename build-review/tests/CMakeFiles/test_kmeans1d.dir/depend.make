@@ -1,0 +1,2 @@
+# Empty dependencies file for test_kmeans1d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measure_io.dir/test_measure_io.cpp.o"
+  "CMakeFiles/test_measure_io.dir/test_measure_io.cpp.o.d"
+  "test_measure_io"
+  "test_measure_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measure_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

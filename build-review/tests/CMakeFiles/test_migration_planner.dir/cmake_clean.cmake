@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_migration_planner.dir/test_migration_planner.cpp.o"
+  "CMakeFiles/test_migration_planner.dir/test_migration_planner.cpp.o.d"
+  "test_migration_planner"
+  "test_migration_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_migration_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

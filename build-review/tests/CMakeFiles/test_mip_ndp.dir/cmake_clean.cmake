@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mip_ndp.dir/test_mip_ndp.cpp.o"
+  "CMakeFiles/test_mip_ndp.dir/test_mip_ndp.cpp.o.d"
+  "test_mip_ndp"
+  "test_mip_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mip_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mip_ndp.
+# This may be replaced when dependencies are built.

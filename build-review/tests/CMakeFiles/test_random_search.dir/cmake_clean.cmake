@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_search.dir/test_random_search.cpp.o"
+  "CMakeFiles/test_random_search.dir/test_random_search.cpp.o.d"
+  "test_random_search"
+  "test_random_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

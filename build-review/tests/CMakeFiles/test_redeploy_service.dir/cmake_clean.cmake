@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redeploy_service.dir/test_redeploy_service.cpp.o"
+  "CMakeFiles/test_redeploy_service.dir/test_redeploy_service.cpp.o.d"
+  "test_redeploy_service"
+  "test_redeploy_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redeploy_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_redeploy_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solve_facade.dir/test_solve_facade.cpp.o"
+  "CMakeFiles/test_solve_facade.dir/test_solve_facade.cpp.o.d"
+  "test_solve_facade"
+  "test_solve_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solve_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

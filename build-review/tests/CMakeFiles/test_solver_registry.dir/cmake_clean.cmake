@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_registry.dir/test_solver_registry.cpp.o"
+  "CMakeFiles/test_solver_registry.dir/test_solver_registry.cpp.o.d"
+  "test_solver_registry"
+  "test_solver_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subgraph_iso.dir/test_subgraph_iso.cpp.o"
+  "CMakeFiles/test_subgraph_iso.dir/test_subgraph_iso.cpp.o.d"
+  "test_subgraph_iso"
+  "test_subgraph_iso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subgraph_iso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
