@@ -1,0 +1,315 @@
+// Hierarchical NDP solving at datacenter scale (ROADMAP Open item 1).
+//
+// The paper's scalability study (Fig. 8) shows flat CP search collapsing
+// well below datacenter scale; every flat solver additionally needs the
+// materialized m x m cost matrix (20 GB at 50k instances). This bench
+// drives hier::SolveHierarchical against a synthetic rack-structured
+// CostSource -- costs computed on the fly, never materialized -- and checks
+// the three claims the subsystem makes:
+//
+//   quality   at sizes where flat solves are still feasible (n <= 512 here)
+//             the hier objective is within 10% of the flat incumbent
+//             (LocalSearch on the materialized matrix, same seed).
+//   scaling   wall clock grows near-linearly across the 1k -> 10k -> 50k
+//             ladder: per-node wall time spreads by at most 4x between the
+//             smallest and largest size (a quadratic solver would spread
+//             50x over this ladder).
+//   determinism
+//             a --threads=1 solve repeated with the same seed returns a
+//             bit-identical deployment.
+//
+// Exit 0 only if all three PASS. --json=PATH additionally emits the
+// measurements machine-readably (the checked-in BENCH_*.json snapshots).
+//
+// Flags: --sizes=A,B,... (default 1000,10000,50000), --quality-sizes=A,B,...
+// (default 256,512), --rack=N (instances per rack, default 128),
+// --budget=S (flat solver budget in the quality stage, default 10),
+// --threads=N (0 = hardware), --seed=N (default 7), --json=PATH,
+// --skip-quality, --skip-determinism.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/timer.h"
+#include "deploy/cost.h"
+#include "deploy/solve.h"
+#include "graph/comm_graph.h"
+#include "graph/templates.h"
+#include "hier/cost_source.h"
+#include "hier/solver.h"
+
+namespace {
+
+using namespace cloudia;
+
+// SplitMix64 finalizer: the per-pair jitter must be a pure function of the
+// pair so the implicit matrix is deterministic and thread-safe.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double U01(uint64_t key) {
+  return static_cast<double>(Mix(key) >> 11) * (1.0 / 9007199254740992.0);
+}
+
+// Rack-structured synthetic latency: ~0.25-0.35 ms inside a rack, an
+// aggregation-layer base of ~1.2-2.0 ms between rack pairs with a small
+// per-link jitter. Symmetric; mirrors the bimodal EC2 CDF of Fig. 1 at a
+// scale the simulator cannot reach.
+double SyntheticCost(uint64_t seed, int rack_size, int i, int j) {
+  if (i == j) return 0.0;
+  const uint64_t a = static_cast<uint64_t>(std::min(i, j));
+  const uint64_t b = static_cast<uint64_t>(std::max(i, j));
+  const uint64_t ra = a / static_cast<uint64_t>(rack_size);
+  const uint64_t rb = b / static_cast<uint64_t>(rack_size);
+  const double link = U01(seed ^ (a * 1000003ULL + b));
+  if (ra == rb) return 0.25 + 0.10 * link;
+  const double base = 1.2 + 0.8 * U01(seed ^ 0x5ca1ab1eULL ^
+                                      (ra * 8191ULL + rb));
+  return base + 0.05 * link;
+}
+
+// Near-square mesh with >= n nodes snapped exactly to n via factorization.
+graph::CommGraph MeshOf(int n) {
+  int rows = 1;
+  for (int r = 2; r * r <= n; ++r) {
+    if (n % r == 0) rows = r;
+  }
+  return graph::Mesh2D(rows, n / rows);
+}
+
+struct LadderPoint {
+  int n = 0;
+  int m = 0;
+  double wall_s = 0.0;
+  double cost = 0.0;
+  hier::HierStats stats;
+};
+
+struct QualityPoint {
+  int n = 0;
+  double flat_cost = 0.0;
+  double hier_cost = 0.0;
+  double ratio = 0.0;
+};
+
+Result<hier::HierSolveResult> RunHier(const graph::CommGraph& app,
+                                      const hier::CostSource& source,
+                                      int threads, uint64_t seed) {
+  hier::HierOptions options;
+  options.threads = threads;
+  options.seed = seed;
+  deploy::SolveContext context(Deadline::Infinite());
+  return hier::SolveHierarchical(app, source, deploy::Objective::kLongestLink,
+                                 options, context);
+}
+
+void WriteJson(const std::string& path, uint64_t seed, int rack,
+               const std::vector<QualityPoint>& quality,
+               const std::vector<LadderPoint>& ladder, double scaling_spread,
+               bool quality_pass, bool scaling_pass, bool deterministic,
+               bool pass) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_hier_scalability\",\n");
+  std::fprintf(f, "  \"seed\": %llu,\n  \"rack_size\": %d,\n",
+               static_cast<unsigned long long>(seed), rack);
+  std::fprintf(f, "  \"quality\": [");
+  for (size_t i = 0; i < quality.size(); ++i) {
+    const QualityPoint& q = quality[i];
+    std::fprintf(f,
+                 "%s\n    {\"n\": %d, \"flat_cost_ms\": %.6f, "
+                 "\"hier_cost_ms\": %.6f, \"ratio\": %.4f}",
+                 i == 0 ? "" : ",", q.n, q.flat_cost, q.hier_cost, q.ratio);
+  }
+  std::fprintf(f, "\n  ],\n  \"scaling\": [");
+  for (size_t i = 0; i < ladder.size(); ++i) {
+    const LadderPoint& p = ladder[i];
+    std::fprintf(
+        f,
+        "%s\n    {\"n\": %d, \"m\": %d, \"wall_s\": %.3f, "
+        "\"cost_ms\": %.6f, \"clusters\": %d, \"shards\": %d, "
+        "\"seams_polished\": %d, \"decompose_s\": %.3f, \"coarse_s\": %.3f, "
+        "\"shard_s\": %.3f, \"polish_s\": %.3f, \"us_per_node\": %.2f}",
+        i == 0 ? "" : ",", p.n, p.m, p.wall_s, p.cost, p.stats.clusters,
+        p.stats.shards, p.stats.seams_polished, p.stats.decompose_s,
+        p.stats.coarse_s, p.stats.shard_s, p.stats.polish_s,
+        1e6 * p.wall_s / p.n);
+  }
+  std::fprintf(f, "\n  ],\n");
+  std::fprintf(f, "  \"scaling_spread\": %.3f,\n", scaling_spread);
+  std::fprintf(f, "  \"quality_pass\": %s,\n", quality_pass ? "true" : "false");
+  std::fprintf(f, "  \"scaling_pass\": %s,\n", scaling_pass ? "true" : "false");
+  std::fprintf(f, "  \"deterministic\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+std::vector<int> ParseSizes(const std::string& csv,
+                            const std::vector<int>& fallback) {
+  std::vector<int> sizes;
+  std::string token;
+  for (char c : csv + ",") {
+    if (c == ',') {
+      if (!token.empty()) sizes.push_back(std::atoi(token.c_str()));
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  for (int s : sizes) {
+    if (s < 4) {
+      std::fprintf(stderr, "bad size list '%s'\n", csv.c_str());
+      return fallback;
+    }
+  }
+  return sizes.empty() ? fallback : sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  CLOUDIA_CHECK(flags.ok());
+  auto rack_flag = flags->GetInt("rack", 128);
+  auto threads_flag = flags->GetInt("threads", 0);
+  auto seed_flag = flags->GetInt("seed", 7);
+  auto budget = flags->GetDouble("budget", 10.0);
+  CLOUDIA_CHECK(rack_flag.ok() && threads_flag.ok() && seed_flag.ok() &&
+                budget.ok());
+  const int rack = static_cast<int>(*rack_flag);
+  const int threads = static_cast<int>(*threads_flag);
+  const uint64_t seed = static_cast<uint64_t>(*seed_flag);
+  const std::vector<int> sizes =
+      ParseSizes(flags->GetString("sizes", ""), {1000, 10000, 50000});
+  const std::vector<int> quality_sizes =
+      ParseSizes(flags->GetString("quality-sizes", ""), {256, 512});
+  const bool skip_quality = flags->GetBool("skip-quality", false);
+  const bool skip_determinism = flags->GetBool("skip-determinism", false);
+  const std::string json_path = flags->GetString("json", "");
+
+  std::printf(
+      "hierarchical NDP scalability: rack-structured synthetic costs "
+      "(rack=%d, m=2n),\nlongest-link objective, implicit cost source "
+      "(no materialized matrix)\n\n",
+      rack);
+
+  // --- quality vs the flat incumbent at sizes flat can still handle -------
+  bool quality_pass = true;
+  std::vector<QualityPoint> quality;
+  if (!skip_quality) {
+    std::printf("quality vs flat LocalSearch (budget %.0f s, same seed):\n",
+                *budget);
+    std::printf("    n    flat cost      hier cost     hier/flat\n");
+    for (int n : quality_sizes) {
+      const int m = 2 * n;
+      graph::CommGraph app = MeshOf(n);
+      hier::CallbackCostSource source(
+          m, [&](int i, int j) { return SyntheticCost(seed, rack, i, j); });
+      // Materialize for the flat solver; only feasible at these sizes.
+      std::vector<int> all(static_cast<size_t>(m));
+      for (int i = 0; i < m; ++i) all[static_cast<size_t>(i)] = i;
+      deploy::CostMatrix dense = hier::ExtractSubmatrix(source, all);
+
+      deploy::NdpSolveOptions flat_opts;
+      flat_opts.objective = deploy::Objective::kLongestLink;
+      flat_opts.seed = seed;
+      deploy::SolveContext flat_context(Deadline::After(*budget));
+      auto flat = deploy::SolveNodeDeploymentByName(app, dense, "local",
+                                                    flat_opts, flat_context);
+      CLOUDIA_CHECK(flat.ok());
+
+      auto hier_result = RunHier(app, source, threads, seed);
+      CLOUDIA_CHECK(hier_result.ok());
+
+      QualityPoint q;
+      q.n = n;
+      q.flat_cost = flat->cost;
+      q.hier_cost = hier_result->result.cost;
+      q.ratio = q.flat_cost > 0 ? q.hier_cost / q.flat_cost : 1.0;
+      if (q.ratio > 1.10) quality_pass = false;
+      quality.push_back(q);
+      std::printf("  %5d  %9.4f ms  %9.4f ms  %8.3f %s\n", n, q.flat_cost,
+                  q.hier_cost, q.ratio, q.ratio <= 1.10 ? "" : "(> 1.10)");
+    }
+    std::printf("hier within 10%% of the flat incumbent: %s\n\n",
+                quality_pass ? "PASS" : "FAIL");
+  }
+
+  // --- the scaling ladder -------------------------------------------------
+  std::printf("scaling ladder (m = 2n instances, %d-per-rack):\n", rack);
+  std::printf(
+      "      n       m   clusters  shards  seams      cost      wall     "
+      "us/node\n");
+  std::vector<LadderPoint> ladder;
+  for (int n : sizes) {
+    const int m = 2 * n;
+    graph::CommGraph app = MeshOf(n);
+    hier::CallbackCostSource source(
+        m, [&](int i, int j) { return SyntheticCost(seed, rack, i, j); });
+    Stopwatch wall;
+    auto solved = RunHier(app, source, threads, seed);
+    CLOUDIA_CHECK(solved.ok());
+    LadderPoint p;
+    p.n = n;
+    p.m = m;
+    p.wall_s = wall.ElapsedSeconds();
+    p.cost = solved->result.cost;
+    p.stats = solved->stats;
+    ladder.push_back(p);
+    std::printf("  %6d  %6d  %8d  %6d  %5d  %7.4f ms  %7.2f s  %8.2f\n", n,
+                m, p.stats.clusters, p.stats.shards, p.stats.seams_polished,
+                p.cost, p.wall_s, 1e6 * p.wall_s / n);
+  }
+  double per_node_min = 1e300, per_node_max = 0.0;
+  for (const LadderPoint& p : ladder) {
+    const double per_node = p.wall_s / p.n;
+    per_node_min = std::min(per_node_min, per_node);
+    per_node_max = std::max(per_node_max, per_node);
+  }
+  const double spread =
+      per_node_min > 0 ? per_node_max / per_node_min : 1e300;
+  // A 4x per-node spread over a 50x size range is near-linear; flat CP's
+  // quadratic-plus growth (Fig. 8) would spread ~50x.
+  const bool scaling_pass = spread <= 4.0;
+  std::printf(
+      "per-node wall spread across the ladder: %.2fx (near-linear <= "
+      "4x): %s\n\n",
+      spread, scaling_pass ? "PASS" : "FAIL");
+
+  // --- single-thread determinism ------------------------------------------
+  bool deterministic = true;
+  if (!skip_determinism) {
+    const int n = sizes.front();
+    graph::CommGraph app = MeshOf(n);
+    hier::CallbackCostSource source(
+        2 * n, [&](int i, int j) { return SyntheticCost(seed, rack, i, j); });
+    auto first = RunHier(app, source, /*threads=*/1, seed);
+    auto second = RunHier(app, source, /*threads=*/1, seed);
+    CLOUDIA_CHECK(first.ok() && second.ok());
+    deterministic = first->result.deployment == second->result.deployment &&
+                    first->result.cost == second->result.cost;
+    std::printf("--threads=1 repeat bit-identical at n=%d: %s\n\n", n,
+                deterministic ? "PASS" : "FAIL");
+  }
+
+  const bool pass = quality_pass && scaling_pass && deterministic;
+  if (!json_path.empty()) {
+    WriteJson(json_path, seed, rack, quality, ladder, spread, quality_pass,
+              scaling_pass, deterministic, pass);
+  }
+  std::printf("overall: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -5,6 +5,8 @@
 
 #include <cmath>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "cluster/kmeans1d.h"
 #include "common/check.h"
@@ -274,4 +276,36 @@ BENCHMARK(BM_EventQueueChain);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): --json=PATH (or --json PATH) is
+// the repo-wide machine-readable-output flag (bench_hier_scalability has
+// the same), translated here into google-benchmark's native
+// --benchmark_out/--benchmark_out_format pair.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc) + 2);
+  std::string json_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (!json_path.empty()) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argp;
+  argp.reserve(args.size() + 1);
+  for (std::string& arg : args) argp.push_back(arg.data());
+  argp.push_back(nullptr);
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, argp.data());
+  if (benchmark::ReportUnrecognizedArguments(count, argp.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -139,6 +139,9 @@ Result<SessionSolve> DeploymentSession::Solve(const SolveSpec& spec) {
   sopts.seed = spec.seed;
   sopts.initial = spec.initial;
   sopts.warm_start_hints = spec.warm_start_hints;
+  sopts.hier_clusters = spec.hier_clusters;
+  sopts.hier_shard_solver = spec.hier_shard_solver;
+  sopts.hier_polish_steps = spec.hier_polish_steps;
 
   deploy::SolveContext context(Deadline::After(spec.time_budget_s),
                                spec.cancel, spec.on_progress);

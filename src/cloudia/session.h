@@ -91,6 +91,12 @@ struct SolveSpec {
   deploy::Deployment initial;
   /// CP: warm-start iterations with the previous solution's values.
   bool warm_start_hints = false;
+  /// Hier: instance clusters; 0 = auto (latency-threshold derived).
+  int hier_clusters = 0;
+  /// Hier: per-shard solver (registry name); empty = "local".
+  std::string hier_shard_solver;
+  /// Hier: accepted-step budget for the boundary polish.
+  int hier_polish_steps = 2000;
 
   /// Application graph for this solve; nullptr = the session's graph. Any
   /// graph whose node count fits the allocated instance pool is valid, so

@@ -36,6 +36,10 @@ enum class Method {
   /// Extension beyond the paper: races several registered solvers
   /// concurrently against one shared incumbent (deploy/portfolio.h).
   kPortfolio,
+  /// Extension beyond the paper: hierarchical divide-and-conquer for
+  /// 10k+-node problems -- cluster-decompose, coarse-assign, shard-solve in
+  /// parallel, polish the seams (hier/solver.h). Works for both objectives.
+  kHier,
 };
 
 /// Display name ("G1", "CP", "LocalSearch"); round-trips with ParseMethod
@@ -63,6 +67,14 @@ struct NdpSolveOptions {
   Deployment initial;
   /// CP: warm-start iterations with the previous solution's values.
   bool warm_start_hints = false;
+  /// Hier: instance clusters to decompose into; 0 = auto (latency-threshold
+  /// derived). Ignored by other methods.
+  int hier_clusters = 0;
+  /// Hier: registry name of the per-shard solver; empty = "local". Any
+  /// registered solver except "hier" itself works (cp, mip, portfolio, ...).
+  std::string hier_shard_solver;
+  /// Hier: accepted-step budget for the cross-shard boundary polish.
+  int hier_polish_steps = 2000;
 };
 
 /// Runs the selected method under `context` (deadline, cancellation,

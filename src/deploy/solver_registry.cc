@@ -12,6 +12,7 @@
 #include "deploy/mip_lpndp.h"
 #include "deploy/portfolio.h"
 #include "deploy/random_search.h"
+#include "hier/solver.h"
 
 namespace cloudia::deploy {
 
@@ -41,6 +42,7 @@ constexpr MethodInfo kMethodTable[] = {
     {Method::kMip, "mip", "MIP"},
     {Method::kLocalSearch, "local", "LocalSearch"},
     {Method::kPortfolio, "portfolio", "Portfolio"},
+    {Method::kHier, "hier", "Hier"},
 };
 
 // Wraps a single deployment into a one-point result under `objective`.
@@ -264,6 +266,7 @@ void RegisterBuiltinSolvers(SolverRegistry& registry) {
   add(std::make_unique<MipSolver>());
   add(std::make_unique<LocalSearchSolver>());
   add(std::make_unique<PortfolioSolver>());
+  add(std::make_unique<hier::HierSolver>());
 }
 
 const char* MethodKey(Method method) {

@@ -1,0 +1,148 @@
+#include "hier/coarse.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cloudia::hier {
+
+namespace {
+
+// Both aggregates of the quotient objective in one O(E_q) pass; which one
+// leads depends on the objective (see header).
+struct ProxyCost {
+  double max_cost = 0.0;
+  double sum_cost = 0.0;
+};
+
+ProxyCost EvalProxy(const Decomposition& d, const std::vector<int>& assign) {
+  ProxyCost p;
+  for (const QuotientEdge& e : d.quotient_edges) {
+    const double w = d.reduced.At(assign[static_cast<size_t>(e.src)],
+                                  assign[static_cast<size_t>(e.dst)]);
+    p.max_cost = std::max(p.max_cost, w);
+    p.sum_cost += e.count * w;
+  }
+  return p;
+}
+
+bool Better(deploy::Objective objective, const ProxyCost& cand,
+            const ProxyCost& cur) {
+  constexpr double kEps = 1e-9;
+  const double lead_cand = objective == deploy::Objective::kLongestLink
+                               ? cand.max_cost
+                               : cand.sum_cost;
+  const double lead_cur = objective == deploy::Objective::kLongestLink
+                              ? cur.max_cost
+                              : cur.sum_cost;
+  if (lead_cand < lead_cur - kEps) return true;
+  if (lead_cand > lead_cur + kEps) return false;
+  const double tie_cand = objective == deploy::Objective::kLongestLink
+                              ? cand.sum_cost
+                              : cand.max_cost;
+  const double tie_cur = objective == deploy::Objective::kLongestLink
+                             ? cur.sum_cost
+                             : cur.max_cost;
+  return tie_cand < tie_cur - kEps;
+}
+
+}  // namespace
+
+Result<CoarseResult> SolveCoarseAssignment(const Decomposition& d,
+                                           deploy::Objective objective,
+                                           int max_passes) {
+  const int G = static_cast<int>(d.node_groups.size());
+  const int C = d.clusters.count();
+  CoarseResult out;
+  out.assignment = d.group_cluster;
+  if (G == 0) return out;
+  CLOUDIA_CHECK(static_cast<int>(out.assignment.size()) == G);
+
+  std::vector<int> caps(static_cast<size_t>(C));
+  for (int c = 0; c < C; ++c) {
+    caps[static_cast<size_t>(c)] =
+        static_cast<int>(d.clusters.members[static_cast<size_t>(c)].size());
+  }
+  std::vector<int> sizes(static_cast<size_t>(G));
+  for (int g = 0; g < G; ++g) {
+    sizes[static_cast<size_t>(g)] =
+        static_cast<int>(d.node_groups[static_cast<size_t>(g)].size());
+  }
+  std::vector<int> cluster_used(static_cast<size_t>(C), -1);
+  for (int g = 0; g < G; ++g) {
+    const int c = out.assignment[static_cast<size_t>(g)];
+    CLOUDIA_CHECK(c >= 0 && c < C && cluster_used[static_cast<size_t>(c)] < 0);
+    cluster_used[static_cast<size_t>(c)] = g;
+  }
+
+  // On wide decompositions the all-pairs swap neighborhood explodes; fall
+  // back to pairs that actually share a quotient edge (the only swaps that
+  // can change the proxy much).
+  std::vector<std::pair<int, int>> swap_pairs;
+  if (static_cast<long long>(G) * (G - 1) / 2 > 50000) {
+    std::set<std::pair<int, int>> seen;
+    for (const QuotientEdge& e : d.quotient_edges) {
+      seen.insert({std::min(e.src, e.dst), std::max(e.src, e.dst)});
+    }
+    swap_pairs.assign(seen.begin(), seen.end());
+  } else {
+    for (int g = 0; g < G; ++g) {
+      for (int h = g + 1; h < G; ++h) swap_pairs.push_back({g, h});
+    }
+  }
+
+  ProxyCost cur = EvalProxy(d, out.assignment);
+  const int passes = std::max(1, max_passes);
+  for (int pass = 0; pass < passes; ++pass) {
+    bool improved = false;
+    for (const auto& [g, h] : swap_pairs) {
+      const int cg = out.assignment[static_cast<size_t>(g)];
+      const int ch = out.assignment[static_cast<size_t>(h)];
+      if (sizes[static_cast<size_t>(g)] > caps[static_cast<size_t>(ch)] ||
+          sizes[static_cast<size_t>(h)] > caps[static_cast<size_t>(cg)]) {
+        continue;
+      }
+      out.assignment[static_cast<size_t>(g)] = ch;
+      out.assignment[static_cast<size_t>(h)] = cg;
+      const ProxyCost cand = EvalProxy(d, out.assignment);
+      if (Better(objective, cand, cur)) {
+        cur = cand;
+        cluster_used[static_cast<size_t>(cg)] = h;
+        cluster_used[static_cast<size_t>(ch)] = g;
+        improved = true;
+      } else {
+        out.assignment[static_cast<size_t>(g)] = cg;
+        out.assignment[static_cast<size_t>(h)] = ch;
+      }
+    }
+    for (int g = 0; g < G; ++g) {
+      const int old_c = out.assignment[static_cast<size_t>(g)];
+      for (int c = 0; c < C; ++c) {
+        if (cluster_used[static_cast<size_t>(c)] >= 0) continue;
+        if (caps[static_cast<size_t>(c)] < sizes[static_cast<size_t>(g)]) {
+          continue;
+        }
+        out.assignment[static_cast<size_t>(g)] = c;
+        const ProxyCost cand = EvalProxy(d, out.assignment);
+        if (Better(objective, cand, cur)) {
+          cur = cand;
+          cluster_used[static_cast<size_t>(old_c)] = -1;
+          cluster_used[static_cast<size_t>(c)] = g;
+          improved = true;
+          break;
+        }
+        out.assignment[static_cast<size_t>(g)] = old_c;
+      }
+    }
+    out.passes = pass + 1;
+    if (!improved) break;
+  }
+
+  out.cost = objective == deploy::Objective::kLongestLink ? cur.max_cost
+                                                          : cur.sum_cost;
+  return out;
+}
+
+}  // namespace cloudia::hier

@@ -1,0 +1,48 @@
+// Coarse inter-cluster NDP solve: assigns node groups to instance clusters
+// over the reduced cost matrix of a Decomposition.
+//
+// The coarse problem is the NDP quotient -- groups play nodes, clusters
+// play instances, the reduced matrix plays the cost matrix -- with one
+// extra constraint flat solvers do not have: a group only fits a cluster
+// with enough member instances. The solve is a deterministic
+// first-improvement descent over group-pair swaps and moves to unused
+// clusters, starting from the decomposition's natural assignment (each
+// group on the cluster it was grown for).
+//
+// Objective proxy: longest link minimizes the maximum reduced cost over
+// quotient edges (sum as tie-break); longest path minimizes the
+// edge-count-weighted sum (an upper-bound surrogate -- the exact quotient
+// path objective is not separable, and seam repair happens downstream in
+// the BoundaryPolisher anyway). Unmeasured sentinel entries in the reduced
+// matrix price cross-cluster placements on never-measured pairs out of the
+// search exactly like the flat solvers avoid sentinel links.
+#ifndef CLOUDIA_HIER_COARSE_H_
+#define CLOUDIA_HIER_COARSE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "deploy/cost.h"
+#include "hier/decompose.h"
+
+namespace cloudia::hier {
+
+struct CoarseResult {
+  /// Group -> cluster, injective, capacity-respecting.
+  std::vector<int> assignment;
+  /// Final proxy objective (max reduced cost for longest link, weighted sum
+  /// for longest path).
+  double cost = 0.0;
+  int passes = 0;
+};
+
+/// Descends from the decomposition's natural assignment for at most
+/// `max_passes` full neighborhood sweeps (values < 1 clamp to 1).
+/// Deterministic in the decomposition.
+Result<CoarseResult> SolveCoarseAssignment(const Decomposition& d,
+                                           deploy::Objective objective,
+                                           int max_passes);
+
+}  // namespace cloudia::hier
+
+#endif  // CLOUDIA_HIER_COARSE_H_

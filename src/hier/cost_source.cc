@@ -1,0 +1,47 @@
+#include "hier/cost_source.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cloudia::hier {
+
+deploy::CostMatrix ExtractSubmatrix(const CostSource& source,
+                                    const std::vector<int>& instances) {
+  const int k = static_cast<int>(instances.size());
+  deploy::CostMatrix out(k);
+  for (int a = 0; a < k; ++a) {
+    const int i = instances[static_cast<size_t>(a)];
+    CLOUDIA_DCHECK(i >= 0 && i < source.size());
+    for (int b = 0; b < k; ++b) {
+      if (a == b) continue;
+      out.At(a, b) = source.Cost(i, instances[static_cast<size_t>(b)]);
+    }
+  }
+  return out;
+}
+
+Result<double> EvaluateObjective(const graph::CommGraph& graph,
+                                 const CostSource& source,
+                                 const deploy::Deployment& deployment,
+                                 deploy::Objective objective) {
+  if (deployment.size() != static_cast<size_t>(graph.num_nodes())) {
+    return Status::InvalidArgument(
+        "deployment covers " + std::to_string(deployment.size()) +
+        " nodes but the graph has " + std::to_string(graph.num_nodes()));
+  }
+  auto inst = [&deployment](int v) {
+    return deployment[static_cast<size_t>(v)];
+  };
+  if (objective == deploy::Objective::kLongestLink) {
+    double worst = 0.0;
+    for (const graph::Edge& e : graph.edges()) {
+      worst = std::max(worst, source.Cost(inst(e.src), inst(e.dst)));
+    }
+    return worst;
+  }
+  return graph.LongestPathCost(
+      [&](int u, int v) { return source.Cost(inst(u), inst(v)); });
+}
+
+}  // namespace cloudia::hier

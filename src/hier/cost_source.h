@@ -1,0 +1,85 @@
+// Read-only pairwise-cost views for the hierarchical solving layer.
+//
+// Every flat solver consumes a materialized deploy::CostMatrix, which is
+// m^2 doubles -- 20 GB at the 50k-instance scale the hierarchical pipeline
+// targets. The decomposition stages only ever *sample* costs (cluster
+// leaders, reduced-matrix entries, seam submatrices), so they read through
+// this CostSource interface instead: a measured matrix adapts via
+// MatrixCostSource, while synthetic datacenter-scale scenarios (see
+// bench_hier_scalability) compute costs on the fly and never materialize
+// the full matrix. Shard subproblems extract small dense submatrices with
+// ExtractSubmatrix so the existing registry solvers and the CostEvaluator
+// delta hot path run on them unchanged.
+#ifndef CLOUDIA_HIER_COST_SOURCE_H_
+#define CLOUDIA_HIER_COST_SOURCE_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "deploy/cost.h"
+#include "deploy/cost_matrix.h"
+#include "graph/comm_graph.h"
+
+namespace cloudia::hier {
+
+/// Pairwise communication cost over `size()` instances, read-only.
+/// Implementations must be deterministic (same (i, j) -> same cost) and
+/// safe to call concurrently from the shard fan-out threads.
+class CostSource {
+ public:
+  virtual ~CostSource() = default;
+  /// Number of instances; valid index range for Cost().
+  virtual int size() const = 0;
+  /// Cost of the directed link i -> j in ms. The diagonal is by convention
+  /// 0 and never read by the hierarchical pipeline. Entries at or above
+  /// deploy::kUnmeasuredCostMs mean "never measured", not data.
+  virtual double Cost(int i, int j) const = 0;
+};
+
+/// Adapter over a materialized cost matrix (the registered "hier" solver
+/// path). Non-owning; the matrix must outlive the source.
+class MatrixCostSource final : public CostSource {
+ public:
+  explicit MatrixCostSource(const deploy::CostMatrix* costs) : costs_(costs) {}
+  int size() const override { return costs_->size(); }
+  double Cost(int i, int j) const override { return costs_->At(i, j); }
+
+ private:
+  const deploy::CostMatrix* costs_;
+};
+
+/// Computes costs through a callable -- the implicit-matrix path for
+/// synthetic scale benchmarks. The callable must be deterministic and
+/// thread-safe.
+class CallbackCostSource final : public CostSource {
+ public:
+  CallbackCostSource(int size, std::function<double(int, int)> cost)
+      : size_(size), cost_(std::move(cost)) {}
+  int size() const override { return size_; }
+  double Cost(int i, int j) const override { return cost_(i, j); }
+
+ private:
+  int size_;
+  std::function<double(int, int)> cost_;
+};
+
+/// Dense submatrix over `instances` (global ids): result.At(a, b) ==
+/// source.Cost(instances[a], instances[b]) off-diagonal, 0 on the diagonal.
+/// The shard and seam subproblems run the flat solvers on these.
+deploy::CostMatrix ExtractSubmatrix(const CostSource& source,
+                                    const std::vector<int>& instances);
+
+/// Exact deployment objective read through the source: longest link is the
+/// max edge cost, longest path delegates to CommGraph::LongestPathCost
+/// (Infeasible on cyclic graphs). O(E) / O(V + E) -- this is the stitcher's
+/// ground-truth check, not a search hot path.
+Result<double> EvaluateObjective(const graph::CommGraph& graph,
+                                 const CostSource& source,
+                                 const deploy::Deployment& deployment,
+                                 deploy::Objective objective);
+
+}  // namespace cloudia::hier
+
+#endif  // CLOUDIA_HIER_COST_SOURCE_H_

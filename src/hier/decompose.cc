@@ -1,0 +1,327 @@
+#include "hier/decompose.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <utility>
+
+#include "cluster/kmeans1d.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cloudia::hier {
+
+namespace {
+
+bool Measured(double cost) { return cost < deploy::kUnmeasuredCostMs; }
+
+// Up to `want` measured off-diagonal costs. Small matrices are enumerated
+// exhaustively; large ones are sampled with a seeded Rng so the result is a
+// pure function of (source, want, seed).
+std::vector<double> SampleOffDiagonalCosts(const CostSource& source, int want,
+                                           uint64_t seed) {
+  const int m = source.size();
+  std::vector<double> out;
+  if (m < 2 || want < 1) return out;
+  const long long total = static_cast<long long>(m) * (m - 1);
+  if (total <= want) {
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < m; ++j) {
+        if (i == j) continue;
+        const double c = source.Cost(i, j);
+        if (Measured(c)) out.push_back(c);
+      }
+    }
+    return out;
+  }
+  Rng rng(seed ^ 0x7a1e5ce5a11adULL);
+  int attempts = want * 4;
+  out.reserve(static_cast<size_t>(want));
+  while (static_cast<int>(out.size()) < want && attempts-- > 0) {
+    const int i = static_cast<int>(rng.Below(static_cast<uint64_t>(m)));
+    const int j = static_cast<int>(rng.Below(static_cast<uint64_t>(m)));
+    if (i == j) continue;
+    const double c = source.Cost(i, j);
+    if (Measured(c)) out.push_back(c);
+  }
+  // Uniform pairs under-represent a rare "near" mode at scale: with racks of
+  // r instances, only ~r/m of random pairs are intra-rack, so for m >> r the
+  // 2-means threshold would be derived from inter-rack costs alone and the
+  // clustering would collapse into a handful of giant clusters. Anchored
+  // minima restore the representation: a few anchor instances each probe many
+  // random partners and contribute their smallest observed costs, which
+  // concentrate in the near mode whenever one exists.
+  constexpr int kAnchors = 64;
+  constexpr int kKeepPerAnchor = 8;
+  const int probes = std::min(want, m - 1);
+  std::vector<double> near;
+  near.reserve(static_cast<size_t>(probes));
+  for (int a = 0; a < kAnchors; ++a) {
+    const int i = static_cast<int>(rng.Below(static_cast<uint64_t>(m)));
+    near.clear();
+    for (int p = 0; p < probes; ++p) {
+      const int j = static_cast<int>(rng.Below(static_cast<uint64_t>(m)));
+      if (i == j) continue;
+      const double c = source.Cost(i, j);
+      if (Measured(c)) near.push_back(c);
+    }
+    const auto keep = static_cast<ptrdiff_t>(
+        std::min<size_t>(kKeepPerAnchor, near.size()));
+    std::partial_sort(near.begin(), near.begin() + keep, near.end());
+    out.insert(out.end(), near.begin(), near.begin() + keep);
+  }
+  return out;
+}
+
+// Latency-equivalence threshold: midpoint of the two centers of an exact
+// 2-means over the sampled costs ("near" vs "far" link populations). Degenerate
+// samples (empty / constant) collapse to "everything within max sample".
+double DeriveThreshold(const std::vector<double>& sample) {
+  if (sample.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(sample.begin(), sample.end());
+  if (*hi - *lo < 1e-12) return *hi;
+  Result<cluster::Clustering> split = cluster::KMeans1D(sample, 2);
+  if (!split.ok() || split->centers.size() < 2) return *hi;
+  return 0.5 * (split->centers[0] + split->centers[1]);
+}
+
+// Symmetric leader-pair distance used when merging clusters or assigning an
+// overflow instance to its nearest cluster; sentinel-heavy pairs stay huge.
+double LeaderDistance(const CostSource& source, int a, int b) {
+  const double ab = source.Cost(a, b);
+  const double ba = source.Cost(b, a);
+  if (!Measured(ab) || !Measured(ba)) return deploy::kUnmeasuredCostMs;
+  return 0.5 * (ab + ba);
+}
+
+}  // namespace
+
+Result<Decomposition> MatrixDecomposer::Decompose(
+    const graph::CommGraph& graph, const CostSource& source) const {
+  const int m = source.size();
+  const int n = graph.num_nodes();
+  if (m < 1) return Status::InvalidArgument("cost source has no instances");
+  if (n > m) {
+    return Status::InvalidArgument(
+        "cannot deploy " + std::to_string(n) + " nodes on " +
+        std::to_string(m) + " instances");
+  }
+  if (options_.clusters < 0) {
+    return Status::InvalidArgument("cluster count cannot be negative");
+  }
+  const int forced_k = std::min(options_.clusters, m);
+
+  Decomposition d;
+
+  // -- 1. Instance clustering ----------------------------------------------
+  const double threshold = DeriveThreshold(
+      SampleOffDiagonalCosts(source, options_.threshold_samples,
+                             options_.seed));
+  const int auto_cap = std::max(1, options_.max_auto_clusters);
+  std::vector<int> leaders;
+  std::vector<std::vector<int>>& members = d.clusters.members;
+  for (int i = 0; i < m; ++i) {
+    int chosen = -1;
+    for (size_t c = 0; c < leaders.size(); ++c) {
+      const double to = source.Cost(i, leaders[c]);
+      const double from = source.Cost(leaders[c], i);
+      if (Measured(to) && Measured(from) && to <= threshold &&
+          from <= threshold) {
+        chosen = static_cast<int>(c);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      if (static_cast<int>(leaders.size()) < auto_cap) {
+        leaders.push_back(i);
+        members.emplace_back();
+        chosen = static_cast<int>(leaders.size()) - 1;
+      } else {
+        // Over the cap: nearest leader, ties to the lowest cluster index.
+        double best = std::numeric_limits<double>::infinity();
+        chosen = 0;
+        for (size_t c = 0; c < leaders.size(); ++c) {
+          const double dist = LeaderDistance(source, i, leaders[c]);
+          if (dist < best) {
+            best = dist;
+            chosen = static_cast<int>(c);
+          }
+        }
+      }
+    }
+    members[static_cast<size_t>(chosen)].push_back(i);
+  }
+
+  // -- 1a. Auto-mode size cap ----------------------------------------------
+  // A mis-derived threshold (e.g. genuinely unimodal latencies) can still
+  // collapse the clustering into a few giant clusters whose shards would
+  // materialize enormous submatrices. Within a latency-equivalence cluster
+  // the instances are interchangeable, so chopping an oversized cluster into
+  // contiguous chunks costs little quality while restoring bounded shard
+  // sizes. Forced counts are the caller's explicit choice and stay uncapped.
+  if (forced_k == 0) {
+    const int cap = options_.max_cluster_size > 0 ? options_.max_cluster_size
+                                                  : std::max(128, m / 64);
+    const size_t original = members.size();
+    for (size_t c = 0; c < original; ++c) {
+      while (static_cast<int>(members[c].size()) > cap) {
+        std::vector<int> tail(members[c].end() - cap, members[c].end());
+        members[c].resize(members[c].size() - static_cast<size_t>(cap));
+        leaders.push_back(tail.front());
+        members.push_back(std::move(tail));
+      }
+    }
+  }
+
+  // -- 1b. Force the requested cluster count, if any -----------------------
+  if (forced_k > 0) {
+    // Too many: repeatedly merge the closest leader pair (single linkage,
+    // deterministic lowest-index tie-break).
+    while (static_cast<int>(members.size()) > forced_k) {
+      size_t merge_a = 0, merge_b = 1;
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t a = 0; a < members.size(); ++a) {
+        for (size_t b = a + 1; b < members.size(); ++b) {
+          const double dist = LeaderDistance(source, leaders[a], leaders[b]);
+          if (dist < best) {
+            best = dist;
+            merge_a = a;
+            merge_b = b;
+          }
+        }
+      }
+      std::vector<int>& into = members[merge_a];
+      into.insert(into.end(), members[merge_b].begin(),
+                  members[merge_b].end());
+      std::sort(into.begin(), into.end());
+      members.erase(members.begin() + static_cast<ptrdiff_t>(merge_b));
+      leaders.erase(leaders.begin() + static_cast<ptrdiff_t>(merge_b));
+    }
+    // Too few: repeatedly halve the largest cluster (lowest index on ties)
+    // until the count matches or only singletons remain.
+    while (static_cast<int>(members.size()) < forced_k) {
+      size_t largest = 0;
+      for (size_t c = 1; c < members.size(); ++c) {
+        if (members[c].size() > members[largest].size()) largest = c;
+      }
+      if (members[largest].size() < 2) break;
+      const size_t half = members[largest].size() / 2;
+      std::vector<int> tail(members[largest].begin() +
+                                static_cast<ptrdiff_t>(half),
+                            members[largest].end());
+      members[largest].resize(half);
+      leaders[largest] = members[largest].front();
+      leaders.push_back(tail.front());
+      members.push_back(std::move(tail));
+    }
+  }
+
+  const int C = static_cast<int>(members.size());
+  d.clusters.threshold_ms = threshold;
+  d.clusters.cluster_of.assign(static_cast<size_t>(m), -1);
+  for (int c = 0; c < C; ++c) {
+    for (int id : members[static_cast<size_t>(c)]) {
+      d.clusters.cluster_of[static_cast<size_t>(id)] = c;
+    }
+  }
+
+  // -- 2. Reduced inter-cluster matrix -------------------------------------
+  d.reduced = deploy::CostMatrix(C);
+  const int samples = std::max(1, options_.reduced_samples);
+  for (int a = 0; a < C; ++a) {
+    const std::vector<int>& A = members[static_cast<size_t>(a)];
+    for (int b = 0; b < C; ++b) {
+      if (a == b) continue;
+      const std::vector<int>& B = members[static_cast<size_t>(b)];
+      double sum = 0.0;
+      int counted = 0;
+      for (int t = 0; t < samples; ++t) {
+        const int ia = A[static_cast<size_t>(t * 131) % A.size()];
+        const int ib = B[static_cast<size_t>(t * 137 + 1) % B.size()];
+        const double c = source.Cost(ia, ib);
+        if (Measured(c)) {
+          sum += c;
+          ++counted;
+        }
+      }
+      d.reduced.At(a, b) =
+          counted > 0 ? sum / counted : deploy::kUnmeasuredCostMs;
+    }
+  }
+
+  // -- 3. Node partition by BFS graph-growing ------------------------------
+  // Clusters by capacity descending (ties to the lower id) so big racks
+  // absorb big chunks of the graph and small clusters are only used when
+  // needed.
+  std::vector<int> order(static_cast<size_t>(C));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&members](int a, int b) {
+    const size_t sa = members[static_cast<size_t>(a)].size();
+    const size_t sb = members[static_cast<size_t>(b)].size();
+    return sa != sb ? sa > sb : a < b;
+  });
+
+  d.group_of.assign(static_cast<size_t>(n), -1);
+  std::vector<char> pending(static_cast<size_t>(n), 0);
+  int assigned = 0;
+  int next_seed = 0;
+  for (int c : order) {
+    if (assigned >= n) break;
+    const int cap = static_cast<int>(members[static_cast<size_t>(c)].size());
+    const int target = std::min(cap, n - assigned);
+    std::vector<int> group;
+    group.reserve(static_cast<size_t>(target));
+    std::deque<int> queue;
+    while (static_cast<int>(group.size()) < target) {
+      if (queue.empty()) {
+        while (next_seed < n && d.group_of[static_cast<size_t>(next_seed)] !=
+                                    -1) {
+          ++next_seed;
+        }
+        if (next_seed >= n) break;
+        queue.push_back(next_seed);
+        pending[static_cast<size_t>(next_seed)] = 1;
+      }
+      const int v = queue.front();
+      queue.pop_front();
+      pending[static_cast<size_t>(v)] = 0;
+      if (d.group_of[static_cast<size_t>(v)] != -1) continue;
+      d.group_of[static_cast<size_t>(v)] =
+          static_cast<int>(d.node_groups.size());
+      group.push_back(v);
+      for (int w : graph.Neighbors(v)) {
+        if (d.group_of[static_cast<size_t>(w)] == -1 &&
+            !pending[static_cast<size_t>(w)]) {
+          queue.push_back(w);
+          pending[static_cast<size_t>(w)] = 1;
+        }
+      }
+    }
+    for (int v : queue) pending[static_cast<size_t>(v)] = 0;
+    if (group.empty()) continue;
+    std::sort(group.begin(), group.end());
+    assigned += static_cast<int>(group.size());
+    d.node_groups.push_back(std::move(group));
+    d.group_cluster.push_back(c);
+  }
+  CLOUDIA_CHECK(assigned == n);  // sum of capacities is m >= n
+
+  // -- 4. Quotient graph ----------------------------------------------------
+  std::map<std::pair<int, int>, int> cross;
+  for (const graph::Edge& e : graph.edges()) {
+    const int gu = d.group_of[static_cast<size_t>(e.src)];
+    const int gv = d.group_of[static_cast<size_t>(e.dst)];
+    if (gu != gv) ++cross[{gu, gv}];
+  }
+  d.quotient_edges.reserve(cross.size());
+  for (const auto& [key, count] : cross) {
+    d.quotient_edges.push_back({key.first, key.second, count});
+  }
+
+  return d;
+}
+
+}  // namespace cloudia::hier

@@ -1,0 +1,114 @@
+// MatrixDecomposer: the divide step of hierarchical NDP solving.
+//
+// Large deployment problems are only tractable after abstracting the raw
+// m x m measurement space (the paper's own CP study collapses well below
+// datacenter scale). The decomposer exploits the latency structure clouds
+// actually have -- racks / availability zones produce groups of instances
+// that are mutually close -- and reduces the problem along it:
+//
+//   1. Instance clustering: a latency threshold is derived from exact 1-D
+//      2-means (cluster/kmeans1d) over a sample of measured link costs; the
+//      instances are then grouped leader-style -- an instance joins the
+//      first cluster whose leader it can reach within the threshold in both
+//      directions. Unmeasured sentinel entries (deploy::kUnmeasuredCostMs)
+//      never join or found a cluster on their own merit.
+//   2. Reduced matrix: a C x C inter-cluster cost matrix, each entry the
+//      mean of a few deterministic member-pair samples (sentinels excluded;
+//      an all-sentinel pair keeps the sentinel so the coarse solve avoids
+//      it like the flat solvers would).
+//   3. Node partition: the application graph is split into groups sized to
+//      the cluster capacities by deterministic BFS graph-growing, keeping
+//      talkative neighborhoods together so most edges stay intra-group.
+//
+// Everything is deterministic in (options.seed, input): same inputs produce
+// bit-identical decompositions, which the hier solver's determinism
+// guarantee builds on.
+#ifndef CLOUDIA_HIER_DECOMPOSE_H_
+#define CLOUDIA_HIER_DECOMPOSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "deploy/cost_matrix.h"
+#include "graph/comm_graph.h"
+#include "hier/cost_source.h"
+
+namespace cloudia::hier {
+
+struct DecomposeOptions {
+  /// Requested cluster count; 0 = auto (threshold-derived). When forced,
+  /// auto clusters are merged (closest pair first) or split (largest first)
+  /// until the count matches -- splitting stops at singletons.
+  int clusters = 0;
+  uint64_t seed = 1;
+  /// Off-diagonal cost samples used to derive the latency threshold.
+  int threshold_samples = 4096;
+  /// Member-pair samples per cluster pair for the reduced matrix.
+  int reduced_samples = 4;
+  /// Cap on auto-detected clusters: instances beyond it join the nearest
+  /// existing leader, keeping decomposition O(m * cap) even on unclustered
+  /// cost data.
+  int max_auto_clusters = 1024;
+  /// Auto-mode ceiling on a single cluster's membership; oversized clusters
+  /// are chopped into contiguous chunks so a mis-derived threshold can never
+  /// collapse the decomposition into one giant shard. 0 = auto
+  /// (max(128, m / 64)). Ignored when `clusters` forces an explicit count.
+  int max_cluster_size = 0;
+};
+
+/// The instance side of a decomposition.
+struct InstanceClusters {
+  /// Cluster -> member instance ids, ascending within each cluster.
+  std::vector<std::vector<int>> members;
+  /// Instance -> cluster index.
+  std::vector<int> cluster_of;
+  /// The latency-equivalence threshold the leader clustering used.
+  double threshold_ms = 0.0;
+
+  int count() const { return static_cast<int>(members.size()); }
+};
+
+/// A deduplicated cross-group edge of the quotient graph, with the number
+/// of application edges it aggregates.
+struct QuotientEdge {
+  int src = 0;    ///< source node group
+  int dst = 0;    ///< destination node group
+  int count = 0;  ///< application edges crossing src -> dst
+};
+
+struct Decomposition {
+  InstanceClusters clusters;
+  /// C x C inter-cluster cost matrix (sampled means; diagonal 0; pairs with
+  /// no measured sample carry deploy::kUnmeasuredCostMs).
+  deploy::CostMatrix reduced;
+  /// Group -> application node ids, ascending within each group. Group g
+  /// was grown to fit cluster group_cluster[g] and never exceeds its
+  /// capacity.
+  std::vector<std::vector<int>> node_groups;
+  /// Node -> group index.
+  std::vector<int> group_of;
+  /// Group -> the cluster it was sized for (the coarse solve's initial
+  /// assignment).
+  std::vector<int> group_cluster;
+  /// Cross-group edges, sorted by (src, dst).
+  std::vector<QuotientEdge> quotient_edges;
+};
+
+class MatrixDecomposer {
+ public:
+  explicit MatrixDecomposer(DecomposeOptions options = {})
+      : options_(options) {}
+
+  /// Decomposes (graph, source) as described above. Fails on fewer
+  /// instances than nodes or nonsensical options.
+  Result<Decomposition> Decompose(const graph::CommGraph& graph,
+                                  const CostSource& source) const;
+
+ private:
+  DecomposeOptions options_;
+};
+
+}  // namespace cloudia::hier
+
+#endif  // CLOUDIA_HIER_DECOMPOSE_H_

@@ -1,0 +1,239 @@
+#include "hier/polish.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cloudia::hier {
+
+namespace {
+
+struct Seam {
+  int a = 0;
+  int b = 0;
+  int count = 0;
+};
+
+}  // namespace
+
+Result<PolishOutcome> PolishBoundaries(const graph::CommGraph& graph,
+                                       const CostSource& source,
+                                       const Decomposition& d,
+                                       const std::vector<int>& assignment,
+                                       deploy::Objective objective,
+                                       const PolishOptions& options,
+                                       deploy::Deployment& deployment,
+                                       deploy::SolveContext& context) {
+  PolishOutcome out;
+  const int n = graph.num_nodes();
+  const int m = source.size();
+  CLOUDIA_ASSIGN_OR_RETURN(
+      double global_cost,
+      EvaluateObjective(graph, source, deployment, objective));
+  out.cost = global_cost;
+  if (options.max_steps <= 0 || d.quotient_edges.empty()) return out;
+
+  std::vector<char> used(static_cast<size_t>(m), 0);
+  for (int v = 0; v < n; ++v) used[static_cast<size_t>(deployment[v])] = 1;
+
+  // Seams (undirected group pairs) and their boundary-node candidates.
+  std::map<std::pair<int, int>, int> counts;
+  std::map<std::pair<int, int>, std::vector<int>> movers;
+  for (const graph::Edge& e : graph.edges()) {
+    const int gu = d.group_of[static_cast<size_t>(e.src)];
+    const int gv = d.group_of[static_cast<size_t>(e.dst)];
+    if (gu == gv) continue;
+    const std::pair<int, int> key{std::min(gu, gv), std::max(gu, gv)};
+    ++counts[key];
+    movers[key].push_back(e.src);
+    movers[key].push_back(e.dst);
+  }
+  std::vector<Seam> seams;
+  seams.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    seams.push_back({key.first, key.second, count});
+  }
+  std::sort(seams.begin(), seams.end(), [](const Seam& x, const Seam& y) {
+    if (x.count != y.count) return x.count > y.count;
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  if (static_cast<int>(seams.size()) > std::max(0, options.max_seams)) {
+    seams.resize(static_cast<size_t>(std::max(0, options.max_seams)));
+  }
+
+  int steps_left = options.max_steps;
+  std::vector<int> local_node(static_cast<size_t>(n), -1);  // scratch
+
+  for (const Seam& seam : seams) {
+    if (steps_left <= 0 || context.ShouldStop()) break;
+    std::vector<int>& mv = movers[{seam.a, seam.b}];
+    std::sort(mv.begin(), mv.end());
+    mv.erase(std::unique(mv.begin(), mv.end()), mv.end());
+    if (static_cast<int>(mv.size()) > std::max(1, options.max_movable)) {
+      mv.resize(static_cast<size_t>(std::max(1, options.max_movable)));
+    }
+
+    std::vector<int> sub_nodes = mv;
+    for (int u : mv) {
+      const std::vector<int>& nb = graph.Neighbors(u);
+      sub_nodes.insert(sub_nodes.end(), nb.begin(), nb.end());
+    }
+    std::sort(sub_nodes.begin(), sub_nodes.end());
+    sub_nodes.erase(std::unique(sub_nodes.begin(), sub_nodes.end()),
+                    sub_nodes.end());
+    const size_t L = sub_nodes.size();
+    for (size_t l = 0; l < L; ++l) {
+      local_node[static_cast<size_t>(sub_nodes[l])] = static_cast<int>(l);
+    }
+    std::vector<char> movable(L, 0);
+    for (int u : mv) {
+      movable[static_cast<size_t>(local_node[static_cast<size_t>(u)])] = 1;
+    }
+
+    // Every edge a movable node touches; both endpoints are in sub_nodes by
+    // construction. The set dedupes edges seen from both endpoints.
+    std::set<std::pair<int, int>> edge_set;
+    for (int u : mv) {
+      const int lu = local_node[static_cast<size_t>(u)];
+      for (int w : graph.OutNeighbors(u)) {
+        edge_set.insert({lu, local_node[static_cast<size_t>(w)]});
+      }
+      for (int w : graph.InNeighbors(u)) {
+        edge_set.insert({local_node[static_cast<size_t>(w)], lu});
+      }
+    }
+    std::vector<graph::Edge> edges;
+    edges.reserve(edge_set.size());
+    for (const auto& [src, dst] : edge_set) edges.push_back({src, dst});
+
+    // Candidate instances: what the sub-nodes hold now, plus unused spares
+    // from the seam's two clusters.
+    std::vector<int> inst;
+    inst.reserve(L + 2 * static_cast<size_t>(options.spare_instances));
+    for (int v : sub_nodes) {
+      inst.push_back(deployment[static_cast<size_t>(v)]);
+    }
+    const int seam_clusters[2] = {assignment[static_cast<size_t>(seam.a)],
+                                  assignment[static_cast<size_t>(seam.b)]};
+    for (int cluster : seam_clusters) {
+      int added = 0;
+      for (int id : d.clusters.members[static_cast<size_t>(cluster)]) {
+        if (used[static_cast<size_t>(id)]) continue;
+        inst.push_back(id);
+        if (++added >= options.spare_instances) break;
+      }
+    }
+    std::sort(inst.begin(), inst.end());
+    inst.erase(std::unique(inst.begin(), inst.end()), inst.end());
+    auto inst_local = [&inst](int id) {
+      return static_cast<int>(std::lower_bound(inst.begin(), inst.end(), id) -
+                              inst.begin());
+    };
+
+    Result<graph::CommGraph> sub_graph =
+        graph::CommGraph::Create(static_cast<int>(L), std::move(edges));
+    if (!sub_graph.ok()) {
+      for (int v : sub_nodes) local_node[static_cast<size_t>(v)] = -1;
+      continue;
+    }
+    const deploy::CostMatrix sub_costs = ExtractSubmatrix(source, inst);
+    Result<deploy::CostEvaluator> eval_or =
+        deploy::CostEvaluator::Create(&*sub_graph, &sub_costs, objective);
+    if (!eval_or.ok()) {
+      for (int v : sub_nodes) local_node[static_cast<size_t>(v)] = -1;
+      continue;
+    }
+    const deploy::CostEvaluator& eval = *eval_or;
+
+    deploy::Deployment ld(L);
+    std::vector<char> used_local(inst.size(), 0);
+    for (size_t l = 0; l < L; ++l) {
+      ld[l] = inst_local(deployment[static_cast<size_t>(sub_nodes[l])]);
+      used_local[static_cast<size_t>(ld[l])] = 1;
+    }
+    double cur = eval.Cost(ld);
+
+    int accepted = 0;
+    bool improved = true;
+    while (improved && steps_left > 0 && !context.ShouldStop()) {
+      improved = false;
+      for (size_t i = 0; i < L && steps_left > 0; ++i) {
+        if (!movable[i]) continue;
+        for (size_t j = i + 1; j < L && steps_left > 0; ++j) {
+          if (!movable[j]) continue;
+          const double cand =
+              eval.SwapCost(ld, cur, static_cast<int>(i), static_cast<int>(j));
+          if (cand < cur - 1e-12) {
+            std::swap(ld[i], ld[j]);
+            cur = cand;
+            --steps_left;
+            ++accepted;
+            improved = true;
+          }
+        }
+      }
+      for (size_t i = 0; i < L && steps_left > 0; ++i) {
+        if (!movable[i]) continue;
+        for (size_t k = 0; k < inst.size() && steps_left > 0; ++k) {
+          if (used_local[k]) continue;
+          const double cand =
+              eval.MoveCost(ld, cur, static_cast<int>(i), static_cast<int>(k));
+          if (cand < cur - 1e-12) {
+            used_local[static_cast<size_t>(ld[i])] = 0;
+            ld[i] = static_cast<int>(k);
+            used_local[k] = 1;
+            cur = cand;
+            --steps_left;
+            ++accepted;
+            improved = true;
+          }
+        }
+      }
+    }
+
+    if (accepted > 0) {
+      std::vector<int> old_inst(L);
+      for (size_t l = 0; l < L; ++l) {
+        old_inst[l] = deployment[static_cast<size_t>(sub_nodes[l])];
+        deployment[static_cast<size_t>(sub_nodes[l])] =
+            inst[static_cast<size_t>(ld[l])];
+      }
+      bool keep = true;
+      if (objective == deploy::Objective::kLongestPath) {
+        // The sub-evaluator's path objective is only a proxy for the global
+        // one; verify before keeping the seam's changes.
+        Result<double> after =
+            EvaluateObjective(graph, source, deployment, objective);
+        if (!after.ok() || *after > global_cost + 1e-12) {
+          for (size_t l = 0; l < L; ++l) {
+            deployment[static_cast<size_t>(sub_nodes[l])] = old_inst[l];
+          }
+          keep = false;
+        } else {
+          global_cost = *after;
+        }
+      }
+      if (keep) {
+        for (size_t l = 0; l < L; ++l) {
+          used[static_cast<size_t>(old_inst[l])] = 0;
+        }
+        for (size_t l = 0; l < L; ++l) {
+          used[static_cast<size_t>(
+              deployment[static_cast<size_t>(sub_nodes[l])])] = 1;
+        }
+        ++out.seams_polished;
+        out.steps_accepted += accepted;
+      }
+    }
+    for (int v : sub_nodes) local_node[static_cast<size_t>(v)] = -1;
+  }
+
+  CLOUDIA_ASSIGN_OR_RETURN(
+      out.cost, EvaluateObjective(graph, source, deployment, objective));
+  return out;
+}
+
+}  // namespace cloudia::hier

@@ -1,0 +1,72 @@
+// BoundaryPolisher: stitches shard solutions into one deployment and
+// repairs the seams the decomposition cut.
+//
+// Shard solves never see cross-group edges, so a stitched deployment is
+// only locally optimal inside each shard. The polisher walks the seams
+// (cross-group group pairs, busiest first) and runs a swap/move
+// first-improvement descent restricted to each seam's boundary nodes,
+// priced on the CostEvaluator incremental hot path (SwapCost / MoveCost)
+// over a small extracted subproblem:
+//
+//   movable   = nodes with an edge crossing the seam (capped per seam)
+//   frozen    = their neighbors (context: edges to them are priced, they
+//               never move)
+//   instances = the sub-nodes' current instances plus a few unused spares
+//               from the seam's two clusters
+//
+// Soundness: for longest link, every edge whose cost a movable-node change
+// can affect is inside the subproblem, so a strict subproblem improvement
+// can never worsen the global objective. The longest-path objective is
+// global, so each seam's changes are verified against the full objective
+// (EvaluateObjective) and reverted when they do not help.
+//
+// Deterministic: seams, movable sets, and scan orders are all derived from
+// sorted ids; there is no randomness.
+#ifndef CLOUDIA_HIER_POLISH_H_
+#define CLOUDIA_HIER_POLISH_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "deploy/cost.h"
+#include "deploy/solver.h"
+#include "hier/cost_source.h"
+#include "hier/decompose.h"
+
+namespace cloudia::hier {
+
+struct PolishOptions {
+  /// Accepted improvement steps across all seams (the ISSUE's polish step
+  /// budget); <= 0 disables polishing.
+  int max_steps = 2000;
+  /// Busiest seams polished, in cross-edge-count order.
+  int max_seams = 64;
+  /// Cap on movable nodes per seam (lowest ids kept).
+  int max_movable = 128;
+  /// Unused spare instances pulled from each of the seam's two clusters.
+  int spare_instances = 16;
+};
+
+struct PolishOutcome {
+  int seams_polished = 0;
+  int steps_accepted = 0;
+  /// Exact final objective of `deployment` (computed even when no step was
+  /// accepted).
+  double cost = 0.0;
+};
+
+/// Polishes `deployment` in place. `assignment` is the coarse group ->
+/// cluster map the deployment was stitched under. Honors
+/// context.ShouldStop() between descent sweeps.
+Result<PolishOutcome> PolishBoundaries(const graph::CommGraph& graph,
+                                       const CostSource& source,
+                                       const Decomposition& d,
+                                       const std::vector<int>& assignment,
+                                       deploy::Objective objective,
+                                       const PolishOptions& options,
+                                       deploy::Deployment& deployment,
+                                       deploy::SolveContext& context);
+
+}  // namespace cloudia::hier
+
+#endif  // CLOUDIA_HIER_POLISH_H_

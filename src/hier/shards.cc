@@ -1,0 +1,142 @@
+#include "hier/shards.h"
+
+#include <algorithm>
+#include <future>
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "deploy/solver_registry.h"
+
+namespace cloudia::hier {
+
+Result<std::vector<ShardPlan>> BuildShardPlans(
+    const graph::CommGraph& graph, const CostSource& source,
+    const Decomposition& d, const std::vector<int>& assignment,
+    int instance_slack) {
+  const int G = static_cast<int>(d.node_groups.size());
+  if (static_cast<int>(assignment.size()) != G) {
+    return Status::InvalidArgument("assignment does not cover every group");
+  }
+  std::vector<ShardPlan> plans;
+  plans.reserve(static_cast<size_t>(G));
+  // One local-index scratch array reused across shards; only touched
+  // entries are reset, keeping plan building O(total shard size).
+  std::vector<int> local_of(static_cast<size_t>(graph.num_nodes()), -1);
+  for (int g = 0; g < G; ++g) {
+    std::vector<int> nodes = d.node_groups[static_cast<size_t>(g)];
+    const int cluster = assignment[static_cast<size_t>(g)];
+    if (cluster < 0 || cluster >= d.clusters.count()) {
+      return Status::InvalidArgument("assignment maps to an unknown cluster");
+    }
+    const std::vector<int>& mem =
+        d.clusters.members[static_cast<size_t>(cluster)];
+    const int group_size = static_cast<int>(nodes.size());
+    if (group_size > static_cast<int>(mem.size())) {
+      return Status::InvalidArgument(
+          "group of " + std::to_string(group_size) +
+          " nodes assigned to a cluster of " + std::to_string(mem.size()) +
+          " instances");
+    }
+    const int want =
+        std::min(static_cast<int>(mem.size()),
+                 std::max(2 * group_size,
+                          group_size + std::max(0, instance_slack)));
+    std::vector<int> instances(mem.begin(), mem.begin() + want);
+
+    for (size_t l = 0; l < nodes.size(); ++l) {
+      local_of[static_cast<size_t>(nodes[l])] = static_cast<int>(l);
+    }
+    std::vector<graph::Edge> edges;
+    for (size_t l = 0; l < nodes.size(); ++l) {
+      for (int w : graph.OutNeighbors(nodes[l])) {
+        const int lw = local_of[static_cast<size_t>(w)];
+        if (lw >= 0) edges.push_back({static_cast<int>(l), lw});
+      }
+    }
+    for (int v : nodes) local_of[static_cast<size_t>(v)] = -1;
+
+    CLOUDIA_ASSIGN_OR_RETURN(
+        graph::CommGraph shard_graph,
+        graph::CommGraph::Create(group_size, std::move(edges)));
+    deploy::CostMatrix shard_costs = ExtractSubmatrix(source, instances);
+    plans.push_back(ShardPlan{std::move(nodes), std::move(instances),
+                              std::move(shard_graph),
+                              std::move(shard_costs)});
+  }
+  return plans;
+}
+
+Result<ShardSolveOutcome> SolveShards(const std::vector<ShardPlan>& plans,
+                                      deploy::Objective objective,
+                                      const ShardOptions& options,
+                                      deploy::SolveContext& parent) {
+  const int S = static_cast<int>(plans.size());
+  ShardSolveOutcome out;
+  out.local.resize(static_cast<size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    out.local[static_cast<size_t>(s)].resize(
+        plans[static_cast<size_t>(s)].nodes.size());
+    std::iota(out.local[static_cast<size_t>(s)].begin(),
+              out.local[static_cast<size_t>(s)].end(), 0);
+  }
+  if (S == 0) return out;
+  CLOUDIA_ASSIGN_OR_RETURN(
+      const deploy::NdpSolver* solver,
+      deploy::SolverRegistry::Global().Require(options.solver));
+  (void)solver;
+
+  // Seeds split off in shard order, before any concurrency.
+  std::vector<uint64_t> seeds(static_cast<size_t>(S));
+  uint64_t state = options.seed;
+  for (int s = 0; s < S; ++s) seeds[static_cast<size_t>(s)] = SplitMix64(state);
+
+  std::vector<Status> errors(static_cast<size_t>(S), Status::OK());
+  std::vector<int64_t> iters(static_cast<size_t>(S), 0);
+  const int concurrency = std::min(std::max(1, options.threads), S);
+  ThreadPool pool(concurrency);
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    futures.push_back(pool.Submit([&, s] {
+      if (parent.ShouldStop()) return;  // keep the identity placement
+      const ShardPlan& plan = plans[static_cast<size_t>(s)];
+      const double budget = options.shard_time_budget_s > 0
+                                ? options.shard_time_budget_s
+                                : kDefaultShardBudgetS;
+      const double allow =
+          std::min(budget, parent.deadline().RemainingSeconds());
+      deploy::SolveContext context(Deadline::After(allow),
+                                   parent.cancel_token());
+      context.set_max_threads(1);
+
+      deploy::NdpSolveOptions so;
+      so.objective = objective;
+      so.seed = seeds[static_cast<size_t>(s)];
+      so.threads = 1;
+      so.cost_clusters = options.cost_clusters;
+      so.time_budget_s = allow;
+      so.initial = out.local[static_cast<size_t>(s)];
+      Result<deploy::NdpSolveResult> r = deploy::SolveNodeDeploymentByName(
+          plan.graph, plan.costs, options.solver, so, context);
+      if (r.ok()) {
+        out.local[static_cast<size_t>(s)] = std::move(r->deployment);
+        iters[static_cast<size_t>(s)] = r->iterations;
+      } else {
+        errors[static_cast<size_t>(s)] = r.status();
+      }
+    }));
+  }
+  for (std::future<void>& future : futures) future.wait();
+  pool.Shutdown();
+
+  for (const Status& status : errors) {
+    if (!status.ok()) return status;
+  }
+  for (int64_t it : iters) out.iterations += it;
+  return out;
+}
+
+}  // namespace cloudia::hier

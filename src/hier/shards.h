@@ -1,0 +1,91 @@
+// Shard construction and parallel intra-cluster solves.
+//
+// Each node group of a Decomposition, together with the instance cluster
+// the coarse solve assigned it, becomes a self-contained small NDP: the
+// induced communication subgraph (locally reindexed) over an extracted
+// dense submatrix of candidate instances from that cluster. Shards are
+// solved through the existing SolverRegistry -- any registered flat solver
+// (cp, mip, local, portfolio, ...) works as the shard solver -- fanned out
+// on a common::ThreadPool.
+//
+// Determinism: per-shard seeds are split off the parent seed in shard
+// order, every shard solve runs single-threaded under its own SolveContext,
+// and results are collected by shard index -- so the outcome is independent
+// of worker count and identical across runs as long as no shard hits its
+// deadline (the per-shard budget is a generous safety net, not pacing; the
+// defaults let typical shards converge well inside it).
+#ifndef CLOUDIA_HIER_SHARDS_H_
+#define CLOUDIA_HIER_SHARDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "deploy/solve.h"
+#include "graph/comm_graph.h"
+#include "hier/cost_source.h"
+#include "hier/decompose.h"
+
+namespace cloudia::hier {
+
+/// One intra-cluster subproblem, fully materialized and locally reindexed.
+struct ShardPlan {
+  /// Global application node ids, ascending; local node l is nodes[l].
+  std::vector<int> nodes;
+  /// Global instance ids offered to this shard (a prefix of the assigned
+  /// cluster's members, capped for memory); local instance k is
+  /// instances[k]. Always at least nodes.size().
+  std::vector<int> instances;
+  /// Induced subgraph over `nodes`, locally reindexed. Cross-group edges
+  /// are dropped here and repaired by the BoundaryPolisher.
+  graph::CommGraph graph;
+  /// Extracted dense submatrix over `instances`.
+  deploy::CostMatrix costs;
+};
+
+struct ShardOptions {
+  /// Registry name of the solver each shard dispatches to.
+  std::string solver = "local";
+  /// Worker threads for the fan-out (shards themselves run 1 thread each).
+  int threads = 1;
+  uint64_t seed = 1;
+  /// Per-shard wall budget in seconds; <= 0 uses a generous default
+  /// (kDefaultShardBudgetS) meant as a safety net, never as pacing.
+  double shard_time_budget_s = 0.0;
+  /// Extra candidate instances beyond the group size (also floored at 2x
+  /// the group size, capped by cluster capacity).
+  int instance_slack = 16;
+  /// Passed through to shard solvers that cluster costs (cp/mip).
+  int cost_clusters = 0;
+};
+
+inline constexpr double kDefaultShardBudgetS = 10.0;
+
+/// Materializes one ShardPlan per node group under `assignment`
+/// (group -> cluster, as produced by SolveCoarseAssignment).
+Result<std::vector<ShardPlan>> BuildShardPlans(
+    const graph::CommGraph& graph, const CostSource& source,
+    const Decomposition& d, const std::vector<int>& assignment,
+    int instance_slack);
+
+struct ShardSolveOutcome {
+  /// Per shard: local node index -> local instance index. Shards skipped by
+  /// cancellation keep the identity placement, so stitching always yields a
+  /// complete deployment.
+  std::vector<deploy::Deployment> local;
+  /// Summed shard-solver iterations.
+  int64_t iterations = 0;
+};
+
+/// Solves every plan with options.solver on a thread pool. Parent
+/// cancellation propagates into the shards; the parent deadline caps each
+/// shard's budget. A failing shard solver fails the whole call.
+Result<ShardSolveOutcome> SolveShards(const std::vector<ShardPlan>& plans,
+                                      deploy::Objective objective,
+                                      const ShardOptions& options,
+                                      deploy::SolveContext& parent);
+
+}  // namespace cloudia::hier
+
+#endif  // CLOUDIA_HIER_SHARDS_H_

@@ -1,0 +1,175 @@
+#include "hier/solver.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "deploy/solver_registry.h"
+#include "hier/coarse.h"
+#include "hier/decompose.h"
+#include "hier/polish.h"
+#include "hier/shards.h"
+
+namespace cloudia::hier {
+
+namespace {
+
+int EffectiveThreads(const HierOptions& options,
+                     const deploy::SolveContext& context) {
+  int threads = options.threads;
+  if (threads <= 0) threads = context.max_threads();
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return threads < 1 ? 1 : threads;
+}
+
+}  // namespace
+
+Result<HierSolveResult> SolveHierarchical(const graph::CommGraph& graph,
+                                          const CostSource& source,
+                                          deploy::Objective objective,
+                                          const HierOptions& options,
+                                          deploy::SolveContext& context) {
+  const int n = graph.num_nodes();
+  const int m = source.size();
+  if (n > m) {
+    return Status::InvalidArgument(
+        "cannot deploy " + std::to_string(n) + " nodes on " +
+        std::to_string(m) + " instances");
+  }
+
+  const std::string requested =
+      options.shard_solver.empty() ? "local" : options.shard_solver;
+  CLOUDIA_ASSIGN_OR_RETURN(
+      const deploy::NdpSolver* shard_solver,
+      deploy::SolverRegistry::Global().Require(requested));
+  const std::string shard_name = shard_solver->name();
+  if (shard_name == "hier") {
+    return Status::InvalidArgument(
+        "hier cannot use itself as the shard solver");
+  }
+  if (!shard_solver->Supports(objective)) {
+    return Status::InvalidArgument(
+        "shard solver '" + shard_name + "' does not support the " +
+        std::string(deploy::ObjectiveName(objective)) + " objective");
+  }
+
+  HierSolveResult out;
+  if (n == 0) return out;
+
+  if (m <= options.flat_fallback_instances) {
+    out.stats.flat_fallback = true;
+    std::vector<int> all(static_cast<size_t>(m));
+    std::iota(all.begin(), all.end(), 0);
+    const deploy::CostMatrix flat = ExtractSubmatrix(source, all);
+    deploy::NdpSolveOptions so;
+    so.objective = objective;
+    so.seed = options.seed;
+    so.threads = options.threads;
+    so.cost_clusters = options.cost_clusters;
+    CLOUDIA_ASSIGN_OR_RETURN(
+        out.result,
+        deploy::SolveNodeDeploymentByName(graph, flat, shard_name, so,
+                                          context));
+    out.stats.stitched_cost = out.result.cost;
+    out.stats.polished_cost = out.result.cost;
+    return out;
+  }
+
+  Stopwatch phase;
+  DecomposeOptions dopts;
+  dopts.clusters = options.clusters;
+  dopts.seed = options.seed;
+  CLOUDIA_ASSIGN_OR_RETURN(Decomposition d,
+                           MatrixDecomposer(dopts).Decompose(graph, source));
+  out.stats.clusters = d.clusters.count();
+  out.stats.threshold_ms = d.clusters.threshold_ms;
+  out.stats.decompose_s = phase.ElapsedSeconds();
+
+  phase.Restart();
+  CLOUDIA_ASSIGN_OR_RETURN(
+      CoarseResult coarse,
+      SolveCoarseAssignment(d, objective, options.coarse_passes));
+  out.stats.coarse_passes = coarse.passes;
+  out.stats.coarse_s = phase.ElapsedSeconds();
+
+  phase.Restart();
+  ShardOptions sopts;
+  sopts.solver = shard_name;
+  sopts.threads = EffectiveThreads(options, context);
+  sopts.seed = options.seed;
+  sopts.shard_time_budget_s = options.shard_time_budget_s;
+  sopts.cost_clusters = options.cost_clusters;
+  CLOUDIA_ASSIGN_OR_RETURN(
+      std::vector<ShardPlan> plans,
+      BuildShardPlans(graph, source, d, coarse.assignment,
+                      sopts.instance_slack));
+  out.stats.shards = static_cast<int>(plans.size());
+  CLOUDIA_ASSIGN_OR_RETURN(ShardSolveOutcome shards,
+                           SolveShards(plans, objective, sopts, context));
+
+  deploy::Deployment deployment(static_cast<size_t>(n), -1);
+  for (size_t s = 0; s < plans.size(); ++s) {
+    const ShardPlan& plan = plans[s];
+    const deploy::Deployment& local = shards.local[s];
+    for (size_t l = 0; l < plan.nodes.size(); ++l) {
+      deployment[static_cast<size_t>(plan.nodes[l])] =
+          plan.instances[static_cast<size_t>(local[l])];
+    }
+  }
+  CLOUDIA_DCHECK(deploy::IsInjective(deployment, m));
+  CLOUDIA_ASSIGN_OR_RETURN(
+      out.stats.stitched_cost,
+      EvaluateObjective(graph, source, deployment, objective));
+  out.result.trace.push_back(
+      context.ReportIncumbent(out.stats.stitched_cost, deployment));
+  out.stats.shard_s = phase.ElapsedSeconds();
+
+  phase.Restart();
+  PolishOptions popts;
+  popts.max_steps = options.polish_steps;
+  CLOUDIA_ASSIGN_OR_RETURN(
+      PolishOutcome polish,
+      PolishBoundaries(graph, source, d, coarse.assignment, objective, popts,
+                       deployment, context));
+  out.stats.seams_polished = polish.seams_polished;
+  out.stats.polish_steps = polish.steps_accepted;
+  out.stats.polished_cost = polish.cost;
+  out.stats.polish_s = phase.ElapsedSeconds();
+  if (polish.cost < out.stats.stitched_cost - 1e-12) {
+    out.result.trace.push_back(
+        context.ReportIncumbent(polish.cost, deployment));
+  }
+
+  out.result.deployment = std::move(deployment);
+  out.result.cost = polish.cost;
+  out.result.proven_optimal = false;
+  out.result.iterations =
+      shards.iterations + static_cast<int64_t>(polish.steps_accepted);
+  return out;
+}
+
+Result<deploy::NdpSolveResult> HierSolver::Solve(
+    const deploy::NdpProblem& problem, const deploy::NdpSolveOptions& options,
+    deploy::SolveContext& context) const {
+  HierOptions hier;
+  hier.clusters = options.hier_clusters;
+  hier.shard_solver = options.hier_shard_solver;
+  hier.polish_steps = options.hier_polish_steps;
+  hier.threads = options.threads;
+  hier.seed = options.seed;
+  hier.cost_clusters = options.cost_clusters;
+  const MatrixCostSource source(problem.costs);
+  CLOUDIA_ASSIGN_OR_RETURN(
+      HierSolveResult result,
+      SolveHierarchical(*problem.graph, source, problem.objective, hier,
+                        context));
+  return std::move(result.result);
+}
+
+}  // namespace cloudia::hier

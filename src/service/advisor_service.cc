@@ -26,6 +26,7 @@ struct StatsCell {
   std::atomic<uint64_t> expired{0};
   std::atomic<uint64_t> warm_starts{0};
   std::atomic<uint64_t> portfolio_routed{0};
+  std::atomic<uint64_t> hier_routed{0};
   std::atomic<uint64_t> redeploys{0};
   std::atomic<uint64_t> redeploys_drifted{0};
   std::atomic<uint64_t> matrix_refreshes{0};
@@ -313,15 +314,16 @@ std::string AdvisorService::Fingerprint(const DeploymentRequest& request) {
   fp += '|';
   fp += GraphFingerprint(request.app);
   const cloudia::SolveSpec& s = request.solve;
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "|m=%s|o=%s|t=%.17g|k=%d|r1=%d|th=%d|seed=%llu|ws=%d|pr=%d|"
-                "dl=%.17g",
+                "dl=%.17g|hc=%d|hs=%s|hp=%d",
                 s.method.c_str(), deploy::ObjectiveName(s.objective),
                 s.time_budget_s, s.cost_clusters, s.r1_samples, s.threads,
                 static_cast<unsigned long long>(s.seed),
                 s.warm_start_hints ? 1 : 0, request.priority,
-                request.deadline_s);
+                request.deadline_s, s.hier_clusters,
+                s.hier_shard_solver.c_str(), s.hier_polish_steps);
   fp += buf;
   for (const std::string& member : s.portfolio_members) fp += "|pm=" + member;
   for (int v : s.initial) fp += "|i" + std::to_string(v);
@@ -767,7 +769,12 @@ void AdvisorService::ExecuteJob(const std::shared_ptr<Job>& job) {
 
   const int n = job->request.app->num_nodes();
   if (spec.method.empty() || EqualsIgnoreCase(spec.method, "auto")) {
-    if (n >= options_.portfolio_node_threshold) {
+    if (n >= options_.hier_node_threshold) {
+      // Past flat-solver scale: divide-and-conquer instead of racing flat
+      // solvers that would all collapse on a problem this size.
+      spec.method = "hier";
+      ++stats_->hier_routed;
+    } else if (n >= options_.portfolio_node_threshold) {
       spec.method = "portfolio";
       if (spec.portfolio_members.empty()) {
         spec.portfolio_members = options_.portfolio_members;
@@ -866,6 +873,7 @@ AdvisorService::Stats AdvisorService::stats() const {
   s.expired = stats_->expired.load();
   s.warm_starts = stats_->warm_starts.load();
   s.portfolio_routed = stats_->portfolio_routed.load();
+  s.hier_routed = stats_->hier_routed.load();
   s.redeploys = stats_->redeploys.load();
   s.redeploys_drifted = stats_->redeploys_drifted.load();
   s.matrix_refreshes = stats_->matrix_refreshes.load();

@@ -247,6 +247,10 @@ class AdvisorService {
     /// "auto" requests with at least this many application nodes are routed
     /// to the portfolio solver; smaller ones to `default_method`.
     int portfolio_node_threshold = 100;
+    /// "auto" requests at or above this many application nodes go to the
+    /// hierarchical solver instead of the portfolio -- flat solves stop
+    /// being economical long before datacenter scale (ROADMAP Open item 1).
+    int hier_node_threshold = 1000;
     std::string default_method = "cp";
     /// Members for routed portfolio solves; empty = the portfolio default.
     std::vector<std::string> portfolio_members;
@@ -267,6 +271,7 @@ class AdvisorService {
     uint64_t expired = 0;           ///< requests resolved Timeout (deadline)
     uint64_t warm_starts = 0;       ///< solves seeded from a prior incumbent
     uint64_t portfolio_routed = 0;  ///< "auto" requests sent to the portfolio
+    uint64_t hier_routed = 0;       ///< "auto" requests sent to hier
     uint64_t redeploys = 0;             ///< redeploy requests submitted
     uint64_t redeploys_drifted = 0;     ///< completed with drift detected
     uint64_t matrix_refreshes = 0;      ///< matrices fed back into the cache

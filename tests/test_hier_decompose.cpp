@@ -1,0 +1,211 @@
+// Decomposition edge cases the hierarchical solver leans on: uneven
+// cluster sizes, k beyond the distinct-value count, and unmeasured
+// sentinel entries flowing through MatrixDecomposer without poisoning the
+// reduced matrix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/kmeans1d.h"
+#include "common/rng.h"
+#include "deploy/cost.h"
+#include "graph/templates.h"
+#include "hier/decompose.h"
+
+namespace cloudia::hier {
+namespace {
+
+// Rack-structured costs: instances i, j in the same rack of `rack_size`
+// are ~intra ms apart, otherwise ~inter ms, with a small deterministic
+// jitter so values are distinct but clearly bimodal.
+deploy::CostMatrix RackCosts(int m, int rack_size, double intra = 0.3,
+                             double inter = 1.6, uint64_t seed = 11) {
+  deploy::CostMatrix costs(m);
+  Rng rng(seed);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i == j) continue;
+      const bool same = i / rack_size == j / rack_size;
+      costs.At(i, j) = (same ? intra : inter) + rng.Uniform(0.0, 0.05);
+    }
+  }
+  return costs;
+}
+
+TEST(KMeans1DEdgeCases, HighlyUnevenClusterSizesRecoverBothModes) {
+  // 200 values near 0.3 and only 3 near 5.0: the tiny cluster must still
+  // get its own center instead of being absorbed as noise.
+  std::vector<double> values;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) values.push_back(0.3 + rng.Uniform(0.0, 0.02));
+  values.push_back(5.0);
+  values.push_back(5.01);
+  values.push_back(5.02);
+  auto clustering = cluster::KMeans1D(values, 2);
+  ASSERT_TRUE(clustering.ok());
+  ASSERT_EQ(clustering->centers.size(), 2u);
+  EXPECT_NEAR(clustering->centers[0], 0.31, 0.05);
+  EXPECT_NEAR(clustering->centers[1], 5.01, 0.05);
+  // The three outliers all land in the second cluster.
+  for (size_t i = 200; i < values.size(); ++i) {
+    EXPECT_EQ(clustering->assignment[i], 1);
+  }
+}
+
+TEST(KMeans1DEdgeCases, KBeyondDistinctValuesIsIdentity) {
+  std::vector<double> values = {0.5, 0.5, 1.0, 1.0, 1.0, 2.0};
+  auto clustering = cluster::KMeans1D(values, 10);  // only 3 distinct
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_DOUBLE_EQ(clustering->cost, 0.0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(
+        clustering->centers[static_cast<size_t>(clustering->assignment[i])],
+        values[i]);
+  }
+}
+
+TEST(ClusterCostMatrixEdgeCases, KBeyondDistinctValuesKeepsEntriesExact) {
+  deploy::CostMatrix costs(4);
+  const double vals[] = {0.4, 0.9, 1.7};
+  int t = 0;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) costs.At(i, j) = vals[t++ % 3];
+    }
+  }
+  // 12 off-diagonal entries, 3 distinct values, k = 8: every entry maps to
+  // a center equal to itself.
+  auto clustered = deploy::ClusterCostMatrix(costs, 8);
+  ASSERT_TRUE(clustered.ok());
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(clustered->At(i, j), costs.At(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(ClusterCostMatrixEdgeCases, UnevenValueMassStillSeparatesModes) {
+  // 10x10 matrix, 90 entries at ~0.3 and a handful at ~2.0. With k=2 the
+  // rare expensive entries must keep a high center, not be averaged away.
+  deploy::CostMatrix costs = RackCosts(10, 9, 0.3, 2.0);
+  auto clustered = deploy::ClusterCostMatrix(costs, 2);
+  ASSERT_TRUE(clustered.ok());
+  double lo = 1e300, hi = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      if (i == j) continue;
+      lo = std::min(lo, clustered->At(i, j));
+      hi = std::max(hi, clustered->At(i, j));
+    }
+  }
+  EXPECT_LT(lo, 0.5);
+  EXPECT_GT(hi, 1.5);
+}
+
+TEST(MatrixDecomposerTest, RecoversRackClustersWithUnevenSizes) {
+  // 20-instance rack followed by a 4-instance rack: auto clustering must
+  // find both despite the 5x size imbalance.
+  deploy::CostMatrix costs = RackCosts(24, 20);
+  MatrixCostSource source(&costs);
+  graph::CommGraph app = graph::Mesh2D(3, 4);
+  auto d = MatrixDecomposer().Decompose(app, source);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->clusters.count(), 2);
+  EXPECT_EQ(d->clusters.members[0].size(), 20u);
+  EXPECT_EQ(d->clusters.members[1].size(), 4u);
+  // Node groups partition the application exactly.
+  std::vector<int> seen(static_cast<size_t>(app.num_nodes()), 0);
+  for (const auto& group : d->node_groups) {
+    for (int node : group) ++seen[static_cast<size_t>(node)];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(MatrixDecomposerTest, ForcedKMergesAndSplits) {
+  deploy::CostMatrix costs = RackCosts(24, 12);  // two natural racks
+  MatrixCostSource source(&costs);
+  graph::CommGraph app = graph::Mesh2D(2, 4);
+
+  DecomposeOptions one;
+  one.clusters = 1;
+  auto merged = MatrixDecomposer(one).Decompose(app, source);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->clusters.count(), 1);
+  EXPECT_EQ(merged->clusters.members[0].size(), 24u);
+
+  DecomposeOptions four;
+  four.clusters = 4;
+  auto split = MatrixDecomposer(four).Decompose(app, source);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->clusters.count(), 4);
+  size_t total = 0;
+  for (const auto& members : split->clusters.members) {
+    EXPECT_FALSE(members.empty());
+    total += members.size();
+  }
+  EXPECT_EQ(total, 24u);
+}
+
+TEST(MatrixDecomposerTest, SentinelEntriesDoNotPoisonTheReducedMatrix) {
+  deploy::CostMatrix costs = RackCosts(16, 8);
+  // Knock out a handful of cross-rack measurements: the reduced entry must
+  // average only the surviving measured samples.
+  costs.At(0, 8) = deploy::kUnmeasuredCostMs;
+  costs.At(8, 0) = deploy::kUnmeasuredCostMs;
+  costs.At(1, 9) = deploy::kUnmeasuredCostMs;
+  MatrixCostSource source(&costs);
+  graph::CommGraph app = graph::Mesh2D(2, 5);
+  auto d = MatrixDecomposer().Decompose(app, source);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->clusters.count(), 2);
+  for (int a = 0; a < d->reduced.size(); ++a) {
+    for (int b = 0; b < d->reduced.size(); ++b) {
+      if (a == b) continue;
+      EXPECT_LT(d->reduced.At(a, b), deploy::kUnmeasuredCostMs)
+          << a << "," << b;
+      EXPECT_GT(d->reduced.At(a, b), 0.0);
+    }
+  }
+}
+
+TEST(MatrixDecomposerTest, AllSentinelClusterPairKeepsTheSentinel) {
+  // Two 3-instance racks with *every* cross measurement missing: the
+  // reduced cross entry must stay kUnmeasuredCostMs ("unknown"), never an
+  // average that includes the 1e6 sentinel as if it were data.
+  deploy::CostMatrix costs(6);
+  Rng rng(5);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      if (i == j) continue;
+      const bool same = (i < 3) == (j < 3);
+      costs.At(i, j) =
+          same ? 0.3 + rng.Uniform(0.0, 0.02) : deploy::kUnmeasuredCostMs;
+    }
+  }
+  MatrixCostSource source(&costs);
+  graph::CommGraph app = graph::Ring(4);
+  DecomposeOptions options;
+  options.clusters = 2;
+  auto d = MatrixDecomposer(options).Decompose(app, source);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->clusters.count(), 2);
+  EXPECT_GE(d->reduced.At(0, 1), deploy::kUnmeasuredCostMs);
+  EXPECT_GE(d->reduced.At(1, 0), deploy::kUnmeasuredCostMs);
+  EXPECT_LT(d->reduced.At(0, 0), 1.0);  // diagonal stays 0
+}
+
+TEST(MatrixDecomposerTest, DecompositionIsDeterministic) {
+  deploy::CostMatrix costs = RackCosts(32, 8);
+  MatrixCostSource source(&costs);
+  graph::CommGraph app = graph::Mesh2D(4, 6);
+  auto first = MatrixDecomposer().Decompose(app, source);
+  auto second = MatrixDecomposer().Decompose(app, source);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->clusters.cluster_of, second->clusters.cluster_of);
+  EXPECT_EQ(first->group_of, second->group_of);
+  EXPECT_EQ(first->group_cluster, second->group_cluster);
+}
+
+}  // namespace
+}  // namespace cloudia::hier

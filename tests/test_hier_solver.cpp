@@ -1,0 +1,199 @@
+// End-to-end contracts of the hierarchical solver: validity, bounded
+// quality loss vs a flat solve, golden single-thread determinism, clean
+// option errors, and a concurrent fan-out run for TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "deploy/cost.h"
+#include "deploy/solve.h"
+#include "deploy/solver_registry.h"
+#include "graph/templates.h"
+#include "hier/cost_source.h"
+#include "hier/solver.h"
+
+namespace cloudia::hier {
+namespace {
+
+deploy::CostMatrix RackCosts(int m, int rack_size, uint64_t seed = 21) {
+  deploy::CostMatrix costs(m);
+  Rng rng(seed);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i == j) continue;
+      const bool same = i / rack_size == j / rack_size;
+      costs.At(i, j) = (same ? 0.3 : 1.6) + rng.Uniform(0.0, 0.05);
+    }
+  }
+  return costs;
+}
+
+bool IsInjective(const deploy::Deployment& d, int m) {
+  std::vector<bool> used(static_cast<size_t>(m), false);
+  for (int inst : d) {
+    if (inst < 0 || inst >= m || used[static_cast<size_t>(inst)]) return false;
+    used[static_cast<size_t>(inst)] = true;
+  }
+  return true;
+}
+
+// Forces the full decompose -> coarse -> shard -> polish pipeline on
+// test-sized problems (the default fallback threshold would solve them
+// flat).
+HierOptions PipelineOptions() {
+  HierOptions options;
+  options.flat_fallback_instances = 16;
+  return options;
+}
+
+TEST(HierSolverTest, FullPipelineProducesValidDeployment) {
+  graph::CommGraph app = graph::Mesh2D(5, 8);
+  deploy::CostMatrix costs = RackCosts(80, 16);
+  MatrixCostSource source(&costs);
+  deploy::SolveContext context(Deadline::Infinite());
+  auto solved = SolveHierarchical(app, source, deploy::Objective::kLongestLink,
+                                  PipelineOptions(), context);
+  ASSERT_TRUE(solved.ok());
+  EXPECT_FALSE(solved->stats.flat_fallback);
+  EXPECT_GT(solved->stats.clusters, 1);
+  EXPECT_GT(solved->stats.shards, 0);
+  EXPECT_TRUE(IsInjective(solved->result.deployment, costs.size()));
+  auto exact = EvaluateObjective(app, source, solved->result.deployment,
+                                 deploy::Objective::kLongestLink);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_DOUBLE_EQ(solved->result.cost, *exact);
+}
+
+TEST(HierSolverTest, SmallProblemsFallBackToAFlatSolve) {
+  graph::CommGraph app = graph::Mesh2D(3, 3);
+  deploy::CostMatrix costs = RackCosts(12, 6);
+  MatrixCostSource source(&costs);
+  deploy::SolveContext context(Deadline::Infinite());
+  auto solved = SolveHierarchical(app, source, deploy::Objective::kLongestLink,
+                                  HierOptions{}, context);
+  ASSERT_TRUE(solved.ok());
+  EXPECT_TRUE(solved->stats.flat_fallback);
+  EXPECT_TRUE(IsInjective(solved->result.deployment, costs.size()));
+}
+
+TEST(HierSolverTest, StaysWithinToleranceOfTheFlatIncumbent) {
+  graph::CommGraph app = graph::Mesh2D(6, 8);
+  deploy::CostMatrix costs = RackCosts(96, 24);
+  MatrixCostSource source(&costs);
+
+  deploy::NdpSolveOptions flat_opts;
+  flat_opts.objective = deploy::Objective::kLongestLink;
+  flat_opts.seed = 5;
+  deploy::SolveContext flat_context(Deadline::After(5.0));
+  auto flat = deploy::SolveNodeDeploymentByName(app, costs, "local", flat_opts,
+                                                flat_context);
+  ASSERT_TRUE(flat.ok());
+
+  HierOptions options = PipelineOptions();
+  options.seed = 5;
+  deploy::SolveContext context(Deadline::Infinite());
+  auto solved = SolveHierarchical(app, source, deploy::Objective::kLongestLink,
+                                  options, context);
+  ASSERT_TRUE(solved.ok());
+  EXPECT_LE(solved->result.cost, flat->cost * 1.25)
+      << "hier " << solved->result.cost << " vs flat " << flat->cost;
+}
+
+TEST(HierSolverTest, SingleThreadSolvesAreBitDeterministic) {
+  graph::CommGraph app = graph::Mesh2D(4, 10);
+  deploy::CostMatrix costs = RackCosts(80, 20);
+  MatrixCostSource source(&costs);
+  HierOptions options = PipelineOptions();
+  options.threads = 1;
+  options.seed = 9;
+
+  deploy::SolveContext first_context(Deadline::Infinite());
+  auto first = SolveHierarchical(app, source, deploy::Objective::kLongestLink,
+                                 options, first_context);
+  deploy::SolveContext second_context(Deadline::Infinite());
+  auto second = SolveHierarchical(app, source, deploy::Objective::kLongestLink,
+                                  options, second_context);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->result.deployment, second->result.deployment);
+  EXPECT_EQ(first->result.cost, second->result.cost);  // bitwise, not approx
+  EXPECT_EQ(first->stats.seams_polished, second->stats.seams_polished);
+}
+
+TEST(HierSolverTest, ConcurrentShardFanOutStaysValid) {
+  // Exercises the ThreadPool fan-out path with real concurrency -- the
+  // TSan preset runs this suite to certify the shard workers share nothing
+  // but the (serialized) incumbent reports.
+  graph::CommGraph app = graph::Mesh2D(6, 10);
+  deploy::CostMatrix costs = RackCosts(120, 20);
+  MatrixCostSource source(&costs);
+  HierOptions options = PipelineOptions();
+  options.threads = 4;
+  deploy::SolveContext context(Deadline::Infinite());
+  auto solved = SolveHierarchical(app, source, deploy::Objective::kLongestLink,
+                                  options, context);
+  ASSERT_TRUE(solved.ok());
+  EXPECT_GT(solved->stats.shards, 1);
+  EXPECT_TRUE(IsInjective(solved->result.deployment, costs.size()));
+}
+
+TEST(HierSolverTest, LongestPathPipelineVerifiesAgainstTheExactObjective) {
+  graph::CommGraph app = graph::AggregationTree(2, 4);  // 15-node DAG
+  deploy::CostMatrix costs = RackCosts(30, 10);
+  MatrixCostSource source(&costs);
+  deploy::SolveContext context(Deadline::Infinite());
+  auto solved = SolveHierarchical(app, source, deploy::Objective::kLongestPath,
+                                  PipelineOptions(), context);
+  ASSERT_TRUE(solved.ok());
+  EXPECT_TRUE(IsInjective(solved->result.deployment, costs.size()));
+  auto exact = EvaluateObjective(app, source, solved->result.deployment,
+                                 deploy::Objective::kLongestPath);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_DOUBLE_EQ(solved->result.cost, *exact);
+}
+
+TEST(HierSolverTest, UnknownShardSolverIsACleanError) {
+  graph::CommGraph app = graph::Mesh2D(2, 3);
+  deploy::CostMatrix costs = RackCosts(8, 4);
+  MatrixCostSource source(&costs);
+  HierOptions options;
+  options.shard_solver = "annealing";
+  deploy::SolveContext context(Deadline::Infinite());
+  auto solved = SolveHierarchical(app, source, deploy::Objective::kLongestLink,
+                                  options, context);
+  ASSERT_FALSE(solved.ok());
+  EXPECT_EQ(solved.status().code(), StatusCode::kNotFound);
+  // The registry's roster reaches the caller, so a typo self-explains.
+  EXPECT_NE(solved.status().message().find("cp"), std::string::npos);
+}
+
+TEST(HierSolverTest, RefusesToRecurseIntoItself) {
+  graph::CommGraph app = graph::Mesh2D(2, 3);
+  deploy::CostMatrix costs = RackCosts(8, 4);
+  MatrixCostSource source(&costs);
+  HierOptions options;
+  options.shard_solver = "hier";
+  deploy::SolveContext context(Deadline::Infinite());
+  auto solved = SolveHierarchical(app, source, deploy::Objective::kLongestLink,
+                                  options, context);
+  ASSERT_FALSE(solved.ok());
+  EXPECT_EQ(solved.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HierSolverTest, ReachableThroughTheRegistryFacade) {
+  graph::CommGraph app = graph::Mesh2D(3, 3);
+  deploy::CostMatrix costs = RackCosts(12, 6);
+  deploy::NdpSolveOptions opts;
+  opts.objective = deploy::Objective::kLongestLink;
+  opts.hier_shard_solver = "g2";
+  deploy::SolveContext context(Deadline::After(5.0));
+  auto r = deploy::SolveNodeDeploymentByName(app, costs, "hier", opts, context);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(IsInjective(r->deployment, costs.size()));
+  EXPECT_FALSE(r->trace.empty());
+}
+
+}  // namespace
+}  // namespace cloudia::hier

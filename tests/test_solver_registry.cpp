@@ -11,7 +11,8 @@ namespace {
 
 TEST(SolverRegistryTest, GlobalHasAllBuiltinMethods) {
   auto names = SolverRegistry::Global().Names();
-  for (const char* expected : {"cp", "g1", "g2", "local", "mip", "r1", "r2"}) {
+  for (const char* expected :
+       {"cp", "g1", "g2", "hier", "local", "mip", "portfolio", "r1", "r2"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -116,6 +117,15 @@ TEST(SolverRegistryTest, ValidatePortfolioMembersCanonicalizesKnownNames) {
   EXPECT_TRUE(empty->empty());
 }
 
+TEST(SolverRegistryTest, ValidatePortfolioMembersAcceptsHier) {
+  // The hierarchical solver is a legal portfolio member (it is not the
+  // portfolio itself, and at small n it degrades to a flat solve).
+  auto ok =
+      ValidatePortfolioMembers(SolverRegistry::Global(), {"Hier", "local"});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, (std::vector<std::string>{"hier", "local"}));
+}
+
 TEST(SolverRegistryTest, ValidatePortfolioMembersRejectsUnknownNames) {
   auto unknown = ValidatePortfolioMembers(SolverRegistry::Global(),
                                           {"cp", "tabu-search"});
@@ -157,7 +167,8 @@ TEST(SolverRegistryTest, PortfolioSolveRejectsDuplicateMembersCleanly) {
 TEST(SolverRegistryTest, ParseMethodRoundTripsWithBothSpellings) {
   for (Method method :
        {Method::kGreedyG1, Method::kGreedyG2, Method::kRandomR1,
-        Method::kRandomR2, Method::kCp, Method::kMip, Method::kLocalSearch}) {
+        Method::kRandomR2, Method::kCp, Method::kMip, Method::kLocalSearch,
+        Method::kPortfolio, Method::kHier}) {
     auto from_key = ParseMethod(MethodKey(method));
     ASSERT_TRUE(from_key.ok()) << MethodKey(method);
     EXPECT_EQ(*from_key, method);

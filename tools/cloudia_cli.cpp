@@ -66,6 +66,12 @@ void PrintUsage() {
       "                       hardware concurrency)\n"
       "  --portfolio=A,B,...  member solvers for --method=portfolio\n"
       "                       (default cp,mip,local,r2)\n"
+      "  --hier-clusters=K    instance clusters for --method=hier\n"
+      "                       (default 0 = latency-threshold auto)\n"
+      "  --hier-shard-solver=NAME\n"
+      "                       per-shard solver for hier (default local)\n"
+      "  --hier-polish-steps=N\n"
+      "                       boundary-polish step budget (default 2000)\n"
       "advise/measure flags:\n"
       "  --over-allocation=F  extra instance fraction (default 0.10)\n"
       "  --minutes=M          virtual measurement minutes (default auto)\n"
@@ -89,8 +95,11 @@ int RunAdvise(const Flags& flags) {
   auto threads = flags.GetInt("threads", 0);
   auto over = flags.GetDouble("over-allocation", 0.10);
   auto minutes = flags.GetDouble("minutes", 0.0);
+  auto hier_clusters = flags.GetInt("hier-clusters", 0);
+  auto hier_polish = flags.GetInt("hier-polish-steps", 2000);
   if (!seed.ok() || !nodes.ok() || !budget.ok() || !clusters.ok() ||
-      !threads.ok() || !over.ok() || !minutes.ok()) {
+      !threads.ok() || !over.ok() || !minutes.ok() || !hier_clusters.ok() ||
+      !hier_polish.ok()) {
     std::fprintf(stderr, "bad numeric flag\n");
     return 2;
   }
@@ -158,6 +167,9 @@ int RunAdvise(const Flags& flags) {
   spec.threads = static_cast<int>(*threads);
   spec.portfolio_members = std::move(portfolio_members);
   spec.seed = static_cast<uint64_t>(*seed);
+  spec.hier_clusters = static_cast<int>(*hier_clusters);
+  spec.hier_shard_solver = flags.GetString("hier-shard-solver", "");
+  spec.hier_polish_steps = static_cast<int>(*hier_polish);
   auto solve = session.Solve(spec);
   if (!solve.ok()) {
     std::fprintf(stderr, "solve failed: %s\n",
@@ -251,8 +263,10 @@ int RunSolve(const Flags& flags) {
   auto threads = flags.GetInt("threads", 0);
   auto nodes = flags.GetInt(
       "nodes", static_cast<int64_t>(loaded->costs.size() * 9 / 10));
+  auto hier_clusters = flags.GetInt("hier-clusters", 0);
+  auto hier_polish = flags.GetInt("hier-polish-steps", 2000);
   if (!seed.ok() || !budget.ok() || !clusters.ok() || !threads.ok() ||
-      !nodes.ok()) {
+      !nodes.ok() || !hier_clusters.ok() || !hier_polish.ok()) {
     std::fprintf(stderr, "bad numeric flag\n");
     return 2;
   }
@@ -289,6 +303,9 @@ int RunSolve(const Flags& flags) {
   opts.threads = static_cast<int>(*threads);
   opts.portfolio_members = std::move(portfolio_members);
   opts.seed = static_cast<uint64_t>(*seed);
+  opts.hier_clusters = static_cast<int>(*hier_clusters);
+  opts.hier_shard_solver = flags.GetString("hier-shard-solver", "");
+  opts.hier_polish_steps = static_cast<int>(*hier_polish);
   deploy::SolveContext context(Deadline::After(*budget));
   context.set_max_threads(opts.threads);
   auto result = deploy::SolveNodeDeploymentByName(

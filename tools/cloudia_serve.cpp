@@ -61,6 +61,7 @@ void PrintUsage() {
       "  method=auto|%s\n"
       "  objective=longest-link|longest-path   budget=S   clusters=K\n"
       "  r1-samples=N   threads=N   portfolio=A,B,...   seed=N\n"
+      "  hier-clusters=K   hier-shard-solver=NAME   hier-polish-steps=N\n"
       "  priority=P (higher first)    deadline=S (must start within)\n"
       "\n"
       "redeploy lines additionally accept (and opt the environment into\n"
@@ -298,6 +299,15 @@ Result<ParsedRequest> ParseRequestLine(const std::string& line,
     } else if (key == "seed") {
       CLOUDIA_ASSIGN_OR_RETURN(int v, as_int());
       req.solve.seed = static_cast<uint64_t>(v);
+    } else if (key == "hier-clusters") {
+      CLOUDIA_ASSIGN_OR_RETURN(req.solve.hier_clusters, as_int());
+    } else if (key == "hier-shard-solver") {
+      // Same early validation as method=: typos surface with the solver list.
+      CLOUDIA_RETURN_IF_ERROR(
+          deploy::SolverRegistry::Global().Require(value).status());
+      req.solve.hier_shard_solver = value;
+    } else if (key == "hier-polish-steps") {
+      CLOUDIA_ASSIGN_OR_RETURN(req.solve.hier_polish_steps, as_int());
     } else if (key == "priority") {
       CLOUDIA_ASSIGN_OR_RETURN(req.priority, as_int());
     } else if (key == "deadline") {
