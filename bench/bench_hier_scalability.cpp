@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/check.h"
 #include "common/flags.h"
 #include "common/timer.h"
@@ -111,50 +112,39 @@ Result<hier::HierSolveResult> RunHier(const graph::CommGraph& app,
                                  options, context);
 }
 
-void WriteJson(const std::string& path, uint64_t seed, int rack,
+// Unified-schema metrics (bench_util.h). Gated: per-size quality ratios
+// ("lower" -- worse hier/flat is a regression), the determinism and pass
+// indicators ("near"). Informational: wall clocks, costs, structural counts
+// -- absolute timings vary with machine load, so only the within-run
+// ratios are regression-gated.
+void WriteJson(const std::string& path,
                const std::vector<QualityPoint>& quality,
                const std::vector<LadderPoint>& ladder, double scaling_spread,
-               bool quality_pass, bool scaling_pass, bool deterministic,
-               bool pass) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
+               bool deterministic, bool pass) {
+  std::vector<bench::Metric> metrics;
+  for (const QualityPoint& q : quality) {
+    const std::string base = "hier.q" + std::to_string(q.n) + ".";
+    metrics.push_back({base + "ratio", q.ratio, "x", "lower"});
+    metrics.push_back({base + "flat_cost", q.flat_cost, "ms", ""});
+    metrics.push_back({base + "hier_cost", q.hier_cost, "ms", ""});
   }
-  std::fprintf(f, "{\n  \"bench\": \"bench_hier_scalability\",\n");
-  std::fprintf(f, "  \"seed\": %llu,\n  \"rack_size\": %d,\n",
-               static_cast<unsigned long long>(seed), rack);
-  std::fprintf(f, "  \"quality\": [");
-  for (size_t i = 0; i < quality.size(); ++i) {
-    const QualityPoint& q = quality[i];
-    std::fprintf(f,
-                 "%s\n    {\"n\": %d, \"flat_cost_ms\": %.6f, "
-                 "\"hier_cost_ms\": %.6f, \"ratio\": %.4f}",
-                 i == 0 ? "" : ",", q.n, q.flat_cost, q.hier_cost, q.ratio);
+  for (const LadderPoint& p : ladder) {
+    const std::string base = "hier.n" + std::to_string(p.n) + ".";
+    metrics.push_back({base + "wall", p.wall_s, "s", ""});
+    metrics.push_back({base + "cost", p.cost, "ms", ""});
+    metrics.push_back(
+        {base + "clusters", static_cast<double>(p.stats.clusters), "", ""});
+    metrics.push_back(
+        {base + "shards", static_cast<double>(p.stats.shards), "", ""});
+    metrics.push_back({base + "us_per_node", 1e6 * p.wall_s / p.n, "us", ""});
   }
-  std::fprintf(f, "\n  ],\n  \"scaling\": [");
-  for (size_t i = 0; i < ladder.size(); ++i) {
-    const LadderPoint& p = ladder[i];
-    std::fprintf(
-        f,
-        "%s\n    {\"n\": %d, \"m\": %d, \"wall_s\": %.3f, "
-        "\"cost_ms\": %.6f, \"clusters\": %d, \"shards\": %d, "
-        "\"seams_polished\": %d, \"decompose_s\": %.3f, \"coarse_s\": %.3f, "
-        "\"shard_s\": %.3f, \"polish_s\": %.3f, \"us_per_node\": %.2f}",
-        i == 0 ? "" : ",", p.n, p.m, p.wall_s, p.cost, p.stats.clusters,
-        p.stats.shards, p.stats.seams_polished, p.stats.decompose_s,
-        p.stats.coarse_s, p.stats.shard_s, p.stats.polish_s,
-        1e6 * p.wall_s / p.n);
+  metrics.push_back({"hier.scaling_spread", scaling_spread, "x", ""});
+  metrics.push_back(
+      {"hier.deterministic", deterministic ? 1.0 : 0.0, "bool", "near"});
+  metrics.push_back({"hier.pass", pass ? 1.0 : 0.0, "bool", "near"});
+  if (bench::WriteMetricsJson(path, "bench_hier_scalability", metrics)) {
+    std::printf("wrote %s\n", path.c_str());
   }
-  std::fprintf(f, "\n  ],\n");
-  std::fprintf(f, "  \"scaling_spread\": %.3f,\n", scaling_spread);
-  std::fprintf(f, "  \"quality_pass\": %s,\n", quality_pass ? "true" : "false");
-  std::fprintf(f, "  \"scaling_pass\": %s,\n", scaling_pass ? "true" : "false");
-  std::fprintf(f, "  \"deterministic\": %s,\n",
-               deterministic ? "true" : "false");
-  std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
 }
 
 std::vector<int> ParseSizes(const std::string& csv,
@@ -307,8 +297,7 @@ int main(int argc, char** argv) {
 
   const bool pass = quality_pass && scaling_pass && deterministic;
   if (!json_path.empty()) {
-    WriteJson(json_path, seed, rack, quality, ladder, spread, quality_pass,
-              scaling_pass, deterministic, pass);
+    WriteJson(json_path, quality, ladder, spread, deterministic, pass);
   }
   std::printf("overall: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;

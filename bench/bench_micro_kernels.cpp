@@ -6,8 +6,10 @@
 #include <cmath>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_util.h"
 #include "cluster/kmeans1d.h"
 #include "common/check.h"
 #include "common/rng.h"
@@ -247,7 +249,7 @@ void BM_MoveEvalLongestLinkFull(benchmark::State& state) {
     a = (a + 7) % n;
   }
 }
-BENCHMARK(BM_MoveEvalLongestLinkFull)->Arg(15);
+BENCHMARK(BM_MoveEvalLongestLinkFull)->Arg(15)->Arg(24);
 
 void BM_MoveEvalLongestLinkDelta(benchmark::State& state) {
   SwapEvalFixture fx(static_cast<int>(state.range(0)));
@@ -259,7 +261,7 @@ void BM_MoveEvalLongestLinkDelta(benchmark::State& state) {
     a = (a + 7) % n;
   }
 }
-BENCHMARK(BM_MoveEvalLongestLinkDelta)->Arg(15);
+BENCHMARK(BM_MoveEvalLongestLinkDelta)->Arg(15)->Arg(24);
 
 void BM_EventQueueChain(benchmark::State& state) {
   for (auto _ : state) {
@@ -274,15 +276,37 @@ void BM_EventQueueChain(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueChain);
 
+// Console reporting plus capture of (name, ns/iter) for the unified
+// metrics JSON (see bench_util.h) -- the same schema every other bench
+// binary emits, so tools/bench_snapshot.cpp needs no per-bench parsing.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      runs_.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<std::pair<std::string, double>>& runs() const {
+    return runs_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> runs_;
+};
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): --json=PATH (or --json PATH) is
-// the repo-wide machine-readable-output flag (bench_hier_scalability has
-// the same), translated here into google-benchmark's native
-// --benchmark_out/--benchmark_out_format pair.
+// the repo-wide machine-readable-output flag. Raw per-kernel times are
+// informational (gate ""), while the Full/Delta ratios of the cost-eval
+// kernels are emitted as gated "speedup" metrics -- within-run ratios stay
+// stable across machines and load, absolute nanoseconds do not.
 int main(int argc, char** argv) {
   std::vector<std::string> args;
-  args.reserve(static_cast<size_t>(argc) + 2);
+  args.reserve(static_cast<size_t>(argc));
   std::string json_path;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -294,10 +318,6 @@ int main(int argc, char** argv) {
       args.push_back(arg);
     }
   }
-  if (!json_path.empty()) {
-    args.push_back("--benchmark_out=" + json_path);
-    args.push_back("--benchmark_out_format=json");
-  }
   std::vector<char*> argp;
   argp.reserve(args.size() + 1);
   for (std::string& arg : args) argp.push_back(arg.data());
@@ -305,7 +325,32 @@ int main(int argc, char** argv) {
   int count = static_cast<int>(args.size());
   benchmark::Initialize(&count, argp.data());
   if (benchmark::ReportUnrecognizedArguments(count, argp.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  return 0;
+  if (json_path.empty()) return 0;
+
+  std::vector<cloudia::bench::Metric> metrics;
+  for (const auto& [name, ns] : reporter.runs()) {
+    metrics.push_back({"micro." + name + ".ns", ns, "ns", ""});
+  }
+  // Derived Full/Delta speedups for every kernel pair that ran.
+  for (const auto& [name, full_ns] : reporter.runs()) {
+    const size_t pos = name.find("Full/");
+    if (pos == std::string::npos) continue;
+    std::string delta_name = name;
+    delta_name.replace(pos, 5, "Delta/");
+    for (const auto& [other, delta_ns] : reporter.runs()) {
+      if (other == delta_name && delta_ns > 0) {
+        std::string base = name;
+        base.erase(pos, 4);  // drop "Full"
+        metrics.push_back(
+            {"micro." + base + ".speedup", full_ns / delta_ns, "x", "higher"});
+      }
+    }
+  }
+  return cloudia::bench::WriteMetricsJson(json_path, "bench_micro_kernels",
+                                          metrics)
+             ? 0
+             : 1;
 }

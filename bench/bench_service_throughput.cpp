@@ -13,11 +13,13 @@
 //
 // Flags: --requests=N (default 32), --duration=S (virtual measurement
 // seconds per environment, default 45), --threads=N (service workers,
-// default 4), --skip-determinism.
+// default 4), --skip-determinism, --json=PATH (unified metrics, see
+// bench_util.h).
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/flags.h"
 #include "common/timer.h"
 #include "graph/templates.h"
@@ -216,6 +218,26 @@ int main(int argc, char** argv) {
 
   const bool pass = measure_ratio >= 5.0 && speedup > 1.0 && deterministic &&
                     naive.failed == 0 && served.failed == 0;
+  const std::string json_path = flags->GetString("json", "");
+  if (!json_path.empty()) {
+    // Gated: the measurement-sharing ratio (a deterministic count ratio for
+    // a fixed workload -- "near") and the PASS indicators. Informational:
+    // wall clocks and the wall-clock speedup (machine-load dependent).
+    std::vector<bench::Metric> metrics = {
+        {"service.measure_ratio", measure_ratio, "x", "near"},
+        {"service.measurements",
+         static_cast<double>(served.measurements), "", "near"},
+        {"service.speedup", speedup, "x", ""},
+        {"service.naive_wall", naive.wall_s, "s", ""},
+        {"service.served_wall", served.wall_s, "s", ""},
+        {"service.deterministic", deterministic ? 1.0 : 0.0, "bool", "near"},
+        {"service.pass", pass ? 1.0 : 0.0, "bool", "near"},
+    };
+    if (bench::WriteMetricsJson(json_path, "bench_service_throughput",
+                                metrics)) {
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
   std::printf("\noverall: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

@@ -87,6 +87,27 @@ deploy::CostMatrix MeasuredMeanCosts(const net::CloudSimulator& cloud,
   return std::move(costs).value();
 }
 
+bool WriteMetricsJson(const std::string& path, const std::string& bench,
+                      const std::vector<Metric>& metrics) {
+  std::FILE* f = path == "-" ? stdout : std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [\n", bench.c_str());
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const Metric& m = metrics[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"value\": %.9g, \"unit\": \"%s\", "
+                 "\"gate\": \"%s\"}%s\n",
+                 m.name.c_str(), m.value, m.unit.c_str(), m.gate.c_str(),
+                 i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  if (f != stdout) std::fclose(f);
+  return true;
+}
+
 std::vector<double> OffDiagonal(const deploy::CostMatrix& m) {
   std::vector<double> out;
   int n = m.size();

@@ -48,6 +48,34 @@ deploy::CostMatrix MeasuredMeanCosts(const net::CloudSimulator& cloud,
 /// All off-diagonal entries of a cost matrix.
 std::vector<double> OffDiagonal(const deploy::CostMatrix& m);
 
+// -- Unified bench metric schema ---------------------------------------------
+//
+// Every bench binary's --json output is one object:
+//   {"bench": "<binary name>", "metrics": [
+//      {"name": "...", "value": <double>, "unit": "...", "gate": "..."}]}
+// Metric names embed the configuration that produced them (for example
+// "hier.q256.ratio") so tools/bench_snapshot.cpp only ever compares metrics
+// measured under identical settings -- no per-bench special cases.
+
+/// One scalar measurement. `gate` tells the snapshot checker how to compare
+/// against a baseline value:
+///   ""       informational only, never gated (absolute wall times);
+///   "lower"  regression when value exceeds baseline by the tolerance;
+///   "higher" regression when value falls below baseline by the tolerance;
+///   "near"   regression when value differs from baseline either way
+///            (determinism counts, quality ratios pinned by construction).
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  std::string gate;
+};
+
+/// Serializes `metrics` in the unified schema to `path` ("-" = stdout).
+/// Returns false (with a stderr note) when the file cannot be written.
+bool WriteMetricsJson(const std::string& path, const std::string& bench,
+                      const std::vector<Metric>& metrics);
+
 }  // namespace cloudia::bench
 
 #endif  // CLOUDIA_BENCH_BENCH_UTIL_H_

@@ -16,7 +16,9 @@
 #ifndef CLOUDIA_COMMON_THREAD_POOL_H_
 #define CLOUDIA_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -81,6 +83,44 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   bool stopping_ = false;
 };
+
+/// Deterministic index-ordered parallel map/reduce over [0, count).
+///
+/// Partitions the index range into at most `max_chunks` contiguous chunks
+/// whose boundaries depend only on (count, max_chunks), evaluates
+/// `map(chunk, begin, end)` for each chunk -- on `pool` when one is given,
+/// inline otherwise -- and folds the chunk results with
+/// `reduce(std::move(acc), chunk_result)` strictly in ascending chunk order.
+/// Because neither the chunking nor the fold order depends on worker count
+/// or scheduling, the result is bit-identical for any pool size, which is
+/// what lets callers promise --threads=1 == --threads=N behavior.
+///
+/// `map` must be safe to call concurrently for *distinct* chunks; `chunk` is
+/// a dense 0-based id usable to index per-chunk scratch. Exceptions thrown
+/// by `map` propagate from the fold (after all chunks have finished).
+template <typename R, typename Map, typename Reduce>
+R ParallelIndexedReduce(ThreadPool* pool, int64_t count, int max_chunks,
+                        R init, const Map& map, const Reduce& reduce) {
+  if (count <= 0) return init;
+  const int64_t want = std::max(1, max_chunks);
+  const int chunks =
+      static_cast<int>(std::min<int64_t>(pool == nullptr ? 1 : want, count));
+  if (chunks <= 1) return reduce(std::move(init), map(0, int64_t{0}, count));
+  const int64_t base = count / chunks;
+  const int64_t extra = count % chunks;
+  std::vector<std::future<R>> parts;
+  parts.reserve(static_cast<size_t>(chunks));
+  int64_t begin = 0;
+  for (int j = 0; j < chunks; ++j) {
+    const int64_t end = begin + base + (j < extra ? 1 : 0);
+    parts.push_back(
+        pool->Submit([&map, j, begin, end] { return map(j, begin, end); }));
+    begin = end;
+  }
+  R acc = std::move(init);
+  for (auto& part : parts) acc = reduce(std::move(acc), part.get());
+  return acc;
+}
 
 }  // namespace cloudia
 

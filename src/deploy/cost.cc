@@ -76,37 +76,70 @@ CostEvaluator::CostEvaluator(const graph::CommGraph* graph,
       objective_(objective),
       topo_order_(std::move(topo_order)),
       path_scratch_(static_cast<size_t>(graph->num_nodes()), 0.0) {
-  // CSR incident-edge lists: every edge lands in both endpoints' ranges
-  // (CommGraph rejects self-loops, so the two endpoints are distinct).
+  // SoA edge list: full scans become linear passes over two int arrays.
+  const size_t num_edges = graph->edges().size();
+  edge_src_.reserve(num_edges);
+  edge_dst_.reserve(num_edges);
+  for (const graph::Edge& e : graph->edges()) {
+    edge_src_.push_back(e.src);
+    edge_dst_.push_back(e.dst);
+  }
+  // CSR incident-edge lists, out-edges before in-edges per node: every edge
+  // lands in both endpoints' ranges (CommGraph rejects self-loops, so the
+  // two endpoints are distinct).
   const size_t n = static_cast<size_t>(graph->num_nodes());
   incident_offsets_.assign(n + 1, 0);
+  std::vector<int> out_count(n, 0);
   for (const graph::Edge& e : graph->edges()) {
     ++incident_offsets_[static_cast<size_t>(e.src) + 1];
     ++incident_offsets_[static_cast<size_t>(e.dst) + 1];
+    ++out_count[static_cast<size_t>(e.src)];
   }
   std::partial_sum(incident_offsets_.begin(), incident_offsets_.end(),
                    incident_offsets_.begin());
-  incident_edges_.resize(static_cast<size_t>(incident_offsets_[n]));
-  std::vector<int> cursor(incident_offsets_.begin(),
-                          incident_offsets_.end() - 1);
+  incident_out_end_.resize(n);
+  for (size_t v = 0; v < n; ++v) {
+    incident_out_end_[v] = incident_offsets_[v] + out_count[v];
+  }
+  incident_other_.resize(static_cast<size_t>(incident_offsets_[n]));
+  std::vector<int> out_cursor(incident_offsets_.begin(),
+                              incident_offsets_.end() - 1);
+  std::vector<int> in_cursor(incident_out_end_);
   for (const graph::Edge& e : graph->edges()) {
-    incident_edges_[static_cast<size_t>(
-        cursor[static_cast<size_t>(e.src)]++)] = e;
-    incident_edges_[static_cast<size_t>(
-        cursor[static_cast<size_t>(e.dst)]++)] = e;
+    incident_other_[static_cast<size_t>(
+        out_cursor[static_cast<size_t>(e.src)]++)] = e.dst;
+    incident_other_[static_cast<size_t>(
+        in_cursor[static_cast<size_t>(e.dst)]++)] = e.src;
   }
 }
 
 double CostEvaluator::LongestLink(const int* d) const {
   const double* c = costs_->data();
+  const int* src = edge_src_.data();
+  const int* dst = edge_dst_.data();
   const size_t m = static_cast<size_t>(costs_->size());
-  double worst = 0.0;
-  for (const graph::Edge& e : graph_->edges()) {
-    double cost = c[static_cast<size_t>(d[e.src]) * m +
-                    static_cast<size_t>(d[e.dst])];
-    worst = std::max(worst, cost);
+  const size_t num_edges = edge_src_.size();
+  // Blocked scan with four independent max accumulators: the gathers of one
+  // block stay in flight together and the reduction carries no loop-carried
+  // dependence chain. Bit-exact relative to a sequential max (max over
+  // doubles is associative and commutative; costs are never NaN).
+  double w0 = 0.0, w1 = 0.0, w2 = 0.0, w3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= num_edges; i += 4) {
+    w0 = std::max(w0, c[static_cast<size_t>(d[src[i]]) * m +
+                        static_cast<size_t>(d[dst[i]])]);
+    w1 = std::max(w1, c[static_cast<size_t>(d[src[i + 1]]) * m +
+                        static_cast<size_t>(d[dst[i + 1]])]);
+    w2 = std::max(w2, c[static_cast<size_t>(d[src[i + 2]]) * m +
+                        static_cast<size_t>(d[dst[i + 2]])]);
+    w3 = std::max(w3, c[static_cast<size_t>(d[src[i + 3]]) * m +
+                        static_cast<size_t>(d[dst[i + 3]])]);
   }
-  return worst;
+  for (; i < num_edges; ++i) {
+    w0 = std::max(w0, c[static_cast<size_t>(d[src[i]]) * m +
+                        static_cast<size_t>(d[dst[i]])]);
+  }
+  return std::max(std::max(w0, w1), std::max(w2, w3));
 }
 
 double CostEvaluator::LongestPath(const int* d) const {
@@ -134,20 +167,87 @@ double CostEvaluator::Cost(const Deployment& d) const {
                                                : LongestPath(d.data());
 }
 
-template <typename InstanceOf>
-double CostEvaluator::IncidentMax(int v, const InstanceOf& inst) const {
+void CostEvaluator::IncidentOldNewMax(const int* d, int v, int new_v_inst,
+                                      int partner, int partner_new_inst,
+                                      double* old_max, double* new_max) const {
   const double* c = costs_->data();
   const size_t m = static_cast<size_t>(costs_->size());
-  double worst = 0.0;
+  const size_t old_v = static_cast<size_t>(d[v]);
+  const size_t new_v = static_cast<size_t>(new_v_inst);
+  const int* other = incident_other_.data();
   const int begin = incident_offsets_[static_cast<size_t>(v)];
+  const int mid = incident_out_end_[static_cast<size_t>(v)];
   const int end = incident_offsets_[static_cast<size_t>(v) + 1];
-  for (int t = begin; t < end; ++t) {
-    const graph::Edge& e = incident_edges_[static_cast<size_t>(t)];
-    double cost = c[static_cast<size_t>(inst(e.src)) * m +
-                    static_cast<size_t>(inst(e.dst))];
-    worst = std::max(worst, cost);
+  double worst_old = *old_max;
+  double worst_new = *new_max;
+  // Out-edges v -> w: old reads row d[v], new reads row new_v_inst. The
+  // only per-element branch left is the partner select, which compiles to a
+  // conditional move (v itself never appears in its own incident list).
+  const double* row_old = c + old_v * m;
+  const double* row_new = c + new_v * m;
+  if (partner < 0) {
+    // Move: no second node relocates, so the neighbor mapping is d itself.
+    for (int t = begin; t < mid; ++t) {
+      const size_t iw = static_cast<size_t>(d[other[t]]);
+      worst_old = std::max(worst_old, row_old[iw]);
+      worst_new = std::max(worst_new, row_new[iw]);
+    }
+    for (int t = mid; t < end; ++t) {
+      const size_t iw = static_cast<size_t>(d[other[t]]);
+      worst_old = std::max(worst_old, c[iw * m + old_v]);
+      worst_new = std::max(worst_new, c[iw * m + new_v]);
+    }
+    *old_max = worst_old;
+    *new_max = worst_new;
+    return;
   }
-  return worst;
+  for (int t = begin; t < mid; ++t) {
+    const int w = other[t];
+    const size_t iw = static_cast<size_t>(d[w]);
+    const size_t iw_new =
+        w == partner ? static_cast<size_t>(partner_new_inst) : iw;
+    worst_old = std::max(worst_old, row_old[iw]);
+    worst_new = std::max(worst_new, row_new[iw_new]);
+  }
+  // In-edges w -> v: column accesses at fixed column old_v / new_v.
+  for (int t = mid; t < end; ++t) {
+    const int w = other[t];
+    const size_t iw = static_cast<size_t>(d[w]);
+    const size_t iw_new =
+        w == partner ? static_cast<size_t>(partner_new_inst) : iw;
+    worst_old = std::max(worst_old, c[iw * m + old_v]);
+    worst_new = std::max(worst_new, c[iw_new * m + new_v]);
+  }
+  *old_max = worst_old;
+  *new_max = worst_new;
+}
+
+double CostEvaluator::RescanLongestLink(const int* d, int a, int ia, int b,
+                                        int ib) const {
+  const double* c = costs_->data();
+  const int* src = edge_src_.data();
+  const int* dst = edge_dst_.data();
+  const size_t m = static_cast<size_t>(costs_->size());
+  const size_t num_edges = edge_src_.size();
+  // Same blocked four-accumulator shape as LongestLink; the remap selects
+  // compile to conditional moves, keeping the pass branch-free.
+  double w0 = 0.0, w1 = 0.0, w2 = 0.0, w3 = 0.0;
+  size_t i = 0;
+  auto remapped = [&](size_t k) {
+    const int s = src[k];
+    const int t = dst[k];
+    const int is = s == a ? ia : s == b ? ib : d[s];
+    const int it = t == a ? ia : t == b ? ib : d[t];
+    return c[static_cast<size_t>(is) * m + static_cast<size_t>(it)];
+  };
+  for (; i + 4 <= num_edges; i += 4) {
+    w0 = std::max(w0, remapped(i));
+    w1 = std::max(w1, remapped(i + 1));
+    w2 = std::max(w2, remapped(i + 2));
+    w3 = std::max(w3, remapped(i + 3));
+  }
+  for (; i < num_edges; ++i) w0 = std::max(w0, remapped(i));
+  return std::max(std::max(w0, w1), std::max(w2, w3));
 }
 
 double CostEvaluator::SwapCost(const Deployment& d, double current_cost,
@@ -156,9 +256,6 @@ double CostEvaluator::SwapCost(const Deployment& d, double current_cost,
   CLOUDIA_DCHECK(b >= 0 && b < graph_->num_nodes());
   if (a == b) return current_cost;
   const int* dp = d.data();
-  auto swapped = [dp, a, b](int v) {
-    return v == a ? dp[b] : v == b ? dp[a] : dp[v];
-  };
   if (objective_ == Objective::kLongestPath) {
     // Exact fallback (see header): the critical path is a global property.
     deploy_scratch_.assign(d.begin(), d.end());
@@ -166,28 +263,23 @@ double CostEvaluator::SwapCost(const Deployment& d, double current_cost,
               deploy_scratch_[static_cast<size_t>(b)]);
     return LongestPath(deploy_scratch_.data());
   }
-  auto original = [dp](int v) { return dp[v]; };
-  double old_affected =
-      std::max(IncidentMax(a, original), IncidentMax(b, original));
-  double new_affected =
-      std::max(IncidentMax(a, swapped), IncidentMax(b, swapped));
+  double old_affected = 0.0;
+  double new_affected = 0.0;
+  IncidentOldNewMax(dp, a, dp[b], b, dp[a], &old_affected, &new_affected);
+  IncidentOldNewMax(dp, b, dp[a], a, dp[b], &old_affected, &new_affected);
   if (old_affected < current_cost) {
     // The bottleneck edge is untouched, so current_cost is exactly the max
     // over the unaffected edges.
     return std::max(current_cost, new_affected);
   }
+  // old_affected == current_cost here (a subset max never exceeds the
+  // global max): an affected edge *is* a bottleneck. A tie -- a new
+  // affected cost exactly equal to the old bottleneck -- takes this exact
+  // branch, since max(unaffected) <= current_cost <= new_affected.
   if (new_affected >= current_cost) return new_affected;
   // The bottleneck edge was affected and improved: only a full rescan knows
   // the runner-up.
-  double worst = 0.0;
-  const double* c = costs_->data();
-  const size_t m = static_cast<size_t>(costs_->size());
-  for (const graph::Edge& e : graph_->edges()) {
-    double cost = c[static_cast<size_t>(swapped(e.src)) * m +
-                    static_cast<size_t>(swapped(e.dst))];
-    worst = std::max(worst, cost);
-  }
-  return worst;
+  return RescanLongestLink(dp, a, dp[b], b, dp[a]);
 }
 
 double CostEvaluator::MoveCost(const Deployment& d, double current_cost,
@@ -195,30 +287,20 @@ double CostEvaluator::MoveCost(const Deployment& d, double current_cost,
   CLOUDIA_DCHECK(node >= 0 && node < graph_->num_nodes());
   CLOUDIA_DCHECK(new_instance >= 0 && new_instance < costs_->size());
   const int* dp = d.data();
-  auto moved = [dp, node, new_instance](int v) {
-    return v == node ? new_instance : dp[v];
-  };
   if (objective_ == Objective::kLongestPath) {
     deploy_scratch_.assign(d.begin(), d.end());
     deploy_scratch_[static_cast<size_t>(node)] = new_instance;
     return LongestPath(deploy_scratch_.data());
   }
-  auto original = [dp](int v) { return dp[v]; };
-  double old_affected = IncidentMax(node, original);
-  double new_affected = IncidentMax(node, moved);
+  double old_affected = 0.0;
+  double new_affected = 0.0;
+  IncidentOldNewMax(dp, node, new_instance, /*partner=*/-1,
+                    /*partner_new_inst=*/-1, &old_affected, &new_affected);
   if (old_affected < current_cost) {
     return std::max(current_cost, new_affected);
   }
   if (new_affected >= current_cost) return new_affected;
-  double worst = 0.0;
-  const double* c = costs_->data();
-  const size_t m = static_cast<size_t>(costs_->size());
-  for (const graph::Edge& e : graph_->edges()) {
-    double cost = c[static_cast<size_t>(moved(e.src)) * m +
-                    static_cast<size_t>(moved(e.dst))];
-    worst = std::max(worst, cost);
-  }
-  return worst;
+  return RescanLongestLink(dp, node, new_instance, /*b=*/-1, /*ib=*/-1);
 }
 
 double LongestLinkCost(const graph::CommGraph& graph,

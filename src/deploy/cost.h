@@ -45,6 +45,20 @@ Status ValidateDeployment(const graph::CommGraph& graph,
 /// Fast repeated evaluation of one objective for a fixed (graph, costs).
 /// Precomputes the topological order for kLongestPath and per-node
 /// incident-edge lists (CSR layout) for the incremental API.
+///
+/// Layout: all edge bookkeeping is structure-of-arrays -- a flat (src[],
+/// dst[]) pair for full scans and a CSR "other endpoint" array split into
+/// out-/in- sub-ranges per node for the incremental kernels -- so the hot
+/// loops are branch-light linear passes over int arrays that the compiler
+/// can unroll and vectorize (no `#pragma omp simd`; plain portable C++).
+/// Full rescans run blocked with independent max accumulators.
+///
+/// Thread safety: for kLongestLink every const method is a pure function of
+/// immutable state and safe to call concurrently. kLongestPath evaluation
+/// writes per-evaluator scratch buffers, so concurrent callers must use one
+/// CostEvaluator *copy* per thread (copies are cheap: they share the
+/// graph/cost pointers and duplicate only the index arrays; see
+/// deploy/local_search.cc for the per-worker pattern).
 class CostEvaluator {
  public:
   /// Fails (InvalidArgument/Infeasible) on malformed input; the evaluator
@@ -69,9 +83,11 @@ class CostEvaluator {
   // max over the same doubles.
   //
   // Complexity, kLongestLink: O(deg(a) + deg(b)) over the incident-edge
-  // lists; the only full O(E) rescan happens when the current bottleneck
-  // edge itself is affected *and* improves (rare relative to candidate
-  // probes in a descent, which are overwhelmingly rejections).
+  // lists -- one fused pass per endpoint computes the old and new incident
+  // maxima together, so a probe touches each incident edge exactly once.
+  // The only full O(E) rescan happens when the current bottleneck edge
+  // itself is affected *and* improves (rare relative to candidate probes in
+  // a descent, which are overwhelmingly rejections).
   // Complexity, kLongestPath: the path objective is global -- one relocated
   // node can re-route the critical path anywhere -- so there is no O(deg)
   // shortcut; these calls fall back to an exact full O(V + E) re-evaluation
@@ -107,20 +123,36 @@ class CostEvaluator {
   double LongestLink(const int* d) const;
   double LongestPath(const int* d) const;
 
-  /// Max cost over the edges incident to `v`, mapping node w to inst(w).
-  template <typename InstanceOf>
-  double IncidentMax(int v, const InstanceOf& inst) const;
+  /// One fused pass over v's incident edges, folding into *old_max the max
+  /// edge cost under the current mapping d and into *new_max the max under
+  /// the candidate mapping "v -> new_v_inst, partner -> partner_new_inst"
+  /// (partner == -1 when no second node relocates, i.e. a move).
+  void IncidentOldNewMax(const int* d, int v, int new_v_inst, int partner,
+                         int partner_new_inst, double* old_max,
+                         double* new_max) const;
+
+  /// Exact O(E) longest-link rescan under the remapping "a -> ia, b -> ib"
+  /// (b == -1 for a single-node move). Pure function -- no scratch.
+  double RescanLongestLink(const int* d, int a, int ia, int b, int ib) const;
 
   const graph::CommGraph* graph_;
   const CostMatrix* costs_;
   Objective objective_;
   std::vector<int> topo_order_;  // empty for kLongestLink
 
-  // CSR incident-edge lists: incident_edges_[incident_offsets_[v] ..
-  // incident_offsets_[v + 1]) are the directed edges touching node v (an
-  // edge appears in both endpoints' lists).
+  // SoA copy of the edge list for full scans (cache-blocked linear passes).
+  std::vector<int> edge_src_;
+  std::vector<int> edge_dst_;
+
+  // CSR incident-edge lists in SoA form: slot t in
+  // [incident_offsets_[v], incident_out_end_[v]) stores w for an out-edge
+  // v -> w, and slot t in [incident_out_end_[v], incident_offsets_[v + 1])
+  // stores w for an in-edge w -> v. Splitting by orientation keeps the
+  // kernels free of per-edge direction branches (an edge appears in both
+  // endpoints' ranges).
   std::vector<int> incident_offsets_;
-  std::vector<graph::Edge> incident_edges_;
+  std::vector<int> incident_out_end_;
+  std::vector<int> incident_other_;
 
   mutable std::vector<double> path_scratch_;  // reused per evaluation
   mutable Deployment deploy_scratch_;         // reused by the LPNDP fallback

@@ -1,43 +1,157 @@
 #include "deploy/local_search.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "deploy/random_search.h"
 
 namespace cloudia::deploy {
 
 namespace {
 
+constexpr double kImprovementEps = 1e-12;
+
+// How often a chunk polls the shared bail-out flag (in candidates).
+constexpr int64_t kBailCheckStride = 32;
+
+// Candidate `idx` of node a's neighborhood, in the serial descent's probe
+// order: indices [0, U) move a to unused[idx]; indices >= U swap a with node
+// a + 1 + (idx - U).
+double PriceCandidate(const CostEvaluator& eval, const Deployment& d,
+                      double cost, int a, const std::vector<int>& unused,
+                      int64_t idx) {
+  const int64_t u = static_cast<int64_t>(unused.size());
+  if (idx < u) {
+    return eval.MoveCost(d, cost, a, unused[static_cast<size_t>(idx)]);
+  }
+  return eval.SwapCost(d, cost, a, static_cast<int>(a + 1 + (idx - u)));
+}
+
+struct CandidateHit {
+  int64_t index = -1;  // -1 = no improving candidate in the range
+  double cost = 0.0;
+};
+
+// First improving candidate in [begin, end) against the frozen (d, cost).
+CandidateHit ScanRange(const CostEvaluator& eval, const Deployment& d,
+                       double cost, int a, const std::vector<int>& unused,
+                       int64_t begin, int64_t end) {
+  for (int64_t idx = begin; idx < end; ++idx) {
+    const double c = PriceCandidate(eval, d, cost, a, unused, idx);
+    if (c < cost - kImprovementEps) return {idx, c};
+  }
+  return {};
+}
+
+// Prices neighborhood windows, optionally fanning the probes out over a
+// thread pool. Each worker chunk gets its own CostEvaluator copy so the
+// kLongestPath scratch buffers never race (kLongestLink copies are inert but
+// harmless). Chunk boundaries and the ascending index fold come from
+// ParallelIndexedReduce, so the reported first improving candidate is
+// bit-identical to the serial left-to-right scan for every thread count.
+class NeighborhoodPricer {
+ public:
+  NeighborhoodPricer(const CostEvaluator* eval, int threads,
+                     int64_t min_parallel_window)
+      : eval_(eval),
+        threads_(std::max(1, threads)),
+        min_parallel_window_(std::max<int64_t>(1, min_parallel_window)) {
+    if (threads_ > 1) {
+      pool_ = std::make_unique<ThreadPool>(threads_);
+      chunk_evals_.reserve(static_cast<size_t>(threads_));
+      for (int i = 0; i < threads_; ++i) chunk_evals_.push_back(*eval);
+    }
+  }
+
+  // First improving candidate in [begin, total), or index -1 if the rest of
+  // the neighborhood is non-improving.
+  CandidateHit FirstImproving(const Deployment& d, double cost, int a,
+                              const std::vector<int>& unused, int64_t begin,
+                              int64_t total) const {
+    const int64_t count = total - begin;
+    if (pool_ == nullptr || count < min_parallel_window_) {
+      return ScanRange(*eval_, d, cost, a, unused, begin, total);
+    }
+    // Early bail-out: a chunk abandons its scan only when a strictly *lower*
+    // chunk has already found a hit. A truncated scan can then only drop
+    // hits the ascending fold would have discarded anyway, so the bail-out
+    // saves work without touching the chosen move.
+    std::atomic<int> first_hit_chunk{std::numeric_limits<int>::max()};
+    auto map = [&](int chunk, int64_t lo, int64_t hi) -> CandidateHit {
+      const CostEvaluator& eval = chunk_evals_[static_cast<size_t>(chunk)];
+      for (int64_t i = lo; i < hi; ++i) {
+        if ((i - lo) % kBailCheckStride == 0 &&
+            first_hit_chunk.load(std::memory_order_relaxed) < chunk) {
+          return {};
+        }
+        const int64_t idx = begin + i;
+        const double c = PriceCandidate(eval, d, cost, a, unused, idx);
+        if (c < cost - kImprovementEps) {
+          int seen = first_hit_chunk.load(std::memory_order_relaxed);
+          while (chunk < seen &&
+                 !first_hit_chunk.compare_exchange_weak(
+                     seen, chunk, std::memory_order_relaxed)) {
+          }
+          return {idx, c};
+        }
+      }
+      return {};
+    };
+    auto reduce = [](CandidateHit acc, CandidateHit part) {
+      return acc.index >= 0 ? acc : part;
+    };
+    return ParallelIndexedReduce(pool_.get(), count, threads_, CandidateHit{},
+                                 map, reduce);
+  }
+
+ private:
+  const CostEvaluator* eval_;
+  int threads_;
+  int64_t min_parallel_window_;
+  std::unique_ptr<ThreadPool> pool_;           // null when serial
+  std::vector<CostEvaluator> chunk_evals_;     // one per chunk id
+};
+
 // One first-improvement descent pass; returns true if any move improved.
 // Neighborhoods: swap the instances of two nodes; move a node to an unused
 // instance. Candidates are priced incrementally -- O(deg) per probe via the
 // evaluator's incident-edge lists instead of a full O(E) re-evaluation --
 // and the deployment is only touched when a move is accepted.
-bool DescendOnce(const CostEvaluator& eval, const SolveContext& context,
+//
+// Windowed first-improvement: the pricer scans the remaining candidate range
+// against the *frozen* deployment, the lowest improving index is applied,
+// and the scan resumes right after it -- exactly the classic serial
+// first-improvement walk, but each window may be priced in parallel.
+bool DescendOnce(const NeighborhoodPricer& pricer, const SolveContext& context,
                  Deployment& d, double& cost, std::vector<int>& unused) {
   const int n = static_cast<int>(d.size());
+  const int64_t num_unused = static_cast<int64_t>(unused.size());
   bool improved = false;
   for (int a = 0; a < n && !context.ShouldStop(); ++a) {
-    // Moves to unused instances.
-    for (size_t u = 0; u < unused.size(); ++u) {
-      double c = eval.MoveCost(d, cost, a, unused[u]);
-      if (c < cost - 1e-12) {
+    const int64_t total = num_unused + (n - a - 1);
+    int64_t idx = 0;
+    while (idx < total) {
+      const CandidateHit hit =
+          pricer.FirstImproving(d, cost, a, unused, idx, total);
+      if (hit.index < 0) break;
+      if (hit.index < num_unused) {
         // The node's old instance becomes the unused one.
-        std::swap(d[static_cast<size_t>(a)], unused[u]);
-        cost = c;
-        improved = true;
-      }
-    }
-    // Swaps with other nodes.
-    for (int b = a + 1; b < n; ++b) {
-      double c = eval.SwapCost(d, cost, a, b);
-      if (c < cost - 1e-12) {
+        std::swap(d[static_cast<size_t>(a)],
+                  unused[static_cast<size_t>(hit.index)]);
+      } else {
+        const int b = static_cast<int>(a + 1 + (hit.index - num_unused));
         std::swap(d[static_cast<size_t>(a)], d[static_cast<size_t>(b)]);
-        cost = c;
-        improved = true;
       }
+      cost = hit.cost;
+      improved = true;
+      idx = hit.index + 1;
     }
   }
   return improved;
@@ -63,6 +177,8 @@ Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
   CLOUDIA_ASSIGN_OR_RETURN(CostEvaluator eval,
                            CostEvaluator::Create(&graph, &costs, objective));
   const int m = costs.size();
+  const NeighborhoodPricer pricer(&eval, options.threads,
+                                  options.min_parallel_window);
   Rng rng(options.seed);
 
   Deployment start = options.initial;
@@ -84,7 +200,7 @@ Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
     std::vector<int> unused = UnusedInstances(from, m);
     ++result.iterations;
     while (!context.ShouldStop() &&
-           DescendOnce(eval, context, from, cost, unused)) {
+           DescendOnce(pricer, context, from, cost, unused)) {
     }
     if (cost < result.cost - 1e-12) {
       result.cost = cost;

@@ -29,6 +29,18 @@ struct LocalSearchOptions {
   /// Starting deployment for the first descent; empty = best of 10 random.
   Deployment initial;
   uint64_t seed = 1;
+  /// Worker threads for neighborhood pricing. <= 1 prices serially; higher
+  /// values fan candidate probes out over a common::ThreadPool. The chosen
+  /// move sequence (and thus every result) is bit-identical for every value
+  /// -- threads only change wall-clock, never the answer. 0 means serial:
+  /// parallel pricing is opt-in because probe fan-out only pays off on
+  /// instances large enough to amortize the windowing overhead.
+  int threads = 0;
+  /// Candidate windows smaller than this are priced serially even with
+  /// threads > 1 (submit/join latency would exceed the probes). Tuning knob
+  /// only -- it never changes results; tests pin it to 1 to exercise the
+  /// parallel path on small instances.
+  int64_t min_parallel_window = 256;
 };
 
 /// Multi-start steepest-descent over swap/move neighborhoods, under

@@ -181,6 +181,7 @@ class LocalSearchSolver : public NdpSolver {
     LocalSearchOptions ls;
     ls.initial = options.initial;
     ls.seed = options.seed;
+    ls.threads = options.threads;  // pricing parallelism; result is unchanged
     return SolveLocalSearch(*problem.graph, *problem.costs, problem.objective,
                             ls, context);
   }

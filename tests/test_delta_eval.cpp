@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "deploy/cost.h"
 #include "deploy_test_util.h"
@@ -149,6 +151,127 @@ TEST(DeltaEvalPropertyTest, AcceptedMoveChainsStayExact) {
                                      << step;
     }
   }
+}
+
+// Sentinel property: matrices carrying kUnmeasuredCostMs entries (unsampled
+// links filled by measure::BuildCostMatrix under allow_missing) must be
+// priced identically by the full and incremental paths. Both include
+// sentinels in the max -- a deployment over a poisoned link *should* cost
+// the sentinel -- so the exactness contract has to hold when sentinels
+// appear, disappear, or stay on the bottleneck across a move.
+TEST(DeltaEvalPropertyTest, SentinelCostsMatchFullEvaluator) {
+  for (Objective objective :
+       {Objective::kLongestLink, Objective::kLongestPath}) {
+    Rng rng(404);
+    int sentinel_bottlenecks = 0;
+    for (int trial = 0; trial < 60; ++trial) {
+      Instance inst =
+          RandomInstance(trial, rng, objective == Objective::kLongestPath);
+      const int n = inst.graph.num_nodes();
+      const int m = inst.costs.size();
+      // Poison 5-30% of off-diagonal links with the unmeasured sentinel.
+      const double poison = rng.Uniform(0.05, 0.30);
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < m; ++j) {
+          if (i != j && rng.Bernoulli(poison)) {
+            inst.costs.At(i, j) = kUnmeasuredCostMs;
+          }
+        }
+      }
+      auto eval = CostEvaluator::Create(&inst.graph, &inst.costs, objective);
+      ASSERT_TRUE(eval.ok());
+      Deployment d = RandomDeploymentForTest(n, m, rng);
+      const double cost = eval->Cost(d);
+      if (cost >= kUnmeasuredCostMs) ++sentinel_bottlenecks;
+
+      for (int probe = 0; probe < 8 && n >= 2; ++probe) {
+        int a = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+        int b = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+        Deployment swapped = d;
+        std::swap(swapped[static_cast<size_t>(a)],
+                  swapped[static_cast<size_t>(b)]);
+        EXPECT_EQ(eval->SwapCost(d, cost, a, b), eval->Cost(swapped))
+            << ObjectiveName(objective) << " trial " << trial << " swap(" << a
+            << "," << b << ")";
+      }
+      std::vector<int> unused = UnusedInstances(d, m);
+      for (int probe = 0; probe < 8 && n >= 1 && !unused.empty(); ++probe) {
+        int node = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+        int target = unused[rng.Below(unused.size())];
+        Deployment moved = d;
+        moved[static_cast<size_t>(node)] = target;
+        EXPECT_EQ(eval->MoveCost(d, cost, node, target), eval->Cost(moved))
+            << ObjectiveName(objective) << " trial " << trial << " move("
+            << node << "->" << target << ")";
+      }
+    }
+    // The poisoning really put sentinels on bottlenecks, not just in the
+    // matrix.
+    EXPECT_GT(sentinel_bottlenecks, 10) << ObjectiveName(objective);
+  }
+}
+
+// Regression: the LLNDP shortcut's tie case. When a swap removes the
+// current bottleneck edge but creates a new incident edge of *exactly* the
+// old bottleneck cost, the "did the affected max improve?" branch must not
+// return a stale value -- the correct answer is the tie cost itself (the
+// unaffected edges cannot exceed the old bottleneck). Constructed so the
+// bottleneck sits on the swapped pair and the tie is exact by assignment,
+// no floating-point luck involved.
+TEST(DeltaEvalRegressionTest, LongestLinkBottleneckTieIsExact) {
+  // Path graph 0 -> 1 -> 2 -> 3 on 6 instances.
+  auto built = graph::CommGraph::Create(4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(built.ok());
+  graph::CommGraph g = std::move(built).value();
+  CostMatrix costs(6);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      if (i != j) costs.At(i, j) = 0.5;
+    }
+  }
+  const double kTie = 2.25;
+  // Deployment: node k -> instance k. Bottleneck is edge 1->2 via (1,2).
+  costs.At(1, 2) = kTie;
+  // After swapping nodes 2 and 3 (instances 2 and 3), edge 1->2 is priced
+  // at (1,3) and edge 2->3 at (3,2): make the new bottleneck an exact tie.
+  costs.At(1, 3) = kTie;
+  costs.At(3, 2) = 0.5;
+
+  auto eval = CostEvaluator::Create(&g, &costs, Objective::kLongestLink);
+  ASSERT_TRUE(eval.ok());
+  Deployment d = {0, 1, 2, 3};
+  const double cost = eval->Cost(d);
+  ASSERT_EQ(cost, kTie);
+
+  Deployment swapped = d;
+  std::swap(swapped[2], swapped[3]);
+  const double full = eval->Cost(swapped);
+  ASSERT_EQ(full, kTie);  // the tie: new bottleneck equals the old one
+  EXPECT_EQ(eval->SwapCost(d, cost, 2, 3), full);
+  EXPECT_EQ(eval->SwapDelta(d, cost, 2, 3), 0.0);
+
+  // Same tie via a move: relocate node 2 to unused instance 4 with
+  // costs(1,4) an exact tie for the removed bottleneck.
+  costs.At(1, 4) = kTie;
+  costs.At(4, 3) = 0.5;
+  auto eval2 = CostEvaluator::Create(&g, &costs, Objective::kLongestLink);
+  ASSERT_TRUE(eval2.ok());
+  const double cost2 = eval2->Cost(d);
+  ASSERT_EQ(cost2, kTie);
+  Deployment moved = d;
+  moved[2] = 4;
+  const double full_moved = eval2->Cost(moved);
+  ASSERT_EQ(full_moved, kTie);
+  EXPECT_EQ(eval2->MoveCost(d, cost2, 2, 4), full_moved);
+
+  // And the strict-improvement neighbor of the tie: one representable step
+  // below the old bottleneck must trigger the full rescan, not the tie
+  // shortcut.
+  costs.At(1, 3) = std::nextafter(kTie, 0.0);
+  auto eval3 = CostEvaluator::Create(&g, &costs, Objective::kLongestLink);
+  ASSERT_TRUE(eval3.ok());
+  const double cost3 = eval3->Cost(d);
+  EXPECT_EQ(eval3->SwapCost(d, cost3, 2, 3), eval3->Cost(swapped));
 }
 
 }  // namespace

@@ -1,0 +1,130 @@
+// Determinism contract of parallel neighborhood pricing: SolveLocalSearch
+// with --threads=1 and --threads=8 must pick bit-identical move sequences
+// (and therefore bit-identical deployments and costs) on the same input.
+//
+// The pricer's windowed first-improvement reduction promises this for every
+// thread count (see deploy/local_search.cc); these tests drive it over 50
+// random instances per objective with min_parallel_window pinned to 1 so
+// even small neighborhoods take the parallel path, plus a larger smoke
+// instance at the production window size. The suite is also part of the
+// tsan preset filter -- under TSan it doubles as a race check on the
+// per-chunk CostEvaluator copies and the bail-out flag.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "deploy/local_search.h"
+#include "deploy_test_util.h"
+#include "graph/templates.h"
+
+namespace cloudia::deploy {
+namespace {
+
+struct Instance {
+  graph::CommGraph graph;
+  CostMatrix costs;
+};
+
+Instance RandomInstance(int trial, Rng& rng, bool need_dag) {
+  graph::CommGraph g = [&]() -> graph::CommGraph {
+    switch (trial % (need_dag ? 2 : 4)) {
+      case 0:
+        return graph::RandomDag(8 + static_cast<int>(rng.Below(10)),
+                                rng.Uniform(0.15, 0.5), rng);
+      case 1:
+        return graph::AggregationTree(2 + static_cast<int>(rng.Below(2)), 3);
+      case 2:
+        return graph::RandomSymmetric(8 + static_cast<int>(rng.Below(10)),
+                                      3.0, rng);
+      default:
+        return graph::Mesh2D(3, 3 + static_cast<int>(rng.Below(4)));
+    }
+  }();
+  const int spare = g.num_nodes() / 4 + 1;
+  const int m = g.num_nodes() + static_cast<int>(rng.Below(
+                                    static_cast<uint64_t>(spare))) + 1;
+  return {std::move(g), RandomCosts(m, rng)};
+}
+
+NdpSolveResult SolveWith(const Instance& inst, Objective objective,
+                         int threads, int64_t min_parallel_window,
+                         uint64_t seed) {
+  LocalSearchOptions options;
+  options.seed = seed;
+  options.max_restarts = 2;
+  options.threads = threads;
+  options.min_parallel_window = min_parallel_window;
+  auto result =
+      SolveLocalSearch(inst.graph, inst.costs, objective, options);
+  CLOUDIA_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+void RunTrials(Objective objective) {
+  Rng rng(objective == Objective::kLongestLink ? 11 : 22);
+  for (int trial = 0; trial < 50; ++trial) {
+    Instance inst =
+        RandomInstance(trial, rng, objective == Objective::kLongestPath);
+    const uint64_t seed = 100 + static_cast<uint64_t>(trial);
+    // Window 1 forces every candidate window through the parallel path.
+    NdpSolveResult serial = SolveWith(inst, objective, 1, 1, seed);
+    NdpSolveResult parallel = SolveWith(inst, objective, 8, 1, seed);
+    ASSERT_EQ(serial.deployment, parallel.deployment)
+        << ObjectiveName(objective) << " trial " << trial;
+    ASSERT_EQ(serial.cost, parallel.cost)
+        << ObjectiveName(objective) << " trial " << trial;
+  }
+}
+
+TEST(ParallelPricingTest, LongestLinkThreadCountInvariant) {
+  RunTrials(Objective::kLongestLink);
+}
+
+TEST(ParallelPricingTest, LongestPathThreadCountInvariant) {
+  RunTrials(Objective::kLongestPath);
+}
+
+// Intermediate thread counts agree too (chunking differs per count, the
+// fold result must not).
+TEST(ParallelPricingTest, AllThreadCountsAgree) {
+  Rng rng(33);
+  Instance inst{graph::Mesh2D(4, 5), RandomCosts(26, rng)};
+  const NdpSolveResult base =
+      SolveWith(inst, Objective::kLongestLink, 1, 1, 7);
+  for (int threads : {2, 3, 5, 8}) {
+    NdpSolveResult r = SolveWith(inst, Objective::kLongestLink, threads, 1, 7);
+    EXPECT_EQ(base.deployment, r.deployment) << "threads=" << threads;
+    EXPECT_EQ(base.cost, r.cost) << "threads=" << threads;
+  }
+}
+
+// A mesh large enough that windows exceed the production threshold: the
+// default min_parallel_window path (serial head, parallel tail) must still
+// match pure serial.
+TEST(ParallelPricingTest, ProductionWindowThresholdMatchesSerial) {
+  Rng rng(44);
+  graph::CommGraph mesh = graph::Mesh2D(12, 14);  // 168 nodes
+  const int m = 168 + 120;                        // windows up to ~287
+  Instance inst{std::move(mesh), RandomCosts(m, rng)};
+  // No deadline: a wall-clock cutoff could stop the two runs at different
+  // points of the descent; termination comes from the local optimum.
+  LocalSearchOptions options;
+  options.seed = 9;
+  options.max_restarts = 0;
+
+  auto serial = SolveLocalSearch(inst.graph, inst.costs,
+                                 Objective::kLongestLink, options);
+  ASSERT_TRUE(serial.ok());
+  options.threads = 8;  // default min_parallel_window = 256
+  auto parallel = SolveLocalSearch(inst.graph, inst.costs,
+                                   Objective::kLongestLink, options);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->deployment, parallel->deployment);
+  EXPECT_EQ(serial->cost, parallel->cost);
+}
+
+}  // namespace
+}  // namespace cloudia::deploy

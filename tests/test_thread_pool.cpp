@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace cloudia {
@@ -122,6 +126,82 @@ TEST(ThreadPoolStressTest, ShutdownWhileProducersAreStillSubmitting) {
   pool.Shutdown();  // races the producers on purpose
   for (std::thread& producer : producers) producer.join();
   EXPECT_EQ(ran.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ParallelIndexedReduceTest, EmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  const int result = ParallelIndexedReduce<int>(
+      &pool, 0, 4, 42,
+      [](int, int64_t, int64_t) { return 1; },
+      [](int acc, int part) { return acc + part; });
+  EXPECT_EQ(result, 42);
+}
+
+TEST(ParallelIndexedReduceTest, NullPoolRunsInlineOverWholeRange) {
+  std::vector<std::pair<int64_t, int64_t>> calls;
+  const int64_t sum = ParallelIndexedReduce<int64_t>(
+      nullptr, 10, 4, int64_t{0},
+      [&calls](int chunk, int64_t begin, int64_t end) {
+        EXPECT_EQ(chunk, 0);
+        calls.emplace_back(begin, end);
+        int64_t s = 0;
+        for (int64_t i = begin; i < end; ++i) s += i;
+        return s;
+      },
+      [](int64_t acc, int64_t part) { return acc + part; });
+  EXPECT_EQ(sum, 45);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], std::make_pair(int64_t{0}, int64_t{10}));
+}
+
+TEST(ParallelIndexedReduceTest, ChunksPartitionTheRangeInOrder) {
+  // A non-commutative fold (string concatenation of per-chunk ranges)
+  // observes the ascending chunk order regardless of completion order.
+  ThreadPool pool(4);
+  const std::string folded = ParallelIndexedReduce<std::string>(
+      &pool, 10, 3, std::string(),
+      [](int chunk, int64_t begin, int64_t end) {
+        return "[" + std::to_string(chunk) + ":" + std::to_string(begin) +
+               "," + std::to_string(end) + ")";
+      },
+      [](std::string acc, std::string part) { return acc + part; });
+  EXPECT_EQ(folded, "[0:0,4)[1:4,7)[2:7,10)");
+}
+
+TEST(ParallelIndexedReduceTest, ResultIndependentOfPoolSize) {
+  // max over a pseudo-random sequence: same chunking, same fold, any pool.
+  auto value_at = [](int64_t i) {
+    return static_cast<double>((i * 2654435761u) % 10007);
+  };
+  auto map = [&value_at](int, int64_t begin, int64_t end) {
+    double best = -1;
+    for (int64_t i = begin; i < end; ++i) best = std::max(best, value_at(i));
+    return best;
+  };
+  auto reduce = [](double acc, double part) { return std::max(acc, part); };
+  ThreadPool one(1);
+  const double expect =
+      ParallelIndexedReduce<double>(&one, 1000, 7, -1.0, map, reduce);
+  for (int workers : {2, 3, 8}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(ParallelIndexedReduce<double>(&pool, 1000, 7, -1.0, map, reduce),
+              expect);
+  }
+}
+
+TEST(ParallelIndexedReduceTest, MoreChunksThanItemsClampsToCount) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks_seen{0};
+  const int64_t sum = ParallelIndexedReduce<int64_t>(
+      &pool, 3, 16, int64_t{0},
+      [&chunks_seen](int, int64_t begin, int64_t end) {
+        chunks_seen.fetch_add(1);
+        EXPECT_EQ(end - begin, 1);  // one item per chunk, never zero-width
+        return begin;
+      },
+      [](int64_t acc, int64_t part) { return acc + part; });
+  EXPECT_EQ(sum, 3);  // 0 + 1 + 2
+  EXPECT_EQ(chunks_seen.load(), 3);
 }
 
 }  // namespace
