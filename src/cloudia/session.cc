@@ -114,7 +114,7 @@ Result<SessionSolve> DeploymentSession::Solve(const SolveSpec& spec) {
 
   CLOUDIA_ASSIGN_OR_RETURN(const deploy::NdpSolver* solver,
                            deploy::SolverRegistry::Global().Require(spec.method));
-  if (!solver->Supports(spec.objective)) {
+  if (!solver->Supports(spec.objective.primary)) {
     return Status::InvalidArgument(
         std::string(solver->display_name()) + " is not formulated for the " +
         deploy::ObjectiveName(spec.objective) +

@@ -73,7 +73,10 @@ struct SolveSpec {
   /// Registry name, case-insensitive ("g1", "g2", "r1", "r2", "cp", "mip",
   /// "local", or any solver registered at startup).
   std::string method = "cp";
-  deploy::Objective objective = deploy::Objective::kLongestLink;
+  /// Primary latency objective plus optional weighted price / migration
+  /// terms (deploy/cost.h); a bare Objective enum converts to the degenerate
+  /// latency-only spec.
+  deploy::ObjectiveSpec objective;
   /// Wall-clock budget for R2 / CP / MIP (ignored by G1/G2/R1).
   double time_budget_s = 60.0;
   /// k-means cost clusters for CP / MIP; 0 = no clustering (paper: k=20 best
@@ -121,7 +124,7 @@ struct SolveSpec {
 struct SessionSolve {
   /// Canonical registry name of the solver that ran ("cp", ...).
   std::string method;
-  deploy::Objective objective = deploy::Objective::kLongestLink;
+  deploy::ObjectiveSpec objective;
   /// Raw solver output (deployment indexes into allocated(), trace, ...).
   deploy::NdpSolveResult result;
   /// Wall-clock time the solver ran (s).

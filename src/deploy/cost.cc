@@ -30,9 +30,93 @@ bool IsInjective(const Deployment& deployment, int num_instances) {
   return true;
 }
 
+namespace {
+
+// FNV-1a over a byte range; content hash for ObjectiveSpecKey. Not
+// cryptographic -- it only has to make distinct price/reference payloads
+// yield distinct cache keys with overwhelming probability.
+uint64_t Fnv1a(const void* data, size_t bytes, uint64_t h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool IsValidWeight(double w) { return std::isfinite(w) && w >= 0.0; }
+
+}  // namespace
+
+std::string ObjectiveSpecKey(const ObjectiveSpec& spec) {
+  std::string key = ObjectiveName(spec.primary);
+  if (!spec.HasSecondaryTerms()) return key;
+  uint64_t prices_hash =
+      Fnv1a(spec.instance_prices.data(),
+            spec.instance_prices.size() * sizeof(double), 0xcbf29ce484222325ULL);
+  uint64_t ref_hash = Fnv1a(spec.reference.data(),
+                            spec.reference.size() * sizeof(int),
+                            0xcbf29ce484222325ULL);
+  key += StrFormat("+pw=%.17g+mw=%.17g+p%zu:%016llx+r%zu:%016llx",
+                   spec.price_weight, spec.migration_weight,
+                   spec.instance_prices.size(),
+                   static_cast<unsigned long long>(prices_hash),
+                   spec.reference.size(),
+                   static_cast<unsigned long long>(ref_hash));
+  return key;
+}
+
+Status ValidateObjectiveSpec(const ObjectiveSpec& spec, int num_nodes,
+                             int num_instances) {
+  if (!IsValidWeight(spec.price_weight)) {
+    return Status::InvalidArgument(
+        StrFormat("price weight %g is invalid: weights must be finite and "
+                  ">= 0 (valid range: [0, inf))",
+                  spec.price_weight));
+  }
+  if (!IsValidWeight(spec.migration_weight)) {
+    return Status::InvalidArgument(
+        StrFormat("migration weight %g is invalid: weights must be finite "
+                  "and >= 0 (valid range: [0, inf))",
+                  spec.migration_weight));
+  }
+  if (spec.price_weight > 0.0) {
+    if (static_cast<int>(spec.instance_prices.size()) != num_instances) {
+      return Status::InvalidArgument(StrFormat(
+          "price weight %g needs one instance price per instance: got %zu "
+          "prices for %d instances",
+          spec.price_weight, spec.instance_prices.size(), num_instances));
+    }
+    for (size_t i = 0; i < spec.instance_prices.size(); ++i) {
+      if (!IsValidWeight(spec.instance_prices[i])) {
+        return Status::InvalidArgument(
+            StrFormat("instance price [%zu] = %g is invalid: prices must be "
+                      "finite and >= 0",
+                      i, spec.instance_prices[i]));
+      }
+    }
+  }
+  if (spec.migration_weight > 0.0 && !spec.reference.empty()) {
+    if (static_cast<int>(spec.reference.size()) != num_nodes) {
+      return Status::InvalidArgument(StrFormat(
+          "reference deployment has %zu entries for %d nodes",
+          spec.reference.size(), num_nodes));
+    }
+    for (int inst : spec.reference) {
+      if (inst < 0 || inst >= num_instances) {
+        return Status::InvalidArgument(StrFormat(
+            "reference deployment entry %d is outside [0, %d)", inst,
+            num_instances));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status ValidateDeployment(const graph::CommGraph& graph,
                           const Deployment& deployment,
-                          const CostMatrix& costs, Objective objective) {
+                          const CostMatrix& costs,
+                          const ObjectiveSpec& objective) {
   int m = costs.size();
   if (static_cast<int>(deployment.size()) != graph.num_nodes()) {
     return Status::InvalidArgument(StrFormat(
@@ -46,36 +130,52 @@ Status ValidateDeployment(const graph::CommGraph& graph,
   if (!IsInjective(deployment, m)) {
     return Status::InvalidArgument("deployment is not an injection");
   }
-  if (objective == Objective::kLongestPath && !graph.IsAcyclic()) {
+  if (objective.primary == Objective::kLongestPath && !graph.IsAcyclic()) {
     return Status::Infeasible("longest-path objective requires a DAG");
   }
-  return Status::OK();
+  return ValidateObjectiveSpec(objective, graph.num_nodes(), m);
 }
 
 Result<CostEvaluator> CostEvaluator::Create(const graph::CommGraph* graph,
                                             const CostMatrix* costs,
-                                            Objective objective) {
+                                            const ObjectiveSpec& objective) {
   CLOUDIA_CHECK(graph != nullptr && costs != nullptr);
   if (graph->num_nodes() > costs->size()) {
     return Status::InvalidArgument("more nodes than instances");
   }
+  CLOUDIA_RETURN_IF_ERROR(
+      ValidateObjectiveSpec(objective, graph->num_nodes(), costs->size()));
   std::vector<int> order;
-  if (objective == Objective::kLongestPath) {
+  if (objective.primary == Objective::kLongestPath) {
     auto topo = graph->TopologicalOrder();
     if (!topo.ok()) return topo.status();
     order = std::move(topo).value();
   }
-  return CostEvaluator(graph, costs, objective, std::move(order));
+  ObjectiveSpec spec = objective;
+  if (spec.migration_weight > 0.0 && spec.reference.empty()) {
+    // Empty reference means "count moves against the default placement".
+    spec.reference.resize(static_cast<size_t>(graph->num_nodes()));
+    std::iota(spec.reference.begin(), spec.reference.end(), 0);
+  }
+  return CostEvaluator(graph, costs, std::move(spec), std::move(order));
 }
 
 CostEvaluator::CostEvaluator(const graph::CommGraph* graph,
-                             const CostMatrix* costs, Objective objective,
+                             const CostMatrix* costs, ObjectiveSpec spec,
                              std::vector<int> topo_order)
     : graph_(graph),
       costs_(costs),
-      objective_(objective),
+      spec_(std::move(spec)),
+      objective_(spec_.primary),
+      has_secondary_(spec_.HasSecondaryTerms()),
       topo_order_(std::move(topo_order)),
       path_scratch_(static_cast<size_t>(graph->num_nodes()), 0.0) {
+  if (spec_.price_weight > 0.0) {
+    price_micro_.reserve(spec_.instance_prices.size());
+    for (double p : spec_.instance_prices) {
+      price_micro_.push_back(static_cast<int64_t>(std::llround(p * 1e6)));
+    }
+  }
   // SoA edge list: full scans become linear passes over two int arrays.
   const size_t num_edges = graph->edges().size();
   edge_src_.reserve(num_edges);
@@ -161,10 +261,76 @@ double CostEvaluator::LongestPath(const int* d) const {
   return best;
 }
 
-double CostEvaluator::Cost(const Deployment& d) const {
+double CostEvaluator::LatencyCost(const Deployment& d) const {
   CLOUDIA_DCHECK(static_cast<int>(d.size()) == graph_->num_nodes());
   return objective_ == Objective::kLongestLink ? LongestLink(d.data())
                                                : LongestPath(d.data());
+}
+
+double CostEvaluator::Cost(const Deployment& d) const {
+  if (!has_secondary_) return LatencyCost(d);
+  return Total(Terms(d));
+}
+
+CostTerms CostEvaluator::Terms(const Deployment& d) const {
+  CostTerms t;
+  t.latency = LatencyCost(d);
+  if (!price_micro_.empty()) {
+    int64_t sum = 0;
+    for (int inst : d) sum += price_micro_[static_cast<size_t>(inst)];
+    t.price_micro = sum;
+  }
+  if (spec_.migration_weight > 0.0) {
+    int moves = 0;
+    for (size_t v = 0; v < d.size(); ++v) {
+      moves += d[v] != spec_.reference[v] ? 1 : 0;
+    }
+    t.moves = moves;
+  }
+  return t;
+}
+
+double CostEvaluator::Total(const CostTerms& t) const {
+  // Degenerate shortcut: returning the latency double untouched (instead of
+  // latency + 0.0 * ...) is what keeps the enum-only path bit-identical.
+  if (!has_secondary_) return t.latency;
+  return t.latency +
+         spec_.price_weight * (static_cast<double>(t.price_micro) * 1e-6) +
+         spec_.migration_weight * static_cast<double>(t.moves);
+}
+
+CostTerms CostEvaluator::SwapTerms(const Deployment& d, const CostTerms& current,
+                                   int a, int b) const {
+  CostTerms t = current;
+  t.latency = SwapCost(d, current.latency, a, b);
+  // A swap exchanges two instances within the deployment, so the summed
+  // price is unchanged -- exactly, since prices are integers.
+  if (spec_.migration_weight > 0.0 && a != b) {
+    const int ra = spec_.reference[static_cast<size_t>(a)];
+    const int rb = spec_.reference[static_cast<size_t>(b)];
+    const int da = d[static_cast<size_t>(a)];
+    const int db = d[static_cast<size_t>(b)];
+    t.moves += (db != ra ? 1 : 0) - (da != ra ? 1 : 0) +
+               (da != rb ? 1 : 0) - (db != rb ? 1 : 0);
+  }
+  return t;
+}
+
+CostTerms CostEvaluator::MoveTerms(const Deployment& d, const CostTerms& current,
+                                   int node, int new_instance) const {
+  CostTerms t = current;
+  t.latency = MoveCost(d, current.latency, node, new_instance);
+  if (!price_micro_.empty()) {
+    t.price_micro +=
+        price_micro_[static_cast<size_t>(new_instance)] -
+        price_micro_[static_cast<size_t>(d[static_cast<size_t>(node)])];
+  }
+  if (spec_.migration_weight > 0.0) {
+    const int r = spec_.reference[static_cast<size_t>(node)];
+    t.moves += (new_instance != r ? 1 : 0) -
+               (d[static_cast<size_t>(node)] != r ? 1 : 0);
+  }
+  return t;
 }
 
 void CostEvaluator::IncidentOldNewMax(const int* d, int v, int new_v_inst,

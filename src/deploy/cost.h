@@ -15,6 +15,8 @@
 #ifndef CLOUDIA_DEPLOY_COST_H_
 #define CLOUDIA_DEPLOY_COST_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -33,14 +35,100 @@ enum class Objective {
 
 const char* ObjectiveName(Objective objective);
 
+/// What a solve minimizes: a primary latency objective (the paper's LLNDP /
+/// LPNDP) plus optional weighted secondary terms:
+///
+///   total = latency_ms
+///         + price_weight     * sum_v instance_prices[d[v]]     ($/hour)
+///         + migration_weight * |{v : d[v] != reference[v]}|    (moves)
+///
+/// The degenerate spec (both weights zero -- what a bare `Objective`
+/// converts to) is bit-identical to the pre-spec latency-only evaluation:
+/// every secondary term is skipped, not added-as-zero-and-rounded.
+///
+/// Comparing a spec against a bare `Objective` compares the primary
+/// objective class only (the LLNDP/LPNDP branch every solver takes);
+/// comparing two specs compares every field.
+struct ObjectiveSpec {
+  Objective primary = Objective::kLongestLink;
+  /// Weight on the deployment's summed instance price ($/hour); must be
+  /// finite and >= 0. Requires `instance_prices` when > 0.
+  double price_weight = 0.0;
+  /// Weight (ms per move) on the number of nodes placed away from
+  /// `reference`; must be finite and >= 0.
+  double migration_weight = 0.0;
+  /// $/hour per instance, one entry per cost-matrix row. Consulted only
+  /// when price_weight > 0 (see netsim/provider.h for the price model).
+  std::vector<double> instance_prices;
+  /// Reference deployment the migration term counts moves against. Empty
+  /// with migration_weight > 0 means the identity deployment (node i ->
+  /// instance i, the default placement).
+  Deployment reference;
+
+  ObjectiveSpec() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): a bare Objective *is* the
+  // degenerate spec; implicit conversion keeps every pre-spec call site
+  // source-compatible.
+  ObjectiveSpec(Objective primary_objective) : primary(primary_objective) {}
+
+  bool HasSecondaryTerms() const {
+    return price_weight > 0.0 || migration_weight > 0.0;
+  }
+  bool operator==(const ObjectiveSpec&) const = default;
+};
+
+inline bool operator==(const ObjectiveSpec& spec, Objective objective) {
+  return spec.primary == objective;
+}
+inline bool operator==(Objective objective, const ObjectiveSpec& spec) {
+  return spec.primary == objective;
+}
+inline bool operator!=(const ObjectiveSpec& spec, Objective objective) {
+  return spec.primary != objective;
+}
+inline bool operator!=(Objective objective, const ObjectiveSpec& spec) {
+  return spec.primary != objective;
+}
+
+inline const char* ObjectiveName(const ObjectiveSpec& spec) {
+  return ObjectiveName(spec.primary);
+}
+
+/// Canonical string for cache fingerprints and warm-start keys. Degenerate
+/// specs collapse to ObjectiveName(primary) (stable across the enum->spec
+/// migration); any secondary term appends the weights plus content hashes of
+/// the price vector and reference deployment, so requests differing only in
+/// weights (or in the data behind them) never share a key.
+std::string ObjectiveSpecKey(const ObjectiveSpec& spec);
+
+/// Rejects non-finite or negative weights, missing/ill-sized price vectors,
+/// and ill-sized or out-of-range references, with errors naming the valid
+/// ranges. `num_nodes`/`num_instances` size the reference/price checks.
+Status ValidateObjectiveSpec(const ObjectiveSpec& spec, int num_nodes,
+                             int num_instances);
+
+/// The three terms of one deployment's objective, tracked separately so
+/// incremental search can update each in O(1) without re-deriving them from
+/// a combined double. Prices are quantized to integer micro-dollars at
+/// CostEvaluator::Create, making incremental price sums exact (no FP drift
+/// over accepted-move chains).
+struct CostTerms {
+  double latency = 0.0;     ///< primary objective (ms)
+  int64_t price_micro = 0;  ///< sum of instance prices, micro-$/hour
+  int moves = 0;            ///< nodes placed away from the reference
+  bool operator==(const CostTerms&) const = default;
+};
+
 /// True iff every node maps to a distinct instance in [0, num_instances).
 bool IsInjective(const Deployment& deployment, int num_instances);
 
 /// Validates deployment size, range, and injectivity against the graph and
-/// cost matrix; kLongestPath additionally requires an acyclic graph.
+/// cost matrix; kLongestPath additionally requires an acyclic graph, and
+/// any secondary term must pass ValidateObjectiveSpec.
 Status ValidateDeployment(const graph::CommGraph& graph,
                           const Deployment& deployment,
-                          const CostMatrix& costs, Objective objective);
+                          const CostMatrix& costs,
+                          const ObjectiveSpec& objective);
 
 /// Fast repeated evaluation of one objective for a fixed (graph, costs).
 /// Precomputes the topological order for kLongestPath and per-node
@@ -62,21 +150,59 @@ Status ValidateDeployment(const graph::CommGraph& graph,
 class CostEvaluator {
  public:
   /// Fails (InvalidArgument/Infeasible) on malformed input; the evaluator
-  /// keeps pointers, so graph and costs must outlive it.
+  /// keeps pointers, so graph and costs must outlive it. Accepts a bare
+  /// Objective (the degenerate spec) or a full ObjectiveSpec; secondary
+  /// terms are validated (ValidateObjectiveSpec), prices quantized to
+  /// micro-$ and an empty reference defaulted to the identity deployment.
   static Result<CostEvaluator> Create(const graph::CommGraph* graph,
                                       const CostMatrix* costs,
-                                      Objective objective);
+                                      const ObjectiveSpec& objective);
 
-  /// Deployment cost CD (Definition 4 instantiated per the objective).
+  /// Deployment cost CD (Definition 4 instantiated per the objective),
+  /// including any enabled secondary terms: Total(Terms(deployment)).
+  /// With a degenerate spec this is exactly the primary latency cost.
   /// Undefined behavior on invalid deployments in release builds; checked
   /// via DCHECK in debug builds.
   double Cost(const Deployment& deployment) const;
 
-  // -- Incremental evaluation ------------------------------------------------
+  /// Primary latency term alone (ms), regardless of secondary weights.
+  double LatencyCost(const Deployment& deployment) const;
+
+  // -- Multi-term evaluation -------------------------------------------------
   //
-  // All four calls price the *modified* deployment without mutating `d`.
-  // `current_cost` must be Cost(d) (typically tracked by the caller's search
-  // loop); passing a stale value yields garbage.
+  // Searches that must honor secondary terms track a CostTerms alongside the
+  // deployment: Terms() evaluates all enabled terms from scratch, the
+  // Swap/MoveTerms forms update them incrementally -- the latency term rides
+  // the same O(deg) fused-pass kernels as SwapCost/MoveCost, the price term
+  // is an O(1) integer delta per relocated node (a swap exchanges instances,
+  // so its price delta is exactly 0), and the migration term is an O(1)
+  // comparison against the reference. Exactness carries over: Swap/MoveTerms
+  // return bit-identical CostTerms to Terms() on the modified deployment.
+  // Disabled terms are never computed (degenerate specs pay nothing).
+
+  /// All enabled terms of `deployment`, evaluated from scratch.
+  CostTerms Terms(const Deployment& deployment) const;
+
+  /// Scalar objective of `terms` under the spec's weights. Degenerate specs
+  /// return terms.latency verbatim (bit-identical, no "+ 0.0" rounding).
+  double Total(const CostTerms& terms) const;
+
+  /// Terms of `d` with the instances of nodes `a` and `b` exchanged;
+  /// `current` must be Terms(d).
+  CostTerms SwapTerms(const Deployment& d, const CostTerms& current, int a,
+                      int b) const;
+  /// Terms of `d` with `node` relocated to the (unused) `new_instance`.
+  CostTerms MoveTerms(const Deployment& d, const CostTerms& current, int node,
+                      int new_instance) const;
+
+  // -- Incremental evaluation (primary latency term) -------------------------
+  //
+  // All four calls price the *modified* deployment's latency term without
+  // mutating `d`. `current_cost` must be LatencyCost(d) -- equivalently
+  // Terms(d).latency, and equal to Cost(d) under a degenerate spec --
+  // typically tracked by the caller's search loop; passing a stale value
+  // yields garbage. Multi-term searches use SwapTerms/MoveTerms instead,
+  // which route the latency component through these same kernels.
   //
   // Exactness: the returned cost is bit-identical to Cost() on the modified
   // deployment for both objectives -- the fast path reconstructs the same
@@ -113,12 +239,16 @@ class CostEvaluator {
     return MoveCost(d, current_cost, node, new_instance) - current_cost;
   }
 
+  /// Primary objective class (the LLNDP/LPNDP branch).
   Objective objective() const { return objective_; }
+  /// Full spec (reference materialized, prices as given at Create).
+  const ObjectiveSpec& spec() const { return spec_; }
+  bool has_secondary_terms() const { return has_secondary_; }
   int num_instances() const { return costs_->size(); }
 
  private:
   CostEvaluator(const graph::CommGraph* graph, const CostMatrix* costs,
-                Objective objective, std::vector<int> topo_order);
+                ObjectiveSpec spec, std::vector<int> topo_order);
 
   double LongestLink(const int* d) const;
   double LongestPath(const int* d) const;
@@ -137,7 +267,12 @@ class CostEvaluator {
 
   const graph::CommGraph* graph_;
   const CostMatrix* costs_;
-  Objective objective_;
+  ObjectiveSpec spec_;    // reference materialized at Create
+  Objective objective_;   // == spec_.primary (hot-path copy)
+  bool has_secondary_ = false;
+  // spec_.instance_prices quantized to micro-$ (llround(p * 1e6)): integer
+  // sums make incremental price deltas exact. Empty when price_weight == 0.
+  std::vector<int64_t> price_micro_;
   std::vector<int> topo_order_;  // empty for kLongestLink
 
   // SoA copy of the edge list for full scans (cache-blocked linear passes).

@@ -23,29 +23,34 @@ constexpr int64_t kBailCheckStride = 32;
 
 // Candidate `idx` of node a's neighborhood, in the serial descent's probe
 // order: indices [0, U) move a to unused[idx]; indices >= U swap a with node
-// a + 1 + (idx - U).
-double PriceCandidate(const CostEvaluator& eval, const Deployment& d,
-                      double cost, int a, const std::vector<int>& unused,
-                      int64_t idx) {
+// a + 1 + (idx - U). All enabled spec terms are priced in the one pass: the
+// latency delta rides the evaluator's incident-edge kernels, price and
+// migration deltas are O(1).
+CostTerms PriceCandidate(const CostEvaluator& eval, const Deployment& d,
+                         const CostTerms& current, int a,
+                         const std::vector<int>& unused, int64_t idx) {
   const int64_t u = static_cast<int64_t>(unused.size());
   if (idx < u) {
-    return eval.MoveCost(d, cost, a, unused[static_cast<size_t>(idx)]);
+    return eval.MoveTerms(d, current, a, unused[static_cast<size_t>(idx)]);
   }
-  return eval.SwapCost(d, cost, a, static_cast<int>(a + 1 + (idx - u)));
+  return eval.SwapTerms(d, current, a, static_cast<int>(a + 1 + (idx - u)));
 }
 
 struct CandidateHit {
   int64_t index = -1;  // -1 = no improving candidate in the range
-  double cost = 0.0;
+  CostTerms terms;
+  double total = 0.0;
 };
 
-// First improving candidate in [begin, end) against the frozen (d, cost).
+// First improving candidate in [begin, end) against the frozen (d, current).
 CandidateHit ScanRange(const CostEvaluator& eval, const Deployment& d,
-                       double cost, int a, const std::vector<int>& unused,
-                       int64_t begin, int64_t end) {
+                       const CostTerms& current, double total, int a,
+                       const std::vector<int>& unused, int64_t begin,
+                       int64_t end) {
   for (int64_t idx = begin; idx < end; ++idx) {
-    const double c = PriceCandidate(eval, d, cost, a, unused, idx);
-    if (c < cost - kImprovementEps) return {idx, c};
+    const CostTerms t = PriceCandidate(eval, d, current, a, unused, idx);
+    const double c = eval.Total(t);
+    if (c < total - kImprovementEps) return {idx, t, c};
   }
   return {};
 }
@@ -70,14 +75,18 @@ class NeighborhoodPricer {
     }
   }
 
-  // First improving candidate in [begin, total), or index -1 if the rest of
-  // the neighborhood is non-improving.
-  CandidateHit FirstImproving(const Deployment& d, double cost, int a,
+  double Total(const CostTerms& terms) const { return eval_->Total(terms); }
+
+  // First improving candidate in [begin, count_total), or index -1 if the
+  // rest of the neighborhood is non-improving.
+  CandidateHit FirstImproving(const Deployment& d, const CostTerms& current,
+                              double total, int a,
                               const std::vector<int>& unused, int64_t begin,
-                              int64_t total) const {
-    const int64_t count = total - begin;
+                              int64_t count_total) const {
+    const int64_t count = count_total - begin;
     if (pool_ == nullptr || count < min_parallel_window_) {
-      return ScanRange(*eval_, d, cost, a, unused, begin, total);
+      return ScanRange(*eval_, d, current, total, a, unused, begin,
+                       count_total);
     }
     // Early bail-out: a chunk abandons its scan only when a strictly *lower*
     // chunk has already found a hit. A truncated scan can then only drop
@@ -92,14 +101,15 @@ class NeighborhoodPricer {
           return {};
         }
         const int64_t idx = begin + i;
-        const double c = PriceCandidate(eval, d, cost, a, unused, idx);
-        if (c < cost - kImprovementEps) {
+        const CostTerms t = PriceCandidate(eval, d, current, a, unused, idx);
+        const double c = eval.Total(t);
+        if (c < total - kImprovementEps) {
           int seen = first_hit_chunk.load(std::memory_order_relaxed);
           while (chunk < seen &&
                  !first_hit_chunk.compare_exchange_weak(
                      seen, chunk, std::memory_order_relaxed)) {
           }
-          return {idx, c};
+          return {idx, t, c};
         }
       }
       return {};
@@ -130,7 +140,7 @@ class NeighborhoodPricer {
 // and the scan resumes right after it -- exactly the classic serial
 // first-improvement walk, but each window may be priced in parallel.
 bool DescendOnce(const NeighborhoodPricer& pricer, const SolveContext& context,
-                 Deployment& d, double& cost, std::vector<int>& unused) {
+                 Deployment& d, CostTerms& cost, std::vector<int>& unused) {
   const int n = static_cast<int>(d.size());
   const int64_t num_unused = static_cast<int64_t>(unused.size());
   bool improved = false;
@@ -138,8 +148,8 @@ bool DescendOnce(const NeighborhoodPricer& pricer, const SolveContext& context,
     const int64_t total = num_unused + (n - a - 1);
     int64_t idx = 0;
     while (idx < total) {
-      const CandidateHit hit =
-          pricer.FirstImproving(d, cost, a, unused, idx, total);
+      const CandidateHit hit = pricer.FirstImproving(
+          d, cost, pricer.Total(cost), a, unused, idx, total);
       if (hit.index < 0) break;
       if (hit.index < num_unused) {
         // The node's old instance becomes the unused one.
@@ -149,7 +159,7 @@ bool DescendOnce(const NeighborhoodPricer& pricer, const SolveContext& context,
         const int b = static_cast<int>(a + 1 + (hit.index - num_unused));
         std::swap(d[static_cast<size_t>(a)], d[static_cast<size_t>(b)]);
       }
-      cost = hit.cost;
+      cost = hit.terms;
       improved = true;
       idx = hit.index + 1;
     }
@@ -171,7 +181,7 @@ std::vector<int> UnusedInstances(const Deployment& d, int m) {
 
 Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
                                         const CostMatrix& costs,
-                                        Objective objective,
+                                        const ObjectiveSpec& objective,
                                         const LocalSearchOptions& options,
                                         SolveContext& context) {
   CLOUDIA_ASSIGN_OR_RETURN(CostEvaluator eval,
@@ -196,16 +206,17 @@ Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
 
   // One full descent from `from`, folding any improvement into `result`.
   auto descend_from = [&](Deployment from) {
-    double cost = eval.Cost(from);
+    CostTerms cost = eval.Terms(from);
     std::vector<int> unused = UnusedInstances(from, m);
     ++result.iterations;
     while (!context.ShouldStop() &&
            DescendOnce(pricer, context, from, cost, unused)) {
     }
-    if (cost < result.cost - 1e-12) {
-      result.cost = cost;
+    const double total = eval.Total(cost);
+    if (total < result.cost - 1e-12) {
+      result.cost = total;
       result.deployment = from;
-      result.trace.push_back(context.ReportIncumbent(cost, from));
+      result.trace.push_back(context.ReportIncumbent(total, from));
     }
   };
 
@@ -234,7 +245,7 @@ Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
 
 Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
                                         const CostMatrix& costs,
-                                        Objective objective,
+                                        const ObjectiveSpec& objective,
                                         const LocalSearchOptions& options) {
   SolveContext context(options.deadline);
   return SolveLocalSearch(graph, costs, objective, options, context);

@@ -45,16 +45,19 @@ struct LocalSearchOptions {
 
 /// Multi-start steepest-descent over swap/move neighborhoods, under
 /// `context` (deadline, cancellation, incumbent progress).
+/// Costs are totals under `objective` (a bare Objective enum converts to the
+/// degenerate latency-only spec); multi-term specs descend on the weighted
+/// total with every term priced incrementally.
 Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
                                         const CostMatrix& costs,
-                                        Objective objective,
+                                        const ObjectiveSpec& objective,
                                         const LocalSearchOptions& options,
                                         SolveContext& context);
 
 /// Convenience overload: context built from `options.deadline` only.
 Result<NdpSolveResult> SolveLocalSearch(const graph::CommGraph& graph,
                                         const CostMatrix& costs,
-                                        Objective objective,
+                                        const ObjectiveSpec& objective,
                                         const LocalSearchOptions& options);
 
 }  // namespace cloudia::deploy

@@ -1,0 +1,225 @@
+#include "deploy/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <utility>
+
+#include "common/timer.h"
+#include "deploy/solver_registry.h"
+
+namespace cloudia::deploy {
+
+namespace {
+
+// Relative price weights of the default sweep, multiplied by the
+// latency/price scale of the pure-latency anchor so the sweep brackets the
+// regime where a dollar per hour trades against the latency actually on the
+// table (a fixed absolute weight would be all-latency on one workload and
+// all-price on another).
+// The last alpha is price-dominant (latency contributes ~0.1% of the
+// total), so the sweep always brackets the cheapest placement the solver
+// can find -- the frontier must cover the price-only incumbent, not only
+// mixed trade-offs.
+constexpr double kPriceAlphas[] = {0.1, 0.3, 1.0, 10.0, 1000.0};
+// Relative migration weights, scaled by latency/node: moving every node
+// "costs" about the whole latency objective at alpha = 1.
+constexpr double kMigrationAlphas[] = {0.1, 0.5, 2.0};
+
+double SumPrice(const std::vector<double>& prices, const Deployment& d) {
+  double total = 0.0;
+  for (int inst : d) total += prices[static_cast<size_t>(inst)];
+  return total;
+}
+
+int CountMoves(const Deployment& reference, const Deployment& d) {
+  int moves = 0;
+  if (reference.empty()) {
+    // No reference: count against the identity (the default placement).
+    for (size_t v = 0; v < d.size(); ++v) {
+      moves += d[v] != static_cast<int>(v) ? 1 : 0;
+    }
+    return moves;
+  }
+  for (size_t v = 0; v < d.size(); ++v) moves += d[v] != reference[v] ? 1 : 0;
+  return moves;
+}
+
+}  // namespace
+
+bool ParetoDominates(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.latency_ms > b.latency_ms || a.price_per_hour > b.price_per_hour ||
+      a.migrations > b.migrations) {
+    return false;
+  }
+  return a.latency_ms < b.latency_ms || a.price_per_hour < b.price_per_hour ||
+         a.migrations < b.migrations;
+}
+
+Result<ParetoFrontier> SolveParetoFrontier(const graph::CommGraph& graph,
+                                           const CostMatrix& costs,
+                                           const ParetoOptions& options) {
+  CLOUDIA_RETURN_IF_ERROR(
+      SolverRegistry::Global().Require(options.method).status());
+
+  const ObjectiveSpec& base = options.solve.objective;
+  const bool price_axis = !base.instance_prices.empty();
+  const bool migration_axis = !base.reference.empty();
+  {
+    // Validate the base data (price vector size, reference range) up front
+    // with the axes forced on, so a bad sweep fails with one clear error
+    // instead of one skipped solve per weight vector.
+    ObjectiveSpec probe = base;
+    probe.price_weight = price_axis ? 1.0 : 0.0;
+    probe.migration_weight = migration_axis ? 1.0 : 0.0;
+    CLOUDIA_RETURN_IF_ERROR(
+        ValidateObjectiveSpec(probe, graph.num_nodes(), costs.size()));
+  }
+  for (const ParetoWeights& w : options.weights) {
+    if (!std::isfinite(w.price_weight) || w.price_weight < 0 ||
+        !std::isfinite(w.migration_weight) || w.migration_weight < 0) {
+      return Status::InvalidArgument(
+          "pareto weight vectors must be finite and >= 0 "
+          "(valid range: [0, inf))");
+    }
+  }
+
+  // The sweep size is fixed before the first solve so the total budget
+  // splits evenly; the default sweep's *values* are anchored afterwards.
+  const bool derive = options.weights.empty();
+  size_t sweep_size = options.weights.size();
+  if (derive) {
+    sweep_size = 1;  // the pure-latency anchor
+    if (price_axis) sweep_size += std::size(kPriceAlphas);
+    if (migration_axis) sweep_size += std::size(kMigrationAlphas);
+    if (price_axis && migration_axis) sweep_size += 1;  // one mixed vector
+  }
+  const double slice_s =
+      options.solve.time_budget_s / static_cast<double>(sweep_size);
+
+  ParetoFrontier frontier;
+  Status last_error = Status::OK();
+  std::vector<ParetoPoint> raw;
+  raw.reserve(sweep_size);
+
+  auto solve_one = [&](const ParetoWeights& w) {
+    ++frontier.solves;
+    NdpSolveOptions sopts = options.solve;
+    sopts.objective.price_weight = w.price_weight;
+    sopts.objective.migration_weight = w.migration_weight;
+    sopts.time_budget_s = slice_s;
+    SolveContext context(Deadline::After(slice_s));
+    context.set_max_threads(options.solve.threads);
+    Result<NdpSolveResult> solved = SolveNodeDeploymentByName(
+        graph, costs, options.method, sopts, context);
+    if (!solved.ok()) {
+      last_error = solved.status();
+      return;
+    }
+    ParetoPoint point;
+    point.deployment = std::move(solved->deployment);
+    point.weights = w;
+    raw.push_back(std::move(point));
+  };
+
+  std::vector<ParetoWeights> sweep;
+  if (derive) {
+    sweep.push_back(ParetoWeights{});  // pure latency first: the anchor
+  } else {
+    sweep = options.weights;
+  }
+  for (const ParetoWeights& w : sweep) solve_one(w);
+
+  // Price the raw points on the latency-only evaluator (the axes are
+  // reported separately; the weighted totals were only steering wheels).
+  CLOUDIA_ASSIGN_OR_RETURN(
+      CostEvaluator eval,
+      CostEvaluator::Create(&graph, &costs, base.primary));
+  for (ParetoPoint& p : raw) {
+    p.latency_ms = eval.LatencyCost(p.deployment);
+    p.price_per_hour =
+        price_axis ? SumPrice(base.instance_prices, p.deployment) : 0.0;
+    p.migrations = CountMoves(base.reference, p.deployment);
+  }
+
+  if (derive && !raw.empty()) {
+    const ParetoPoint& anchor = raw.front();
+    const double latency_scale = anchor.latency_ms;
+    std::vector<ParetoWeights> rest;
+    if (price_axis) {
+      const double price_scale =
+          latency_scale / std::max(anchor.price_per_hour, 1e-9);
+      for (double alpha : kPriceAlphas) {
+        rest.push_back(ParetoWeights{alpha * price_scale, 0.0});
+      }
+      if (migration_axis) {
+        rest.push_back(ParetoWeights{
+            price_scale, latency_scale / graph.num_nodes()});
+      }
+    }
+    if (migration_axis) {
+      const double move_scale = latency_scale / graph.num_nodes();
+      for (double alpha : kMigrationAlphas) {
+        rest.push_back(ParetoWeights{0.0, alpha * move_scale});
+      }
+    }
+    for (const ParetoWeights& w : rest) solve_one(w);
+    for (size_t i = 1; i < raw.size(); ++i) {
+      ParetoPoint& p = raw[i];
+      p.latency_ms = eval.LatencyCost(p.deployment);
+      p.price_per_hour =
+          price_axis ? SumPrice(base.instance_prices, p.deployment) : 0.0;
+      p.migrations = CountMoves(base.reference, p.deployment);
+    }
+  }
+
+  if (raw.empty()) {
+    if (!last_error.ok()) return last_error;
+    return Status::InvalidArgument("pareto sweep has no weight vectors");
+  }
+
+  // Collapse duplicate deployments (different weights frequently find the
+  // same optimum), then drop weakly dominated points.
+  std::vector<ParetoPoint> unique;
+  for (ParetoPoint& p : raw) {
+    bool seen = false;
+    for (const ParetoPoint& q : unique) {
+      if (q.deployment == p.deployment) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) {
+      ++frontier.duplicates_dropped;
+    } else {
+      unique.push_back(std::move(p));
+    }
+  }
+  for (ParetoPoint& p : unique) {
+    bool dominated = false;
+    for (const ParetoPoint& q : unique) {
+      if (&q != &p && ParetoDominates(q, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) {
+      ++frontier.dominated_dropped;
+    } else {
+      frontier.points.push_back(std::move(p));
+    }
+  }
+  std::sort(frontier.points.begin(), frontier.points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.latency_ms != b.latency_ms) {
+                return a.latency_ms < b.latency_ms;
+              }
+              if (a.price_per_hour != b.price_per_hour) {
+                return a.price_per_hour < b.price_per_hour;
+              }
+              return a.migrations < b.migrations;
+            });
+  return frontier;
+}
+
+}  // namespace cloudia::deploy

@@ -1,0 +1,98 @@
+// Pareto-frontier enumeration over the multi-objective placement space
+// (latency, instance price, migration count).
+//
+// A single ObjectiveSpec collapses the three terms into one scalar; the
+// right weights are rarely known up front (how many ms is a dollar per hour
+// worth?). SolveParetoFrontier instead sweeps a set of weight vectors, runs
+// one full solve per vector through the existing solver stack (the
+// portfolio racing on the shared thread pool by default), and returns the
+// non-dominated set of distinct deployments found -- the menu of
+// trade-offs, not one point on it.
+//
+// This generalizes the paper's Fig. 13 overallocation study: allocating
+// more instances than nodes buys latency at a price, and the
+// (latency, $/hour) slice of the frontier is exactly that trade-off curve
+// with the choice made per deployment instead of per pool size.
+//
+// Determinism: weight vectors are solved sequentially in order, each with
+// its own even slice of the total budget, so a deterministic member set at
+// threads = 1 makes the whole frontier bit-reproducible for a fixed seed.
+#ifndef CLOUDIA_DEPLOY_PARETO_H_
+#define CLOUDIA_DEPLOY_PARETO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "deploy/solve.h"
+
+namespace cloudia::deploy {
+
+/// One weight vector of the sweep: the secondary-term weights grafted onto
+/// the base spec for one solve (the primary objective, prices, and
+/// reference come from ParetoOptions::solve.objective).
+struct ParetoWeights {
+  double price_weight = 0.0;
+  double migration_weight = 0.0;
+};
+
+/// One non-dominated deployment with its three objective terms.
+struct ParetoPoint {
+  Deployment deployment;
+  /// Primary latency objective (ms) -- LatencyCost, never the weighted total.
+  double latency_ms = 0.0;
+  /// Summed instance price of the deployment ($/hour).
+  double price_per_hour = 0.0;
+  /// Nodes placed away from the reference deployment.
+  int migrations = 0;
+  /// The weight vector whose solve produced this point.
+  ParetoWeights weights;
+};
+
+struct ParetoFrontier {
+  /// Non-dominated points, sorted by ascending latency (ties by price,
+  /// then migrations). Minimization on all three axes.
+  std::vector<ParetoPoint> points;
+  /// Solves attempted (== the number of weight vectors).
+  int solves = 0;
+  /// Distinct deployments dropped because another point weakly dominates
+  /// them, and duplicate deployments collapsed before dominance filtering.
+  int dominated_dropped = 0;
+  int duplicates_dropped = 0;
+};
+
+struct ParetoOptions {
+  /// Base solve configuration. `solve.objective` carries the primary
+  /// objective plus the price vector / reference deployment; its weights
+  /// are *ignored* (each sweep point installs its own). `solve.time_budget_s`
+  /// is the TOTAL budget, split evenly across weight vectors.
+  NdpSolveOptions solve;
+  /// Registry name of the solver run per weight vector ("portfolio" races
+  /// the default member set per vector; any registered solver works).
+  std::string method = "portfolio";
+  /// Explicit weight vectors; empty derives a default sweep anchored at the
+  /// pure-latency solve: (0, 0) first, then price weights at
+  /// {0.1, 0.3, 1, 10, 1000} x latency/price scale when prices are present
+  /// (the last is price-dominant, bracketing the cheapest placement),
+  /// migration weights at {0.1, 0.5, 2} x latency/node when a migration
+  /// axis exists, and one mixed vector when both do. Weights must be finite
+  /// and >= 0.
+  std::vector<ParetoWeights> weights;
+};
+
+/// Sweeps the weight vectors and returns the deduplicated non-dominated
+/// frontier. Fails on invalid inputs, an unknown method, or a base spec
+/// that fails validation; individual solves that fail (e.g. budget expired
+/// before a member started) are skipped rather than sinking the sweep, as
+/// long as at least one point was produced.
+Result<ParetoFrontier> SolveParetoFrontier(const graph::CommGraph& graph,
+                                           const CostMatrix& costs,
+                                           const ParetoOptions& options);
+
+/// True iff `a` weakly dominates `b` on (latency, price, migrations):
+/// a is <= on every axis and < on at least one.
+bool ParetoDominates(const ParetoPoint& a, const ParetoPoint& b);
+
+}  // namespace cloudia::deploy
+
+#endif  // CLOUDIA_DEPLOY_PARETO_H_

@@ -63,7 +63,7 @@ Result<NdpSolveResult> PortfolioSolver::Solve(const NdpProblem& problem,
     // Members that are not formulated for this objective are skipped, not
     // errors: the default set deliberately mixes LLNDP-only CP with
     // objective-agnostic solvers.
-    if (!member->Supports(problem.objective)) continue;
+    if (!member->Supports(problem.objective.primary)) continue;
     members.push_back(member);
   }
   if (members.empty()) {

@@ -1,12 +1,40 @@
 #include "deploy/random_search.h"
 
-#include <future>
-#include <mutex>
+#include <limits>
+#include <memory>
+#include <utility>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace cloudia::deploy {
+
+namespace {
+
+// One R2 round is a fixed set of batches; each batch draws one fresh
+// deployment (global exploration over the whole instance pool, including
+// unused instances), then runs a random-swap walk from it with every step
+// priced incrementally by the evaluator's delta API -- a batch costs roughly
+// one full evaluation instead of 64. The batch count is independent of the
+// thread count, and every batch is seeded from its *global* index, so the
+// incumbent after any fixed number of completed rounds is bit-identical for
+// every thread count.
+constexpr int64_t kBatchesPerRound = 64;
+constexpr int kStepsPerBatch = 63;
+
+struct R2Partial {
+  double cost = std::numeric_limits<double>::infinity();
+  Deployment deployment;
+  int64_t samples = 0;
+};
+
+uint64_t BatchSeed(uint64_t seed, int64_t global_batch) {
+  uint64_t state =
+      seed + (static_cast<uint64_t>(global_batch) + 1) * 0x9e3779b97f4a7c15ULL;
+  return SplitMix64(state);
+}
+
+}  // namespace
 
 Deployment RandomDeployment(int num_nodes, int num_instances, Rng& rng) {
   CLOUDIA_CHECK(num_nodes <= num_instances);
@@ -15,8 +43,8 @@ Deployment RandomDeployment(int num_nodes, int num_instances, Rng& rng) {
 
 Result<RandomSearchResult> RandomSearchR1(const graph::CommGraph& graph,
                                           const CostMatrix& costs,
-                                          Objective objective, int samples,
-                                          uint64_t seed) {
+                                          const ObjectiveSpec& objective,
+                                          int samples, uint64_t seed) {
   if (samples < 1) return Status::InvalidArgument("samples must be >= 1");
   CLOUDIA_ASSIGN_OR_RETURN(
       CostEvaluator eval, CostEvaluator::Create(&graph, &costs, objective));
@@ -38,112 +66,104 @@ Result<RandomSearchResult> RandomSearchR1(const graph::CommGraph& graph,
 
 Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
                                           const CostMatrix& costs,
-                                          Objective objective, int threads,
-                                          uint64_t seed,
+                                          const ObjectiveSpec& objective,
+                                          int threads, uint64_t seed,
                                           SolveContext& context) {
   if (threads < 1) return Status::InvalidArgument("threads must be >= 1");
-  // Validate once up front so workers can assume success.
+  // Validate once up front so chunk workers can assume success.
   CLOUDIA_RETURN_IF_ERROR(
       CostEvaluator::Create(&graph, &costs, objective).status());
 
-  std::mutex mu;
-  RandomSearchResult best;
-  best.cost = std::numeric_limits<double>::infinity();
+  // Seed the incumbent with R1's single draw under the same seed: R2 is then
+  // never worse than one sample, and an already-expired budget still yields
+  // a valid deployment.
+  CLOUDIA_ASSIGN_OR_RETURN(
+      RandomSearchResult best,
+      RandomSearchR1(graph, costs, objective, /*samples=*/1, seed));
+  context.ReportIncumbent(best.cost, best.deployment);
 
-  auto worker = [&](uint64_t worker_seed) {
-    auto eval = CostEvaluator::Create(&graph, &costs, objective);
-    CLOUDIA_CHECK(eval.ok());
-    Rng rng(worker_seed);
-    const int n = graph.num_nodes();
-    Deployment local_best;
-    double local_cost = std::numeric_limits<double>::infinity();
-    int64_t local_samples = 0;
-    // Check the deadline/cancellation in batches to keep the hot loop tight.
-    while (!context.ShouldStop()) {
-      bool batch_improved = false;
-      // Each batch draws one fresh deployment (global exploration over the
-      // whole instance pool, including unused instances), then runs a
-      // random-swap walk from it with every step priced incrementally in
-      // O(deg) by the evaluator's delta API -- a batch costs roughly one
-      // full evaluation instead of 64.
-      Deployment d =
-          RandomDeployment(n, eval->num_instances(), rng);
-      double c = eval->Cost(d);
-      ++local_samples;
-      if (c < local_cost) {
-        local_cost = c;
-        local_best = d;
-        batch_improved = true;
-      }
-      for (int i = 0; i < 63 && n >= 2; ++i) {
-        int a = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
-        int b = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
-        ++local_samples;
-        if (a == b) continue;
-        double nc = eval->SwapCost(d, c, a, b);
-        // Accept any non-worsening swap: downhill progress plus free
-        // plateau diffusion (common under clustered cost levels).
-        if (nc <= c) {
-          std::swap(d[static_cast<size_t>(a)], d[static_cast<size_t>(b)]);
-          c = nc;
-          if (c < local_cost) {
-            local_cost = c;
-            local_best = d;
-            batch_improved = true;
-          }
-        }
-      }
-      // Publish improvements per batch so progress callbacks see the
-      // incumbent while the search runs, not only at the end.
-      if (batch_improved) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (local_cost < best.cost) {
-          best.cost = local_cost;
-          best.deployment = local_best;
-          context.ReportIncumbent(best.cost, best.deployment);
-        }
-      }
+  const int n = graph.num_nodes();
+  std::unique_ptr<ThreadPool> pool;
+  // No point paying for a pool the submitting thread would only block on
+  // (the portfolio runs one r2 per pool slot this way).
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  // Runs batch `global_batch` and folds it into `acc`. Strict `<` everywhere
+  // plus the ascending batch / fold order of ParallelIndexedReduce means the
+  // earliest (batch, step) attaining the minimum wins ties -- for any
+  // chunking.
+  auto run_batch = [&](CostEvaluator& eval, int64_t global_batch,
+                       R2Partial& acc) {
+    Rng rng(BatchSeed(seed, global_batch));
+    Deployment d = RandomDeployment(n, eval.num_instances(), rng);
+    CostTerms t = eval.Terms(d);
+    double c = eval.Total(t);
+    ++acc.samples;
+    if (c < acc.cost) {
+      acc.cost = c;
+      acc.deployment = d;
     }
-    std::lock_guard<std::mutex> lock(mu);
-    best.samples += local_samples;
-    if (local_cost < best.cost) {
-      best.cost = local_cost;
-      best.deployment = std::move(local_best);
-      context.ReportIncumbent(best.cost, best.deployment);
+    for (int i = 0; i < kStepsPerBatch && n >= 2; ++i) {
+      int a = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+      int b = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+      ++acc.samples;
+      if (a == b) continue;
+      CostTerms nt = eval.SwapTerms(d, t, a, b);
+      double nc = eval.Total(nt);
+      // Accept any non-worsening swap: downhill progress plus free plateau
+      // diffusion (common under clustered cost levels).
+      if (nc <= c) {
+        std::swap(d[static_cast<size_t>(a)], d[static_cast<size_t>(b)]);
+        t = nt;
+        c = nc;
+        if (c < acc.cost) {
+          acc.cost = c;
+          acc.deployment = d;
+        }
+      }
     }
   };
 
-  Rng seeder(seed);
-  if (threads == 1) {
-    // No point paying for a pool the submitting thread would only block on
-    // (the portfolio runs one r2 per pool slot this way).
-    worker(seeder.Next());
-  } else {
-    ThreadPool pool(threads);
-    std::vector<std::future<void>> workers;
-    workers.reserve(static_cast<size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-      uint64_t worker_seed = seeder.Next();
-      workers.push_back(
-          pool.Submit([&worker, worker_seed] { worker(worker_seed); }));
+  int64_t round = 0;
+  while (!context.ShouldStop()) {
+    const int64_t first = round * kBatchesPerRound;
+    R2Partial round_best = ParallelIndexedReduce<R2Partial>(
+        pool.get(), kBatchesPerRound, threads, R2Partial{},
+        [&](int /*chunk*/, int64_t begin, int64_t end) {
+          // Chunk-private evaluator: the evaluator's incremental API uses
+          // internal scratch and is not safe to share across threads.
+          auto eval = CostEvaluator::Create(&graph, &costs, objective);
+          CLOUDIA_CHECK(eval.ok());
+          R2Partial part;
+          for (int64_t b = begin; b < end; ++b) {
+            run_batch(*eval, first + b, part);
+          }
+          return part;
+        },
+        [](R2Partial acc, R2Partial part) {
+          acc.samples += part.samples;
+          if (part.cost < acc.cost) {
+            acc.cost = part.cost;
+            acc.deployment = std::move(part.deployment);
+          }
+          return acc;
+        });
+    best.samples += round_best.samples;
+    // Publish improvements per round so progress callbacks see the incumbent
+    // while the search runs, not only at the end.
+    if (round_best.cost < best.cost) {
+      best.cost = round_best.cost;
+      best.deployment = std::move(round_best.deployment);
+      context.ReportIncumbent(best.cost, best.deployment);
     }
-    for (auto& w : workers) w.get();
-  }
-
-  if (best.deployment.empty() && graph.num_nodes() > 0) {
-    // Budget was already exhausted on entry: fall back to a single sample so
-    // callers always receive a valid deployment.
-    auto r1 = RandomSearchR1(graph, costs, objective, 1, seed);
-    CLOUDIA_CHECK(r1.ok());
-    context.ReportIncumbent(r1->cost, r1->deployment);
-    return r1;
+    ++round;
   }
   return best;
 }
 
 Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
                                           const CostMatrix& costs,
-                                          Objective objective,
+                                          const ObjectiveSpec& objective,
                                           Deadline deadline, int threads,
                                           uint64_t seed) {
   SolveContext context(deadline);
@@ -152,7 +172,8 @@ Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
 
 Result<Deployment> BootstrapDeployment(const graph::CommGraph& graph,
                                        const CostMatrix& costs,
-                                       Objective objective, uint64_t seed) {
+                                       const ObjectiveSpec& objective,
+                                       uint64_t seed) {
   CLOUDIA_ASSIGN_OR_RETURN(
       RandomSearchResult r,
       RandomSearchR1(graph, costs, objective, /*samples=*/10, seed));

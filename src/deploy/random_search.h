@@ -25,25 +25,30 @@ struct RandomSearchResult {
 };
 
 /// R1: best of `samples` random deployments. Deterministic given the seed.
+/// Costs are totals under `objective` (a bare Objective enum converts to the
+/// degenerate latency-only spec).
 Result<RandomSearchResult> RandomSearchR1(const graph::CommGraph& graph,
                                           const CostMatrix& costs,
-                                          Objective objective, int samples,
-                                          uint64_t seed);
+                                          const ObjectiveSpec& objective,
+                                          int samples, uint64_t seed);
 
-/// R2: runs `threads` workers until `context` says stop (deadline or
-/// cancellation), returns the best deployment found overall. Deterministic
-/// in the set of explored streams given the seed, but the sample *count*
-/// depends on wall-clock speed.
+/// R2: runs deterministic *rounds* until `context` says stop (deadline or
+/// cancellation), returns the best deployment found overall. Each round is a
+/// fixed set of batches (one fresh random deployment plus an incremental
+/// random-swap walk per batch, every batch seeded from its global index)
+/// mapped over ParallelIndexedReduce, so the incumbent after any fixed
+/// number of completed rounds is bit-identical for every thread count; only
+/// *how many* rounds complete depends on wall-clock speed.
 Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
                                           const CostMatrix& costs,
-                                          Objective objective, int threads,
-                                          uint64_t seed,
+                                          const ObjectiveSpec& objective,
+                                          int threads, uint64_t seed,
                                           SolveContext& context);
 
 /// Convenience overload: context built from `deadline` only.
 Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
                                           const CostMatrix& costs,
-                                          Objective objective,
+                                          const ObjectiveSpec& objective,
                                           Deadline deadline, int threads,
                                           uint64_t seed);
 
@@ -51,7 +56,8 @@ Result<RandomSearchResult> RandomSearchR2(const graph::CommGraph& graph,
 /// deployments. Convenience wrapper over R1.
 Result<Deployment> BootstrapDeployment(const graph::CommGraph& graph,
                                        const CostMatrix& costs,
-                                       Objective objective, uint64_t seed);
+                                       const ObjectiveSpec& objective,
+                                       uint64_t seed);
 
 }  // namespace cloudia::deploy
 

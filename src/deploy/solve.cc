@@ -16,7 +16,7 @@ Result<NdpSolveResult> SolveNodeDeploymentByName(const graph::CommGraph& graph,
 
   CLOUDIA_ASSIGN_OR_RETURN(const NdpSolver* solver,
                            SolverRegistry::Global().Require(method));
-  if (!solver->Supports(options.objective)) {
+  if (!solver->Supports(options.objective.primary)) {
     return Status::InvalidArgument(
         std::string(solver->display_name()) + " is not formulated for the " +
         ObjectiveName(options.objective) +

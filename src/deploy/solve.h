@@ -47,7 +47,11 @@ enum class Method {
 const char* MethodName(Method method);
 
 struct NdpSolveOptions {
-  Objective objective = Objective::kLongestLink;
+  /// Primary latency objective plus optional weighted price / migration
+  /// terms (deploy/cost.h). A bare Objective enum converts implicitly to the
+  /// degenerate latency-only spec, which is bit-identical to the pre-spec
+  /// behavior.
+  ObjectiveSpec objective;
   Method method = Method::kCp;
   /// Wall-clock budget for R2 / CP / MIP (ignored by G1/G2/R1). Ignored by
   /// the SolveContext overload, whose context carries the deadline.

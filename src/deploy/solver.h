@@ -31,12 +31,13 @@ namespace cloudia::deploy {
 struct NdpSolveOptions;  // deploy/solve.h
 
 /// A node-deployment problem instance: which application graph to place on
-/// which measured cost matrix, under which objective. Non-owning; graph and
-/// costs must outlive any solve using the problem.
+/// which measured cost matrix, under which objective spec. Non-owning; graph
+/// and costs must outlive any solve using the problem. A bare Objective enum
+/// converts implicitly to the degenerate (latency-only) spec.
 struct NdpProblem {
   const graph::CommGraph* graph = nullptr;
   const CostMatrix* costs = nullptr;
-  Objective objective = Objective::kLongestLink;
+  ObjectiveSpec objective;
 };
 
 /// Invoked whenever a solver improves its incumbent deployment. `point`

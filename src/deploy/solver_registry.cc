@@ -146,7 +146,11 @@ class CpSolver : public NdpSolver {
     cp.initial = options.initial;
     cp.seed = options.seed;
     cp.warm_start_hints = options.warm_start_hints;
-    return SolveLlndpCp(*problem.graph, *problem.costs, cp, context);
+    return SolveWithSecondaryRecost(
+        problem, context,
+        [&](const NdpProblem& p, SolveContext& ctx) {
+          return SolveLlndpCp(*p.graph, *p.costs, cp, ctx);
+        });
   }
 };
 
@@ -163,9 +167,13 @@ class MipSolver : public NdpSolver {
     mip.cost_clusters = options.cost_clusters;
     mip.initial = options.initial;
     mip.seed = options.seed;
-    return problem.objective == Objective::kLongestLink
-               ? SolveLlndpMip(*problem.graph, *problem.costs, mip, context)
-               : SolveLpndpMip(*problem.graph, *problem.costs, mip, context);
+    return SolveWithSecondaryRecost(
+        problem, context,
+        [&](const NdpProblem& p, SolveContext& ctx) {
+          return p.objective == Objective::kLongestLink
+                     ? SolveLlndpMip(*p.graph, *p.costs, mip, ctx)
+                     : SolveLpndpMip(*p.graph, *p.costs, mip, ctx);
+        });
   }
 };
 
@@ -308,6 +316,53 @@ Result<Objective> ParseObjective(std::string_view name) {
   }
   return Status::InvalidArgument("unknown objective '" + std::string(name) +
                                  "' (known: longest-link, longest-path)");
+}
+
+Result<NdpSolveResult> SolveWithSecondaryRecost(
+    const NdpProblem& problem, SolveContext& context,
+    const std::function<Result<NdpSolveResult>(const NdpProblem& problem,
+                                               SolveContext& context)>& inner) {
+  if (!problem.objective.HasSecondaryTerms()) return inner(problem, context);
+
+  CLOUDIA_ASSIGN_OR_RETURN(
+      CostEvaluator eval,
+      CostEvaluator::Create(problem.graph, problem.costs, problem.objective));
+
+  NdpProblem latency_problem = problem;
+  latency_problem.objective = problem.objective.primary;
+
+  // Best deployment by *total* cost among the inner incumbents. The inner
+  // solver improves by latency, so its final answer is not necessarily the
+  // best under the weighted total.
+  double best_total = std::numeric_limits<double>::infinity();
+  Deployment best_deployment;
+  auto forward = [&](const TracePoint&, const Deployment& d) {
+    const double total = eval.Total(eval.Terms(d));
+    if (total < best_total) {
+      best_total = total;
+      best_deployment = d;
+    }
+    context.ReportIncumbent(total, d);
+  };
+  // Isolated sub-context: no shared incumbent (latency-scale costs must not
+  // race total-scale publishers), same budget and cancellation.
+  SolveContext sub(context.deadline(), context.cancel_token(),
+                   std::move(forward));
+  sub.set_max_threads(context.max_threads());
+
+  CLOUDIA_ASSIGN_OR_RETURN(NdpSolveResult r, inner(latency_problem, sub));
+
+  const double final_total = eval.Total(eval.Terms(r.deployment));
+  if (best_total < final_total) {
+    r.deployment = best_deployment;
+    r.cost = best_total;
+  } else {
+    r.cost = final_total;
+  }
+  r.proven_optimal = false;  // the latency proof does not cover the total
+  r.trace.clear();
+  r.trace.push_back(context.ReportIncumbent(r.cost, r.deployment));
+  return r;
 }
 
 Result<std::vector<std::string>> ValidatePortfolioMembers(

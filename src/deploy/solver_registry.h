@@ -64,6 +64,21 @@ Result<Method> ParseMethod(std::string_view name);
 /// "longest-path" / "LongestPath" / "lp". Round-trips with ObjectiveName.
 Result<Objective> ParseObjective(std::string_view name);
 
+/// Runs `inner` -- a solver that understands only the primary latency
+/// objective (CP, the MIP encodings, the hierarchical decomposition) -- under
+/// a multi-term ObjectiveSpec. Degenerate specs call `inner` directly.
+/// Otherwise `inner` runs latency-only in an isolated sub-context (same
+/// deadline / cancellation / thread budget, but no shared incumbent: a
+/// latency-scale cost must never be published into a total-scale race);
+/// every inner incumbent is re-costed under the full spec and forwarded to
+/// `context`, the best re-costed deployment seen wins, and
+/// `proven_optimal` is cleared (a latency optimality proof does not
+/// transfer to the weighted total).
+Result<NdpSolveResult> SolveWithSecondaryRecost(
+    const NdpProblem& problem, SolveContext& context,
+    const std::function<Result<NdpSolveResult>(const NdpProblem& problem,
+                                               SolveContext& context)>& inner);
+
 /// Validates a portfolio member list against `registry` and canonicalizes
 /// each entry to its registry key. Fails with InvalidArgument on an unknown
 /// name (listing the known ones), a duplicate member (racing two copies of

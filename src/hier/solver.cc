@@ -165,11 +165,19 @@ Result<deploy::NdpSolveResult> HierSolver::Solve(
   hier.seed = options.seed;
   hier.cost_clusters = options.cost_clusters;
   const MatrixCostSource source(problem.costs);
-  CLOUDIA_ASSIGN_OR_RETURN(
-      HierSolveResult result,
-      SolveHierarchical(*problem.graph, source, problem.objective, hier,
-                        context));
-  return std::move(result.result);
+  // The pipeline stages (decompose / coarse / shards / polish) understand
+  // only the primary latency objective; multi-term specs run latency-only
+  // and are re-costed under the full spec.
+  return deploy::SolveWithSecondaryRecost(
+      problem, context,
+      [&](const deploy::NdpProblem& p, deploy::SolveContext& ctx)
+          -> Result<deploy::NdpSolveResult> {
+        CLOUDIA_ASSIGN_OR_RETURN(
+            HierSolveResult result,
+            SolveHierarchical(*p.graph, source, p.objective.primary, hier,
+                              ctx));
+        return std::move(result.result);
+      });
 }
 
 }  // namespace cloudia::hier

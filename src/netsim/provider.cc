@@ -1,6 +1,39 @@
 #include "netsim/provider.h"
 
+#include <cstdint>
+
 namespace cloudia::net {
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates consecutive host ids into an unbiased
+// 64-bit hash without any RNG state.
+uint64_t HashHost(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double InstancePrice(const ProviderProfile& profile, int host) {
+  // Per-host spread factor in [1 - spread, 1 + spread].
+  const uint64_t h = HashHost(static_cast<uint64_t>(host));
+  const double unit =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0, 1)
+  const double factor = 1.0 + profile.price_spread * (2.0 * unit - 1.0);
+  // The same hash picks the host's operating point in [idle, peak]; its
+  // power differential above idle is billed at price_per_kwh.
+  const double load = static_cast<double>(HashHost(h) >> 11) *
+                      (1.0 / 9007199254740992.0);
+  const double watts =
+      profile.power_idle_w +
+      (profile.power_peak_w - profile.power_idle_w) * load;
+  const double power_per_hour =
+      (watts - profile.power_idle_w) * 1e-3 * profile.price_per_kwh;
+  return profile.base_price_per_hour * factor + power_per_hour;
+}
 
 ProviderProfile AmazonEc2Profile() {
   ProviderProfile p;
@@ -34,6 +67,11 @@ ProviderProfile AmazonEc2Profile() {
   p.hop_count[1] = 1;
   p.hop_count[2] = 3;
   p.hop_count[3] = 5;
+  p.base_price_per_hour = 0.34;  // m1.large on-demand, US East (2012)
+  p.price_spread = 0.12;
+  p.power_idle_w = 160.0;
+  p.power_peak_w = 280.0;
+  p.price_per_kwh = 0.10;
   return p;
 }
 
@@ -69,6 +107,11 @@ ProviderProfile GoogleComputeEngineProfile() {
   p.hop_count[1] = 1;
   p.hop_count[2] = 3;
   p.hop_count[3] = 5;
+  p.base_price_per_hour = 0.145;  // n1-standard-1 on-demand (2013)
+  p.price_spread = 0.08;
+  p.power_idle_w = 140.0;
+  p.power_peak_w = 250.0;
+  p.price_per_kwh = 0.08;
   return p;
 }
 
@@ -104,6 +147,11 @@ ProviderProfile RackspaceCloudProfile() {
   p.hop_count[1] = 1;
   p.hop_count[2] = 3;
   p.hop_count[3] = 5;
+  p.base_price_per_hour = 0.04;  // performance1-1 on-demand, IAD (2013)
+  p.price_spread = 0.10;
+  p.power_idle_w = 150.0;
+  p.power_peak_w = 260.0;
+  p.price_per_kwh = 0.09;
   return p;
 }
 

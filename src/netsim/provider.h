@@ -92,7 +92,34 @@ struct ProviderProfile {
   /// Hop count per Proximity level, as seen by TTL probing. EC2's observed
   /// values were {0, 1, 3} within an availability zone (paper Fig. 17).
   int hop_count[kNumProximityLevels] = {0, 1, 3, 5};
+
+  // --- pricing / power -----------------------------------------------------
+  // On-demand $/hour for the profiled VM size, plus a deterministic per-host
+  // spread modeling effective-price heterogeneity (spot discounts, sustained
+  // -use credits, degraded hosts billed the same but delivering less). The
+  // power figures feed the same effective rate: a host burning closer to its
+  // peak wattage costs the operator more per tenant-hour, and
+  // InstancePrice() folds `price_per_kwh` of that differential into the
+  // hourly rate so multi-objective placement can trade latency against real
+  // operating cost.
+  /// Published on-demand price of the VM size ($/hour).
+  double base_price_per_hour = 0.0;
+  /// Max relative deviation of a host's effective rate from base (+/-).
+  double price_spread = 0.0;
+  /// Host power draw (watts) idle and at peak load.
+  double power_idle_w = 0.0;
+  double power_peak_w = 0.0;
+  /// Electricity rate folded into the effective price ($/kWh).
+  double price_per_kwh = 0.0;
 };
+
+/// Deterministic effective $/hour of `host` under `profile`: the published
+/// rate, spread multiplicatively by a per-host hash in
+/// [1 - price_spread, 1 + price_spread], plus the host's share of the
+/// idle..peak power differential priced at `price_per_kwh`. Pure function of
+/// (profile, host) -- no RNG state -- so every layer (simulator, service,
+/// CLI) prices an instance identically.
+double InstancePrice(const ProviderProfile& profile, int host);
 
 /// Amazon EC2 m1.large / US East profile (paper Sect. 6.2, Figs. 1-2).
 ProviderProfile AmazonEc2Profile();

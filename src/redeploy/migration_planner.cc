@@ -94,18 +94,22 @@ std::vector<MigrationStep> BuildSteps(const deploy::Deployment& current,
 }
 
 // Steepest-descent search over the swap/move neighborhood of `current`,
-// priced with the evaluator's incremental API, under the migration budget
-// and per-move penalty. Returns the best reachable deployment.
+// priced with the evaluator's incremental multi-term API, under the
+// migration budget and the effective per-move `penalty`. The evaluator's
+// spec carries no migration term (the planner does its own move bookkeeping
+// against `current`); its totals cover latency plus any price term. Returns
+// the best reachable deployment.
 deploy::Deployment ConstrainedDescent(const deploy::CostEvaluator& eval,
                                       const deploy::Deployment& current,
                                       int num_instances, int budget,
+                                      double penalty,
                                       const PlannerOptions& options) {
   const int n = static_cast<int>(current.size());
   deploy::Deployment d = current;
-  double cost = eval.Cost(d);
+  deploy::CostTerms terms = eval.Terms(d);
+  double cost = eval.Total(terms);
   int migrations = 0;
   std::vector<int> unused = UnusedInstances(d, num_instances);
-  const double penalty = options.migration_penalty_ms;
 
   auto moved = [&](int node, int instance) {
     return instance != current[static_cast<size_t>(node)] ? 1 : 0;
@@ -120,6 +124,7 @@ deploy::Deployment ConstrainedDescent(const deploy::CostEvaluator& eval,
     int best_a = -1, best_b = -1;   // swap candidate
     size_t best_u = 0;              // move candidate (index into unused)
     bool best_is_move = false;
+    deploy::CostTerms best_terms = terms;
     double best_cost = cost;
     int best_migs = migrations;
 
@@ -129,7 +134,8 @@ deploy::Deployment ConstrainedDescent(const deploy::CostEvaluator& eval,
         const int new_migs = migrations - moved(a, inst_a) +
                              moved(a, unused[u]);
         if (new_migs > budget) continue;
-        const double c = eval.MoveCost(d, cost, a, unused[u]);
+        const deploy::CostTerms ct = eval.MoveTerms(d, terms, a, unused[u]);
+        const double c = eval.Total(ct);
         const double gain =
             (cost + penalty * migrations) - (c + penalty * new_migs);
         if (gain > best_gain) {
@@ -137,6 +143,7 @@ deploy::Deployment ConstrainedDescent(const deploy::CostEvaluator& eval,
           best_is_move = true;
           best_a = a;
           best_u = u;
+          best_terms = ct;
           best_cost = c;
           best_migs = new_migs;
         }
@@ -146,7 +153,8 @@ deploy::Deployment ConstrainedDescent(const deploy::CostEvaluator& eval,
         const int new_migs = migrations - moved(a, inst_a) - moved(b, inst_b) +
                              moved(a, inst_b) + moved(b, inst_a);
         if (new_migs > budget) continue;
-        const double c = eval.SwapCost(d, cost, a, b);
+        const deploy::CostTerms ct = eval.SwapTerms(d, terms, a, b);
+        const double c = eval.Total(ct);
         const double gain =
             (cost + penalty * migrations) - (c + penalty * new_migs);
         if (gain > best_gain) {
@@ -154,6 +162,7 @@ deploy::Deployment ConstrainedDescent(const deploy::CostEvaluator& eval,
           best_is_move = false;
           best_a = a;
           best_b = b;
+          best_terms = ct;
           best_cost = c;
           best_migs = new_migs;
         }
@@ -166,10 +175,21 @@ deploy::Deployment ConstrainedDescent(const deploy::CostEvaluator& eval,
       std::swap(d[static_cast<size_t>(best_a)],
                 d[static_cast<size_t>(best_b)]);
     }
+    terms = best_terms;
     cost = best_cost;
     migrations = best_migs;
   }
   return d;
+}
+
+// The planner reports deployment costs without the migration term (see
+// PlannerOptions::objective): same primary objective and price term, no
+// reference bookkeeping.
+deploy::ObjectiveSpec StripMigrationTerm(const deploy::ObjectiveSpec& spec) {
+  deploy::ObjectiveSpec stripped = spec;
+  stripped.migration_weight = 0.0;
+  stripped.reference.clear();
+  return stripped;
 }
 
 }  // namespace
@@ -178,15 +198,19 @@ Result<MigrationPlan> PlanMigration(const graph::CommGraph& graph,
                                     const deploy::CostMatrix& costs,
                                     const deploy::Deployment& current,
                                     const PlannerOptions& options) {
+  const deploy::ObjectiveSpec spec = StripMigrationTerm(options.objective);
   CLOUDIA_RETURN_IF_ERROR(
-      deploy::ValidateDeployment(graph, current, costs, options.objective));
+      deploy::ValidateDeployment(graph, current, costs, spec));
   if (options.max_steps < 1) {
     return Status::InvalidArgument("max_steps must be >= 1");
   }
   CLOUDIA_ASSIGN_OR_RETURN(
       deploy::CostEvaluator eval,
-      deploy::CostEvaluator::Create(&graph, &costs, options.objective));
+      deploy::CostEvaluator::Create(&graph, &costs, spec));
 
+  // Deprecated alias folded in: both knobs price one migrated node.
+  const double penalty =
+      options.migration_penalty_ms + options.objective.migration_weight;
   const int n = graph.num_nodes();
   const bool unlimited =
       options.max_migrations < 0 || options.max_migrations >= n;
@@ -198,12 +222,12 @@ Result<MigrationPlan> PlanMigration(const graph::CommGraph& graph,
   if (options.max_migrations == 0) return plan;  // keep everything, verbatim
 
   deploy::Deployment candidate;
-  if (unlimited && options.migration_penalty_ms <= 0.0) {
+  if (unlimited && penalty <= 0.0) {
     // Unlimited free moves: this *is* the unconstrained problem, so answer
     // it with a real solver (seeded from the current deployment, which
     // consuming solvers can only improve on).
     deploy::NdpSolveOptions sopts;
-    sopts.objective = options.objective;
+    sopts.objective = spec;
     sopts.seed = options.seed;
     sopts.threads = 1;  // planning must be deterministic
     sopts.initial = current;
@@ -218,7 +242,7 @@ Result<MigrationPlan> PlanMigration(const graph::CommGraph& graph,
   } else {
     const int budget = unlimited ? n : options.max_migrations;
     candidate = ConstrainedDescent(eval, current, costs.size(), budget,
-                                   options);
+                                   penalty, options);
   }
 
   const double candidate_cost = eval.Cost(candidate);
@@ -226,8 +250,7 @@ Result<MigrationPlan> PlanMigration(const graph::CommGraph& graph,
   const double gain = plan.cost_before_ms - candidate_cost;
   // Never emit a regression, and with a penalty the whole plan must pay for
   // itself (the descent enforces this per step; the solver path checks here).
-  if (gain <= kGainEps ||
-      gain <= options.migration_penalty_ms * migrations + kGainEps) {
+  if (gain <= kGainEps || gain <= penalty * migrations + kGainEps) {
     return plan;
   }
   plan.target = std::move(candidate);
@@ -241,11 +264,13 @@ Status ValidateMigrationPlan(const graph::CommGraph& graph,
                              const deploy::CostMatrix& costs,
                              const deploy::Deployment& current,
                              const MigrationPlan& plan,
-                             deploy::Objective objective) {
+                             const deploy::ObjectiveSpec& objective) {
+  // Plans advertise costs without the migration term (PlannerOptions doc).
+  const deploy::ObjectiveSpec spec = StripMigrationTerm(objective);
   CLOUDIA_RETURN_IF_ERROR(
-      deploy::ValidateDeployment(graph, current, costs, objective));
+      deploy::ValidateDeployment(graph, current, costs, spec));
   CLOUDIA_RETURN_IF_ERROR(
-      deploy::ValidateDeployment(graph, plan.target, costs, objective));
+      deploy::ValidateDeployment(graph, plan.target, costs, spec));
 
   const int n = static_cast<int>(current.size());
   std::vector<int> occupant(static_cast<size_t>(costs.size()), -1);
@@ -296,7 +321,7 @@ Status ValidateMigrationPlan(const graph::CommGraph& graph,
   }
   CLOUDIA_ASSIGN_OR_RETURN(
       deploy::CostEvaluator eval,
-      deploy::CostEvaluator::Create(&graph, &costs, objective));
+      deploy::CostEvaluator::Create(&graph, &costs, spec));
   const double before = eval.Cost(current);
   const double after = eval.Cost(plan.target);
   if (before != plan.cost_before_ms || after != plan.cost_after_ms) {

@@ -44,10 +44,19 @@ struct PlannerOptions {
   /// Max nodes that may change instance; < 0 or >= node count means
   /// unconstrained (an unlimited budget), 0 means "never move anything".
   int max_migrations = -1;
-  /// Objective surcharge per migrated node (ms): a move must improve the
-  /// deployment cost by more than this to be accepted. 0 = free moves.
+  /// DEPRECATED: use `objective.migration_weight` instead. Kept as an alias
+  /// for existing callers; the planner folds the two together (effective
+  /// per-move penalty = migration_penalty_ms + objective.migration_weight).
+  /// A move must improve the deployment cost by more than the effective
+  /// penalty to be accepted. 0 = free moves.
   double migration_penalty_ms = 0.0;
-  deploy::Objective objective = deploy::Objective::kLongestLink;
+  /// Objective spec for the search. The planner always prices migrations
+  /// against the *current* deployment, so any `reference`/`migration_weight`
+  /// in the spec is folded into the per-move penalty above rather than into
+  /// the reported costs: `cost_before_ms`/`cost_after_ms` exclude the
+  /// migration term (they answer "what does the deployment cost", not "what
+  /// did it cost to get there"). Price terms are honored as-is.
+  deploy::ObjectiveSpec objective;
   /// Registry solver used for the unconstrained (K >= V) path; it is seeded
   /// with the current deployment when it consumes initials.
   std::string full_solve_method = "local";
@@ -110,7 +119,7 @@ Status ValidateMigrationPlan(const graph::CommGraph& graph,
                              const deploy::CostMatrix& costs,
                              const deploy::Deployment& current,
                              const MigrationPlan& plan,
-                             deploy::Objective objective);
+                             const deploy::ObjectiveSpec& objective);
 
 }  // namespace cloudia::redeploy
 

@@ -315,10 +315,12 @@ std::string AdvisorService::Fingerprint(const DeploymentRequest& request) {
   fp += GraphFingerprint(request.app);
   const cloudia::SolveSpec& s = request.solve;
   char buf[320];
+  // ObjectiveSpecKey so requests differing only in objective weights never
+  // coalesce (the degenerate key equals the plain objective name).
   std::snprintf(buf, sizeof(buf),
                 "|m=%s|o=%s|t=%.17g|k=%d|r1=%d|th=%d|seed=%llu|ws=%d|pr=%d|"
                 "dl=%.17g|hc=%d|hs=%s|hp=%d",
-                s.method.c_str(), deploy::ObjectiveName(s.objective),
+                s.method.c_str(), deploy::ObjectiveSpecKey(s.objective).c_str(),
                 s.time_budget_s, s.cost_clusters, s.r1_samples, s.threads,
                 static_cast<unsigned long long>(s.seed),
                 s.warm_start_hints ? 1 : 0, request.priority,
@@ -760,6 +762,25 @@ void AdvisorService::ExecuteJob(const std::shared_ptr<Job>& job) {
   cloudia::SolveSpec spec = job->request.solve;
   spec.app = nullptr;  // the session already solves for request.app
   spec.cancel = job->job_cancel;
+  // A priced objective without explicit per-instance prices gets them from
+  // the environment's provider price model -- a pure function of
+  // (profile, host), so coalesced twins and warm-start peers see identical
+  // prices for identical environments.
+  if (spec.objective.price_weight > 0 && spec.objective.instance_prices.empty()) {
+    Result<net::ProviderProfile> profile =
+        ProviderProfileByName(job->request.environment.provider);
+    if (!profile.ok()) {
+      ServiceResult r;
+      r.status = profile.status();
+      complete_all(std::move(r));
+      return;
+    }
+    spec.objective.instance_prices.reserve(env->instances.size());
+    for (const net::Instance& inst : env->instances) {
+      spec.objective.instance_prices.push_back(
+          net::InstancePrice(*profile, inst.host));
+    }
+  }
   spec.on_progress = [job](const deploy::TracePoint& point,
                            const deploy::Deployment&) {
     // Serialized by SolveContext's progress lock, so plain min-update is safe.
@@ -801,7 +822,7 @@ void AdvisorService::ExecuteJob(const std::shared_ptr<Job>& job) {
     // their own improvements back through the shared incumbent cell.
     const std::string warm_key = job->request.environment.Key() + "|" +
                                  GraphFingerprint(job->request.app) + "|" +
-                                 deploy::ObjectiveName(spec.objective);
+                                 deploy::ObjectiveSpecKey(spec.objective);
     spec.shared_incumbent = WarmStartCell(warm_key);
     // Offer the incumbent as the starting point only when (a) the caller
     // did not bring their own -- spec.initial is part of the request

@@ -371,6 +371,47 @@ TEST(AdvisorServiceTest, AutoRoutesBigInstancesToThePortfolio) {
   EXPECT_EQ(service.stats().portfolio_routed, 1u);
 }
 
+TEST(AdvisorServiceTest, WeightOnlyDifferencesNeverCoalesceOrShareWarmStarts) {
+  // Regression: the job fingerprint and the warm-start key must both use
+  // ObjectiveSpecKey, not the bare objective name. Two requests identical in
+  // every byte except the objective *weights* optimize different totals --
+  // coalescing them would hand one caller the other's optimum, and sharing a
+  // cached incumbent would warm-start a priced solve from a latency-scale
+  // one.
+  graph::CommGraph app = graph::Mesh2D(3, 4);
+  AdvisorService::Options options;
+  options.threads = 1;
+  options.start_paused = true;
+  AdvisorService service(options);
+
+  RequestHandle plain = service.Submit(BasicRequest(&app, "local"));
+  DeploymentRequest priced_req = BasicRequest(&app, "local");
+  priced_req.solve.objective.price_weight = 0.5;  // only difference
+  RequestHandle priced = service.Submit(std::move(priced_req));
+  // A byte-identical twin of the priced request still coalesces normally.
+  DeploymentRequest twin_req = BasicRequest(&app, "local");
+  twin_req.solve.objective.price_weight = 0.5;
+  RequestHandle twin = service.Submit(std::move(twin_req));
+  service.Resume();
+
+  const ServiceResult& a = plain.Wait();
+  const ServiceResult& b = priced.Wait();
+  const ServiceResult& c = twin.Wait();
+  ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+  ASSERT_TRUE(b.status.ok()) << b.status.ToString();
+  ASSERT_TRUE(c.status.ok()) << c.status.ToString();
+
+  EXPECT_FALSE(a.coalesced);
+  EXPECT_FALSE(b.coalesced);  // weight difference -> distinct fingerprint
+  EXPECT_TRUE(c.coalesced);   // identical weights -> same fingerprint
+  EXPECT_EQ(service.stats().coalesced, 1u);
+  // Distinct spec keys: the priced solve must not inherit the latency-only
+  // incumbent as a warm start (and vice versa).
+  EXPECT_FALSE(a.warm_started);
+  EXPECT_FALSE(b.warm_started);
+  EXPECT_EQ(service.stats().warm_starts, 0u);
+}
+
 TEST(AdvisorServiceTest, ProgressReportsStagesAndIncumbents) {
   graph::CommGraph app = graph::Mesh2D(3, 4);
   AdvisorService::Options options;

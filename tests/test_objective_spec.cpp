@@ -1,0 +1,266 @@
+// ObjectiveSpec contract tests: parse/name round-trips, validation errors
+// that name the valid ranges, spec-key distinctness (the service-layer
+// fingerprint and warm-start key component), and -- the acceptance-critical
+// property -- multi-term incremental SwapTerms/MoveTerms bit-identical to
+// full Terms() re-evaluation, with the degenerate spec bit-identical to the
+// latency-only evaluation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "deploy/random_search.h"
+#include "deploy/solver_registry.h"
+#include "deploy_test_util.h"
+#include "graph/templates.h"
+
+namespace cloudia::deploy {
+namespace {
+
+std::vector<double> RandomPrices(int m, Rng& rng) {
+  std::vector<double> prices(static_cast<size_t>(m));
+  for (double& p : prices) p = rng.Uniform(0.02, 0.6);
+  return prices;
+}
+
+TEST(ObjectiveSpecTest, ParseObjectiveNameRoundTrip) {
+  for (Objective objective :
+       {Objective::kLongestLink, Objective::kLongestPath}) {
+    auto parsed = ParseObjective(ObjectiveName(objective));
+    ASSERT_TRUE(parsed.ok()) << ObjectiveName(objective);
+    EXPECT_EQ(*parsed, objective);
+    // The spec overload of ObjectiveName reports the primary class.
+    ObjectiveSpec spec(objective);
+    spec.price_weight = 1.0;
+    spec.instance_prices = {0.1, 0.2, 0.3};
+    EXPECT_STREQ(ObjectiveName(spec), ObjectiveName(objective));
+  }
+  EXPECT_FALSE(ParseObjective("longest-nothing").ok());
+}
+
+TEST(ObjectiveSpecTest, DegenerateSpecEqualsEnum) {
+  ObjectiveSpec spec = Objective::kLongestPath;  // implicit conversion
+  EXPECT_FALSE(spec.HasSecondaryTerms());
+  EXPECT_TRUE(spec == Objective::kLongestPath);
+  EXPECT_TRUE(Objective::kLongestPath == spec);
+  EXPECT_TRUE(spec != Objective::kLongestLink);
+}
+
+TEST(ObjectiveSpecTest, ValidateRejectsBadWeightsNamingRange) {
+  const int n = 4, m = 6;
+  for (double bad : {-0.5, std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity()}) {
+    ObjectiveSpec spec;
+    spec.price_weight = bad;
+    Status s = ValidateObjectiveSpec(spec, n, m);
+    ASSERT_FALSE(s.ok()) << bad;
+    EXPECT_NE(s.ToString().find("valid range: [0, inf))"), std::string::npos)
+        << s.ToString();
+    spec = ObjectiveSpec{};
+    spec.migration_weight = bad;
+    s = ValidateObjectiveSpec(spec, n, m);
+    ASSERT_FALSE(s.ok()) << bad;
+    EXPECT_NE(s.ToString().find("valid range: [0, inf))"), std::string::npos);
+  }
+}
+
+TEST(ObjectiveSpecTest, ValidateRejectsBadPricesAndReference) {
+  const int n = 4, m = 6;
+  ObjectiveSpec spec;
+  spec.price_weight = 1.0;  // no prices
+  EXPECT_FALSE(ValidateObjectiveSpec(spec, n, m).ok());
+  spec.instance_prices = {0.1, 0.2};  // wrong size
+  EXPECT_FALSE(ValidateObjectiveSpec(spec, n, m).ok());
+  spec.instance_prices.assign(static_cast<size_t>(m), 0.1);
+  EXPECT_TRUE(ValidateObjectiveSpec(spec, n, m).ok());
+  spec.instance_prices[2] = -0.1;  // negative price
+  EXPECT_FALSE(ValidateObjectiveSpec(spec, n, m).ok());
+
+  spec = ObjectiveSpec{};
+  spec.migration_weight = 1.0;
+  EXPECT_TRUE(ValidateObjectiveSpec(spec, n, m).ok());  // empty = identity
+  spec.reference = {0, 1, 2};                           // wrong size
+  EXPECT_FALSE(ValidateObjectiveSpec(spec, n, m).ok());
+  spec.reference = {0, 1, 2, m};  // out of range
+  EXPECT_FALSE(ValidateObjectiveSpec(spec, n, m).ok());
+  spec.reference = {0, 1, 2, 3};
+  EXPECT_TRUE(ValidateObjectiveSpec(spec, n, m).ok());
+}
+
+TEST(ObjectiveSpecTest, SpecKeyDegenerateCollapsesToName) {
+  EXPECT_EQ(ObjectiveSpecKey(Objective::kLongestLink),
+            ObjectiveName(Objective::kLongestLink));
+  EXPECT_EQ(ObjectiveSpecKey(Objective::kLongestPath),
+            ObjectiveName(Objective::kLongestPath));
+}
+
+TEST(ObjectiveSpecTest, SpecKeyDistinguishesWeightsAndData) {
+  ObjectiveSpec a;
+  a.price_weight = 0.5;
+  a.instance_prices = {0.1, 0.2, 0.3};
+  ObjectiveSpec b = a;
+  b.price_weight = 0.25;
+  EXPECT_NE(ObjectiveSpecKey(a), ObjectiveSpecKey(b));
+
+  ObjectiveSpec c = a;
+  c.instance_prices[1] = 0.21;  // same weight, different price data
+  EXPECT_NE(ObjectiveSpecKey(a), ObjectiveSpecKey(c));
+
+  ObjectiveSpec d = a;
+  d.migration_weight = 1.0;
+  EXPECT_NE(ObjectiveSpecKey(a), ObjectiveSpecKey(d));
+
+  ObjectiveSpec e = d;
+  e.reference = {1, 0, 2};
+  ObjectiveSpec f = d;
+  f.reference = {2, 0, 1};
+  EXPECT_NE(ObjectiveSpecKey(e), ObjectiveSpecKey(f));
+
+  // Degenerate spec never collides with a weighted one.
+  EXPECT_NE(ObjectiveSpecKey(ObjectiveSpec(a.primary)), ObjectiveSpecKey(a));
+  // Identical specs agree.
+  EXPECT_EQ(ObjectiveSpecKey(a), ObjectiveSpecKey(ObjectiveSpec(a)));
+}
+
+// -- Multi-term incremental exactness (acceptance criterion) -----------------
+//
+// Random instances, random multi-term specs, random accepted swap/move
+// walks: the incrementally tracked CostTerms must stay bit-identical to a
+// from-scratch Terms() on the mutated deployment at every step, and Total()
+// must be the exact weighted combination.
+
+struct SpecInstance {
+  graph::CommGraph graph;
+  CostMatrix costs;
+  ObjectiveSpec spec;
+};
+
+SpecInstance RandomSpecInstance(int trial, Rng& rng) {
+  graph::CommGraph g = [&]() -> graph::CommGraph {
+    switch (trial % 3) {
+      case 0:
+        return graph::RandomDag(6 + static_cast<int>(rng.Below(8)),
+                                rng.Uniform(0.2, 0.5), rng);
+      case 1:
+        return graph::Mesh2D(3, 3 + static_cast<int>(rng.Below(3)));
+      default:
+        return graph::RandomSymmetric(6 + static_cast<int>(rng.Below(8)), 3.0,
+                                      rng);
+    }
+  }();
+  const int n = g.num_nodes();
+  const int m = n + 2 + static_cast<int>(rng.Below(5));
+  SpecInstance inst{std::move(g), RandomCosts(m, rng), {}};
+  inst.spec.primary =
+      trial % 3 == 0 ? Objective::kLongestPath : Objective::kLongestLink;
+  // Enable a random subset of secondary terms (at least one).
+  const bool price = rng.Below(2) == 0;
+  const bool migration = !price || rng.Below(2) == 0;
+  if (price) {
+    inst.spec.price_weight = rng.Uniform(0.1, 3.0);
+    inst.spec.instance_prices = RandomPrices(m, rng);
+  }
+  if (migration) {
+    inst.spec.migration_weight = rng.Uniform(0.1, 2.0);
+    Rng ref_rng(rng.Next());
+    inst.spec.reference = RandomDeployment(n, m, ref_rng);
+  }
+  return inst;
+}
+
+TEST(MultiTermDeltaTest, SwapAndMoveTermsBitIdenticalToFullEvaluation) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    SpecInstance inst = RandomSpecInstance(trial, rng);
+    auto eval = CostEvaluator::Create(&inst.graph, &inst.costs, inst.spec);
+    ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+    const int n = inst.graph.num_nodes();
+    const int m = inst.costs.size();
+
+    Deployment d = RandomDeployment(n, m, rng);
+    CostTerms t = eval->Terms(d);
+    for (int step = 0; step < 60; ++step) {
+      if (rng.Below(2) == 0 && n >= 2) {
+        // Swap two nodes.
+        int a = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+        int b = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+        const CostTerms nt = eval->SwapTerms(d, t, a, b);
+        std::swap(d[static_cast<size_t>(a)], d[static_cast<size_t>(b)]);
+        const CostTerms full = eval->Terms(d);
+        ASSERT_EQ(nt, full) << "swap trial " << trial << " step " << step;
+        t = nt;
+      } else {
+        // Move one node to a free instance (if any).
+        std::vector<bool> used(static_cast<size_t>(m), false);
+        for (int inst_idx : d) used[static_cast<size_t>(inst_idx)] = true;
+        int free_inst = -1;
+        for (int j = 0; j < m; ++j) {
+          if (!used[static_cast<size_t>(j)]) {
+            free_inst = j;
+            break;
+          }
+        }
+        if (free_inst < 0) continue;
+        int node = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+        const CostTerms nt = eval->MoveTerms(d, t, node, free_inst);
+        d[static_cast<size_t>(node)] = free_inst;
+        const CostTerms full = eval->Terms(d);
+        ASSERT_EQ(nt, full) << "move trial " << trial << " step " << step;
+        t = nt;
+      }
+      // Total is the exact weighted sum of the tracked terms.
+      const double expected =
+          t.latency +
+          inst.spec.price_weight * (static_cast<double>(t.price_micro) * 1e-6) +
+          inst.spec.migration_weight * t.moves;
+      ASSERT_EQ(eval->Total(t), expected);
+      ASSERT_EQ(eval->Cost(d), eval->Total(eval->Terms(d)));
+    }
+  }
+}
+
+TEST(MultiTermDeltaTest, DegenerateSpecBitIdenticalToLatencyOnly) {
+  Rng rng(7);
+  graph::CommGraph mesh = graph::Mesh2D(3, 4);
+  CostMatrix costs = RandomCosts(15, rng);
+  auto eval = CostEvaluator::Create(&mesh, &costs, Objective::kLongestLink);
+  ASSERT_TRUE(eval.ok());
+  for (int trial = 0; trial < 20; ++trial) {
+    Deployment d = RandomDeployment(12, 15, rng);
+    const CostTerms t = eval->Terms(d);
+    EXPECT_EQ(eval->Cost(d), eval->LatencyCost(d));
+    EXPECT_EQ(eval->Total(t), t.latency);
+    EXPECT_EQ(t.price_micro, 0);
+    EXPECT_EQ(t.moves, 0);
+  }
+}
+
+// A swap never changes the summed price (both instances stay in the
+// deployment), and the migration delta is exact against the reference.
+TEST(MultiTermDeltaTest, SwapPriceDeltaIsExactlyZero) {
+  Rng rng(99);
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  CostMatrix costs = RandomCosts(12, rng);
+  ObjectiveSpec spec;
+  spec.price_weight = 1.0;
+  spec.instance_prices = RandomPrices(12, rng);
+  auto eval = CostEvaluator::Create(&mesh, &costs, spec);
+  ASSERT_TRUE(eval.ok());
+  Deployment d = RandomDeployment(9, 12, rng);
+  CostTerms t = eval->Terms(d);
+  for (int step = 0; step < 30; ++step) {
+    int a = static_cast<int>(rng.Below(9));
+    int b = static_cast<int>(rng.Below(9));
+    const CostTerms nt = eval->SwapTerms(d, t, a, b);
+    EXPECT_EQ(nt.price_micro, t.price_micro);
+    std::swap(d[static_cast<size_t>(a)], d[static_cast<size_t>(b)]);
+    t = nt;
+  }
+}
+
+}  // namespace
+}  // namespace cloudia::deploy

@@ -15,8 +15,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/check.h"
 #include "deploy/local_search.h"
+#include "deploy/random_search.h"
 #include "deploy_test_util.h"
 #include "graph/templates.h"
 
@@ -124,6 +126,117 @@ TEST(ParallelPricingTest, ProductionWindowThresholdMatchesSerial) {
   ASSERT_TRUE(parallel.ok());
   EXPECT_EQ(serial->deployment, parallel->deployment);
   EXPECT_EQ(serial->cost, parallel->cost);
+}
+
+// -- R2 batch pricing on ParallelIndexedReduce ------------------------------
+//
+// R2 runs deterministic rounds (64 batches x 63-step walks, batch-seeded
+// from the global batch index) over the same reduction scaffold as the
+// neighborhood pricer. The incumbent after any fixed number of completed
+// rounds must be bit-identical for every thread count; only how *many*
+// rounds fit a wall-clock budget may differ. To compare across thread
+// counts deterministically, these tests stop by report count instead of by
+// deadline: the progress callback cancels the context after a fixed number
+// of ReportIncumbent calls (the R1 seed reports once, each improving round
+// once, always from the round-loop thread), so every run completes the
+// identical round set.
+
+RandomSearchResult SolveR2StoppedAfterReports(const Instance& inst,
+                                              Objective objective, int threads,
+                                              uint64_t seed,
+                                              int stop_after_reports) {
+  CancelToken cancel;
+  int reports = 0;
+  SolveContext context(Deadline::After(30.0), cancel,
+                       [&reports, &cancel, stop_after_reports](
+                           const TracePoint&, const Deployment&) {
+                         if (++reports >= stop_after_reports) cancel.Cancel();
+                       });
+  auto result = RandomSearchR2(inst.graph, inst.costs, objective, threads,
+                               seed, context);
+  CLOUDIA_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+TEST(ParallelPricingTest, R2RoundsThreadCountInvariant) {
+  Rng rng(55);
+  for (int trial = 0; trial < 8; ++trial) {
+    Instance inst = RandomInstance(trial, rng, /*need_dag=*/false);
+    const uint64_t seed = 500 + static_cast<uint64_t>(trial);
+    // Stop after the seed report plus one improving round (a 4096-sample
+    // round beating a 1-sample seed is as close to certain as it gets; if a
+    // round happens not to improve, later rounds draw fresh batches until
+    // one does, still deterministically).
+    const RandomSearchResult base = SolveR2StoppedAfterReports(
+        inst, Objective::kLongestLink, 1, seed, 2);
+    for (int threads : {2, 4, 8}) {
+      const RandomSearchResult r = SolveR2StoppedAfterReports(
+          inst, Objective::kLongestLink, threads, seed, 2);
+      ASSERT_EQ(base.deployment, r.deployment)
+          << "trial " << trial << " threads " << threads;
+      ASSERT_EQ(base.cost, r.cost)
+          << "trial " << trial << " threads " << threads;
+      // Identical round set => identical sample count, not just same best.
+      ASSERT_EQ(base.samples, r.samples)
+          << "trial " << trial << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelPricingTest, R2MultiTermRoundsThreadCountInvariant) {
+  Rng rng(66);
+  Instance inst{graph::Mesh2D(3, 4), RandomCosts(16, rng)};
+  ObjectiveSpec spec;
+  spec.primary = Objective::kLongestLink;
+  spec.price_weight = 0.8;
+  spec.instance_prices.assign(16, 0.0);
+  for (size_t i = 0; i < spec.instance_prices.size(); ++i) {
+    spec.instance_prices[i] = 0.05 + 0.03 * static_cast<double>(i);
+  }
+  spec.migration_weight = 0.4;
+  CancelToken cancel;
+  int reports = 0;
+  auto run = [&](int threads) {
+    cancel = CancelToken();
+    reports = 0;
+    SolveContext context(
+        Deadline::After(30.0), cancel,
+        [&](const TracePoint&, const Deployment&) {
+          if (++reports >= 2) cancel.Cancel();
+        });
+    auto result =
+        RandomSearchR2(inst.graph, inst.costs, spec, threads, 901, context);
+    CLOUDIA_CHECK(result.ok());
+    return std::move(result).value();
+  };
+  const RandomSearchResult serial = run(1);
+  for (int threads : {3, 8}) {
+    const RandomSearchResult r = run(threads);
+    EXPECT_EQ(serial.deployment, r.deployment) << "threads=" << threads;
+    EXPECT_EQ(serial.cost, r.cost) << "threads=" << threads;
+    EXPECT_EQ(serial.samples, r.samples) << "threads=" << threads;
+  }
+}
+
+// A cancelled context returns the R1 seed untouched, identically for every
+// thread count -- the degenerate "zero completed rounds" case.
+TEST(ParallelPricingTest, R2CancelledUpFrontEqualsSeedForAllThreadCounts) {
+  Rng rng(77);
+  Instance inst{graph::Mesh2D(3, 3), RandomCosts(12, rng)};
+  const uint64_t seed = 1234;
+  auto r1 = RandomSearchR1(inst.graph, inst.costs, Objective::kLongestLink, 1,
+                           seed);
+  ASSERT_TRUE(r1.ok());
+  for (int threads : {1, 4, 8}) {
+    CancelToken cancel;
+    cancel.Cancel();
+    SolveContext context(Deadline::After(30.0), cancel);
+    auto r2 = RandomSearchR2(inst.graph, inst.costs, Objective::kLongestLink,
+                             threads, seed, context);
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r2->deployment, r1->deployment) << "threads=" << threads;
+    EXPECT_EQ(r2->cost, r1->cost) << "threads=" << threads;
+  }
 }
 
 }  // namespace

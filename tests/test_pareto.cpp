@@ -1,0 +1,210 @@
+// SolveParetoFrontier contract tests: every returned point is a valid
+// deployment and mutually non-dominated, duplicates collapse, the sweep is
+// deterministic at threads = 1, the latency anchor is covered, and invalid
+// inputs (bad weights, unknown method) fail with clear errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "deploy/pareto.h"
+#include "deploy/solver_registry.h"
+#include "deploy_test_util.h"
+#include "graph/templates.h"
+
+namespace cloudia::deploy {
+namespace {
+
+std::vector<double> TieredPrices(int m) {
+  // Two price tiers so the cheap half of the pool gives the price axis room.
+  std::vector<double> prices(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    prices[static_cast<size_t>(i)] = i < m / 2 ? 0.10 : 0.45;
+  }
+  return prices;
+}
+
+ParetoOptions SmallOptions(int n, int m, double budget_s = 2.0) {
+  ParetoOptions options;
+  options.solve.objective.primary = Objective::kLongestLink;
+  options.solve.objective.instance_prices = TieredPrices(m);
+  options.solve.objective.reference.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    options.solve.objective.reference[static_cast<size_t>(i)] = i;
+  }
+  options.solve.time_budget_s = budget_s;
+  options.solve.threads = 1;
+  options.solve.seed = 11;
+  // Deterministic members only (no wall-clock-sensitive random search).
+  options.method = "g2";
+  return options;
+}
+
+TEST(ParetoDominatesTest, WeakDominanceSemantics) {
+  ParetoPoint a, b;
+  a.latency_ms = 1.0;
+  a.price_per_hour = 2.0;
+  a.migrations = 3;
+  b = a;
+  EXPECT_FALSE(ParetoDominates(a, b));  // equal: no strict axis
+  b.price_per_hour = 2.5;
+  EXPECT_TRUE(ParetoDominates(a, b));
+  EXPECT_FALSE(ParetoDominates(b, a));
+  b.latency_ms = 0.5;  // trade-off: neither dominates
+  EXPECT_FALSE(ParetoDominates(a, b));
+  EXPECT_FALSE(ParetoDominates(b, a));
+}
+
+TEST(ParetoTest, FrontierPointsAreValidAndMutuallyNonDominated) {
+  Rng rng(5);
+  const int n = 9, m = 14;
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  CostMatrix costs = RandomCosts(m, rng);
+  ParetoOptions options = SmallOptions(n, m);
+
+  auto frontier = SolveParetoFrontier(mesh, costs, options);
+  ASSERT_TRUE(frontier.ok()) << frontier.status().ToString();
+  ASSERT_FALSE(frontier->points.empty());
+  EXPECT_EQ(frontier->solves, 10);  // anchor + 5 price + 3 migration + 1 mixed
+
+  auto eval = CostEvaluator::Create(&mesh, &costs, Objective::kLongestLink);
+  ASSERT_TRUE(eval.ok());
+  for (const ParetoPoint& p : frontier->points) {
+    EXPECT_TRUE(ValidateDeployment(mesh, p.deployment, costs,
+                                   Objective::kLongestLink)
+                    .ok());
+    // Reported terms match a from-scratch evaluation of the deployment.
+    EXPECT_EQ(p.latency_ms, eval->LatencyCost(p.deployment));
+    double price = 0.0;
+    int moves = 0;
+    for (int v = 0; v < n; ++v) {
+      price += options.solve.objective
+                   .instance_prices[static_cast<size_t>(p.deployment[v])];
+      moves += p.deployment[static_cast<size_t>(v)] !=
+               options.solve.objective.reference[static_cast<size_t>(v)];
+    }
+    EXPECT_NEAR(p.price_per_hour, price, 1e-12);
+    EXPECT_EQ(p.migrations, moves);
+  }
+  for (size_t i = 0; i < frontier->points.size(); ++i) {
+    for (size_t j = 0; j < frontier->points.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(ParetoDominates(frontier->points[i], frontier->points[j]))
+          << i << " dominates " << j;
+    }
+  }
+  // Sorted ascending by latency.
+  for (size_t i = 1; i < frontier->points.size(); ++i) {
+    EXPECT_LE(frontier->points[i - 1].latency_ms,
+              frontier->points[i].latency_ms);
+  }
+}
+
+TEST(ParetoTest, FrontierCoversTheLatencyAnchor) {
+  Rng rng(21);
+  const int n = 9, m = 14;
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  CostMatrix costs = RandomCosts(m, rng);
+  ParetoOptions options = SmallOptions(n, m);
+
+  auto frontier = SolveParetoFrontier(mesh, costs, options);
+  ASSERT_TRUE(frontier.ok()) << frontier.status().ToString();
+
+  // Solve the pure-latency anchor independently with the same member/budget
+  // slice; some frontier point must weakly dominate it.
+  NdpSolveOptions anchor = options.solve;
+  anchor.time_budget_s = options.solve.time_budget_s / frontier->solves;
+  SolveContext context(Deadline::After(anchor.time_budget_s));
+  auto result =
+      SolveNodeDeploymentByName(mesh, costs, options.method, anchor, context);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto eval = CostEvaluator::Create(&mesh, &costs, Objective::kLongestLink);
+  ASSERT_TRUE(eval.ok());
+  const double anchor_latency = eval->LatencyCost(result->deployment);
+
+  bool covered = false;
+  for (const ParetoPoint& p : frontier->points) {
+    if (p.latency_ms <= anchor_latency) covered = true;
+  }
+  EXPECT_TRUE(covered) << "anchor latency " << anchor_latency;
+}
+
+TEST(ParetoTest, DeterministicAtOneThread) {
+  Rng rng(33);
+  const int n = 9, m = 14;
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  CostMatrix costs = RandomCosts(m, rng);
+  ParetoOptions options = SmallOptions(n, m);
+
+  auto a = SolveParetoFrontier(mesh, costs, options);
+  auto b = SolveParetoFrontier(mesh, costs, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->points.size(), b->points.size());
+  for (size_t i = 0; i < a->points.size(); ++i) {
+    EXPECT_EQ(a->points[i].deployment, b->points[i].deployment);
+    EXPECT_EQ(a->points[i].latency_ms, b->points[i].latency_ms);
+    EXPECT_EQ(a->points[i].price_per_hour, b->points[i].price_per_hour);
+    EXPECT_EQ(a->points[i].migrations, b->points[i].migrations);
+  }
+  EXPECT_EQ(a->duplicates_dropped, b->duplicates_dropped);
+  EXPECT_EQ(a->dominated_dropped, b->dominated_dropped);
+}
+
+TEST(ParetoTest, ExplicitWeightsRunOnePointEach) {
+  Rng rng(8);
+  const int n = 9, m = 14;
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  CostMatrix costs = RandomCosts(m, rng);
+  ParetoOptions options = SmallOptions(n, m);
+  options.weights = {{0.0, 0.0}, {5.0, 0.0}};
+
+  auto frontier = SolveParetoFrontier(mesh, costs, options);
+  ASSERT_TRUE(frontier.ok()) << frontier.status().ToString();
+  EXPECT_EQ(frontier->solves, 2);
+  EXPECT_GE(frontier->points.size(), 1u);
+}
+
+TEST(ParetoTest, RejectsInvalidWeightsAndUnknownMethod) {
+  Rng rng(2);
+  const int n = 9, m = 14;
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  CostMatrix costs = RandomCosts(m, rng);
+
+  ParetoOptions options = SmallOptions(n, m);
+  options.weights = {{-1.0, 0.0}};
+  auto bad_weight = SolveParetoFrontier(mesh, costs, options);
+  ASSERT_FALSE(bad_weight.ok());
+  EXPECT_NE(bad_weight.status().ToString().find("valid range: [0, inf)"),
+            std::string::npos)
+      << bad_weight.status().ToString();
+
+  options = SmallOptions(n, m);
+  options.weights = {{std::numeric_limits<double>::quiet_NaN(), 0.0}};
+  EXPECT_FALSE(SolveParetoFrontier(mesh, costs, options).ok());
+
+  options = SmallOptions(n, m);
+  options.method = "no-such-solver";
+  EXPECT_FALSE(SolveParetoFrontier(mesh, costs, options).ok());
+}
+
+TEST(ParetoTest, NoSecondaryAxesCollapsesToSingleAnchor) {
+  Rng rng(13);
+  const int n = 9, m = 12;
+  graph::CommGraph mesh = graph::Mesh2D(3, 3);
+  CostMatrix costs = RandomCosts(m, rng);
+  ParetoOptions options;
+  options.solve.time_budget_s = 1.0;
+  options.solve.threads = 1;
+  options.solve.seed = 11;
+  options.method = "g2";
+
+  auto frontier = SolveParetoFrontier(mesh, costs, options);
+  ASSERT_TRUE(frontier.ok()) << frontier.status().ToString();
+  EXPECT_EQ(frontier->solves, 1);  // no price axis, no migration axis
+  ASSERT_EQ(frontier->points.size(), 1u);
+  EXPECT_EQ(frontier->points[0].price_per_hour, 0.0);
+}
+
+}  // namespace
+}  // namespace cloudia::deploy

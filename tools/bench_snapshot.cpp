@@ -347,6 +347,7 @@ constexpr BenchSpec kBenches[] = {
     {"bench_redeploy", "--checks=8 --duration=20"},
     {"bench_hier_scalability",
      "--sizes=512,2000 --quality-sizes=256 --budget=5"},
+    {"bench_pareto_frontier", "--nodes=16 --budget=3 --threads=1"},
 };
 
 }  // namespace

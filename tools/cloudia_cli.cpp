@@ -29,6 +29,7 @@ using namespace cloudia;
 
 using tools::GraphByName;
 using tools::SplitCommaList;
+using tools::ValidateObjectiveWeight;
 using tools::ValidateThreads;
 
 // Canonicalizes --portfolio members via the registry; prints the error and
@@ -59,6 +60,13 @@ void PrintUsage() {
       "  --nodes=N            application nodes (default 30; shapes snap to\n"
       "                       the nearest template size)\n"
       "  --objective=NAME     longest-link | longest-path\n"
+      "  --price-weight=W     weight on summed instance price, ms per $/h\n"
+      "                       (default 0 = latency only; finite, >= 0).\n"
+      "                       advise prices the allocated pool via the\n"
+      "                       provider's price model; solve derives prices\n"
+      "                       from the provider profile per matrix row\n"
+      "  --migration-weight=W weight (ms per move) on nodes placed away\n"
+      "                       from the default placement (default 0)\n"
       "  --method=NAME        %s\n"
       "  --budget=SECONDS     search budget (default 10)\n"
       "  --clusters=K         cost clusters for cp/mip (default 20)\n"
@@ -97,13 +105,19 @@ int RunAdvise(const Flags& flags) {
   auto minutes = flags.GetDouble("minutes", 0.0);
   auto hier_clusters = flags.GetInt("hier-clusters", 0);
   auto hier_polish = flags.GetInt("hier-polish-steps", 2000);
+  auto price_weight = flags.GetDouble("price-weight", 0.0);
+  auto migration_weight = flags.GetDouble("migration-weight", 0.0);
   if (!seed.ok() || !nodes.ok() || !budget.ok() || !clusters.ok() ||
       !threads.ok() || !over.ok() || !minutes.ok() || !hier_clusters.ok() ||
-      !hier_polish.ok()) {
+      !hier_polish.ok() || !price_weight.ok() || !migration_weight.ok()) {
     std::fprintf(stderr, "bad numeric flag\n");
     return 2;
   }
   if (!ValidateThreads(*threads)) return 2;
+  if (!ValidateObjectiveWeight("--price-weight", *price_weight) ||
+      !ValidateObjectiveWeight("--migration-weight", *migration_weight)) {
+    return 2;
+  }
   std::vector<std::string> portfolio_members;
   if (!ValidatePortfolio(flags.GetString("portfolio", ""),
                          &portfolio_members)) {
@@ -162,6 +176,12 @@ int RunAdvise(const Flags& flags) {
   SolveSpec spec;
   spec.method = (*solver)->name();
   spec.objective = *objective;
+  spec.objective.price_weight = *price_weight;
+  spec.objective.migration_weight = *migration_weight;
+  if (*price_weight > 0) {
+    // Price the allocated pool with the provider's per-host price model.
+    spec.objective.instance_prices = cloud.InstancePrices(session.allocated());
+  }
   spec.time_budget_s = *budget;
   spec.cost_clusters = static_cast<int>(*clusters);
   spec.threads = static_cast<int>(*threads);
@@ -197,6 +217,22 @@ int RunAdvise(const Flags& flags) {
               solve->result.proven_optimal ? " (proven optimal)" : "");
   std::printf("  predicted reduction : %.1f %%\n",
               100.0 * solve->predicted_improvement);
+  if (*price_weight > 0) {
+    double plan_price = 0.0;
+    for (int idx : solve->result.deployment) {
+      plan_price += spec.objective.instance_prices[static_cast<size_t>(idx)];
+    }
+    std::printf("  plan price          : %.4f $/hour (weight %g)\n",
+                plan_price, *price_weight);
+  }
+  if (*migration_weight > 0) {
+    int moves = 0;
+    for (size_t i = 0; i < solve->result.deployment.size(); ++i) {
+      moves += solve->result.deployment[i] != static_cast<int>(i) ? 1 : 0;
+    }
+    std::printf("  moves vs default    : %d (weight %g ms/move)\n", moves,
+                *migration_weight);
+  }
   std::printf("plan:\n");
   for (size_t i = 0; i < solve->placement.size(); ++i) {
     std::printf("  node %3zu -> instance %3d (%s)\n", i,
@@ -265,12 +301,19 @@ int RunSolve(const Flags& flags) {
       "nodes", static_cast<int64_t>(loaded->costs.size() * 9 / 10));
   auto hier_clusters = flags.GetInt("hier-clusters", 0);
   auto hier_polish = flags.GetInt("hier-polish-steps", 2000);
+  auto price_weight = flags.GetDouble("price-weight", 0.0);
+  auto migration_weight = flags.GetDouble("migration-weight", 0.0);
   if (!seed.ok() || !budget.ok() || !clusters.ok() || !threads.ok() ||
-      !nodes.ok() || !hier_clusters.ok() || !hier_polish.ok()) {
+      !nodes.ok() || !hier_clusters.ok() || !hier_polish.ok() ||
+      !price_weight.ok() || !migration_weight.ok()) {
     std::fprintf(stderr, "bad numeric flag\n");
     return 2;
   }
   if (!ValidateThreads(*threads)) return 2;
+  if (!ValidateObjectiveWeight("--price-weight", *price_weight) ||
+      !ValidateObjectiveWeight("--migration-weight", *migration_weight)) {
+    return 2;
+  }
   std::vector<std::string> portfolio_members;
   if (!ValidatePortfolio(flags.GetString("portfolio", ""),
                          &portfolio_members)) {
@@ -298,6 +341,19 @@ int RunSolve(const Flags& flags) {
   }
   deploy::NdpSolveOptions opts;
   opts.objective = *objective;
+  opts.objective.price_weight = *price_weight;
+  opts.objective.migration_weight = *migration_weight;
+  if (*price_weight > 0) {
+    // A saved matrix carries no host identities; derive a deterministic
+    // price per matrix row from the provider profile's price model.
+    const net::ProviderProfile profile =
+        ProviderByName(flags.GetString("provider", "ec2"));
+    opts.objective.instance_prices.reserve(
+        static_cast<size_t>(loaded->costs.size()));
+    for (int i = 0; i < loaded->costs.size(); ++i) {
+      opts.objective.instance_prices.push_back(net::InstancePrice(profile, i));
+    }
+  }
   opts.time_budget_s = *budget;
   opts.cost_clusters = static_cast<int>(*clusters);
   opts.threads = static_cast<int>(*threads);

@@ -15,6 +15,7 @@
 // Usage:
 //   cloudia_serve --file=examples/service_requests.txt --threads=4
 //   cloudia_serve --file=- < requests.txt        # stdin
+#include <cmath>
 #include <cstdio>
 #include <deque>
 #include <fstream>
@@ -60,6 +61,9 @@ void PrintUsage() {
       "  graph=mesh|tree|bipartite|ring   nodes=N\n"
       "  method=auto|%s\n"
       "  objective=longest-link|longest-path   budget=S   clusters=K\n"
+      "  price-weight=W (ms per $/h on summed instance price; finite, >= 0;\n"
+      "      the service prices the pool via the provider's price model)\n"
+      "  migration-weight=W (ms per node placed away from the default)\n"
       "  r1-samples=N   threads=N   portfolio=A,B,...   seed=N\n"
       "  hier-clusters=K   hier-shard-solver=NAME   hier-polish-steps=N\n"
       "  priority=P (higher first)    deadline=S (must start within)\n"
@@ -275,8 +279,28 @@ Result<ParsedRequest> ParseRequestLine(const std::string& line,
       }
       req.solve.method = value;
     } else if (key == "objective") {
-      CLOUDIA_ASSIGN_OR_RETURN(req.solve.objective,
+      CLOUDIA_ASSIGN_OR_RETURN(deploy::Objective primary,
                                deploy::ParseObjective(value));
+      req.solve.objective.primary = primary;
+    } else if (key == "price-weight") {
+      CLOUDIA_ASSIGN_OR_RETURN(req.solve.objective.price_weight, as_double());
+      if (!std::isfinite(req.solve.objective.price_weight) ||
+          req.solve.objective.price_weight < 0) {
+        return Status::InvalidArgument(
+            "price-weight=" + value +
+            " is invalid: weights must be finite and >= 0 "
+            "(valid range: [0, inf))");
+      }
+    } else if (key == "migration-weight") {
+      CLOUDIA_ASSIGN_OR_RETURN(req.solve.objective.migration_weight,
+                               as_double());
+      if (!std::isfinite(req.solve.objective.migration_weight) ||
+          req.solve.objective.migration_weight < 0) {
+        return Status::InvalidArgument(
+            "migration-weight=" + value +
+            " is invalid: weights must be finite and >= 0 "
+            "(valid range: [0, inf))");
+      }
     } else if (key == "budget") {
       CLOUDIA_ASSIGN_OR_RETURN(req.solve.time_budget_s, as_double());
     } else if (key == "clusters") {

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -81,6 +82,18 @@ inline bool ValidateThreads(int64_t threads) {
                "--threads=%lld: thread count cannot be negative "
                "(use 0 for hardware concurrency)\n",
                static_cast<long long>(threads));
+  return false;
+}
+
+/// Objective weights (--price-weight / price-weight=, --migration-weight /
+/// migration-weight=) must be finite and non-negative. Returns false after
+/// printing a usage-style error naming the valid range to stderr.
+inline bool ValidateObjectiveWeight(const char* flag, double value) {
+  if (std::isfinite(value) && value >= 0.0) return true;
+  std::fprintf(stderr,
+               "%s=%g is invalid: weights must be finite and >= 0 "
+               "(valid range: [0, inf))\n",
+               flag, value);
   return false;
 }
 
