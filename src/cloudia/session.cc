@@ -31,6 +31,8 @@ Status DeploymentSession::Allocate() {
   if (options_.over_allocation < 0) {
     return Status::InvalidArgument("over_allocation must be >= 0");
   }
+  obs::Span span(options_.obs.tracer, "session.allocate", "session",
+                 options_.obs.parent);
   int total = n + static_cast<int>(std::floor(
                       static_cast<double>(n) * options_.over_allocation));
   CLOUDIA_ASSIGN_OR_RETURN(allocated_, cloud_->Allocate(total));
@@ -46,6 +48,8 @@ Status DeploymentSession::Measure() {
   }
   if (!allocated_done_) CLOUDIA_RETURN_IF_ERROR(Allocate());
 
+  obs::Span span(options_.obs.tracer, "session.measure", "session",
+                 options_.obs.parent);
   measure::ProtocolOptions popts;
   popts.msg_bytes = options_.probe_bytes;
   popts.seed = measure::MeasurementProtocolSeed(options_.seed);
@@ -143,11 +147,17 @@ Result<SessionSolve> DeploymentSession::Solve(const SolveSpec& spec) {
   sopts.hier_shard_solver = spec.hier_shard_solver;
   sopts.hier_polish_steps = spec.hier_polish_steps;
 
+  obs::Span span(options_.obs.tracer,
+                 std::string("session.solve.") + solver->name(), "session",
+                 options_.obs.parent);
   deploy::SolveContext context(Deadline::After(spec.time_budget_s),
                                spec.cancel, spec.on_progress);
   context.set_max_threads(spec.threads);
   if (spec.shared_incumbent != nullptr) {
     context.set_shared_incumbent(spec.shared_incumbent);
+  }
+  if (options_.obs.tracer != nullptr) {
+    context.set_obs(options_.obs.tracer, span.id(), solver->name());
   }
   CLOUDIA_ASSIGN_OR_RETURN(deploy::NdpSolveResult result,
                            solver->Solve(problem, sopts, context));

@@ -38,6 +38,7 @@
 #include "deploy/solve.h"
 #include "measure/protocols.h"
 #include "netsim/cloud.h"
+#include "obs/obs.h"
 
 namespace cloudia {
 
@@ -65,6 +66,13 @@ struct SessionOptions {
   /// Measurement is the billed, minutes-long step of a real run, so an
   /// abandoned session must be able to stop it mid-flight.
   CancelToken cancel;
+
+  /// Observability sinks (obs/obs.h). With a tracer attached, every stage
+  /// emits a span ("session.allocate" / "session.measure" /
+  /// "session.solve.<method>", nested under obs.parent) and solves report
+  /// incumbent events through their SolveContext. Does not alter solver
+  /// behavior: solves are bit-identical with and without sinks attached.
+  obs::ObsConfig obs;
 };
 
 /// One Solve() request: which registered solver to run, under which

@@ -147,6 +147,17 @@ Result<NdpSolveResult> PortfolioSolver::Solve(const NdpProblem& problem,
       SolveContext member_context(deadline, race_cancel, forward);
       member_context.set_shared_incumbent(cell);
       member_context.set_max_threads(member_threads);
+      // Attribution: the member's own context carries its registry name, so
+      // its incumbent events in the trace name the member (the parent
+      // context keeps the "portfolio" label for the merged monotone
+      // timeline). The member run itself is a span under the portfolio's.
+      obs::Span member_span(context.tracer(),
+                            std::string("portfolio.") + member->name(),
+                            "solve", context.obs_parent());
+      if (context.tracer() != nullptr) {
+        member_context.set_obs(context.tracer(), member_span.id(),
+                               member->name());
+      }
       run->result = member->Solve(problem, member_options, member_context);
 
       // Optimality at (or below) the global best settles the race: no other

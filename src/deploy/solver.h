@@ -18,6 +18,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 
 #include "common/cancel.h"
@@ -25,6 +26,7 @@
 #include "common/timer.h"
 #include "deploy/shared_incumbent.h"
 #include "deploy/solver_result.h"
+#include "obs/trace.h"
 
 namespace cloudia::deploy {
 
@@ -123,6 +125,20 @@ class SolveContext {
            shared_incumbent_->Snapshot(cost, deployment);
   }
 
+  /// Attaches a tracer: every ReportIncumbent() also emits an "incumbent"
+  /// instant event under `parent` carrying (solver=`label`, cost, t). The
+  /// portfolio overrides the label per member context, which is what makes
+  /// races attributable in the exported trace. Set before handing the
+  /// context to a solver; not synchronized.
+  void set_obs(obs::Tracer* tracer, obs::SpanId parent, std::string label) {
+    tracer_ = tracer;
+    obs_parent_ = parent;
+    solver_label_ = std::move(label);
+  }
+  obs::Tracer* tracer() const { return tracer_; }
+  obs::SpanId obs_parent() const { return obs_parent_; }
+  const std::string& solver_label() const { return solver_label_; }
+
   /// Records an incumbent improvement at the current elapsed time, publishes
   /// it to the shared incumbent cell (if attached), and forwards it to the
   /// progress callback, if any. Returns the trace point so solvers can append
@@ -132,6 +148,12 @@ class SolveContext {
     std::lock_guard<std::mutex> lock(progress_mu_);
     TracePoint point{clock_.ElapsedSeconds(), cost};
     if (shared_incumbent_) shared_incumbent_->TryImprove(cost, deployment);
+    if (tracer_ != nullptr) {
+      tracer_->Instant("incumbent", "solve", obs_parent_,
+                       {obs::Arg("solver", solver_label_),
+                        obs::Arg("cost", cost),
+                        obs::Arg("t", point.seconds)});
+    }
     if (on_incumbent_) on_incumbent_(point, deployment);
     return point;
   }
@@ -143,6 +165,9 @@ class SolveContext {
   ProgressCallback on_incumbent_;
   std::shared_ptr<SharedIncumbent> shared_incumbent_;
   int max_threads_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  obs::SpanId obs_parent_ = 0;
+  std::string solver_label_;
   /// Serializes ReportIncumbent() across the threads sharing this context.
   mutable std::mutex progress_mu_;
 };

@@ -111,6 +111,12 @@ Result<ShardSolveOutcome> SolveShards(const std::vector<ShardPlan>& plans,
       deploy::SolveContext context(Deadline::After(allow),
                                    parent.cancel_token());
       context.set_max_threads(1);
+      obs::Span shard_span(parent.tracer(),
+                           "hier.shard." + std::to_string(s), "hier",
+                           options.obs_parent);
+      if (parent.tracer() != nullptr) {
+        context.set_obs(parent.tracer(), shard_span.id(), options.solver);
+      }
 
       deploy::NdpSolveOptions so;
       so.objective = objective;

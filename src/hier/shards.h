@@ -58,6 +58,9 @@ struct ShardOptions {
   int instance_slack = 16;
   /// Passed through to shard solvers that cluster costs (cp/mip).
   int cost_clusters = 0;
+  /// Trace span the per-shard spans nest under (0 = top level). The tracer
+  /// itself rides on the parent SolveContext.
+  obs::SpanId obs_parent = 0;
 };
 
 inline constexpr double kDefaultShardBudgetS = 10.0;

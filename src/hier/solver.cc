@@ -81,7 +81,11 @@ Result<HierSolveResult> SolveHierarchical(const graph::CommGraph& graph,
     return out;
   }
 
+  obs::Span hier_span(context.tracer(), "hier.solve", "hier",
+                      context.obs_parent());
   Stopwatch phase;
+  obs::Span phase_span(context.tracer(), "hier.decompose", "hier",
+                       hier_span.id());
   DecomposeOptions dopts;
   dopts.clusters = options.clusters;
   dopts.seed = options.seed;
@@ -92,6 +96,9 @@ Result<HierSolveResult> SolveHierarchical(const graph::CommGraph& graph,
   out.stats.decompose_s = phase.ElapsedSeconds();
 
   phase.Restart();
+  phase_span.End();
+  phase_span = obs::Span(context.tracer(), "hier.coarse", "hier",
+                         hier_span.id());
   CLOUDIA_ASSIGN_OR_RETURN(
       CoarseResult coarse,
       SolveCoarseAssignment(d, objective, options.coarse_passes));
@@ -99,12 +106,16 @@ Result<HierSolveResult> SolveHierarchical(const graph::CommGraph& graph,
   out.stats.coarse_s = phase.ElapsedSeconds();
 
   phase.Restart();
+  phase_span.End();
+  phase_span = obs::Span(context.tracer(), "hier.shards", "hier",
+                         hier_span.id());
   ShardOptions sopts;
   sopts.solver = shard_name;
   sopts.threads = EffectiveThreads(options, context);
   sopts.seed = options.seed;
   sopts.shard_time_budget_s = options.shard_time_budget_s;
   sopts.cost_clusters = options.cost_clusters;
+  sopts.obs_parent = phase_span.id();
   CLOUDIA_ASSIGN_OR_RETURN(
       std::vector<ShardPlan> plans,
       BuildShardPlans(graph, source, d, coarse.assignment,
@@ -131,6 +142,9 @@ Result<HierSolveResult> SolveHierarchical(const graph::CommGraph& graph,
   out.stats.shard_s = phase.ElapsedSeconds();
 
   phase.Restart();
+  phase_span.End();
+  phase_span = obs::Span(context.tracer(), "hier.polish", "hier",
+                         hier_span.id());
   PolishOptions popts;
   popts.max_steps = options.polish_steps;
   CLOUDIA_ASSIGN_OR_RETURN(

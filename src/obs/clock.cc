@@ -1,0 +1,27 @@
+#include "obs/clock.h"
+
+namespace cloudia::obs {
+namespace {
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+int64_t RealClock::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - ProcessEpoch())
+      .count();
+}
+
+const RealClock* RealClock::Get() {
+  static const RealClock clock;
+  return &clock;
+}
+
+double SteadyNowSeconds() { return RealClock::Get()->NowSeconds(); }
+
+}  // namespace cloudia::obs

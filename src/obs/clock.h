@@ -1,0 +1,65 @@
+// The single clock seam for observability timestamps.
+//
+// Everything in src/obs/ reads time through obs::Clock, never through
+// std::chrono directly, so tests (and the redeploy event-queue path) can
+// inject a VirtualClock and get bit-deterministic traces. The real clock is
+// std::chrono::steady_clock -- the repo-wide convention for durations
+// (Stopwatch/Deadline in common/timer.h use it too); system_clock is only
+// ever acceptable for calendar output, never for deltas.
+#ifndef CLOUDIA_OBS_CLOCK_H_
+#define CLOUDIA_OBS_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cloudia::obs {
+
+/// Monotonic nanosecond clock. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowNs() const = 0;
+
+  double NowSeconds() const { return static_cast<double>(NowNs()) * 1e-9; }
+};
+
+/// steady_clock-backed wall clock, zeroed at process start so exported
+/// timestamps stay small and diffable.
+class RealClock : public Clock {
+ public:
+  int64_t NowNs() const override;
+
+  /// Process-wide instance; valid for the lifetime of the process.
+  static const RealClock* Get();
+};
+static_assert(std::chrono::steady_clock::is_steady,
+              "obs timestamps require a monotonic clock");
+
+/// Manually advanced clock for deterministic traces. Thread-safe, but
+/// bit-determinism is only meaningful on single-threaded paths (the redeploy
+/// event-queue loop, threads=1 solves).
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(int64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  int64_t NowNs() const override {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+  void SetNs(int64_t ns) { now_ns_.store(ns, std::memory_order_relaxed); }
+  void SetSeconds(double s) { SetNs(static_cast<int64_t>(s * 1e9)); }
+  void AdvanceNs(int64_t ns) {
+    now_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_ns_;
+};
+
+/// Seconds on the process-wide RealClock. The one steady-clock helper for
+/// code outside obs/ that needs a raw monotonic "now" (e.g. cache TTLs).
+double SteadyNowSeconds();
+
+}  // namespace cloudia::obs
+
+#endif  // CLOUDIA_OBS_CLOCK_H_

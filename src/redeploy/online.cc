@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "measure/event_queue.h"
 #include "measure/probe_engine.h"
+#include "obs/obs.h"
 
 namespace cloudia::redeploy {
 
@@ -29,6 +30,19 @@ Result<OnlineOutcome> RunOnlineRedeployment(
   outcome.final_deployment = initial;
   outcome.latest_costs = baseline;
 
+  // Counter handles are no-ops without a registry; spans are no-ops without
+  // a tracer, so the instrumented loop costs a null check when obs is off.
+  obs::Counter checks_counter, escalations_counter, remeasures_counter,
+      moves_counter;
+  if (options.obs.metrics != nullptr) {
+    checks_counter = options.obs.metrics->counter("redeploy.monitor.checks");
+    escalations_counter =
+        options.obs.metrics->counter("redeploy.monitor.escalations");
+    remeasures_counter =
+        options.obs.metrics->counter("redeploy.measure.remeasures");
+    moves_counter = options.obs.metrics->counter("redeploy.planner.moves");
+  }
+
   // The loop is clocked by the same EventQueue the protocols use: one event
   // per check, `check_interval_s` apart in virtual time. Events only record
   // failures; the queue drains regardless and status is checked after.
@@ -44,13 +58,28 @@ Result<OnlineOutcome> RunOnlineRedeployment(
           }
           const double t_hours =
               options.start_t_hours + clock.now_ms() / 3.6e6;
+          // Stamp the trace in virtual time: the span for this check opens
+          // (and, via RAII, closes) at the check's event-queue instant, so
+          // identical runs serialize to identical bytes.
+          if (options.virtual_clock != nullptr) {
+            options.virtual_clock->SetSeconds(t_hours * 3600.0);
+          }
+          obs::Span check_span(options.obs.tracer, "redeploy.check",
+                               "redeploy", options.obs.parent);
+          checks_counter.Add();
           OnlineCheckRecord record;
           record.check = monitor.Check(t_hours);
+          if (options.obs.tracer != nullptr) {
+            options.obs.tracer->AddArg(
+                check_span.id(),
+                obs::Arg("escalate", record.check.escalate ? 1.0 : 0.0));
+          }
           if (!record.check.escalate) {
             outcome.records.push_back(std::move(record));
             return;
           }
           ++outcome.escalations;
+          escalations_counter.Add();
 
           // Full re-measure of the pool at this virtual instant, with the
           // same recipe as the baseline measurement. The protocol seed is
@@ -80,7 +109,14 @@ Result<OnlineOutcome> RunOnlineRedeployment(
             return;
           }
           ++outcome.remeasures;
+          remeasures_counter.Add();
           record.remeasured = true;
+          // Advance the virtual clock past the re-measure so the check's
+          // span duration reflects the protocol time the escalation paid.
+          if (options.virtual_clock != nullptr) {
+            options.virtual_clock->SetSeconds(t_hours * 3600.0 +
+                                              popts.duration_s);
+          }
           outcome.latest_costs = std::move(refreshed).value();
           // Observers get the instant the re-measure *completed*: that is
           // where a drift timeline for this matrix starts (matching how a
@@ -107,6 +143,7 @@ Result<OnlineOutcome> RunOnlineRedeployment(
             return;
           }
           outcome.migrations += plan->migrations;
+          moves_counter.Add(static_cast<uint64_t>(plan->migrations));
           outcome.final_deployment = plan->target;
           record.plan = std::move(plan).value();
 

@@ -20,6 +20,7 @@
 #include "common/cancel.h"
 #include "common/result.h"
 #include "measure/protocols.h"
+#include "obs/obs.h"
 #include "redeploy/drift_monitor.h"
 #include "redeploy/migration_planner.h"
 
@@ -48,6 +49,16 @@ struct OnlineOptions {
   /// Cooperative cancellation, polled between checks and threaded into the
   /// full re-measure.
   CancelToken cancel;
+
+  /// Optional observability sinks. Counters:
+  /// redeploy.monitor.checks / .escalations, redeploy.measure.remeasures,
+  /// redeploy.planner.moves. Spans: one "redeploy.check" per drift check
+  /// under obs.parent. With `virtual_clock` set, the clock is advanced to
+  /// each check's virtual event time before its span opens, so the trace is
+  /// stamped in virtual time and byte-identical across runs (the loop is
+  /// single-threaded and deterministic for fixed seeds).
+  obs::ObsConfig obs;
+  obs::VirtualClock* virtual_clock = nullptr;
 };
 
 /// One check of the loop, in order.

@@ -30,6 +30,23 @@ struct StatsCell {
   std::atomic<uint64_t> redeploys{0};
   std::atomic<uint64_t> redeploys_drifted{0};
   std::atomic<uint64_t> matrix_refreshes{0};
+
+  /// service.* counter handles mirroring the atomics above into the obs
+  /// registry (no-ops when the service has none); bumped at the same sites.
+  struct ObsCounters {
+    obs::Counter submitted;
+    obs::Counter coalesced;
+    obs::Counter completed;
+    obs::Counter failed;
+    obs::Counter cancelled;
+    obs::Counter deadline_miss;
+    obs::Counter warm_starts;
+    obs::Counter portfolio_routed;
+    obs::Counter hier_routed;
+    obs::Counter redeploys;
+    obs::Counter redeploys_drifted;
+    obs::Counter matrix_refreshes;
+  } obs;
 };
 
 // One scheduled unit of work: the leader request plus every byte-identical
@@ -84,15 +101,19 @@ struct RequestState {
         switch (r.status.code()) {
           case StatusCode::kOk:
             ++stats->completed;
+            stats->obs.completed.Add();
             break;
           case StatusCode::kCancelled:
             ++stats->cancelled;
+            stats->obs.cancelled.Add();
             break;
           case StatusCode::kTimeout:
             ++stats->expired;
+            stats->obs.deadline_miss.Add();
             break;
           default:
             ++stats->failed;
+            stats->obs.failed.Add();
             break;
         }
       }
@@ -123,6 +144,7 @@ struct RedeployState {
       if (done) return false;
       if (stats != nullptr && r.status.ok() && r.drift_detected) {
         ++stats->redeploys_drifted;
+        stats->obs.redeploys_drifted.Add();
       }
       r.total_s = submitted.ElapsedSeconds();
       result = std::move(r);
@@ -293,6 +315,7 @@ AdvisorService::AdvisorService(Options options)
         copts.capacity = options_.cache_capacity;
         copts.ttl_s = options_.cache_ttl_s;
         copts.measure_fn = options_.measure_fn;
+        copts.metrics = options_.obs.metrics;
         return copts;
       }()),
       stats_(std::make_shared<internal::StatsCell>()),
@@ -301,6 +324,23 @@ AdvisorService::AdvisorService(Options options)
                  ? options_.threads
                  : static_cast<int>(std::thread::hardware_concurrency());
   if (threads_ < 1) threads_ = 1;
+  if (options_.obs.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.obs.metrics;
+    stats_->obs.submitted = m->counter("service.requests.submitted");
+    stats_->obs.coalesced = m->counter("service.requests.coalesced");
+    stats_->obs.completed = m->counter("service.requests.completed");
+    stats_->obs.failed = m->counter("service.requests.failed");
+    stats_->obs.cancelled = m->counter("service.requests.cancelled");
+    stats_->obs.deadline_miss = m->counter("service.requests.deadline_miss");
+    stats_->obs.warm_starts = m->counter("service.solve.warm_starts");
+    stats_->obs.portfolio_routed = m->counter("service.route.portfolio");
+    stats_->obs.hier_routed = m->counter("service.route.hier");
+    stats_->obs.redeploys = m->counter("service.redeploy.requests");
+    stats_->obs.redeploys_drifted = m->counter("service.redeploy.drifted");
+    stats_->obs.matrix_refreshes =
+        m->counter("service.redeploy.matrix_refreshes");
+    queue_depth_gauge_ = m->gauge("service.queue.depth");
+  }
   pool_ = std::make_unique<ThreadPool>(threads_);
 }
 
@@ -337,6 +377,7 @@ RequestHandle AdvisorService::Submit(DeploymentRequest request) {
   state->cancel = request.cancel;
   state->stats = stats_;
   ++stats_->submitted;
+  stats_->obs.submitted.Add();
 
   if (request.app == nullptr) {
     ServiceResult r;
@@ -370,6 +411,7 @@ RequestHandle AdvisorService::Submit(DeploymentRequest request) {
       state->job = job;
       job->attached.push_back(state);
       ++stats_->coalesced;
+      stats_->obs.coalesced.Add();
       return RequestHandle(std::move(state));
     }
   }
@@ -388,6 +430,7 @@ RequestHandle AdvisorService::Submit(DeploymentRequest request) {
   active_[fp] = job;
   pending_.push_back(job);
   std::push_heap(pending_.begin(), pending_.end(), JobAfter);
+  queue_depth_gauge_.Add(1);
   if (paused_) {
     ++deferred_;
   } else {
@@ -427,6 +470,7 @@ RedeployHandle AdvisorService::SubmitRedeploy(RedeployRequest request) {
   state->stats = stats_;
   state->request = std::move(request);
   ++stats_->redeploys;
+  stats_->obs.redeploys.Add();
 
   if (state->request.app == nullptr) {
     RedeployResult r;
@@ -536,12 +580,17 @@ void AdvisorService::ExecuteRedeploy(
   net::NetworkDynamics dynamics(dynamics_config, &cloud.topology());
   cloud.AttachDynamics(&dynamics);
 
+  obs::Span redeploy_span(options_.obs.tracer, "service.redeploy", "service",
+                          options_.obs.parent);
+
   // The deployment to keep good: the caller's, or a baseline solve on the
   // cached matrix (the same path a deployment request takes).
   deploy::Deployment initial = req.current;
   if (initial.empty()) {
+    cloudia::SessionOptions session_options;
+    session_options.obs = options_.obs.Under(redeploy_span.id());
     cloudia::DeploymentSession session(/*cloud=*/nullptr, req.app,
-                                       cloudia::SessionOptions{});
+                                       std::move(session_options));
     Status adopted = session.AdoptMeasurement(env->instances, env->costs,
                                               env->measure_virtual_s);
     if (!adopted.ok()) {
@@ -578,6 +627,7 @@ void AdvisorService::ExecuteRedeploy(
   online.probe_bytes = req.environment.probe_bytes;
   online.measure_seed = req.environment.seed;
   online.cancel = state->cancel;
+  online.obs = options_.obs.Under(redeploy_span.id());
 
   RedeployResult result;
   auto on_refresh = [this, &req, &env, &result](
@@ -594,6 +644,7 @@ void AdvisorService::ExecuteRedeploy(
     cache_.Put(std::move(fresh));
     result.matrix_refreshed = true;
     ++stats_->matrix_refreshes;
+    stats_->obs.matrix_refreshes.Add();
   };
   Result<redeploy::OnlineOutcome> outcome = redeploy::RunOnlineRedeployment(
       cloud, env->instances, *req.app, env->costs, initial, online,
@@ -635,6 +686,7 @@ void AdvisorService::RunOne() {
     std::pop_heap(pending_.begin(), pending_.end(), JobAfter);
     job = std::move(pending_.back());
     pending_.pop_back();
+    queue_depth_gauge_.Add(-1);
     ++running_jobs_;
   }
   ExecuteJob(job);
@@ -723,6 +775,18 @@ void AdvisorService::ExecuteJob(const std::shared_ptr<Job>& job) {
     }
   }
 
+  // Observability: one "service.job" span covers measure + solve; queue
+  // wait and solve time land in per-priority histograms so tail latency can
+  // be read per tier instead of averaged across them.
+  obs::Span job_span(options_.obs.tracer, "service.job", "service",
+                     options_.obs.parent);
+  const std::string priority_suffix =
+      ".p" + std::to_string(std::max(-9, std::min(9, job->priority)));
+  if (options_.obs.metrics != nullptr) {
+    options_.obs.metrics->histogram("service.queue.wait_s" + priority_suffix)
+        .Observe(queue_wait_s);
+  }
+
   // -- Stage 1: resolve the cost matrix (cache / single-flight measure) ------
   job->stage.store(static_cast<int>(RequestStage::kMeasuring));
   Result<CostMatrixCache::Lookup> lookup =
@@ -748,8 +812,10 @@ void AdvisorService::ExecuteJob(const std::shared_ptr<Job>& job) {
 
   // -- Stage 2: solve on a session that adopts the shared measurement --------
   job->stage.store(static_cast<int>(RequestStage::kSolving));
+  cloudia::SessionOptions session_options;
+  session_options.obs = options_.obs.Under(job_span.id());
   cloudia::DeploymentSession session(/*cloud=*/nullptr, job->request.app,
-                                     cloudia::SessionOptions{});
+                                     std::move(session_options));
   Status adopted = session.AdoptMeasurement(env->instances, env->costs,
                                             env->measure_virtual_s);
   if (!adopted.ok()) {
@@ -795,12 +861,14 @@ void AdvisorService::ExecuteJob(const std::shared_ptr<Job>& job) {
       // solvers that would all collapse on a problem this size.
       spec.method = "hier";
       ++stats_->hier_routed;
+      stats_->obs.hier_routed.Add();
     } else if (n >= options_.portfolio_node_threshold) {
       spec.method = "portfolio";
       if (spec.portfolio_members.empty()) {
         spec.portfolio_members = options_.portfolio_members;
       }
       ++stats_->portfolio_routed;
+      stats_->obs.portfolio_routed.Add();
     } else {
       spec.method = options_.default_method;
     }
@@ -841,10 +909,16 @@ void AdvisorService::ExecuteJob(const std::shared_ptr<Job>& job) {
       spec.initial = std::move(warm);
       warm_started = true;
       ++stats_->warm_starts;
+      stats_->obs.warm_starts.Add();
     }
   }
 
+  Stopwatch solve_watch;
   Result<cloudia::SessionSolve> solve = session.Solve(spec);
+  if (options_.obs.metrics != nullptr) {
+    options_.obs.metrics->histogram("service.solve.time_s" + priority_suffix)
+        .Observe(solve_watch.ElapsedSeconds());
+  }
 
   ServiceResult base;
   base.cache_hit = lookup->hit;

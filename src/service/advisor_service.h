@@ -44,6 +44,7 @@
 #include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "netsim/dynamics.h"
+#include "obs/obs.h"
 #include "redeploy/online.h"
 #include "service/cost_matrix_cache.h"
 
@@ -260,6 +261,13 @@ class AdvisorService {
     bool start_paused = false;
     /// Test hook forwarded to the cache.
     CostMatrixCache::MeasureFn measure_fn;
+    /// Observability sinks for the whole service (obs/obs.h). With a
+    /// metrics registry attached, the service exports a queue-depth gauge,
+    /// per-priority queue-wait and solve-time histograms, request-outcome
+    /// counters (including deadline misses), and cache.matrix.* counters;
+    /// with a tracer, every job emits a "service.job" span with the session
+    /// stage spans nested under it. Both sinks must outlive the service.
+    obs::ObsConfig obs;
   };
 
   struct Stats {
@@ -327,6 +335,9 @@ class AdvisorService {
 
   Options options_;
   int threads_ = 1;
+  /// service.queue.depth: +1 on enqueue, -1 when a worker claims the job
+  /// (no-op without a metrics registry).
+  obs::Gauge queue_depth_gauge_;
   CostMatrixCache cache_;
   std::shared_ptr<internal::StatsCell> stats_;
   std::unique_ptr<ThreadPool> pool_;

@@ -1,20 +1,14 @@
 #include "service/cost_matrix_cache.h"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/clock.h"
 
 namespace cloudia::service {
 
 namespace {
-
-double SteadySeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 // All registered callers gone? Then nobody wants the measurement any more.
 bool AllCancelled(const std::vector<CancelToken>& tokens) {
@@ -37,7 +31,17 @@ CostMatrixCache::CostMatrixCache(Options options)
       return MeasureEnvironment(spec, cancel);
     };
   }
-  if (!options_.now_fn) options_.now_fn = SteadySeconds;
+  if (!options_.now_fn) options_.now_fn = obs::SteadyNowSeconds;
+  if (options_.metrics != nullptr) {
+    obs_.hits = options_.metrics->counter("cache.matrix.hits");
+    obs_.misses = options_.metrics->counter("cache.matrix.misses");
+    obs_.measurements = options_.metrics->counter("cache.matrix.measurements");
+    obs_.single_flight_waits =
+        options_.metrics->counter("cache.matrix.single_flight_waits");
+    obs_.evictions = options_.metrics->counter("cache.matrix.evictions");
+    obs_.expirations = options_.metrics->counter("cache.matrix.expirations");
+    obs_.refreshes = options_.metrics->counter("cache.matrix.refreshes");
+  }
 }
 
 double CostMatrixCache::Now() const { return options_.now_fn(); }
@@ -56,6 +60,7 @@ void CostMatrixCache::SweepExpired() {
       lru_.erase(it->second.lru_it);
       it = entries_.erase(it);
       ++stats_.expirations;
+      obs_.expirations.Add();
     } else {
       ++it;
     }
@@ -79,6 +84,7 @@ void CostMatrixCache::Install(const std::string& key, EntryPtr entry) {
     entries_.erase(victim);
     lru_.pop_back();
     ++stats_.evictions;
+    obs_.evictions.Add();
   }
   lru_.push_front(key);
   CacheEntry cached;
@@ -109,18 +115,23 @@ Result<CostMatrixCache::Lookup> CostMatrixCache::Get(
       auto it = entries_.find(key);
       if (it != entries_.end()) {
         if (Now() < it->second.expires_at) {
-          if (!counted_miss) ++stats_.hits;
+          if (!counted_miss) {
+            ++stats_.hits;
+            obs_.hits.Add();
+          }
           Touch(key);
           return Lookup{it->second.entry, /*hit=*/!ever_waited, ever_waited};
         }
         lru_.erase(it->second.lru_it);
         entries_.erase(it);
         ++stats_.expirations;
+        obs_.expirations.Add();
       }
       // A retry after a cancelled leader is still one logical lookup; only
       // `measurements` keeps counting, since the re-measure is real work.
       if (!counted_miss) {
         ++stats_.misses;
+        obs_.misses.Add();
         counted_miss = true;
       }
       auto fit = inflight_.find(key);
@@ -134,9 +145,11 @@ Result<CostMatrixCache::Lookup> CostMatrixCache::Get(
         inflight_[key] = flight;
         leader = true;
         ++stats_.measurements;
+        obs_.measurements.Add();
       } else {
         flight = fit->second;
         ++stats_.coalesced;
+        obs_.single_flight_waits.Add();
       }
     }
     if (!leader) {
@@ -203,6 +216,7 @@ void CostMatrixCache::Put(MeasuredEnvironment env) {
   std::lock_guard<std::mutex> lock(mu_);
   Install(key, std::move(entry));
   ++stats_.refreshes;
+  obs_.refreshes.Add();
 }
 
 size_t CostMatrixCache::size() const {

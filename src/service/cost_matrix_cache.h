@@ -34,6 +34,7 @@
 
 #include "common/cancel.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "service/environment.h"
 
 namespace cloudia::service {
@@ -55,8 +56,13 @@ class CostMatrixCache {
     MeasureFn measure_fn;
     /// Test hook: monotonic clock in seconds, for deterministic TTL tests.
     std::function<double()> now_fn;
+    /// Optional sink mirroring Stats as cache.matrix.* counters (obs/).
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
+  /// Counts below are mutated and snapshotted only under the cache mutex
+  /// (stats() copies the whole struct in one critical section), so a reader
+  /// always sees a coherent point-in-time view, never a torn mix of fields.
   struct Stats {
     uint64_t hits = 0;          ///< served from a completed entry
     uint64_t misses = 0;        ///< no valid entry at lookup time
@@ -139,6 +145,17 @@ class CostMatrixCache {
   std::list<std::string> lru_;  // front = most recently used
   std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
   Stats stats_;
+  /// cache.matrix.* counter handles (no-ops without Options::metrics),
+  /// bumped at the same sites as the stats_ fields they mirror.
+  struct ObsCounters {
+    obs::Counter hits;
+    obs::Counter misses;
+    obs::Counter measurements;
+    obs::Counter single_flight_waits;
+    obs::Counter evictions;
+    obs::Counter expirations;
+    obs::Counter refreshes;
+  } obs_;
 };
 
 }  // namespace cloudia::service

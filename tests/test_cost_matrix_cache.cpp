@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -380,6 +382,69 @@ TEST(CostMatrixCacheTest, ClearDropsCompletedEntries) {
   EXPECT_EQ(cache.size(), 0u);
   ASSERT_TRUE(cache.GetOrMeasure(TinyEnv(1)).ok());
   EXPECT_EQ(cache.stats().measurements, 3u);
+}
+
+// Stats reads must be coherent under concurrent mutation: every field is
+// mutated and copied under the cache mutex, so a stats() snapshot taken
+// mid-hammer is a point-in-time view, never a torn mix (this is also the
+// TSan pin for the struct-copy read path). The obs mirror counters must
+// fold to the same totals the struct reports.
+TEST(CostMatrixCacheTest, StatsReadsAreCoherentUnderConcurrentMutation) {
+  obs::MetricsRegistry registry;
+  CostMatrixCache::Options options;
+  options.measure_fn = FakeMeasure;
+  options.capacity = 4;  // small: forces concurrent evictions too
+  options.metrics = &registry;
+  CostMatrixCache cache(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // 6 keys over 4 slots: a mix of hits, misses, and evictions.
+        ASSERT_TRUE(cache.GetOrMeasure(TinyEnv(1 + (t + i) % 6)).ok());
+      }
+    });
+  }
+  threads.emplace_back([&cache, &torn] {
+    for (int i = 0; i < 400; ++i) {
+      CostMatrixCache::Stats s = cache.stats();
+      // Every lookup is a hit, a miss, or a coalesced wait -- a torn read
+      // (e.g. hits incremented but misses from an older instant) can break
+      // this only transiently, which coherent snapshots never show.
+      if (s.hits + s.misses + s.coalesced < s.measurements) {
+        torn.store(true);
+      }
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(torn.load());
+
+  const CostMatrixCache::Stats s = cache.stats();
+  // Exactly one hit-or-miss per logical lookup. A lookup that coalesces
+  // onto an in-flight measurement counts its miss AND a coalesced wait, so
+  // misses exceed measurements by the follower count (at least: a follower
+  // can re-join a second flight if the entry is evicted before it re-reads).
+  EXPECT_EQ(s.hits + s.misses, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_GE(s.misses, s.measurements);
+  EXPECT_GE(s.coalesced, s.misses - s.measurements);
+
+  // The obs mirrors were bumped at the same sites, so they agree exactly.
+  std::map<std::string, double> folded;
+  for (const obs::MetricValue& m : registry.Snapshot()) {
+    folded[m.name] = m.value;
+  }
+  EXPECT_EQ(folded["cache.matrix.hits"], static_cast<double>(s.hits));
+  EXPECT_EQ(folded["cache.matrix.misses"], static_cast<double>(s.misses));
+  EXPECT_EQ(folded["cache.matrix.measurements"],
+            static_cast<double>(s.measurements));
+  EXPECT_EQ(folded["cache.matrix.single_flight_waits"],
+            static_cast<double>(s.coalesced));
+  EXPECT_EQ(folded["cache.matrix.evictions"], static_cast<double>(s.evictions));
 }
 
 }  // namespace

@@ -190,7 +190,7 @@ TEST(ParetoTest, RejectsInvalidWeightsAndUnknownMethod) {
 
 TEST(ParetoTest, NoSecondaryAxesCollapsesToSingleAnchor) {
   Rng rng(13);
-  const int n = 9, m = 12;
+  const int m = 12;
   graph::CommGraph mesh = graph::Mesh2D(3, 3);
   CostMatrix costs = RandomCosts(m, rng);
   ParetoOptions options;

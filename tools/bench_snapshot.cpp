@@ -348,6 +348,7 @@ constexpr BenchSpec kBenches[] = {
     {"bench_hier_scalability",
      "--sizes=512,2000 --quality-sizes=256 --budget=5"},
     {"bench_pareto_frontier", "--nodes=16 --budget=3 --threads=1"},
+    {"bench_obs_overhead", "--iters=2000000 --reps=5"},
 };
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "graph/templates.h"
 #include "measure/io.h"
 #include "measure/protocols.h"
+#include "obs/obs.h"
 #include "tool_util.h"
 
 namespace {
@@ -48,6 +49,47 @@ bool ValidatePortfolio(const std::string& csv,
 }
 
 std::string KnownMethods() { return tools::KnownSolverNames(" | "); }
+
+// Observability sinks requested with --trace/--metrics. Sinks are attached
+// only when their flag is given, so the default run pays nothing; Dump()
+// writes whatever was requested after the work finishes.
+struct ObsSinks {
+  std::string trace_path;
+  std::string metrics_path;
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+
+  explicit ObsSinks(const Flags& flags)
+      : trace_path(flags.GetString("trace", "")),
+        metrics_path(flags.GetString("metrics", "")) {}
+  obs::ObsConfig Config() {
+    obs::ObsConfig config;
+    if (!trace_path.empty()) config.tracer = &tracer;
+    if (!metrics_path.empty()) config.metrics = &registry;
+    return config;
+  }
+  /// Writes the requested files; returns false (with stderr) on I/O error.
+  bool Dump() {
+    if (!trace_path.empty()) {
+      if (!tracer.WriteChromeTrace(trace_path)) {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     trace_path.c_str());
+        return false;
+      }
+      std::printf("wrote %zu trace events to %s\n", tracer.event_count(),
+                  trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      if (!registry.WriteJson(metrics_path, "cloudia_cli")) {
+        std::fprintf(stderr, "cannot write metrics to %s\n",
+                     metrics_path.c_str());
+        return false;
+      }
+      std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    }
+    return true;
+  }
+};
 
 void PrintUsage() {
   std::printf(
@@ -80,6 +122,9 @@ void PrintUsage() {
       "                       per-shard solver for hier (default local)\n"
       "  --hier-polish-steps=N\n"
       "                       boundary-polish step budget (default 2000)\n"
+      "  --trace=FILE         write a Chrome trace_event JSON of the run\n"
+      "                       (open in chrome://tracing or Perfetto)\n"
+      "  --metrics=FILE       write collected counters as bench-schema JSON\n"
       "advise/measure flags:\n"
       "  --over-allocation=F  extra instance fraction (default 0.10)\n"
       "  --minutes=M          virtual measurement minutes (default auto)\n"
@@ -149,10 +194,12 @@ int RunAdvise(const Flags& flags) {
                                      static_cast<int>(*nodes));
   std::printf("application graph: %s\n", app.ToString().c_str());
 
+  ObsSinks sinks(flags);
   SessionOptions options;
   options.over_allocation = *over;
   options.measure_duration_s = *minutes * 60.0;
   options.seed = static_cast<uint64_t>(*seed);
+  options.obs = sinks.Config();
 
   // Staged pipeline so the measured matrix is still around for --out.
   DeploymentSession session(&cloud, &app, options);
@@ -203,6 +250,7 @@ int RunAdvise(const Flags& flags) {
                  terminated.status().ToString().c_str());
     return 1;
   }
+  if (!sinks.Dump()) return 1;
 
   std::printf("ClouDiA deployment report\n");
   std::printf("  allocated instances : %zu\n", session.allocated().size());
@@ -362,14 +410,22 @@ int RunSolve(const Flags& flags) {
   opts.hier_clusters = static_cast<int>(*hier_clusters);
   opts.hier_shard_solver = flags.GetString("hier-shard-solver", "");
   opts.hier_polish_steps = static_cast<int>(*hier_polish);
+  ObsSinks sinks(flags);
+  const obs::ObsConfig obs_config = sinks.Config();
   deploy::SolveContext context(Deadline::After(*budget));
   context.set_max_threads(opts.threads);
+  obs::Span solve_span(obs_config.tracer, "cli.solve", "cli");
+  if (obs_config.tracer != nullptr) {
+    context.set_obs(obs_config.tracer, solve_span.id(), (*solver)->name());
+  }
   auto result = deploy::SolveNodeDeploymentByName(
       app, loaded->costs, (*solver)->name(), opts, context);
+  solve_span.End();
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
+  if (!sinks.Dump()) return 1;
   std::printf("graph %s, %s / %s: cost %.4f ms%s after %.1f s\n",
               app.ToString().c_str(), (*solver)->display_name(),
               deploy::ObjectiveName(*objective), result->cost,

@@ -28,6 +28,7 @@
 #include "common/flags.h"
 #include "deploy/solver_registry.h"
 #include "graph/templates.h"
+#include "obs/obs.h"
 #include "service/advisor_service.h"
 #include "tool_util.h"
 
@@ -52,9 +53,15 @@ void PrintUsage() {
       "  --default-method=M   solver for small 'auto' requests (default cp)\n"
       "  --batch              submit every line before executing, so the\n"
       "                       schedule is a pure function of the file\n"
+      "  --trace=FILE         write a Chrome trace_event JSON of the run\n"
+      "                       (open in chrome://tracing or Perfetto)\n"
+      "  --metrics=FILE       write final counters as bench-schema JSON\n"
       "\n"
       "request line keys (whitespace-separated key=value; '#' comments):\n"
       "  verb=deploy|redeploy (default deploy)\n"
+      "  verb=stats (alone on its line) prints the service metrics snapshot\n"
+      "      at that position in the result stream -- every request above it\n"
+      "      is already reflected, none below it is\n"
       "  provider=ec2|gce|rackspace   instances=N     env-seed=N\n"
       "  protocol=token|uncoordinated|staged   metric=mean|mean-sd|p99\n"
       "  duration=VIRTUAL_SECONDS     probe-bytes=B\n"
@@ -368,6 +375,16 @@ Result<ParsedRequest> ParseRequestLine(const std::string& line,
   return parsed;
 }
 
+// True when the line is exactly "verb=stats" (plus optional trailing
+// comment): a metrics snapshot point, not a request.
+bool IsStatsLine(const std::string& line) {
+  std::istringstream tokens(line);
+  std::string token;
+  if (!(tokens >> token) || token != "verb=stats") return false;
+  if (tokens >> token) return token[0] == '#';
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -403,6 +420,13 @@ int main(int argc, char** argv) {
     in = &file;
   }
 
+  const std::string trace_path = flags->GetString("trace", "");
+  const std::string metrics_path = flags->GetString("metrics", "");
+  // The registry is always attached (near-free when idle) so `verb=stats`
+  // lines and --metrics have data; tracing stays opt-in via --trace.
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+
   service::AdvisorService::Options options;
   options.threads = static_cast<int>(*threads);
   options.cache_capacity = static_cast<size_t>(*capacity);
@@ -410,13 +434,16 @@ int main(int argc, char** argv) {
   options.portfolio_node_threshold = static_cast<int>(*threshold);
   options.default_method = flags->GetString("default-method", "cp");
   options.start_paused = batch;
+  options.obs.metrics = &registry;
+  if (!trace_path.empty()) options.obs.tracer = &tracer;
   service::AdvisorService advisor(options);
 
   GraphStore graphs;
   // Results print in submission order; deploy and redeploy handles live in
   // separate vectors, `order` interleaves them.
   struct Submitted {
-    bool redeploy;
+    enum Kind { kDeploy, kRedeploy, kStats };
+    Kind kind;
     size_t index;
   };
   std::vector<service::RequestHandle> handles;
@@ -433,6 +460,10 @@ int main(int argc, char** argv) {
     // Skip blanks and comment lines.
     size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
+    if (IsStatsLine(line)) {
+      order.push_back({Submitted::kStats, 0});
+      continue;
+    }
     auto request = ParseRequestLine(line, graphs);
     if (!request.ok()) {
       std::fprintf(stderr, "line %d: %s\n", line_no,
@@ -459,11 +490,11 @@ int main(int argc, char** argv) {
       }
       advisor.EnableRedeployment(request->redeploy.environment,
                                  request->policy);
-      order.push_back({true, redeploy_handles.size()});
+      order.push_back({Submitted::kRedeploy, redeploy_handles.size()});
       redeploy_handles.push_back(
           advisor.SubmitRedeploy(std::move(request->redeploy)));
     } else {
-      order.push_back({false, handles.size()});
+      order.push_back({Submitted::kDeploy, handles.size()});
       handles.push_back(advisor.Submit(std::move(request->deploy)));
     }
   }
@@ -471,7 +502,23 @@ int main(int argc, char** argv) {
 
   int failed_requests = 0;
   for (size_t i = 0; i < order.size(); ++i) {
-    if (order[i].redeploy) {
+    if (order[i].kind == Submitted::kStats) {
+      // Results are waited on in submission order, so by the time a stats
+      // line prints, every request above it has completed (and is counted)
+      // while none below it has been waited on.
+      for (size_t j = 0; j < i; ++j) {
+        if (order[j].kind == Submitted::kDeploy) {
+          handles[order[j].index].Wait();
+        } else if (order[j].kind == Submitted::kRedeploy) {
+          redeploy_handles[order[j].index].Wait();
+        }
+      }
+      const std::string snapshot = registry.SnapshotLine();
+      std::printf("req %3zu: stats     %s\n", i + 1,
+                  snapshot.empty() ? "(no metrics)" : snapshot.c_str());
+      continue;
+    }
+    if (order[i].kind == Submitted::kRedeploy) {
       const service::RedeployResult& r =
           redeploy_handles[order[i].index].Wait();
       if (!r.status.ok()) {
@@ -533,7 +580,26 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.redeploys_drifted),
         static_cast<unsigned long long>(s.matrix_refreshes));
   }
+  int io_errors = 0;
+  if (!trace_path.empty()) {
+    if (tracer.WriteChromeTrace(trace_path)) {
+      std::printf("wrote %zu trace events to %s\n", tracer.event_count(),
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+      ++io_errors;
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (registry.WriteJson(metrics_path, "cloudia_serve")) {
+      std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_path.c_str());
+      ++io_errors;
+    }
+  }
   // Repo convention: runtime failures exit 1 too, so scripts and CI notice
   // failed requests, not only unparsable ones.
-  return parse_errors == 0 && failed_requests == 0 ? 0 : 1;
+  return parse_errors == 0 && failed_requests == 0 && io_errors == 0 ? 0 : 1;
 }
